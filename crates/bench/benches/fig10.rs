@@ -1,0 +1,31 @@
+//! Criterion bench for E1 (Figure 10): times the full per-kernel pipeline
+//! (compile → reference replay → three timing simulations) and the timing
+//! simulator itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use talft_bench::{fig10_row, reference_visits};
+use talft_compiler::{compile, CompileOptions};
+use talft_sim::{simulate, MachineModel};
+use talft_suite::{kernels, Scale};
+
+fn bench_fig10(c: &mut Criterion) {
+    let model = MachineModel::default();
+    let ks = kernels(Scale::Tiny);
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("row/spec_gzip", |b| {
+        b.iter(|| fig10_row(&ks[0], &model).expect("row"));
+    });
+    let compiled = compile(&ks[0].source, &CompileOptions::default()).expect("compiles");
+    let visits = reference_visits(&compiled).expect("halts");
+    g.bench_function("simulate/protected", |b| {
+        b.iter(|| simulate(&compiled.protected.sched, &visits, &model));
+    });
+    g.bench_function("simulate/baseline", |b| {
+        b.iter(|| simulate(&compiled.baseline.sched, &visits, &model));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

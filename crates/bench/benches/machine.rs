@@ -1,0 +1,27 @@
+//! Criterion bench: faulty-machine stepping throughput and fault-injection
+//! campaign cost (the substrate of the E2 coverage experiment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use talft_compiler::{compile, CompileOptions};
+use talft_faultsim::{golden_run, run_campaign_against, CampaignConfig};
+use talft_machine::run_program;
+use talft_suite::{kernels, Scale};
+
+fn bench_machine(c: &mut Criterion) {
+    let ks = kernels(Scale::Tiny);
+    let compiled = compile(&ks[0].source, &CompileOptions::default()).expect("compiles");
+    let mut g = c.benchmark_group("machine");
+    g.sample_size(20);
+    g.bench_function("run/protected", |b| {
+        b.iter(|| run_program(&compiled.protected.program, 10_000_000));
+    });
+    let cfg = CampaignConfig { stride: 293, mutations_per_site: 1, threads: 1, ..Default::default() };
+    let golden = golden_run(&compiled.protected.program, &cfg);
+    g.bench_function("campaign/strided", |b| {
+        b.iter(|| run_campaign_against(&compiled.protected.program, &cfg, &golden));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

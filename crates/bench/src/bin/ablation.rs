@@ -1,0 +1,26 @@
+//! E6 / **ablations**: (a) the scheduling-constraint gap (already part of
+//! Figure 10) as a function of issue width — the paper's 34% vs 30% at
+//! width 6 — and (b) where the duplication overhead lands on narrow and
+//! very wide machines.
+//!
+//! Usage: `cargo run --release -p talft-bench --bin ablation`
+
+use talft_bench::width_sweep;
+use talft_suite::Scale;
+
+fn main() {
+    println!("# Ablation: geomean overhead vs issue width");
+    println!("| width | TAL-FT | TAL-FT w/o ordering | gap |");
+    println!("|---:|---:|---:|---:|");
+    match width_sweep(Scale::Small, &[1, 2, 3, 4, 6, 8]) {
+        Ok(rows) => {
+            for (w, go, gu) in rows {
+                println!("| {w} | {go:.3}x | {gu:.3}x | {:.1}% |", (go - gu) * 100.0);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

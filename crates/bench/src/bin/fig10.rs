@@ -1,0 +1,32 @@
+//! E1 / **Figure 10**: execution time of TAL-FT (with and without the
+//! green≺blue scheduling constraint) normalized to the unprotected baseline,
+//! per benchmark, on the 6-wide in-order model.
+//!
+//! Paper's result: 1.34x geomean (ordered), 1.30x (without ordering).
+//! Usage: `cargo run --release -p talft-bench --bin fig10 [--scale full|small|tiny]`
+
+use talft_bench::{fig10_rows, render_fig10};
+use talft_sim::MachineModel;
+use talft_suite::Scale;
+
+fn main() {
+    let scale = match std::env::args().nth(2).as_deref() {
+        Some("tiny") => Scale::Tiny,
+        Some("small") => Scale::Small,
+        _ => Scale::Full,
+    };
+    let model = MachineModel::default();
+    println!("# Figure 10 — Performance normalized to unprotected version");
+    println!(
+        "# model: {}-wide in-order, lat(alu/mul/ld/st) = {}/{}/{}/{}, branch penalty {}",
+        model.width, model.lat_alu, model.lat_mul, model.lat_load, model.lat_store,
+        model.branch_penalty
+    );
+    match fig10_rows(scale, &model) {
+        Ok(rows) => print!("{}", render_fig10(&rows)),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Program-characterization table (an extension beyond the paper's figures):
+//! static/dynamic sizes of both variants, code growth from the reliability
+//! transformation, store-queue high-water mark (hardware store-buffer
+//! sizing), and mean/max fault-detection latency.
+//!
+//! Usage: `cargo run --release -p talft-bench --bin stats`
+
+use talft_compiler::{compile, CompileOptions};
+use talft_faultsim::{run_campaign, CampaignConfig};
+use talft_machine::{run, Machine};
+use talft_suite::{kernels, Scale};
+
+fn main() {
+    println!("# Program characterization (Tiny scale)");
+    println!(
+        "| benchmark | base instrs | prot instrs | growth | dyn steps | max queue | det. latency mean | max |"
+    );
+    println!("|---|---:|---:|---:|---:|---:|---:|---:|");
+    let cfg = CampaignConfig { stride: 23, mutations_per_site: 2, ..Default::default() };
+    for k in kernels(Scale::Tiny) {
+        let c = match compile(&k.source, &CompileOptions::default()) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {}: {e}", k.name);
+                std::process::exit(1);
+            }
+        };
+        let base_n = c.baseline.program.code_len();
+        let prot_n = c.protected.program.code_len();
+        let mut m = Machine::boot(std::sync::Arc::clone(&c.protected.program));
+        let r = run(&mut m, 100_000_000);
+        let rep = run_campaign(&c.protected.program, &cfg);
+        println!(
+            "| {} | {} | {} | {:.2}x | {} | {} | {:.1} | {} |",
+            k.name,
+            base_n,
+            prot_n,
+            prot_n as f64 / base_n as f64,
+            r.steps,
+            m.max_queue_depth(),
+            rep.detection_latency.mean(),
+            rep.detection_latency.max,
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! `talftc` — the TAL_FT command-line driver.
+//!
+//! ```text
+//! talftc <file.wile|file.talft> [flags]
+//!
+//!   --emit-asm        print the (protected) program as .talft text
+//!   --disasm          print a bare disassembly
+//!   --no-check        skip type checking
+//!   --run             execute and print the observable trace
+//!   --campaign[=N]    run a single-fault campaign (stride N, default 11)
+//!   --baseline        operate on the unprotected baseline instead
+//!   --time            report Figure 10-style cycles for this program
+//! ```
+//!
+//! Wile inputs go through the full reliability-transforming compiler;
+//! `.talft` inputs are assembled directly.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use talft_compiler::{compile, CompileOptions};
+use talft_core::check_program;
+use talft_faultsim::{run_campaign, CampaignConfig};
+use talft_isa::{assemble, print_program, Program};
+use talft_logic::ExprArena;
+use talft_machine::run_program;
+use talft_sim::{simulate, MachineModel};
+
+struct Flags {
+    emit_asm: bool,
+    disasm: bool,
+    check: bool,
+    run: bool,
+    campaign: Option<u64>,
+    baseline: bool,
+    time: bool,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
+        eprintln!("usage: talftc <file.wile|file.talft> [--emit-asm] [--disasm] [--no-check] [--run] [--campaign[=N]] [--baseline] [--time]");
+        return ExitCode::FAILURE;
+    };
+    let flags = Flags {
+        emit_asm: args.iter().any(|a| a == "--emit-asm"),
+        disasm: args.iter().any(|a| a == "--disasm"),
+        check: !args.iter().any(|a| a == "--no-check"),
+        run: args.iter().any(|a| a == "--run"),
+        campaign: args.iter().find_map(|a| {
+            a.strip_prefix("--campaign")
+                .map(|rest| rest.strip_prefix('=').and_then(|n| n.parse().ok()).unwrap_or(11))
+        }),
+        baseline: args.iter().any(|a| a == "--baseline"),
+        time: args.iter().any(|a| a == "--time"),
+    };
+
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("talftc: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (program, mut arena): (Arc<Program>, ExprArena) = if path.ends_with(".talft") {
+        match assemble(&src) {
+            Ok(a) => (Arc::new(a.program), a.arena),
+            Err(e) => {
+                eprintln!("talftc: assembly error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let opts = CompileOptions::default();
+        let c = match compile(&src, &opts) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("talftc: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if flags.time {
+            report_timing(&c);
+        }
+        if flags.baseline {
+            (c.baseline.program, c.baseline.arena)
+        } else {
+            (c.protected.program, c.protected.arena)
+        }
+    };
+
+    if flags.emit_asm {
+        print!("{}", print_program(&program, &arena));
+    }
+    if flags.disasm {
+        print!("{}", talft_isa::disassemble(&program));
+    }
+    if flags.check {
+        match check_program(&program, &mut arena) {
+            Ok(rep) => eprintln!(
+                "talftc: type check OK ({} blocks, {} instructions) — fault tolerant",
+                rep.blocks, rep.instrs
+            ),
+            Err(e) => {
+                eprintln!("talftc: TYPE ERROR: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if flags.run {
+        let r = run_program(&program, 500_000_000);
+        eprintln!("talftc: {} after {} steps", r.status, r.steps);
+        for (a, v) in &r.trace {
+            println!("{a}\t{v}");
+        }
+    }
+    if let Some(stride) = flags.campaign {
+        let cfg = CampaignConfig { stride, ..CampaignConfig::default() };
+        let rep = run_campaign(&program, &cfg);
+        eprintln!(
+            "talftc: campaign: {} injections — {} masked, {} detected, {} SDC, {} other",
+            rep.total, rep.masked, rep.detected, rep.sdc, rep.other_violations
+        );
+        if !rep.fault_tolerant() {
+            eprintln!("talftc: NOT fault tolerant; first counterexamples:");
+            for v in rep.violations.iter().take(5) {
+                eprintln!("  {:?} at step {} ← {}", v.site, v.at_step, v.value);
+            }
+            return ExitCode::from(3);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn report_timing(c: &talft_compiler::Compiled) {
+    let model = MachineModel::default();
+    let r = talft_compiler::vir::interpret(&c.vir, 200_000_000);
+    if !r.halted {
+        eprintln!("talftc: --time: reference run did not halt");
+        return;
+    }
+    let b = simulate(&c.baseline.sched, &r.visits, &model);
+    let p = simulate(&c.protected.sched, &r.visits, &model);
+    let u = simulate(&c.protected_unordered_sched, &r.visits, &model);
+    eprintln!(
+        "talftc: cycles baseline={b} talft={p} ({:.3}x) talft-unordered={u} ({:.3}x)",
+        p as f64 / b as f64,
+        u as f64 / b as f64
+    );
+}

@@ -1,0 +1,219 @@
+//! Shared harness code regenerating every table and figure of the paper's
+//! evaluation (§5). See DESIGN.md's per-experiment index:
+//!
+//! * **E1 / Figure 10** — [`fig10_rows`]: per-benchmark execution time of
+//!   TAL-FT (ordered) and TAL-FT-without-ordering, normalized to the
+//!   unprotected baseline, plus the geometric mean (paper: 1.34× / 1.30×).
+//! * **E2–E4 / Theorems** — [`coverage_row`]: exhaustive-in-sites,
+//!   strided-in-time single-fault campaigns over protected and baseline
+//!   binaries (protected must show zero SDC; baseline must not).
+//! * **E6 / ablation** — [`width_sweep`]: the Figure 10 ratio as a function
+//!   of issue width.
+
+#![warn(missing_docs)]
+
+use talft_compiler::{compile, vir::interpret, CompileOptions, Compiled};
+use talft_faultsim::{run_campaign, CampaignConfig, CampaignReport};
+use talft_sim::{simulate, BlockVisit, MachineModel};
+use talft_suite::{Kernel, Scale};
+
+/// Reference-run budget for timing replays.
+pub const INTERP_BUDGET: u64 = 200_000_000;
+
+/// One row of Figure 10.
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Baseline (unprotected) cycles.
+    pub base_cycles: u64,
+    /// Protected cycles with the green≺blue ordering constraint.
+    pub talft_cycles: u64,
+    /// Protected cycles without the ordering constraint.
+    pub talft_unordered_cycles: u64,
+}
+
+impl Fig10Row {
+    /// `TAL-FT / baseline` (the paper's normalized execution time).
+    #[must_use]
+    pub fn ratio_ordered(&self) -> f64 {
+        self.talft_cycles as f64 / self.base_cycles as f64
+    }
+
+    /// `TAL-FT-without-ordering / baseline`.
+    #[must_use]
+    pub fn ratio_unordered(&self) -> f64 {
+        self.talft_unordered_cycles as f64 / self.base_cycles as f64
+    }
+}
+
+/// Compile a kernel and replay its dynamic block sequence through the three
+/// schedule variants.
+pub fn fig10_row(kernel: &Kernel, model: &MachineModel) -> Result<Fig10Row, String> {
+    let opts = CompileOptions { model: *model, ..CompileOptions::default() };
+    let c = compile(&kernel.source, &opts).map_err(|e| format!("{}: {e}", kernel.name))?;
+    let visits = reference_visits(&c)?;
+    Ok(Fig10Row {
+        name: kernel.name,
+        base_cycles: simulate(&c.baseline.sched, &visits, model),
+        talft_cycles: simulate(&c.protected.sched, &visits, model),
+        talft_unordered_cycles: simulate(&c.protected_unordered_sched, &visits, model),
+    })
+}
+
+/// The dynamic block-visit sequence of a compiled kernel's reference run.
+pub fn reference_visits(c: &Compiled) -> Result<Vec<BlockVisit>, String> {
+    let r = interpret(&c.vir, INTERP_BUDGET);
+    if !r.halted {
+        return Err("reference run did not halt".into());
+    }
+    Ok(r.visits)
+}
+
+/// All Figure 10 rows at a scale.
+pub fn fig10_rows(scale: Scale, model: &MachineModel) -> Result<Vec<Fig10Row>, String> {
+    talft_suite::kernels(scale)
+        .iter()
+        .map(|k| fig10_row(k, model))
+        .collect()
+}
+
+/// Geometric mean of a ratio column.
+#[must_use]
+pub fn geomean(ratios: &[f64]) -> f64 {
+    if ratios.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = ratios.iter().map(|r| r.ln()).sum();
+    (log_sum / ratios.len() as f64).exp()
+}
+
+/// Render Figure 10 as a markdown table (the paper's bar chart, in rows).
+#[must_use]
+pub fn render_fig10(rows: &[Fig10Row]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    writeln!(
+        s,
+        "| benchmark | baseline cyc | TAL-FT cyc | TAL-FT (no order) cyc | TAL-FT | TAL-FT w/o ordering |"
+    )
+    .expect("write to string");
+    writeln!(s, "|---|---:|---:|---:|---:|---:|").expect("write to string");
+    for r in rows {
+        writeln!(
+            s,
+            "| {} | {} | {} | {} | {:.3}x | {:.3}x |",
+            r.name,
+            r.base_cycles,
+            r.talft_cycles,
+            r.talft_unordered_cycles,
+            r.ratio_ordered(),
+            r.ratio_unordered()
+        )
+        .expect("write to string");
+    }
+    let go = geomean(&rows.iter().map(Fig10Row::ratio_ordered).collect::<Vec<_>>());
+    let gu = geomean(&rows.iter().map(Fig10Row::ratio_unordered).collect::<Vec<_>>());
+    writeln!(s, "| **geomean** | | | | **{go:.3}x** | **{gu:.3}x** |").expect("write to string");
+    s
+}
+
+/// One row of the fault-coverage table (E2/E3/E4).
+#[derive(Debug, Clone)]
+pub struct CoverageRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Campaign over the protected binary.
+    pub protected: CampaignReport,
+    /// Campaign over the unprotected baseline.
+    pub baseline: CampaignReport,
+}
+
+/// Run the injection campaigns for one kernel.
+pub fn coverage_row(kernel: &Kernel, cfg: &CampaignConfig) -> Result<CoverageRow, String> {
+    let c = compile(&kernel.source, &CompileOptions::default())
+        .map_err(|e| format!("{}: {e}", kernel.name))?;
+    Ok(CoverageRow {
+        name: kernel.name,
+        protected: run_campaign(&c.protected.program, cfg),
+        baseline: run_campaign(&c.baseline.program, cfg),
+    })
+}
+
+/// Render the coverage table as markdown.
+#[must_use]
+pub fn render_coverage(rows: &[CoverageRow]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    writeln!(
+        s,
+        "| benchmark | inj (prot) | masked | detected | SDC | inj (base) | SDC (base) |"
+    )
+    .expect("write to string");
+    writeln!(s, "|---|---:|---:|---:|---:|---:|---:|").expect("write to string");
+    for r in rows {
+        writeln!(
+            s,
+            "| {} | {} | {} | {} | **{}** | {} | {} |",
+            r.name,
+            r.protected.total,
+            r.protected.masked,
+            r.protected.detected,
+            r.protected.sdc + r.protected.other_violations,
+            r.baseline.total,
+            r.baseline.sdc
+        )
+        .expect("write to string");
+    }
+    s
+}
+
+/// E6: geomean overhead as a function of issue width.
+pub fn width_sweep(scale: Scale, widths: &[u32]) -> Result<Vec<(u32, f64, f64)>, String> {
+    let mut out = Vec::new();
+    for &w in widths {
+        let model = MachineModel { width: w, ..MachineModel::default() };
+        let rows = fig10_rows(scale, &model)?;
+        let go = geomean(&rows.iter().map(Fig10Row::ratio_ordered).collect::<Vec<_>>());
+        let gu = geomean(&rows.iter().map(Fig10Row::ratio_unordered).collect::<Vec<_>>());
+        out.push((w, go, gu));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean(&[]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig10_row_shape_on_one_kernel() {
+        let ks = talft_suite::kernels(Scale::Tiny);
+        let model = MachineModel::default();
+        let row = fig10_row(&ks[0], &model).expect("row");
+        // Protected code must not be faster than baseline, and the overhead
+        // must be well under the naive 2×+ bound on a 6-wide machine.
+        assert!(row.talft_cycles >= row.base_cycles);
+        assert!(row.ratio_ordered() < 2.5, "ratio {}", row.ratio_ordered());
+        assert!(row.ratio_unordered() <= row.ratio_ordered() + 1e-9);
+    }
+
+    #[test]
+    fn render_includes_geomean() {
+        let rows = vec![Fig10Row {
+            name: "x",
+            base_cycles: 100,
+            talft_cycles: 130,
+            talft_unordered_cycles: 125,
+        }];
+        let s = render_fig10(&rows);
+        assert!(s.contains("geomean"));
+        assert!(s.contains("1.300x"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Abstract syntax of **Wile**, the small imperative source language our
+//! reliability-transforming compiler accepts (the stand-in for the C inputs
+//! the paper's VELOCITY compiler consumed; DESIGN.md §"Substitutions").
+//!
+//! Wile has 64-bit integers, global arrays (power-of-two sized, enabling the
+//! masked-index bounds discipline), `while`/`if` control flow, and
+//! non-recursive functions that are inlined by the frontend.
+
+use std::fmt;
+
+/// Binary operators at the source level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>` (logical)
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (non-short-circuit; both sides evaluate)
+    LAnd,
+    /// `||` (non-short-circuit)
+    LOr,
+}
+
+impl fmt::Display for AstBinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AstBinOp::Add => "+",
+            AstBinOp::Sub => "-",
+            AstBinOp::Mul => "*",
+            AstBinOp::And => "&",
+            AstBinOp::Or => "|",
+            AstBinOp::Xor => "^",
+            AstBinOp::Shl => "<<",
+            AstBinOp::Shr => ">>",
+            AstBinOp::Lt => "<",
+            AstBinOp::Le => "<=",
+            AstBinOp::Gt => ">",
+            AstBinOp::Ge => ">=",
+            AstBinOp::Eq => "==",
+            AstBinOp::Ne => "!=",
+            AstBinOp::LAnd => "&&",
+            AstBinOp::LOr => "||",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Variable or constant reference.
+    Var(String),
+    /// `arr[index]`.
+    Index(String, Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Logical not (`!e` — 1 if `e == 0`, else 0).
+    Not(Box<Expr>),
+    /// Binary operation.
+    Bin(AstBinOp, Box<Expr>, Box<Expr>),
+    /// Function call (inlined by sema).
+    Call(String, Vec<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var x = e;` — declare and initialize a local.
+    Let(String, Expr),
+    /// `x = e;`
+    Assign(String, Expr),
+    /// `arr[i] = e;`
+    Store(String, Expr, Expr),
+    /// `if (c) { .. } else { .. }` (else optional → empty).
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (c) { .. }`
+    While(Expr, Vec<Stmt>),
+}
+
+/// A function declaration: non-recursive, inlined at call sites; the body is
+/// statements followed by a single trailing `return`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements (before the return).
+    pub body: Vec<Stmt>,
+    /// The returned expression.
+    pub ret: Expr,
+}
+
+/// Top-level items.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// `array tab[LEN] = [a, b, c];` — a global array region; `output`
+    /// arrays are the observable device window. Lengths must be powers of
+    /// two.
+    Array {
+        /// Array name.
+        name: String,
+        /// Number of cells (power of two).
+        len: i64,
+        /// Initial values (zero-padded).
+        init: Vec<i64>,
+        /// Whether this is an observable output window.
+        output: bool,
+    },
+    /// `const N = 8;`
+    Const(String, i64),
+    /// `func f(a, b) { ... return e; }`
+    Func(FuncDecl),
+}
+
+/// A parsed Wile program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WileProgram {
+    /// All top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+impl WileProgram {
+    /// Find a function by name.
+    #[must_use]
+    pub fn func(&self, name: &str) -> Option<&FuncDecl> {
+        self.items.iter().find_map(|i| match i {
+            Item::Func(f) if f.name == name => Some(f),
+            _ => None,
+        })
+    }
+}

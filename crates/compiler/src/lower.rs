@@ -1,0 +1,505 @@
+//! Lowering: analyzed Wile → VIR.
+//!
+//! Key decisions (see DESIGN.md):
+//!
+//! * **Masked indexing** — `arr[i]` lowers to `t = i & (len-1); a = base + t`
+//!   so the TAL_FT checker can discharge the array-bounds obligation from
+//!   the implicit `0 ≤ x & m ≤ m` atom bound. Address temporaries are
+//!   block-local by construction, so bounds never need to cross labels.
+//! * **Normalized conditions** — every condition lowers to a 0/1 value that
+//!   is 1 when true; `bz` then branches to the false side on 0. This keeps
+//!   the split-branch protocol uniform.
+//! * **Layout discipline** — blocks are appended in final layout order and
+//!   every `Bz` terminator's fall-through is the next block in layout (the
+//!   machine's `bz` has no "else" target).
+
+use std::collections::HashMap;
+
+use talft_logic::BinOp;
+
+use crate::ast::{AstBinOp, Expr, Stmt};
+use crate::sema::SemProgram;
+use crate::vir::{Block, BlockId, Terminator, VInstr, VOperand, VReg, VRegion, VirProgram};
+
+/// A lowering error (undefined names and similar).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError(pub String);
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Lower an analyzed program to VIR (top-test loops).
+pub fn lower(sem: &SemProgram) -> Result<VirProgram, LowerError> {
+    lower_with(sem, false)
+}
+
+/// Lower with optional **loop inversion**: `while` loops become a guarded
+/// bottom-test form (`if (c) do { … } while (c)`), merging the loop body and
+/// its condition into one basic block. One block per iteration instead of
+/// two — fewer front-end redirects and a larger scheduling window, the way
+/// an optimizing IA-64 compiler (like the paper's VELOCITY) shapes loops.
+pub fn lower_with(sem: &SemProgram, invert_loops: bool) -> Result<VirProgram, LowerError> {
+    let mut lw = Lowerer {
+        sem,
+        blocks: vec![Block::default()],
+        cur: 0,
+        next_vreg: 0,
+        env: HashMap::new(),
+        invert_loops,
+    };
+    lw.stmts(&sem.body)?;
+    lw.seal(Terminator::Halt);
+    let regions = sem
+        .arrays
+        .iter()
+        .map(|a| VRegion {
+            name: a.name.clone(),
+            base: a.base,
+            len: a.len,
+            init: a.init.clone(),
+            output: a.output,
+        })
+        .collect();
+    Ok(VirProgram {
+        blocks: lw.blocks,
+        regions,
+        num_vregs: lw.next_vreg,
+    })
+}
+
+struct Lowerer<'a> {
+    sem: &'a SemProgram,
+    blocks: Vec<Block>,
+    cur: BlockId,
+    next_vreg: u32,
+    env: HashMap<String, VReg>,
+    invert_loops: bool,
+}
+
+impl Lowerer<'_> {
+    fn fresh(&mut self) -> VReg {
+        let r = VReg(self.next_vreg);
+        self.next_vreg += 1;
+        r
+    }
+
+    fn emit(&mut self, i: VInstr) {
+        self.blocks[self.cur].instrs.push(i);
+    }
+
+    /// Seal the current block with a terminator (if not already sealed).
+    fn seal(&mut self, t: Terminator) {
+        let b = &mut self.blocks[self.cur];
+        if b.term.is_none() {
+            b.term = Some(t);
+        }
+    }
+
+    /// Open a new block at the end of the layout and make it current.
+    fn open_block(&mut self) -> BlockId {
+        self.blocks.push(Block::default());
+        let id = self.blocks.len() - 1;
+        self.cur = id;
+        id
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<(), LowerError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), LowerError> {
+        match s {
+            Stmt::Let(name, e) => {
+                let v = self.expr(e)?;
+                // Copy into a dedicated register so later reassignments
+                // don't clobber shared temporaries.
+                let dst = self.fresh();
+                self.emit(VInstr::Op { op: BinOp::Add, d: dst, a: v, b: VOperand::Imm(0) });
+                self.env.insert(name.clone(), dst);
+                Ok(())
+            }
+            Stmt::Assign(name, e) => {
+                let v = self.expr(e)?;
+                let dst = *self
+                    .env
+                    .get(name)
+                    .ok_or_else(|| LowerError(format!("assignment to undeclared {name}")))?;
+                self.emit(VInstr::Op { op: BinOp::Add, d: dst, a: v, b: VOperand::Imm(0) });
+                Ok(())
+            }
+            Stmt::Store(arr, idx, val) => {
+                let v = self.expr(val)?;
+                let addr = self.array_addr(arr, idx)?;
+                self.emit(VInstr::St { addr, val: v });
+                Ok(())
+            }
+            Stmt::If(c, then, els) => {
+                let z = self.cond(c)?;
+                // layout: [then..] [els..] [join]
+                let bz_block = self.cur;
+                let then_id = self.open_block();
+                self.stmts(then)?;
+                let then_end = self.cur;
+                let else_id = self.open_block();
+                self.stmts(els)?;
+                let else_end = self.cur;
+                let join_id = self.open_block();
+                self.blocks[bz_block].term =
+                    Some(Terminator::Bz { z, target: else_id, fall: then_id });
+                if self.blocks[then_end].term.is_none() {
+                    self.blocks[then_end].term = Some(Terminator::Jmp(join_id));
+                }
+                if self.blocks[else_end].term.is_none() {
+                    self.blocks[else_end].term = Some(Terminator::Jmp(join_id));
+                }
+                Ok(())
+            }
+            Stmt::While(c, body) => {
+                if self.invert_loops {
+                    return self.while_inverted(c, body);
+                }
+                // layout: [header] [body..] [exit]
+                let pre = self.cur;
+                let header_id = self.open_block();
+                self.seal_block(pre, Terminator::Jmp(header_id));
+                let z = self.cond(c)?;
+                let header_end = self.cur;
+                let body_id = self.open_block();
+                self.stmts(body)?;
+                let body_end = self.cur;
+                let exit_id = self.open_block();
+                self.blocks[header_end].term =
+                    Some(Terminator::Bz { z, target: exit_id, fall: body_id });
+                if self.blocks[body_end].term.is_none() {
+                    self.blocks[body_end].term = Some(Terminator::Jmp(header_id));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Inverted (bottom-test) loop:
+    /// `guard: if (!c) goto exit; body: …; if (c) goto body; exit:`
+    fn while_inverted(&mut self, c: &crate::ast::Expr, body: &[Stmt]) -> Result<(), LowerError> {
+        // layout: [guard] [body.. (bottom test)] [exit]
+        let pre = self.cur;
+        let guard_id = self.open_block();
+        self.seal_block(pre, Terminator::Jmp(guard_id));
+        let z0 = self.cond(c)?;
+        let guard_end = self.cur;
+        let body_id = self.open_block();
+        self.stmts(body)?;
+        // bottom test in the (possibly extended) body block: branch back on
+        // true, i.e. bz on the inverted condition.
+        let z = self.cond(c)?;
+        let nz = self.fresh();
+        self.emit(VInstr::Op { op: BinOp::Xor, d: nz, a: z, b: VOperand::Imm(1) });
+        let body_end = self.cur;
+        let exit_id = self.open_block();
+        self.blocks[guard_end].term =
+            Some(Terminator::Bz { z: z0, target: exit_id, fall: body_id });
+        if self.blocks[body_end].term.is_none() {
+            self.blocks[body_end].term =
+                Some(Terminator::Bz { z: nz, target: body_id, fall: exit_id });
+        }
+        Ok(())
+    }
+
+    fn seal_block(&mut self, b: BlockId, t: Terminator) {
+        if self.blocks[b].term.is_none() {
+            self.blocks[b].term = Some(t);
+        }
+    }
+
+    /// `t = idx & mask; addr = t + base`.
+    fn array_addr(&mut self, arr: &str, idx: &Expr) -> Result<VReg, LowerError> {
+        let info = self
+            .sem
+            .array(arr)
+            .ok_or_else(|| LowerError(format!("unknown array {arr}")))?;
+        let (mask, base) = (info.mask, info.base);
+        let i = self.expr(idx)?;
+        let t = self.fresh();
+        self.emit(VInstr::Op { op: BinOp::And, d: t, a: i, b: VOperand::Imm(mask) });
+        let addr = self.fresh();
+        self.emit(VInstr::Op { op: BinOp::Add, d: addr, a: t, b: VOperand::Imm(base) });
+        Ok(addr)
+    }
+
+    /// Lower a value expression.
+    fn expr(&mut self, e: &Expr) -> Result<VReg, LowerError> {
+        match e {
+            Expr::Int(n) => {
+                let d = self.fresh();
+                self.emit(VInstr::Movi { d, imm: *n });
+                Ok(d)
+            }
+            Expr::Var(name) => self
+                .env
+                .get(name)
+                .copied()
+                .ok_or_else(|| LowerError(format!("undefined variable {name}"))),
+            Expr::Index(arr, idx) => {
+                let addr = self.array_addr(arr, idx)?;
+                let d = self.fresh();
+                self.emit(VInstr::Ld { d, addr });
+                Ok(d)
+            }
+            Expr::Neg(e) => {
+                let v = self.expr(e)?;
+                let zero = self.fresh();
+                self.emit(VInstr::Movi { d: zero, imm: 0 });
+                let d = self.fresh();
+                self.emit(VInstr::Op { op: BinOp::Sub, d, a: zero, b: VOperand::Reg(v) });
+                Ok(d)
+            }
+            Expr::Not(e) => {
+                // !e = 1 - truth(e)
+                let t = self.truth(e)?;
+                let d = self.fresh();
+                self.emit(VInstr::Op { op: BinOp::Xor, d, a: t, b: VOperand::Imm(1) });
+                Ok(d)
+            }
+            Expr::Bin(op, a, b) => match op {
+                AstBinOp::Add => self.simple_bin(BinOp::Add, a, b),
+                AstBinOp::Sub => self.simple_bin(BinOp::Sub, a, b),
+                AstBinOp::Mul => self.simple_bin(BinOp::Mul, a, b),
+                AstBinOp::And => self.simple_bin(BinOp::And, a, b),
+                AstBinOp::Or => self.simple_bin(BinOp::Or, a, b),
+                AstBinOp::Xor => self.simple_bin(BinOp::Xor, a, b),
+                AstBinOp::Shl => self.simple_bin(BinOp::Shl, a, b),
+                AstBinOp::Shr => self.simple_bin(BinOp::Shr, a, b),
+                AstBinOp::Lt => self.simple_bin(BinOp::Slt, a, b),
+                AstBinOp::Gt => self.simple_bin(BinOp::Slt, b, a),
+                AstBinOp::Ge => {
+                    let lt = self.simple_bin(BinOp::Slt, a, b)?;
+                    let d = self.fresh();
+                    self.emit(VInstr::Op { op: BinOp::Xor, d, a: lt, b: VOperand::Imm(1) });
+                    Ok(d)
+                }
+                AstBinOp::Le => {
+                    let gt = self.simple_bin(BinOp::Slt, b, a)?;
+                    let d = self.fresh();
+                    self.emit(VInstr::Op { op: BinOp::Xor, d, a: gt, b: VOperand::Imm(1) });
+                    Ok(d)
+                }
+                AstBinOp::Eq => {
+                    let ne = self.ne01(a, b)?;
+                    let d = self.fresh();
+                    self.emit(VInstr::Op { op: BinOp::Xor, d, a: ne, b: VOperand::Imm(1) });
+                    Ok(d)
+                }
+                AstBinOp::Ne => self.ne01(a, b),
+                AstBinOp::LAnd => {
+                    let ta = self.truth(a)?;
+                    let tb = self.truth(b)?;
+                    let d = self.fresh();
+                    self.emit(VInstr::Op { op: BinOp::And, d, a: ta, b: VOperand::Reg(tb) });
+                    Ok(d)
+                }
+                AstBinOp::LOr => {
+                    let ta = self.truth(a)?;
+                    let tb = self.truth(b)?;
+                    let d = self.fresh();
+                    self.emit(VInstr::Op { op: BinOp::Or, d, a: ta, b: VOperand::Reg(tb) });
+                    Ok(d)
+                }
+            },
+            Expr::Call(f, _) => Err(LowerError(format!(
+                "internal: call to {f} survived inlining"
+            ))),
+        }
+    }
+
+    fn simple_bin(&mut self, op: BinOp, a: &Expr, b: &Expr) -> Result<VReg, LowerError> {
+        let va = self.expr(a)?;
+        // Immediate operand shortcut for literals.
+        if let Expr::Int(n) = b {
+            let d = self.fresh();
+            self.emit(VInstr::Op { op, d, a: va, b: VOperand::Imm(*n) });
+            return Ok(d);
+        }
+        let vb = self.expr(b)?;
+        let d = self.fresh();
+        self.emit(VInstr::Op { op, d, a: va, b: VOperand::Reg(vb) });
+        Ok(d)
+    }
+
+    /// `(a != b)` as 0/1: `d = a ^ b; slt(0,d) | slt(d,0)`.
+    fn ne01(&mut self, a: &Expr, b: &Expr) -> Result<VReg, LowerError> {
+        let va = self.expr(a)?;
+        let vb = self.expr(b)?;
+        let d = self.fresh();
+        self.emit(VInstr::Op { op: BinOp::Xor, d, a: va, b: VOperand::Reg(vb) });
+        self.nonzero01(d)
+    }
+
+    /// `truth(e)`: 1 iff `e != 0`. Comparisons are already 0/1.
+    fn truth(&mut self, e: &Expr) -> Result<VReg, LowerError> {
+        if let Expr::Bin(op, ..) = e {
+            if matches!(
+                op,
+                AstBinOp::Lt
+                    | AstBinOp::Le
+                    | AstBinOp::Gt
+                    | AstBinOp::Ge
+                    | AstBinOp::Eq
+                    | AstBinOp::Ne
+                    | AstBinOp::LAnd
+                    | AstBinOp::LOr
+            ) {
+                return self.expr(e);
+            }
+        }
+        if let Expr::Not(_) = e {
+            return self.expr(e);
+        }
+        let v = self.expr(e)?;
+        self.nonzero01(v)
+    }
+
+    /// `1` iff `v != 0`: `slt(0,v) | slt(v,0)`.
+    fn nonzero01(&mut self, v: VReg) -> Result<VReg, LowerError> {
+        let zero = self.fresh();
+        self.emit(VInstr::Movi { d: zero, imm: 0 });
+        let pos = self.fresh();
+        self.emit(VInstr::Op { op: BinOp::Slt, d: pos, a: zero, b: VOperand::Reg(v) });
+        let neg = self.fresh();
+        self.emit(VInstr::Op { op: BinOp::Slt, d: neg, a: v, b: VOperand::Imm(0) });
+        let d = self.fresh();
+        self.emit(VInstr::Op { op: BinOp::Or, d, a: pos, b: VOperand::Reg(neg) });
+        Ok(d)
+    }
+
+    /// Lower a condition to a 0/1 truth value (1 = true).
+    fn cond(&mut self, e: &Expr) -> Result<VReg, LowerError> {
+        self.truth(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use crate::sema::analyze;
+    use crate::vir::interpret;
+
+    fn lower_src(src: &str) -> VirProgram {
+        let ast = parse(src).expect("parses");
+        let sem = analyze(&ast).expect("sema");
+        lower(&sem).expect("lowers")
+    }
+
+    #[test]
+    fn straight_line_program_runs() {
+        let p = lower_src(
+            "output out[2]; func main() { out[0] = 7; out[1] = 7 * 6; }",
+        );
+        let r = interpret(&p, 10_000);
+        assert!(r.halted);
+        assert_eq!(r.trace, vec![(4096, 7), (4097, 42)]);
+    }
+
+    #[test]
+    fn while_loop_computes() {
+        let p = lower_src(
+            "output out[1]; func main() { var i = 0; var s = 0; \
+             while (i < 10) { s = s + i; i = i + 1; } out[0] = s; }",
+        );
+        let r = interpret(&p, 100_000);
+        assert!(r.halted);
+        assert_eq!(r.trace, vec![(4096, 45)]);
+    }
+
+    #[test]
+    fn if_else_both_sides() {
+        let p = lower_src(
+            "output out[2]; func main() { var x = 3; \
+             if (x == 3) { out[0] = 1; } else { out[0] = 2; } \
+             if (x != 3) { out[1] = 1; } else { out[1] = 2; } }",
+        );
+        let r = interpret(&p, 10_000);
+        assert_eq!(r.trace, vec![(4096, 1), (4097, 2)]);
+    }
+
+    #[test]
+    fn array_reads_and_masking() {
+        let p = lower_src(
+            "array tab[4] = [10, 20, 30, 40]; output out[4]; \
+             func main() { var i = 0; while (i < 4) { out[i] = tab[i] + 1; i = i + 1; } }",
+        );
+        let r = interpret(&p, 100_000);
+        let outs: Vec<i64> = r.trace.iter().map(|&(_, v)| v).collect();
+        assert_eq!(outs, vec![11, 21, 31, 41]);
+        // out-of-range indices wrap via the mask rather than escaping
+        let p2 = lower_src(
+            "array tab[4] = [10, 20, 30, 40]; output out[1]; \
+             func main() { out[0] = tab[5]; }",
+        );
+        let r2 = interpret(&p2, 1000);
+        assert_eq!(r2.trace, vec![(4100, 20)]); // 5 & 3 == 1
+    }
+
+    #[test]
+    fn comparison_values() {
+        let p = lower_src(
+            "output out[8]; func main() { var a = 3; var b = 5; \
+             out[0] = a < b; out[1] = a > b; out[2] = a <= b; \
+             out[3] = a >= b; out[4] = a == b; out[5] = a != b; }",
+        );
+        let r = interpret(&p, 10_000);
+        let outs: Vec<i64> = r.trace.iter().map(|&(_, v)| v).collect();
+        assert_eq!(outs, vec![1, 0, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn logical_ops_and_not() {
+        let p = lower_src(
+            "output out[4]; func main() { var a = 3; var b = 0; \
+             out[0] = a && b; out[1] = a || b; out[2] = !a; out[3] = !b; }",
+        );
+        let r = interpret(&p, 10_000);
+        let outs: Vec<i64> = r.trace.iter().map(|&(_, v)| v).collect();
+        assert_eq!(outs, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn nested_loops_and_ifs() {
+        let p = lower_src(
+            "output out[1]; func main() { var s = 0; var i = 0; \
+             while (i < 4) { var j = 0; while (j < 4) { \
+             if ((i + j) & 1 == 1) { s = s + 1; } j = j + 1; } i = i + 1; } \
+             out[0] = s; }",
+        );
+        let r = interpret(&p, 100_000);
+        assert_eq!(r.trace, vec![(4096, 8)]);
+    }
+
+    #[test]
+    fn every_bz_falls_to_next_block() {
+        let p = lower_src(
+            "output out[1]; func main() { var i = 0; \
+             while (i < 3) { if (i == 1) { out[0] = i; } i = i + 1; } }",
+        );
+        for (bid, b) in p.blocks.iter().enumerate() {
+            if let Some(Terminator::Bz { fall, .. }) = b.term {
+                assert_eq!(fall, bid + 1, "bz fall-through must be next in layout");
+            }
+        }
+    }
+
+    #[test]
+    fn negation_works() {
+        let p = lower_src("output out[1]; func main() { var x = 5; out[0] = -x + 2; }");
+        let r = interpret(&p, 1000);
+        assert_eq!(r.trace, vec![(4096, -3)]);
+    }
+}

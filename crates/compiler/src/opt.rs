@@ -1,0 +1,302 @@
+//! VIR-level optimizations: local constant folding, copy propagation, and
+//! global dead-code elimination.
+//!
+//! These run *before* the reliability transformation, mirroring VELOCITY's
+//! pipeline (optimize, then duplicate, then allocate/schedule). Because
+//! duplication comes after, the optimizer cannot create the §2.2 CSE bug —
+//! and the end-to-end tests confirm that optimized programs still
+//! type-check: conventional optimization and fault-tolerance typing compose
+//! as long as the transformation order is respected (the paper's point is
+//! that post-duplication optimization is the dangerous one).
+
+use std::collections::HashMap;
+
+use talft_logic::BinOp;
+
+use crate::vir::{Terminator, VInstr, VOperand, VReg, VirProgram};
+
+/// What a vreg is currently known to hold (within one block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Value {
+    Const(i64),
+    /// Copy of another vreg as of that vreg's `version` at copy time.
+    Copy(VReg, u32),
+}
+
+/// Run the optimizer pipeline to a fixpoint (bounded).
+#[must_use]
+pub fn optimize(p: &VirProgram) -> VirProgram {
+    let mut cur = p.clone();
+    for _ in 0..4 {
+        let folded = fold_and_propagate(&cur);
+        let cleaned = eliminate_dead_code(&folded);
+        if cleaned == cur {
+            break;
+        }
+        cur = cleaned;
+    }
+    cur
+}
+
+/// Local constant folding + copy propagation (per block).
+#[must_use]
+pub fn fold_and_propagate(p: &VirProgram) -> VirProgram {
+    let mut out = p.clone();
+    for block in &mut out.blocks {
+        let mut known: HashMap<VReg, Value> = HashMap::new();
+        let mut version: HashMap<VReg, u32> = HashMap::new();
+        let bump = |version: &mut HashMap<VReg, u32>, r: VReg| {
+            *version.entry(r).or_insert(0) += 1;
+        };
+        let resolve_reg = |known: &HashMap<VReg, Value>,
+                           version: &HashMap<VReg, u32>,
+                           r: VReg|
+         -> (VReg, Option<i64>) {
+            match known.get(&r) {
+                Some(Value::Const(n)) => (r, Some(*n)),
+                Some(Value::Copy(src, v)) if version.get(src).copied().unwrap_or(0) == *v => {
+                    // chase one level (the fixpoint loop handles chains)
+                    match known.get(src) {
+                        Some(Value::Const(n)) => (*src, Some(*n)),
+                        _ => (*src, None),
+                    }
+                }
+                _ => (r, None),
+            }
+        };
+        for instr in &mut block.instrs {
+            match *instr {
+                VInstr::Movi { d, imm } => {
+                    bump(&mut version, d);
+                    known.insert(d, Value::Const(imm));
+                }
+                VInstr::Op { op, d, a, b } => {
+                    let (ra, ca) = resolve_reg(&known, &version, a);
+                    let (rb, cb) = match b {
+                        VOperand::Reg(r) => {
+                            let (rr, c) = resolve_reg(&known, &version, r);
+                            (VOperand::Reg(rr), c)
+                        }
+                        VOperand::Imm(n) => (VOperand::Imm(n), Some(n)),
+                    };
+                    bump(&mut version, d);
+                    match (ca, cb) {
+                        (Some(x), Some(y)) => {
+                            let v = op.eval(x, y);
+                            *instr = VInstr::Movi { d, imm: v };
+                            known.insert(d, Value::Const(v));
+                        }
+                        _ => {
+                            // algebraic identities: x+0, x-0, x*1, x|0, x^0
+                            let identity = matches!(
+                                (op, cb),
+                                (BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr, Some(0))
+                                    | (BinOp::Mul, Some(1))
+                            );
+                            if identity {
+                                // d = copy of ra
+                                *instr = VInstr::Op {
+                                    op: BinOp::Add,
+                                    d,
+                                    a: ra,
+                                    b: VOperand::Imm(0),
+                                };
+                                let srcv = version.get(&ra).copied().unwrap_or(0);
+                                known.insert(d, Value::Copy(ra, srcv));
+                            } else {
+                                *instr = VInstr::Op { op, d, a: ra, b: rb };
+                                known.remove(&d);
+                            }
+                        }
+                    }
+                }
+                VInstr::Ld { d, addr } => {
+                    let (ra, _) = resolve_reg(&known, &version, addr);
+                    bump(&mut version, d);
+                    known.remove(&d);
+                    *instr = VInstr::Ld { d, addr: ra };
+                }
+                VInstr::St { addr, val } => {
+                    let (ra, _) = resolve_reg(&known, &version, addr);
+                    let (rv, _) = resolve_reg(&known, &version, val);
+                    *instr = VInstr::St { addr: ra, val: rv };
+                }
+            }
+        }
+        // propagate into the terminator's condition
+        if let Some(Terminator::Bz { z, target, fall }) = block.term {
+            let (rz, _) = resolve_reg(&known, &version, z);
+            block.term = Some(Terminator::Bz { z: rz, target, fall });
+        }
+    }
+    out
+}
+
+/// Global dead-code elimination over VIR (stores and terminators are roots).
+#[must_use]
+pub fn eliminate_dead_code(p: &VirProgram) -> VirProgram {
+    let nblocks = p.blocks.len();
+    let nregs = p.num_vregs as usize;
+    // Per-block liveness over vregs.
+    let succs: Vec<Vec<usize>> = p
+        .blocks
+        .iter()
+        .map(|b| match b.term.expect("sealed") {
+            Terminator::Jmp(t) => vec![t],
+            Terminator::Bz { target, fall, .. } => vec![target, fall],
+            Terminator::Halt => vec![],
+        })
+        .collect();
+    let mut live_in = vec![vec![false; nregs]; nblocks];
+    let mut live_out = vec![vec![false; nregs]; nblocks];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..nblocks).rev() {
+            let mut out = vec![false; nregs];
+            for &s in &succs[b] {
+                for (k, &v) in live_in[s].iter().enumerate() {
+                    if v {
+                        out[k] = true;
+                    }
+                }
+            }
+            // backward through the block
+            let mut inn = out.clone();
+            if let Some(Terminator::Bz { z, .. }) = p.blocks[b].term {
+                inn[z.0 as usize] = true;
+            }
+            for i in p.blocks[b].instrs.iter().rev() {
+                if let Some(d) = i.def() {
+                    inn[d.0 as usize] = false;
+                }
+                for u in i.uses() {
+                    inn[u.0 as usize] = true;
+                }
+            }
+            if out != live_out[b] || inn != live_in[b] {
+                live_out[b] = out;
+                live_in[b] = inn;
+                changed = true;
+            }
+        }
+    }
+    // Sweep: drop pure defs whose target is dead at that point.
+    let mut out = p.clone();
+    for (bid, block) in out.blocks.iter_mut().enumerate() {
+        let mut live = live_out[bid].clone();
+        if let Some(Terminator::Bz { z, .. }) = block.term {
+            live[z.0 as usize] = true;
+        }
+        let mut keep = vec![true; block.instrs.len()];
+        for (idx, i) in block.instrs.iter().enumerate().rev() {
+            let is_pure_def = !matches!(i, VInstr::St { .. });
+            if is_pure_def {
+                if let Some(d) = i.def() {
+                    if !live[d.0 as usize] {
+                        keep[idx] = false;
+                        continue;
+                    }
+                }
+            }
+            if let Some(d) = i.def() {
+                live[d.0 as usize] = false;
+            }
+            for u in i.uses() {
+                live[u.0 as usize] = true;
+            }
+        }
+        let mut k = keep.iter();
+        block.instrs.retain(|_| *k.next().expect("keep mask"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::parse::parse;
+    use crate::sema::analyze;
+    use crate::vir::interpret;
+
+    fn vir_of(src: &str) -> VirProgram {
+        lower(&analyze(&parse(src).expect("parse")).expect("sema")).expect("lower")
+    }
+
+    #[test]
+    fn constants_fold_to_movi() {
+        let p = vir_of("output out[1]; func main() { out[0] = 2 + 3 * 4; }");
+        let o = optimize(&p);
+        // all arithmetic folded away: only movis + the store address chain
+        let arith = o.blocks[0]
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, VInstr::Op { op: BinOp::Mul, .. }))
+            .count();
+        assert_eq!(arith, 0, "multiply should fold: {:?}", o.blocks[0].instrs);
+        let r = interpret(&o, 10_000);
+        assert_eq!(r.trace, vec![(4096, 14)]);
+    }
+
+    #[test]
+    fn dead_defs_are_removed() {
+        let p = vir_of(
+            "output out[1]; func main() { var dead = 1 + 2; var live = 7; out[0] = live; }",
+        );
+        let o = optimize(&p);
+        assert!(
+            o.static_len() < p.static_len(),
+            "DCE should shrink ({} vs {})",
+            o.static_len(),
+            p.static_len()
+        );
+        assert_eq!(interpret(&o, 10_000).trace, vec![(4096, 7)]);
+    }
+
+    #[test]
+    fn stores_and_branches_are_roots() {
+        let p = vir_of(
+            "output out[2]; func main() { var i = 0; \
+             while (i < 2) { out[i] = i; i = i + 1; } }",
+        );
+        let o = optimize(&p);
+        let r1 = interpret(&p, 100_000);
+        let r2 = interpret(&o, 100_000);
+        assert_eq!(r1.trace, r2.trace);
+        assert!(r2.dyn_instrs <= r1.dyn_instrs);
+    }
+
+    #[test]
+    fn optimizer_preserves_suite_semantics() {
+        for k in talft_suite_like_sources() {
+            let p = vir_of(k);
+            let o = optimize(&p);
+            let r1 = interpret(&p, 5_000_000);
+            let r2 = interpret(&o, 5_000_000);
+            assert_eq!(r1.trace, r2.trace, "optimizer changed semantics of {k}");
+            assert!(r2.dyn_instrs <= r1.dyn_instrs);
+        }
+    }
+
+    fn talft_suite_like_sources() -> Vec<&'static str> {
+        vec![
+            "array t[8] = [3,1,4,1,5,9,2,6]; output out[8]; func main() { var i = 0; \
+             while (i < 8) { out[i] = t[i] * 2 + 1; i = i + 1; } }",
+            "output out[1]; func main() { var s = 0; var i = 0; \
+             while (i < 10) { if (i & 1 == 0) { s = s + i * 0 + i; } i = i + 1; } out[0] = s; }",
+            "output out[2]; func main() { var x = 5 * 1; var y = x + 0; out[0] = y; out[1] = y - 0; }",
+        ]
+    }
+
+    #[test]
+    fn copy_propagation_shortens_chains() {
+        // y = x + 0; z = y + 0; out = z  ⇒  out = x (modulo the final copy)
+        let p = vir_of(
+            "output out[1]; func main() { var x = 9; var y = x + 0; var z = y + 0; out[0] = z; }",
+        );
+        let o = optimize(&p);
+        assert!(o.static_len() < p.static_len());
+        assert_eq!(interpret(&o, 10_000).trace, vec![(4096, 9)]);
+    }
+}

@@ -1,0 +1,174 @@
+//! List scheduling of duplicated blocks.
+//!
+//! Classic critical-path list scheduling over the intra-block dependence
+//! graph produced by [`crate::dup`]. The `respect_ordering` switch keeps or
+//! drops the `ordering_only` edges (the green≺blue constraint of §2.2),
+//! producing the two protected schedules Figure 10 compares.
+
+use talft_sim::{MachineModel, OpKind};
+
+use crate::dup::{CInstr, DupBlock};
+
+/// Map a colored instruction to its functional-unit class.
+#[must_use]
+pub fn op_kind(i: &CInstr) -> OpKind {
+    match i {
+        CInstr::Op { op, .. } => {
+            if matches!(op, talft_logic::BinOp::Mul) {
+                OpKind::Mul
+            } else {
+                OpKind::Alu
+            }
+        }
+        CInstr::Movi { .. } | CInstr::MovLabel { .. } => OpKind::Alu,
+        CInstr::Ld { .. } => OpKind::Load,
+        CInstr::StG { .. } | CInstr::StB { .. } => OpKind::Store,
+        CInstr::BzG { .. } | CInstr::BzB { .. } | CInstr::JmpG { .. } | CInstr::JmpB { .. } => {
+            OpKind::Branch
+        }
+        CInstr::Halt => OpKind::Branch,
+    }
+}
+
+/// Compute a schedule (a permutation of instruction indices) for one block.
+///
+/// Greedy cycle-by-cycle list scheduling: at each step pick, among ready
+/// instructions (all predecessors scheduled), the one with the longest
+/// critical path to the block exit; width-limited per cycle.
+#[must_use]
+pub fn schedule_block(
+    block: &DupBlock,
+    model: &MachineModel,
+    respect_ordering: bool,
+) -> Vec<usize> {
+    let n = block.instrs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Adjacency with the chosen edge classes.
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut npreds: Vec<usize> = vec![0; n];
+    for e in &block.deps {
+        if e.ordering_only && !respect_ordering {
+            continue;
+        }
+        succs[e.from].push(e.to);
+        npreds[e.to] += 1;
+    }
+    // Critical-path priority (longest latency-weighted path to a sink).
+    let mut prio: Vec<u64> = vec![0; n];
+    for i in (0..n).rev() {
+        let lat = u64::from(model.latency(op_kind(&block.instrs[i])));
+        let best_succ = succs[i].iter().map(|&s| prio[s]).max().unwrap_or(0);
+        prio[i] = lat + best_succ;
+    }
+
+    let mut ready: Vec<usize> = (0..n).filter(|&i| npreds[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut remaining = n;
+    while remaining > 0 {
+        // Pick the ready instruction with maximal priority (ties: original
+        // order, keeping the result deterministic).
+        let (k, &i) = ready
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &i)| (prio[i], std::cmp::Reverse(i)))
+            .expect("dependence graph is acyclic, so something is ready");
+        ready.remove(k);
+        order.push(i);
+        remaining -= 1;
+        for &s in &succs[i] {
+            npreds[s] -= 1;
+            if npreds[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n);
+    order
+}
+
+/// Validate that a schedule respects a block's (non-relaxed) dependences.
+#[must_use]
+pub fn schedule_respects_deps(block: &DupBlock, order: &[usize], respect_ordering: bool) -> bool {
+    let mut pos = vec![0usize; block.instrs.len()];
+    for (p, &i) in order.iter().enumerate() {
+        pos[i] = p;
+    }
+    block.deps.iter().all(|e| {
+        if e.ordering_only && !respect_ordering {
+            true
+        } else {
+            pos[e.from] < pos[e.to]
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dup::duplicate;
+    use crate::lower::lower;
+    use crate::parse::parse;
+    use crate::sema::analyze;
+
+    fn dup_src(src: &str) -> crate::dup::DupProgram {
+        let sem = analyze(&parse(src).expect("parses")).expect("sema");
+        let vir = lower(&sem).expect("lowers");
+        duplicate(&vir).0
+    }
+
+    const SRC: &str = "array tab[8] = [5, 4, 6, 1, 7, 2, 8, 3]; output out[8]; \
+        func main() { var i = 0; var s = 0; \
+        while (i < 8) { s = s + tab[i] * 3; out[i] = s; i = i + 1; } }";
+
+    #[test]
+    fn schedules_are_valid_permutations() {
+        let d = dup_src(SRC);
+        let model = MachineModel::default();
+        for blk in &d.blocks {
+            for ordering in [true, false] {
+                let order = schedule_block(blk, &model, ordering);
+                let mut sorted = order.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, (0..blk.instrs.len()).collect::<Vec<_>>());
+                assert!(schedule_respects_deps(blk, &order, ordering));
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_schedule_also_satisfies_relaxed_check() {
+        let d = dup_src(SRC);
+        let model = MachineModel::default();
+        for blk in &d.blocks {
+            let order = schedule_block(blk, &model, true);
+            // an ordering-respecting schedule trivially passes the relaxed check
+            assert!(schedule_respects_deps(blk, &order, false));
+        }
+    }
+
+    #[test]
+    fn blue_transfers_stay_terminal() {
+        let d = dup_src(SRC);
+        let model = MachineModel::default();
+        for blk in &d.blocks {
+            let order = schedule_block(blk, &model, true);
+            if let Some(last) = order.last() {
+                let i = &blk.instrs[*last];
+                // the last scheduled instruction of a block with control is
+                // the blue (committing) half or halt
+                if blk
+                    .instrs
+                    .iter()
+                    .any(|i| matches!(i, CInstr::BzB { .. } | CInstr::JmpB { .. } | CInstr::Halt))
+                {
+                    assert!(
+                        matches!(i, CInstr::BzB { .. } | CInstr::JmpB { .. } | CInstr::Halt),
+                        "unexpected terminal {i:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! VIR — the compiler's virtual-register three-address IR, plus a reference
+//! interpreter.
+//!
+//! VIR sits where the paper's reliability transformation sat in VELOCITY:
+//! "immediately before register allocation and scheduling". Lowering
+//! produces VIR; the duplication pass, the baseline backend, and the
+//! schedulers all consume it. The interpreter provides (a) the reference
+//! output trace for differential testing of compiled TAL_FT code and (b)
+//! the dynamic block-visit sequence the timing simulator replays.
+
+use std::collections::BTreeMap;
+
+use talft_logic::BinOp;
+use talft_sim::BlockVisit;
+
+/// A virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u32);
+
+/// Second operand of an ALU op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VOperand {
+    /// A virtual register.
+    Reg(VReg),
+    /// An immediate.
+    Imm(i64),
+}
+
+/// A VIR instruction (straight-line part of a block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VInstr {
+    /// `d = a op b`.
+    Op {
+        /// Operation.
+        op: BinOp,
+        /// Destination.
+        d: VReg,
+        /// First source.
+        a: VReg,
+        /// Second source.
+        b: VOperand,
+    },
+    /// `d = imm`.
+    Movi {
+        /// Destination.
+        d: VReg,
+        /// The constant.
+        imm: i64,
+    },
+    /// `d = M[addr]`.
+    Ld {
+        /// Destination.
+        d: VReg,
+        /// Address register.
+        addr: VReg,
+    },
+    /// `M[addr] = val` (lowered to a `stG`/`stB` pair by duplication).
+    St {
+        /// Address register.
+        addr: VReg,
+        /// Value register.
+        val: VReg,
+    },
+}
+
+impl VInstr {
+    /// Registers read.
+    #[must_use]
+    pub fn uses(&self) -> Vec<VReg> {
+        match *self {
+            VInstr::Op { a, b, .. } => match b {
+                VOperand::Reg(r) => vec![a, r],
+                VOperand::Imm(_) => vec![a],
+            },
+            VInstr::Movi { .. } => vec![],
+            VInstr::Ld { addr, .. } => vec![addr],
+            VInstr::St { addr, val } => vec![addr, val],
+        }
+    }
+
+    /// Register written, if any.
+    #[must_use]
+    pub fn def(&self) -> Option<VReg> {
+        match *self {
+            VInstr::Op { d, .. } | VInstr::Movi { d, .. } | VInstr::Ld { d, .. } => Some(d),
+            VInstr::St { .. } => None,
+        }
+    }
+}
+
+/// Basic-block id (also its position in the final code layout).
+pub type BlockId = usize;
+
+/// Block terminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jmp(BlockId),
+    /// Branch to `target` when `z == 0`; fall through to `fall` otherwise.
+    /// Lowering guarantees `fall` is the next block in layout order.
+    Bz {
+        /// Condition register (branch taken when 0).
+        z: VReg,
+        /// Zero-target.
+        target: BlockId,
+        /// Fall-through block (next in layout).
+        fall: BlockId,
+    },
+    /// Stop.
+    Halt,
+}
+
+/// A basic block.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Block {
+    /// Straight-line instructions.
+    pub instrs: Vec<VInstr>,
+    /// Terminator (`Halt` by default until lowering seals the block).
+    pub term: Option<Terminator>,
+}
+
+/// A data region at the VIR level (mirrors `talft_isa::Region`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VRegion {
+    /// Name.
+    pub name: String,
+    /// Base address.
+    pub base: i64,
+    /// Length (power of two).
+    pub len: i64,
+    /// Initial contents.
+    pub init: Vec<i64>,
+    /// Output window flag.
+    pub output: bool,
+}
+
+/// A whole VIR program. Blocks are in final layout order; block 0 is entry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VirProgram {
+    /// Blocks in layout order.
+    pub blocks: Vec<Block>,
+    /// Data regions.
+    pub regions: Vec<VRegion>,
+    /// Number of virtual registers.
+    pub num_vregs: u32,
+}
+
+impl VirProgram {
+    /// Initial memory from the regions.
+    #[must_use]
+    pub fn initial_memory(&self) -> BTreeMap<i64, i64> {
+        let mut m = BTreeMap::new();
+        for r in &self.regions {
+            for i in 0..r.len {
+                let v = r.init.get(usize::try_from(i).expect("fits")).copied().unwrap_or(0);
+                m.insert(r.base + i, v);
+            }
+        }
+        m
+    }
+
+    /// Total static instruction count (excluding terminators).
+    #[must_use]
+    pub fn static_len(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+}
+
+/// Result of interpreting a VIR program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VirRun {
+    /// Observable stores `(addr, value)` in order.
+    pub trace: Vec<(i64, i64)>,
+    /// Dynamic block-visit sequence with taken-exit flags.
+    pub visits: Vec<BlockVisit>,
+    /// Dynamic instruction count.
+    pub dyn_instrs: u64,
+    /// Whether the run halted (vs. exhausting the step budget).
+    pub halted: bool,
+}
+
+/// Interpret a VIR program (the reference semantics).
+#[must_use]
+pub fn interpret(p: &VirProgram, max_instrs: u64) -> VirRun {
+    let mut regs = vec![0i64; p.num_vregs as usize];
+    let mut mem = p.initial_memory();
+    let mut trace = Vec::new();
+    let mut visits = Vec::new();
+    let mut dyn_instrs = 0u64;
+    let mut bid = 0usize;
+    let mut halted = false;
+
+    'outer: while dyn_instrs < max_instrs && (visits.len() as u64) < max_instrs {
+        let block = &p.blocks[bid];
+        for i in &block.instrs {
+            dyn_instrs += 1;
+            match *i {
+                VInstr::Op { op, d, a, b } => {
+                    let bv = match b {
+                        VOperand::Reg(r) => regs[r.0 as usize],
+                        VOperand::Imm(n) => n,
+                    };
+                    regs[d.0 as usize] = op.eval(regs[a.0 as usize], bv);
+                }
+                VInstr::Movi { d, imm } => regs[d.0 as usize] = imm,
+                VInstr::Ld { d, addr } => {
+                    let a = regs[addr.0 as usize];
+                    regs[d.0 as usize] = mem.get(&a).copied().unwrap_or(0);
+                }
+                VInstr::St { addr, val } => {
+                    let a = regs[addr.0 as usize];
+                    let v = regs[val.0 as usize];
+                    mem.insert(a, v);
+                    trace.push((a, v));
+                }
+            }
+            if dyn_instrs >= max_instrs {
+                visits.push(BlockVisit { block: bid, taken_exit: false });
+                break 'outer;
+            }
+        }
+        let (next, taken) = match block.term.unwrap_or(Terminator::Halt) {
+            Terminator::Jmp(t) => (t, t != bid + 1),
+            Terminator::Bz { z, target, fall } => {
+                if regs[z.0 as usize] == 0 {
+                    (target, target != bid + 1)
+                } else {
+                    (fall, false)
+                }
+            }
+            Terminator::Halt => {
+                visits.push(BlockVisit { block: bid, taken_exit: false });
+                halted = true;
+                break;
+            }
+        };
+        visits.push(BlockVisit { block: bid, taken_exit: taken });
+        bid = next;
+    }
+
+    VirRun { trace, visits, dyn_instrs, halted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// out[0] = 5: movi a=addr; movi v=5; st.
+    #[test]
+    fn interpret_store() {
+        let b = Block {
+            instrs: vec![
+                VInstr::Movi { d: VReg(0), imm: 5000 },
+                VInstr::Movi { d: VReg(1), imm: 5 },
+                VInstr::St { addr: VReg(0), val: VReg(1) },
+            ],
+            term: Some(Terminator::Halt),
+        };
+        let p = VirProgram {
+            blocks: vec![b],
+            regions: vec![VRegion {
+                name: "out".into(),
+                base: 5000,
+                len: 1,
+                init: vec![],
+                output: true,
+            }],
+            num_vregs: 2,
+        };
+        let r = interpret(&p, 1000);
+        assert!(r.halted);
+        assert_eq!(r.trace, vec![(5000, 5)]);
+        assert_eq!(r.visits.len(), 1);
+        assert_eq!(r.dyn_instrs, 3);
+    }
+
+    /// Count 3..0 with a bz loop; check visits and taken flags.
+    #[test]
+    fn interpret_loop() {
+        // b0: i = 3            → jmp b1 (fallthrough)
+        // b1: z = slt(0, i)  [1 while i > 0]... use i directly: bz i → b3
+        // b2: i = i - 1        → jmp b1 (taken, backward)
+        // b3: halt
+        let b0 = Block {
+            instrs: vec![VInstr::Movi { d: VReg(0), imm: 3 }],
+            term: Some(Terminator::Jmp(1)),
+        };
+        let b1 = Block {
+            instrs: vec![],
+            term: Some(Terminator::Bz { z: VReg(0), target: 3, fall: 2 }),
+        };
+        let b2 = Block {
+            instrs: vec![VInstr::Op {
+                op: BinOp::Sub,
+                d: VReg(0),
+                a: VReg(0),
+                b: VOperand::Imm(1),
+            }],
+            term: Some(Terminator::Jmp(1)),
+        };
+        let b3 = Block { instrs: vec![], term: Some(Terminator::Halt) };
+        let p = VirProgram {
+            blocks: vec![b0, b1, b2, b3],
+            regions: vec![],
+            num_vregs: 1,
+        };
+        let r = interpret(&p, 1000);
+        assert!(r.halted);
+        // b0, (b1, b2) ×3, b1(taken to b3), b3
+        assert_eq!(r.visits.len(), 2 + 2 * 3 + 1);
+        // back edges from b2 are taken
+        assert!(r
+            .visits
+            .iter()
+            .filter(|v| v.block == 2)
+            .all(|v| v.taken_exit));
+        // the final b1 exit (to b3) is taken
+        let last_b1 = r.visits.iter().rev().find(|v| v.block == 1).expect("b1 visited");
+        assert!(last_b1.taken_exit);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let b0 = Block { instrs: vec![], term: Some(Terminator::Jmp(0)) };
+        let p = VirProgram { blocks: vec![b0], regions: vec![], num_vregs: 0 };
+        let r = interpret(&p, 10);
+        assert!(!r.halted);
+    }
+
+    #[test]
+    fn loads_default_to_zero_off_region() {
+        let b = Block {
+            instrs: vec![
+                VInstr::Movi { d: VReg(0), imm: 12345 },
+                VInstr::Ld { d: VReg(1), addr: VReg(0) },
+            ],
+            term: Some(Terminator::Halt),
+        };
+        let p = VirProgram { blocks: vec![b], regions: vec![], num_vregs: 2 };
+        let r = interpret(&p, 100);
+        assert!(r.halted);
+    }
+}

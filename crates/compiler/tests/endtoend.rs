@@ -1,0 +1,235 @@
+//! End-to-end compiler tests: for each Wile program, the protected TAL_FT
+//! output must (a) **type-check** under `talft-core` — i.e. be provably
+//! fault tolerant, (b) run on the faulty machine with the same output trace
+//! as the VIR reference interpreter, and (c) the baseline must match the
+//! trace too (it is functional, just unprotected).
+
+use talft_compiler::{compile, vir::interpret, CompileOptions, Compiled};
+use talft_core::check_program;
+use talft_machine::{run_program, Status};
+
+fn build(src: &str) -> Compiled {
+    compile(src, &CompileOptions::default()).expect("compiles")
+}
+
+fn assert_protected_checks(c: &mut Compiled) {
+    let rep = check_program(&c.protected.program, &mut c.protected.arena)
+        .expect("protected output must type-check");
+    assert!(rep.blocks >= 1);
+}
+
+fn assert_traces_agree(c: &Compiled) {
+    let reference = interpret(&c.vir, 5_000_000);
+    assert!(reference.halted, "reference run must halt");
+    let prot = run_program(&c.protected.program, 20_000_000);
+    assert_eq!(prot.status, Status::Halted, "protected run must halt");
+    assert_eq!(prot.trace, reference.trace, "protected trace must match VIR");
+    let base = run_program(&c.baseline.program, 20_000_000);
+    assert_eq!(base.status, Status::Halted, "baseline run must halt");
+    assert_eq!(base.trace, reference.trace, "baseline trace must match VIR");
+}
+
+fn full(src: &str) {
+    let mut c = build(src);
+    assert_protected_checks(&mut c);
+    assert_traces_agree(&c);
+}
+
+#[test]
+fn straight_line_store() {
+    full("output out[1]; func main() { out[0] = 6 * 7; }");
+}
+
+#[test]
+fn arithmetic_chains() {
+    full(
+        "output out[4]; func main() { var a = 12; var b = 30; \
+         out[0] = a + b; out[1] = a - b; out[2] = a * b; out[3] = (a ^ b) & 63; }",
+    );
+}
+
+#[test]
+fn counting_loop() {
+    full(
+        "output out[1]; func main() { var i = 0; var s = 0; \
+         while (i < 10) { s = s + i; i = i + 1; } out[0] = s; }",
+    );
+}
+
+#[test]
+fn array_sum_and_writeback() {
+    full(
+        "array tab[8] = [5, 1, 4, 2, 8, 6, 3, 7]; output out[8]; \
+         func main() { var i = 0; var s = 0; \
+         while (i < 8) { s = s + tab[i]; out[i] = s; i = i + 1; } }",
+    );
+}
+
+#[test]
+fn branches_both_paths() {
+    full(
+        "output out[8]; func main() { var i = 0; \
+         while (i < 8) { if (i & 1 == 1) { out[i] = i * 10; } else { out[i] = i + 100; } \
+         i = i + 1; } }",
+    );
+}
+
+#[test]
+fn nested_loops() {
+    full(
+        "output out[1]; func main() { var s = 0; var i = 0; \
+         while (i < 5) { var j = 0; while (j < 5) { s = s + i * j; j = j + 1; } i = i + 1; } \
+         out[0] = s; }",
+    );
+}
+
+#[test]
+fn functions_inline_correctly() {
+    full(
+        "output out[2]; \
+         func sq(x) { return x * x; } \
+         func hyp2(a, b) { return sq(a) + sq(b); } \
+         func main() { out[0] = hyp2(3, 4); out[1] = sq(sq(2)); }",
+    );
+}
+
+#[test]
+fn memory_round_trip_through_scratch() {
+    full(
+        "array scratch[4]; output out[1]; \
+         func main() { scratch[0] = 11; scratch[1] = scratch[0] * 2; \
+         scratch[2] = scratch[1] + scratch[0]; out[0] = scratch[2]; }",
+    );
+}
+
+#[test]
+fn comparison_driven_control() {
+    full(
+        "output out[4]; func main() { var a = 3; var b = 7; \
+         if (a < b) { out[0] = 1; } else { out[0] = 0; } \
+         if (a >= b) { out[1] = 1; } else { out[1] = 0; } \
+         if (a == 3 && b == 7) { out[2] = 1; } else { out[2] = 0; } \
+         if (a == 4 || b == 7) { out[3] = 1; } else { out[3] = 0; } }",
+    );
+}
+
+#[test]
+fn shifts_and_masks() {
+    full(
+        "output out[4]; func main() { var x = 200; \
+         out[0] = x >> 3; out[1] = x << 2; out[2] = x & 15; out[3] = x | 7; }",
+    );
+}
+
+#[test]
+fn baseline_is_rejected_by_the_checker() {
+    // The unprotected baseline reuses one register set for both store
+    // halves — the exact §2.2 pattern the type system exists to reject.
+    let mut c = build("output out[1]; func main() { out[0] = 5; }");
+    let err = check_program(&c.baseline.program, &mut c.baseline.arena);
+    assert!(err.is_err(), "baseline must NOT type-check");
+}
+
+#[test]
+fn unordered_schedule_exists_and_differs_in_timing_only() {
+    let c = build(
+        "array tab[8] = [1,2,3,4,5,6,7,8]; output out[8]; \
+         func main() { var i = 0; while (i < 8) { out[i] = tab[i] * 3; i = i + 1; } }",
+    );
+    // Same number of ops per block in both protected schedules.
+    for (a, b) in c
+        .protected
+        .sched
+        .blocks
+        .iter()
+        .zip(c.protected_unordered_sched.blocks.iter())
+    {
+        assert_eq!(a.len(), b.len());
+    }
+}
+
+#[test]
+fn timing_views_have_sane_shapes() {
+    let c = build(
+        "output out[4]; func main() { var i = 0; \
+         while (i < 4) { out[i] = i * i; i = i + 1; } }",
+    );
+    // protected blocks have ~2× the real ops of baseline blocks
+    let real = |blocks: &[Vec<talft_sim::TimedOp>]| -> usize {
+        blocks.iter().flatten().filter(|o| !o.free).count()
+    };
+    let p = real(&c.protected.sched.blocks);
+    let b = real(&c.baseline.sched.blocks);
+    assert!(p > b, "protected must execute more real ops ({p} vs {b})");
+    assert!(p <= 3 * b, "duplication should not exceed ~3× ({p} vs {b})");
+}
+
+#[test]
+fn inverted_loops_check_and_agree() {
+    // Loop inversion must preserve semantics, type-check, and agree with
+    // the non-inverted reference on every suite-style shape.
+    let srcs = [
+        "output out[1]; func main() { var i = 0; var s = 0; \
+         while (i < 10) { s = s + i; i = i + 1; } out[0] = s; }",
+        "output out[1]; func main() { var s = 0; var i = 0; \
+         while (i < 5) { var j = 0; while (j < 5) { s = s + i * j; j = j + 1; } i = i + 1; } \
+         out[0] = s; }",
+        "output out[1]; func main() { var i = 0; while (i < 0) { i = i + 1; } out[0] = i; }",
+        "array t[8] = [1,2,3,4,5,6,7,8]; output out[8]; func main() { var i = 0; \
+         while (i < 8) { if (t[i] & 1 == 1) { out[i] = t[i]; } else { out[i] = 0 - t[i]; } \
+         i = i + 1; } }",
+    ];
+    for src in srcs {
+        let plain = compile(src, &CompileOptions::default()).expect("plain compiles");
+        let mut inv = compile(
+            src,
+            &CompileOptions { invert_loops: true, ..CompileOptions::default() },
+        )
+        .expect("inverted compiles");
+        check_program(&inv.protected.program, &mut inv.protected.arena)
+            .expect("inverted output type-checks");
+        let r_plain = interpret(&plain.vir, 5_000_000);
+        let r_inv = interpret(&inv.vir, 5_000_000);
+        assert_eq!(r_plain.trace, r_inv.trace, "inversion changed semantics\n{src}");
+        let run = run_program(&inv.protected.program, 20_000_000);
+        assert_eq!(run.trace, r_plain.trace, "inverted machine trace diverged\n{src}");
+        // fewer dynamic block transitions per iteration
+        assert!(r_inv.visits.len() <= r_plain.visits.len());
+    }
+}
+
+#[test]
+fn optimized_programs_check_and_agree() {
+    // Pre-duplication optimization composes with the reliability
+    // transformation: optimized output still type-checks and agrees.
+    let srcs = [
+        "output out[1]; func main() { out[0] = 2 + 3 * 4; }",
+        "array t[8] = [3,1,4,1,5,9,2,6]; output out[8]; func main() { var i = 0; \
+         while (i < 8) { var dead = t[i] * 0; out[i] = t[i] * 2 + dead; i = i + 1; } }",
+        "output out[1]; func main() { var x = 9; var y = x + 0; var z = y * 1; out[0] = z; }",
+    ];
+    for src in srcs {
+        let plain = compile(src, &CompileOptions::default()).expect("plain");
+        let mut optd = compile(
+            src,
+            &CompileOptions { optimize: true, ..CompileOptions::default() },
+        )
+        .expect("optimized");
+        check_program(&optd.protected.program, &mut optd.protected.arena)
+            .expect("optimized output type-checks");
+        let r1 = interpret(&plain.vir, 5_000_000);
+        let r2 = interpret(&optd.vir, 5_000_000);
+        assert_eq!(r1.trace, r2.trace, "optimizer changed semantics\n{src}");
+        assert!(r2.dyn_instrs <= r1.dyn_instrs);
+        let run = run_program(&optd.protected.program, 20_000_000);
+        assert_eq!(run.trace, r1.trace);
+    }
+}
+
+#[test]
+fn for_loops_full_pipeline() {
+    full(
+        "array t[8] = [2,4,6,8,10,12,14,16]; output out[8]; \
+         func main() { for (var i = 0; i < 8; i = i + 1) { out[i] = t[i] >> 1; } }",
+    );
+}

@@ -1,0 +1,150 @@
+//! The checker's flowing context — the static context
+//! `T = Δ; Γ; (Ed,Es)*; Em` of Figure 5, in mutable form.
+//!
+//! A [`Ctx`] is created from a label's [`CodeTy`] precondition and updated
+//! instruction-by-instruction according to the typing rules of Figure 7.
+//! `Δ` is split into its kind part ([`KindCtx`]) and its fact part
+//! ([`Facts`], our extension carrying branch and bounds hypotheses).
+
+use talft_isa::{CodeTy, Color, FactAnn, Reg, RegFileTy, RegTy};
+use talft_logic::{ExprArena, ExprId, Facts, KindCtx};
+
+/// The mutable static context tracked while checking a block.
+#[derive(Debug, Clone)]
+pub struct Ctx {
+    /// Kind bindings of `Δ`.
+    pub kinds: KindCtx,
+    /// Path facts of `Δ` (extension; see DESIGN.md).
+    pub facts: Facts,
+    /// `Γ` — register-file typing.
+    pub regs: RegFileTy,
+    /// `(Ed, Es)*` — static queue description, **front (newest) first**.
+    pub queue: Vec<(ExprId, ExprId)>,
+    /// `Em` — static memory description.
+    pub mem: ExprId,
+}
+
+impl Ctx {
+    /// Build the context for a block from its precondition.
+    pub fn from_code_ty(arena: &mut ExprArena, t: &CodeTy) -> Self {
+        let kinds = t.kind_ctx();
+        let mut facts = Facts::new();
+        for f in &t.facts {
+            assume_fact(arena, &mut facts, *f);
+        }
+        Self {
+            kinds,
+            facts,
+            regs: t.regs.clone(),
+            queue: t.queue.clone(),
+            mem: t.mem,
+        }
+    }
+
+    /// `Γ++` — add one to the static expression of each program counter.
+    pub fn bump_pcs(&mut self, arena: &mut ExprArena) {
+        for c in Color::BOTH {
+            let r = Reg::Pc(c);
+            if let RegTy::Val(v) = self.regs.get(r).clone() {
+                let one = arena.int(1);
+                let e = arena.add(v.expr, one);
+                let mut v2 = v;
+                v2.expr = e;
+                self.regs.set(r, RegTy::Val(v2));
+            }
+        }
+    }
+
+    /// The static expression of a program counter, if it has a value type.
+    #[must_use]
+    pub fn pc_expr(&self, c: Color) -> Option<ExprId> {
+        self.regs.get(Reg::Pc(c)).as_val().map(|v| v.expr)
+    }
+}
+
+/// Record a precondition fact into a hypothesis set.
+pub fn assume_fact(arena: &mut ExprArena, facts: &mut Facts, f: FactAnn) {
+    match f {
+        FactAnn::EqZero(e) => facts.assume_eq_zero(arena, e),
+        FactAnn::NeqZero(e) => facts.assume_neq_zero(arena, e),
+        FactAnn::Ge0(e) => facts.assume_ge0(arena, e),
+    }
+}
+
+/// Check that a fact holds under the current hypotheses (used when entering
+/// a label whose precondition asserts facts).
+pub fn prove_fact(arena: &mut ExprArena, facts: &Facts, f: FactAnn) -> bool {
+    match f {
+        FactAnn::EqZero(e) => facts.prove_eq_zero(arena, e),
+        FactAnn::NeqZero(e) => facts.prove_neq_zero(arena, e),
+        FactAnn::Ge0(e) => facts.prove_ge0(arena, e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use talft_isa::ty::ValTy;
+    use talft_isa::BasicTy;
+    use talft_logic::Kind;
+
+    #[test]
+    fn from_code_ty_installs_kinds_facts_and_regs() {
+        let mut arena = ExprArena::new();
+        let x = arena.var_id("x");
+        let xe = arena.var_expr(x);
+        let m = arena.var_id("m");
+        let me = arena.var_expr(m);
+        let mut regs = RegFileTy::new();
+        regs.set(Reg::r(1), RegTy::int(Color::Green, xe));
+        let t = CodeTy {
+            delta: vec![(x, Kind::Int), (m, Kind::Mem)],
+            facts: vec![FactAnn::Ge0(xe)],
+            regs,
+            queue: vec![],
+            mem: me,
+        };
+        let ctx = Ctx::from_code_ty(&mut arena, &t);
+        assert_eq!(ctx.kinds.get(x), Some(Kind::Int));
+        assert_eq!(ctx.kinds.get(m), Some(Kind::Mem));
+        assert!(ctx.facts.prove_ge0(&mut arena, xe));
+        assert!(ctx.regs.get(Reg::r(1)).as_val().is_some());
+    }
+
+    #[test]
+    fn bump_pcs_increments_expressions() {
+        let mut arena = ExprArena::new();
+        let mut regs = RegFileTy::new();
+        let five = arena.int(5);
+        regs.set(
+            Reg::Pc(Color::Green),
+            RegTy::Val(ValTy::new(Color::Green, BasicTy::Int, five)),
+        );
+        regs.set(
+            Reg::Pc(Color::Blue),
+            RegTy::Val(ValTy::new(Color::Blue, BasicTy::Int, five)),
+        );
+        let m = arena.var("m");
+        let mut ctx = Ctx {
+            kinds: KindCtx::new(),
+            facts: Facts::new(),
+            regs,
+            queue: vec![],
+            mem: m,
+        };
+        ctx.bump_pcs(&mut arena);
+        let g = ctx.pc_expr(Color::Green).expect("pc typed");
+        let six = arena.int(6);
+        assert!(ctx.facts.prove_eq(&mut arena, g, six));
+    }
+
+    #[test]
+    fn prove_fact_round_trips_assume_fact() {
+        let mut arena = ExprArena::new();
+        let mut facts = Facts::new();
+        let x = arena.var("x");
+        assume_fact(&mut arena, &mut facts, FactAnn::NeqZero(x));
+        assert!(prove_fact(&mut arena, &facts, FactAnn::NeqZero(x)));
+        assert!(!prove_fact(&mut arena, &facts, FactAnn::EqZero(x)));
+    }
+}

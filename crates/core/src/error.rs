@@ -1,0 +1,54 @@
+//! Type-checking errors.
+
+use std::fmt;
+
+/// A type error, located at a code address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// Code address of the offending instruction (0 = whole program).
+    pub addr: i64,
+    /// The instruction text, when available.
+    pub instr: Option<String>,
+    /// What went wrong (references paper rule names where applicable).
+    pub reason: String,
+}
+
+impl TypeError {
+    /// Construct an error at an address.
+    #[must_use]
+    pub fn at(addr: i64, reason: impl Into<String>) -> Self {
+        Self { addr, instr: None, reason: reason.into() }
+    }
+
+    /// Attach the instruction display text.
+    #[must_use]
+    pub fn with_instr(mut self, instr: impl Into<String>) -> Self {
+        self.instr = Some(instr.into());
+        self
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.instr {
+            Some(i) => write!(f, "at {}: `{}`: {}", self.addr, i, self.reason),
+            None => write!(f, "at {}: {}", self.addr, self.reason),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location_and_instr() {
+        let e = TypeError::at(7, "colors differ").with_instr("add r1, r2, r3");
+        let s = e.to_string();
+        assert!(s.contains("at 7"));
+        assert!(s.contains("add r1, r2, r3"));
+        assert!(s.contains("colors differ"));
+    }
+}

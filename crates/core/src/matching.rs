@@ -1,0 +1,386 @@
+//! Substitution inference for control transfers.
+//!
+//! The `jmpB`/`bzB` typing rules (Figure 7) require *some* substitution `S`
+//! with `Δ ⊢ S : Δ'` relating the jump target's precondition `T' =
+//! (Δ'; Γ'; (Ed',Es'); Em')` to the current context. As the paper notes
+//! (§3), a compiler could emit `S` as a typing hint; like most TAL checkers
+//! we instead *reconstruct* it by first-order matching of the target's
+//! static expressions (patterns, whose free `Δ'` variables are holes)
+//! against the current context's expressions (subjects).
+//!
+//! Matching is syntactic with two pragmatic extensions: bare-variable
+//! patterns bind in a first pass (so composite patterns see bindings), and
+//! `x ⊕ closed` patterns are solved by inverting `⊕ ∈ {add, sub}`. Anything
+//! not structurally matchable is deferred as an equality obligation and
+//! discharged by the decision procedure after all holes are bound.
+
+use talft_isa::ty::ValTy;
+use talft_isa::{CodeTy, RegTy};
+use talft_logic::{BinOp, ExprArena, ExprId, ExprNode, Facts, KindCtx, Subst, VarId};
+
+/// A pattern/subject pair to match.
+#[derive(Debug, Clone, Copy)]
+pub struct Goal {
+    /// Target-side expression (may contain `Δ'` holes).
+    pub pattern: ExprId,
+    /// Current-side expression (subject; no holes).
+    pub subject: ExprId,
+}
+
+/// Collect matching goals from a target precondition against current-side
+/// expressions supplied by the caller (register file, queue, memory, pcs).
+#[derive(Debug, Default)]
+pub struct GoalSet {
+    goals: Vec<Goal>,
+}
+
+impl GoalSet {
+    /// Empty goal set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one pattern/subject pair.
+    pub fn add(&mut self, pattern: ExprId, subject: ExprId) {
+        self.goals.push(Goal { pattern, subject });
+    }
+
+    /// Add goals for a target register type against a current register type
+    /// (only where both sides carry expressions).
+    pub fn add_reg(&mut self, target: &RegTy, current: &RegTy) {
+        match (target, current) {
+            (RegTy::Val(t), RegTy::Val(c)) => self.add(t.expr, c.expr),
+            (RegTy::Cond { guard: tg, inner: ti }, RegTy::Cond { guard: cg, inner: ci }) => {
+                self.add(*tg, *cg);
+                self.add(ti.expr, ci.expr);
+            }
+            (RegTy::Val(t), RegTy::Cond { inner: ci, .. }) => self.add(t.expr, ci.expr),
+            _ => {}
+        }
+    }
+
+    /// Run inference: bind every `Δ'` hole, then return the substitution and
+    /// the residual equality obligations `(S(pattern), subject)`.
+    pub fn solve(
+        self,
+        arena: &mut ExprArena,
+        facts: &Facts,
+        delta_target: &KindCtx,
+    ) -> Result<(Subst, Vec<Goal>), MatchError> {
+        let mut s = Subst::new();
+        let mut deferred: Vec<Goal> = Vec::new();
+        // Pass 1: bare-variable patterns bind directly.
+        let mut rest = Vec::new();
+        for g in self.goals {
+            if let ExprNode::Var(v) = arena.node(g.pattern) {
+                if delta_target.contains(v) && s.get(v).is_none() {
+                    s.bind(v, g.subject);
+                    continue;
+                }
+            }
+            rest.push(g);
+        }
+        // Pass 2: structural matching with solving.
+        for g in rest {
+            match_one(arena, facts, delta_target, &mut s, g, &mut deferred)?;
+        }
+        // Every hole must be bound.
+        for (v, _) in delta_target.iter() {
+            if s.get(v).is_none() {
+                return Err(MatchError::Unbound(v));
+            }
+        }
+        // Residual obligations with S applied.
+        let out = deferred
+            .into_iter()
+            .map(|g| Goal { pattern: s.apply(arena, g.pattern), subject: g.subject })
+            .collect();
+        Ok((s, out))
+    }
+}
+
+/// Why inference failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchError {
+    /// A `Δ'` variable could not be bound from any goal.
+    Unbound(VarId),
+    /// A pattern with holes could not be structurally matched.
+    Structural(ExprId, ExprId),
+}
+
+impl std::fmt::Display for MatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatchError::Unbound(v) => {
+                write!(f, "cannot infer a binding for target variable #{}", v.0)
+            }
+            MatchError::Structural(p, s) => {
+                write!(f, "cannot match pattern #{} against #{}", p.0, s.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatchError {}
+
+fn has_unbound_hole(
+    arena: &ExprArena,
+    delta: &KindCtx,
+    s: &Subst,
+    e: ExprId,
+) -> bool {
+    match arena.node(e) {
+        ExprNode::Var(v) => delta.contains(v) && s.get(v).is_none(),
+        ExprNode::Int(_) | ExprNode::Emp => false,
+        ExprNode::Bin(_, a, b) | ExprNode::Sel(a, b) => {
+            has_unbound_hole(arena, delta, s, a) || has_unbound_hole(arena, delta, s, b)
+        }
+        ExprNode::Upd(m, a, v) => {
+            has_unbound_hole(arena, delta, s, m)
+                || has_unbound_hole(arena, delta, s, a)
+                || has_unbound_hole(arena, delta, s, v)
+        }
+    }
+}
+
+fn match_one(
+    arena: &mut ExprArena,
+    facts: &Facts,
+    delta: &KindCtx,
+    s: &mut Subst,
+    g: Goal,
+    deferred: &mut Vec<Goal>,
+) -> Result<(), MatchError> {
+    if !has_unbound_hole(arena, delta, s, g.pattern) {
+        deferred.push(g);
+        return Ok(());
+    }
+    match arena.node(g.pattern) {
+        ExprNode::Var(v) => {
+            // unbound hole (bound holes have no unbound-hole flag)
+            s.bind(v, g.subject);
+            Ok(())
+        }
+        ExprNode::Bin(op, a, b) => {
+            // Structural decomposition when the subject has the same head.
+            if let ExprNode::Bin(op2, sa, sb) = arena.node(g.subject) {
+                if op == op2 {
+                    match_one(arena, facts, delta, s, Goal { pattern: a, subject: sa }, deferred)?;
+                    return match_one(
+                        arena,
+                        facts,
+                        delta,
+                        s,
+                        Goal { pattern: b, subject: sb },
+                        deferred,
+                    );
+                }
+            }
+            // Solving: x ⊕ closed  ≙  subject  ⇒  x ≔ subject ⊖ closed.
+            let a_holed = has_unbound_hole(arena, delta, s, a);
+            let b_holed = has_unbound_hole(arena, delta, s, b);
+            match (op, a_holed, b_holed) {
+                (BinOp::Add, true, false) => {
+                    let rb = s.apply(arena, b);
+                    let solved = arena.sub(g.subject, rb);
+                    match_one(arena, facts, delta, s, Goal { pattern: a, subject: solved }, deferred)
+                }
+                (BinOp::Add, false, true) => {
+                    let ra = s.apply(arena, a);
+                    let solved = arena.sub(g.subject, ra);
+                    match_one(arena, facts, delta, s, Goal { pattern: b, subject: solved }, deferred)
+                }
+                (BinOp::Sub, true, false) => {
+                    let rb = s.apply(arena, b);
+                    let solved = arena.add(g.subject, rb);
+                    match_one(arena, facts, delta, s, Goal { pattern: a, subject: solved }, deferred)
+                }
+                (BinOp::Sub, false, true) => {
+                    let ra = s.apply(arena, a);
+                    let solved = arena.sub(ra, g.subject);
+                    match_one(arena, facts, delta, s, Goal { pattern: b, subject: solved }, deferred)
+                }
+                _ => Err(MatchError::Structural(g.pattern, g.subject)),
+            }
+        }
+        ExprNode::Sel(m, a) => {
+            if let ExprNode::Sel(sm, sa) = arena.node(g.subject) {
+                match_one(arena, facts, delta, s, Goal { pattern: m, subject: sm }, deferred)?;
+                match_one(arena, facts, delta, s, Goal { pattern: a, subject: sa }, deferred)
+            } else {
+                Err(MatchError::Structural(g.pattern, g.subject))
+            }
+        }
+        ExprNode::Upd(m, a, v) => {
+            if let ExprNode::Upd(sm, sa, sv) = arena.node(g.subject) {
+                match_one(arena, facts, delta, s, Goal { pattern: m, subject: sm }, deferred)?;
+                match_one(arena, facts, delta, s, Goal { pattern: a, subject: sa }, deferred)?;
+                match_one(arena, facts, delta, s, Goal { pattern: v, subject: sv }, deferred)
+            } else {
+                Err(MatchError::Structural(g.pattern, g.subject))
+            }
+        }
+        ExprNode::Int(_) | ExprNode::Emp => {
+            deferred.push(g);
+            Ok(())
+        }
+    }
+}
+
+/// Apply a substitution to a register type.
+pub fn subst_reg_ty(arena: &mut ExprArena, s: &Subst, t: &RegTy) -> RegTy {
+    match t {
+        RegTy::Top => RegTy::Top,
+        RegTy::Val(v) => RegTy::Val(subst_val_ty(arena, s, v)),
+        RegTy::Cond { guard, inner } => RegTy::Cond {
+            guard: s.apply(arena, *guard),
+            inner: subst_val_ty(arena, s, inner),
+        },
+    }
+}
+
+/// Apply a substitution to a value type (the basic type has no expressions).
+pub fn subst_val_ty(arena: &mut ExprArena, s: &Subst, v: &ValTy) -> ValTy {
+    ValTy { color: v.color, basic: v.basic.clone(), expr: s.apply(arena, v.expr) }
+}
+
+/// Collect goals from a whole target precondition against current context
+/// pieces. `pc_goals` supplies the subjects for `pcG`/`pcB` (the jump-rule
+/// premises equate them with the transfer's argument expressions).
+#[allow(clippy::too_many_arguments)]
+pub fn goals_for_target(
+    goalset: &mut GoalSet,
+    arena: &ExprArena,
+    target: &CodeTy,
+    current_regs: &talft_isa::RegFileTy,
+    current_queue: &[(ExprId, ExprId)],
+    current_mem: ExprId,
+    pc_green_subject: ExprId,
+    pc_blue_subject: ExprId,
+) -> Result<(), String> {
+    use talft_isa::{Color, Reg};
+    let _ = arena;
+    for (r, t) in target.regs.iter() {
+        match r {
+            Reg::Pc(Color::Green) => {
+                if let RegTy::Val(v) = t {
+                    goalset.add(v.expr, pc_green_subject);
+                }
+            }
+            Reg::Pc(Color::Blue) => {
+                if let RegTy::Val(v) = t {
+                    goalset.add(v.expr, pc_blue_subject);
+                }
+            }
+            Reg::Dst => { /* handled by the caller's d-premise */ }
+            Reg::Gpr(_) => goalset.add_reg(t, current_regs.get(r)),
+        }
+    }
+    if target.queue.len() != current_queue.len() {
+        return Err(format!(
+            "queue shape mismatch: target expects {} pending stores, have {}",
+            target.queue.len(),
+            current_queue.len()
+        ));
+    }
+    for ((td, tv), (cd, cv)) in target.queue.iter().zip(current_queue.iter()) {
+        goalset.add(*td, *cd);
+        goalset.add(*tv, *cv);
+    }
+    goalset.add(target.mem, current_mem);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use talft_logic::Kind;
+
+    #[test]
+    fn bare_variables_bind_directly() {
+        let mut arena = ExprArena::new();
+        let x = arena.var_id("x");
+        let xe = arena.var_expr(x);
+        let mut delta = KindCtx::new();
+        delta.bind(x, Kind::Int);
+        let seven = arena.int(7);
+        let mut gs = GoalSet::new();
+        gs.add(xe, seven);
+        let (s, residual) = gs.solve(&mut arena, &Facts::new(), &delta).expect("solves");
+        assert_eq!(s.get(x), Some(seven));
+        assert!(residual.is_empty());
+    }
+
+    #[test]
+    fn composite_patterns_solve_linear_offsets() {
+        let mut arena = ExprArena::new();
+        let x = arena.var_id("x");
+        let xe = arena.var_expr(x);
+        let one = arena.int(1);
+        let pat = arena.add(xe, one); // pattern x + 1
+        let y = arena.var("y");
+        let mut delta = KindCtx::new();
+        delta.bind(x, Kind::Int);
+        let mut gs = GoalSet::new();
+        gs.add(pat, y); // x + 1 ≙ y  ⇒  x ≔ y - 1
+        let (s, _) = gs.solve(&mut arena, &Facts::new(), &delta).expect("solves");
+        let bound = s.get(x).expect("bound");
+        let facts = Facts::new();
+        let expect = arena.sub(y, one);
+        assert!(facts.prove_eq(&mut arena, bound, expect));
+    }
+
+    #[test]
+    fn bound_variable_patterns_become_residual_obligations() {
+        let mut arena = ExprArena::new();
+        let x = arena.var_id("x");
+        let xe = arena.var_expr(x);
+        let mut delta = KindCtx::new();
+        delta.bind(x, Kind::Int);
+        let a = arena.int(3);
+        let b = arena.int(4);
+        let mut gs = GoalSet::new();
+        gs.add(xe, a); // binds x = 3
+        gs.add(xe, b); // residual: 3 ≟ 4 (to be refuted by the caller)
+        let (_, residual) = gs.solve(&mut arena, &Facts::new(), &delta).expect("solves");
+        assert_eq!(residual.len(), 1);
+        let facts = Facts::new();
+        assert!(!facts.prove_eq(&mut arena, residual[0].pattern, residual[0].subject));
+    }
+
+    #[test]
+    fn unbound_hole_is_an_error() {
+        let mut arena = ExprArena::new();
+        let x = arena.var_id("x");
+        let mut delta = KindCtx::new();
+        delta.bind(x, Kind::Int);
+        let gs = GoalSet::new();
+        assert!(matches!(
+            gs.solve(&mut arena, &Facts::new(), &delta),
+            Err(MatchError::Unbound(_))
+        ));
+    }
+
+    #[test]
+    fn memory_patterns_match_structurally() {
+        let mut arena = ExprArena::new();
+        let m = arena.var_id("m");
+        let me = arena.var_expr(m);
+        let x = arena.var_id("x");
+        let xe = arena.var_expr(x);
+        let mut delta = KindCtx::new();
+        delta.bind(m, Kind::Mem);
+        delta.bind(x, Kind::Int);
+        let a = arena.int(4096);
+        let pat = arena.upd(me, a, xe); // upd m 4096 x
+        let mcur = arena.var("mcur");
+        let five = arena.int(5);
+        let subj = arena.upd(mcur, a, five);
+        let mut gs = GoalSet::new();
+        gs.add(pat, subj);
+        let (s, _) = gs.solve(&mut arena, &Facts::new(), &delta).expect("solves");
+        assert_eq!(s.get(m), Some(mcur));
+        assert_eq!(s.get(x), Some(five));
+    }
+}

@@ -1,0 +1,317 @@
+//! Machine-state typing — a decidable instance of the `⊢Z S` judgment of
+//! Figure 8, checked at block boundaries.
+//!
+//! The paper's `S-t` rule existentially quantifies a closing substitution
+//! `∃S. · ⊢ S : Δ`. When both program counters sit at an *annotated* address
+//! with no pending `ir`, the singleton discipline makes `S` recoverable from
+//! the concrete register bank: a register typed `(c, b, x)` pins `S(x)` to
+//! its runtime value, and the precondition's memory variable is pinned to
+//! the runtime memory. The remaining premises (`R-t`, `Q-t`, `M-t`, colors,
+//! pc agreement, facts) are then *evaluated*.
+//!
+//! This is the dynamic Preservation/Progress audit used by the
+//! fault-injection campaigns: every boundary state of a fault-free run of a
+//! well-typed program must pass.
+
+use talft_isa::{BasicTy, Color, Program, Reg, RegTy};
+use talft_logic::{eval_int, Env, ExprArena, ExprId, ExprNode, MemVal, Value};
+use talft_machine::Machine;
+
+/// Check the boot state of `m` against the program's entry precondition.
+pub fn check_boot_state(
+    machine: &Machine,
+    program: &Program,
+    arena: &mut ExprArena,
+) -> Result<(), String> {
+    check_state_at(machine, program, arena, program.entry)
+}
+
+/// Check a boundary state (pcs at `addr`, no pending instruction) against
+/// the precondition at `addr`.
+pub fn check_state_at(
+    machine: &Machine,
+    program: &Program,
+    arena: &mut ExprArena,
+    addr: i64,
+) -> Result<(), String> {
+    let pre = program
+        .precond(addr)
+        .ok_or_else(|| format!("address {addr} has no precondition"))?;
+
+    // R-t pc premises: right colors, equal values, at this address.
+    let pcg = machine.reg(Reg::Pc(Color::Green));
+    let pcb = machine.reg(Reg::Pc(Color::Blue));
+    if pcg.color != Color::Green || pcb.color != Color::Blue {
+        return Err("program counters have wrong colors".into());
+    }
+    if pcg.val != pcb.val {
+        return Err(format!("program counters disagree: {} vs {}", pcg.val, pcb.val));
+    }
+    if pcg.val != addr {
+        return Err(format!("program counters at {} but checking {addr}", pcg.val));
+    }
+    if machine.ir().is_some() {
+        return Err("state has a pending instruction (not a boundary state)".into());
+    }
+
+    // Recover S: bind bare-variable singleton expressions from concrete
+    // values; bind every memory-kinded variable to the runtime memory.
+    let mut env = Env::new();
+    let mem_val = {
+        let mut mv = MemVal::new();
+        for (&a, &v) in machine.memory() {
+            mv.set(a, v);
+        }
+        mv
+    };
+    for (v, k) in pre.delta.iter() {
+        if *k == talft_logic::Kind::Mem {
+            env.bind_mem(*v, mem_val.clone());
+        }
+    }
+    // Registers first (singletons), then queue entries.
+    for (r, t) in pre.regs.iter() {
+        if let (RegTy::Val(vt), Reg::Gpr(_)) = (t, r) {
+            bind_bare(arena, &mut env, vt.expr, machine.rval(r));
+        }
+    }
+    for (i, (de, ve)) in pre.queue.iter().enumerate() {
+        if let Some(&(a, v)) = machine.queue().get(i) {
+            bind_bare(arena, &mut env, *de, a);
+            bind_bare(arena, &mut env, *ve, v);
+        }
+    }
+    for (v, k) in pre.delta.iter() {
+        if *k == talft_logic::Kind::Int && env.get(*v).is_none() {
+            return Err(format!(
+                "cannot recover a witness for variable {} from the state",
+                arena.var_name(*v)
+            ));
+        }
+    }
+
+    // Γ premises: every typed register's value satisfies its type.
+    for (r, t) in pre.regs.iter() {
+        match t {
+            RegTy::Top => {}
+            RegTy::Val(vt) => {
+                let cv = machine.reg(r);
+                if matches!(r, Reg::Gpr(_) | Reg::Dst) && cv.color != vt.color {
+                    return Err(format!(
+                        "register {r} has color {}, type wants {}",
+                        cv.color, vt.color
+                    ));
+                }
+                let want = eval_int(arena, &env, vt.expr)
+                    .map_err(|e| format!("cannot evaluate type of {r}: {e}"))?;
+                if want != cv.val {
+                    return Err(format!(
+                        "register {r} holds {}, type demands {want}",
+                        cv.val
+                    ));
+                }
+                check_basic(program, &vt.basic, cv.val)
+                    .map_err(|e| format!("register {r}: {e}"))?;
+            }
+            RegTy::Cond { guard, inner } => {
+                let g = eval_int(arena, &env, *guard)
+                    .map_err(|e| format!("cannot evaluate guard of {r}: {e}"))?;
+                let cv = machine.reg(r);
+                if g == 0 {
+                    let want = eval_int(arena, &env, inner.expr)
+                        .map_err(|e| format!("cannot evaluate type of {r}: {e}"))?;
+                    if want != cv.val {
+                        return Err(format!(
+                            "conditional register {r} holds {}, type demands {want}",
+                            cv.val
+                        ));
+                    }
+                } else if cv.val != 0 {
+                    return Err(format!(
+                        "conditional register {r} must be 0 when its guard is non-zero"
+                    ));
+                }
+            }
+        }
+    }
+
+    // Q-t: queue length and contents.
+    if machine.queue().len() != pre.queue.len() {
+        return Err(format!(
+            "queue has {} entries, type describes {}",
+            machine.queue().len(),
+            pre.queue.len()
+        ));
+    }
+    for (i, ((de, ve), &(a, v))) in pre.queue.iter().zip(machine.queue().iter()).enumerate() {
+        let da = eval_int(arena, &env, *de).map_err(|e| format!("queue[{i}]: {e}"))?;
+        let dv = eval_int(arena, &env, *ve).map_err(|e| format!("queue[{i}]: {e}"))?;
+        if da != a || dv != v {
+            return Err(format!("queue[{i}] is ({a},{v}), type demands ({da},{dv})"));
+        }
+    }
+
+    // M-t: the memory description denotes the runtime memory.
+    match talft_logic::eval(arena, &env, pre.mem) {
+        Ok(Value::Mem(mv)) => {
+            for (&a, &v) in machine.memory() {
+                if mv.get(a) != v {
+                    return Err(format!(
+                        "memory description disagrees at {a}: {} vs {v}",
+                        mv.get(a)
+                    ));
+                }
+            }
+            for (a, _) in mv.iter() {
+                if !machine.in_mem_dom(a) {
+                    return Err(format!("memory description writes outside Dom(M) at {a}"));
+                }
+            }
+        }
+        Ok(Value::Int(_)) => return Err("memory description has kind int".into()),
+        Err(e) => return Err(format!("cannot evaluate memory description: {e}")),
+    }
+
+    // Facts must hold under the recovered witnesses.
+    for f in &pre.facts {
+        let (e, ok): (ExprId, fn(i64) -> bool) = match *f {
+            talft_isa::FactAnn::EqZero(e) => (e, |n| n == 0),
+            talft_isa::FactAnn::NeqZero(e) => (e, |n| n != 0),
+            talft_isa::FactAnn::Ge0(e) => (e, |n| n >= 0),
+        };
+        let n = eval_int(arena, &env, e).map_err(|e| format!("fact: {e}"))?;
+        if !ok(n) {
+            return Err(format!(
+                "precondition fact over {} fails (value {n})",
+                arena.display(e)
+            ));
+        }
+    }
+
+    Ok(())
+}
+
+/// Bind `expr ↦ value` when `expr` is a bare variable not yet bound.
+fn bind_bare(arena: &ExprArena, env: &mut Env, expr: ExprId, value: i64) {
+    if let ExprNode::Var(v) = arena.node(expr) {
+        if env.get(v).is_none() {
+            env.bind_int(v, value);
+        }
+    }
+}
+
+/// `Σ ⊢ n : b` against the concrete heap: any `n` is an `int`; code values
+/// must be the labeled address; references must point into a region of the
+/// pointee type.
+fn check_basic(program: &Program, b: &BasicTy, n: i64) -> Result<(), String> {
+    match b {
+        BasicTy::Int => Ok(()),
+        BasicTy::Code(l) => {
+            if n == *l {
+                Ok(())
+            } else {
+                Err(format!("value {n} does not point at code@{l}"))
+            }
+        }
+        BasicTy::Ref(inner) => match program.region_of(n) {
+            Some(r) if r.elem == **inner => Ok(()),
+            Some(r) => Err(format!(
+                "value {n} points into region {} of type {}, not {}",
+                r.name, r.elem, inner
+            )),
+            None => Err(format!("value {n} points outside every data region")),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use talft_isa::assemble;
+    use talft_machine::{run, Machine};
+
+    #[test]
+    fn boot_state_of_trivial_program_checks() {
+        let src = "\n.code\nmain:\n  .pre { forall m:mem; mem: m; }\n  halt\n";
+        let mut asm = assemble(src).expect("ok");
+        let m = Machine::boot(Arc::new(asm.program.clone()));
+        check_boot_state(&m, &asm.program, &mut asm.arena).expect("boot well-typed");
+    }
+
+    #[test]
+    fn boundary_state_at_jump_target_checks() {
+        let src = r#"
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r1, G 3
+  mov r2, B 3
+  mov r3, G @body
+  mov r4, B @body
+  jmpG r3
+  jmpB r4
+body:
+  .pre { forall x:int, m:mem; r1: (G, int, x); r2: (B, int, x); mem: m; }
+  halt
+"#;
+        let mut asm = assemble(src).expect("ok");
+        let prog = Arc::new(asm.program.clone());
+        let mut m = Machine::boot(Arc::clone(&prog));
+        let body = prog.label_addr("body").expect("label");
+        loop {
+            talft_machine::step(&mut m);
+            if m.ir().is_none() && m.rval(Reg::Pc(Color::Green)) == body {
+                break;
+            }
+            assert!(m.status().is_running(), "unexpected stop: {:?}", m.status());
+        }
+        check_state_at(&m, &prog, &mut asm.arena, body).expect("boundary well-typed");
+    }
+
+    #[test]
+    fn diverged_pcs_fail_state_check() {
+        let src = "\n.code\nmain:\n  .pre { forall m:mem; mem: m; }\n  halt\n";
+        let mut asm = assemble(src).expect("ok");
+        let prog = Arc::new(asm.program.clone());
+        let mut m = Machine::boot(Arc::clone(&prog));
+        m.set_reg(Reg::Pc(Color::Blue), talft_isa::CVal::blue(5));
+        let err = check_boot_state(&m, &prog, &mut asm.arena).expect_err("ill-typed");
+        assert!(err.contains("disagree"));
+    }
+
+    #[test]
+    fn queue_contents_are_checked() {
+        let src = "\n.data\nregion out at 4096 len 1 : int output\n.code\nmain:\n  \
+                   .pre { forall m:mem; mem: m; }\n  halt\n";
+        let mut asm = assemble(src).expect("ok");
+        let prog = Arc::new(asm.program.clone());
+        let mut m = Machine::boot(Arc::clone(&prog));
+        m.queue_mut().push_front((4096, 5));
+        let err = check_boot_state(&m, &prog, &mut asm.arena).expect_err("queue mismatch");
+        assert!(err.contains("queue"));
+    }
+
+    #[test]
+    fn final_state_no_longer_matches_entry() {
+        let src = r#"
+.data
+region out at 4096 len 1 : int output
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r1, G 5
+  mov r2, G 4096
+  stG r2, r1
+  mov r3, B 5
+  mov r4, B 4096
+  stB r4, r3
+  halt
+"#;
+        let mut asm = assemble(src).expect("ok");
+        let prog = Arc::new(asm.program.clone());
+        let mut m = Machine::boot(Arc::clone(&prog));
+        run(&mut m, 1000);
+        assert!(check_boot_state(&m, &prog, &mut asm.arena).is_err());
+    }
+}

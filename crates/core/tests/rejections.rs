@@ -1,0 +1,270 @@
+//! Rule-by-rule rejection matrix: every typing rule of Figure 7 has
+//! programs that must fail it, with the failure at the right address and
+//! for the right reason. This is the checker's adversarial test suite —
+//! the paper's pitch is that the checker catches *compiler* bugs, so each
+//! case below is a plausible miscompilation.
+
+use talft_core::check_program;
+use talft_isa::assemble;
+
+fn reject(src: &str) -> talft_core::TypeError {
+    let mut asm = assemble(src).expect("assembles");
+    check_program(&asm.program, &mut asm.arena).expect_err("must be ill-typed")
+}
+
+fn accept(src: &str) {
+    let mut asm = assemble(src).expect("assembles");
+    check_program(&asm.program, &mut asm.arena)
+        .unwrap_or_else(|e| panic!("must be well-typed, got: {e}"));
+}
+
+const PRE: &str = ".pre { forall m:mem; mem: m; }";
+
+// ---- op2r-t / op1r-t -------------------------------------------------------
+
+#[test]
+fn op1r_immediate_color_must_match_source() {
+    let e = reject(&format!(
+        "\n.code\nmain:\n  {PRE}\n  mov r1, G 1\n  add r2, r1, B 1\n  halt\n"
+    ));
+    assert_eq!(e.addr, 2);
+    assert!(e.reason.contains("colors differ"));
+}
+
+#[test]
+fn op_on_conditional_register_needs_resolution() {
+    // After bzG, d has a conditional type; moving it through arithmetic
+    // before bzB resolves nothing — reading d is not even expressible, but
+    // reading an untyped register is the analogous case.
+    let e = reject(&format!(
+        "\n.code\nmain:\n  {PRE}\n  add r1, r9, r9\n  halt\n"
+    ));
+    assert!(e.reason.contains("no type"));
+}
+
+// ---- ld*-t ----------------------------------------------------------------
+
+#[test]
+fn ldg_with_blue_address_rejected() {
+    let e = reject(
+        "\n.data\nregion tab at 4096 len 4 : int\n.code\nmain:\n  \
+         .pre { forall m:mem; mem: m; }\n  mov r1, B 4096\n  ldG r2, r1\n  halt\n",
+    );
+    assert!(e.reason.contains("ldG") && e.reason.contains("B"), "{}", e.reason);
+}
+
+#[test]
+fn ldb_with_green_address_rejected() {
+    let e = reject(
+        "\n.data\nregion tab at 4096 len 4 : int\n.code\nmain:\n  \
+         .pre { forall m:mem; mem: m; }\n  mov r1, G 4096\n  ldB r2, r1\n  halt\n",
+    );
+    assert!(e.reason.contains("ldB"), "{}", e.reason);
+}
+
+#[test]
+fn load_outside_every_region_rejected() {
+    let e = reject(&format!(
+        "\n.code\nmain:\n  {PRE}\n  mov r1, G 99999\n  ldG r2, r1\n  halt\n"
+    ));
+    assert!(e.reason.contains("reference") || e.reason.contains("bounds"), "{}", e.reason);
+}
+
+// ---- stG-t / stB-t ---------------------------------------------------------
+
+#[test]
+fn stg_with_blue_value_rejected() {
+    let e = reject(
+        "\n.data\nregion out at 4096 len 1 : int output\n.code\nmain:\n  \
+         .pre { forall m:mem; mem: m; }\n  mov r1, B 5\n  mov r2, G 4096\n  stG r2, r1\n  halt\n",
+    );
+    assert!(e.reason.contains("green"), "{}", e.reason);
+}
+
+#[test]
+fn stb_without_pending_green_store_rejected() {
+    let e = reject(
+        "\n.data\nregion out at 4096 len 1 : int output\n.code\nmain:\n  \
+         .pre { forall m:mem; mem: m; }\n  mov r1, B 5\n  mov r2, B 4096\n  stB r2, r1\n  halt\n",
+    );
+    assert!(e.reason.contains("empty static queue"), "{}", e.reason);
+}
+
+#[test]
+fn stb_with_mismatched_address_rejected() {
+    // green stores to 4096, blue claims 4097 — "correct value at an
+    // incorrect location" (§2.2).
+    let e = reject(
+        "\n.data\nregion out at 4096 len 2 : int output\n.code\nmain:\n  \
+         .pre { forall m:mem; mem: m; }\n  mov r1, G 5\n  mov r2, G 4096\n  stG r2, r1\n  \
+         mov r3, B 5\n  mov r4, B 4097\n  stB r4, r3\n  halt\n",
+    );
+    assert!(e.reason.contains("queued address"), "{}", e.reason);
+}
+
+#[test]
+fn store_value_type_must_match_region() {
+    // tab is a region of code pointers; storing a plain int into it would
+    // let a later indirect jump escape the type system.
+    let e = reject(
+        "\n.data\nregion tab at 4096 len 1 : code @main = 1\n.code\nmain:\n  \
+         .pre { forall m:mem; mem: m; }\n  mov r1, G 12345\n  mov r2, G 4096\n  stG r2, r1\n  \
+         mov r3, B 12345\n  mov r4, B 4096\n  stB r4, r3\n  halt\n",
+    );
+    assert!(e.reason.contains("region holds"), "{}", e.reason);
+}
+
+// ---- jmpG-t / jmpB-t -------------------------------------------------------
+
+#[test]
+fn jmpg_with_blue_register_rejected() {
+    let e = reject(
+        "\n.code\nmain:\n  .pre { forall m:mem; mem: m; }\n  mov r1, B @main\n  jmpG r1\n  halt\n",
+    );
+    assert!(e.reason.contains("green"), "{}", e.reason);
+}
+
+#[test]
+fn jmpg_with_non_code_target_rejected() {
+    let e = reject(&format!(
+        "\n.code\nmain:\n  {PRE}\n  mov r1, G 3\n  jmpG r1\n  halt\n"
+    ));
+    assert!(e.reason.contains("code type"), "{}", e.reason);
+}
+
+#[test]
+fn two_jmpg_in_a_row_rejected() {
+    // The second jmpG would find d ≠ 0 and fault at runtime (jmpG-fail).
+    let e = reject(
+        "\n.code\nmain:\n  .pre { forall m:mem; mem: m; }\n  mov r1, G @main\n  \
+         jmpG r1\n  jmpG r1\n  halt\n",
+    );
+    assert!(e.reason.contains("destination register"), "{}", e.reason);
+}
+
+#[test]
+fn jmpb_without_latched_intent_rejected() {
+    let e = reject(
+        "\n.code\nmain:\n  .pre { forall m:mem; mem: m; }\n  mov r1, B @main\n  jmpB r1\n  halt\n",
+    );
+    assert!(e.reason.contains("code type") || e.reason.contains("latched"), "{}", e.reason);
+}
+
+#[test]
+fn jump_target_register_contract_violations_rejected() {
+    // target demands r5 : (G, int, 7); the jump provides r5 = 8.
+    let e = reject(
+        "\n.code\nmain:\n  .pre { forall m:mem; mem: m; }\n  mov r5, G 8\n  \
+         mov r1, G @t\n  mov r2, B @t\n  jmpG r1\n  jmpB r2\nt:\n  \
+         .pre { forall m:mem; r5: (G, int, 7); mem: m; }\n  halt\n",
+    );
+    assert!(
+        e.reason.contains("subtype") || e.reason.contains("cannot prove"),
+        "{}",
+        e.reason
+    );
+
+    // ...and with the matching value it is accepted.
+    accept(
+        "\n.code\nmain:\n  .pre { forall m:mem; mem: m; }\n  mov r5, G 7\n  \
+         mov r1, G @t\n  mov r2, B @t\n  jmpG r1\n  jmpB r2\nt:\n  \
+         .pre { forall m:mem; r5: (G, int, 7); mem: m; }\n  halt\n",
+    );
+}
+
+#[test]
+fn jump_with_pending_queue_needs_matching_description() {
+    // Jumping with a pending green store: the target must describe the
+    // queue. Without the description — rejected.
+    let e = reject(
+        "\n.data\nregion out at 4096 len 1 : int output\n.code\nmain:\n  \
+         .pre { forall m:mem; mem: m; }\n  mov r5, G 9\n  mov r6, G 4096\n  stG r6, r5\n  \
+         mov r1, G @t\n  mov r2, B @t\n  jmpG r1\n  jmpB r2\nt:\n  \
+         .pre { forall m:mem; mem: m; }\n  mov r7, B 9\n  mov r8, B 4096\n  stB r8, r7\n  halt\n",
+    );
+    assert!(e.reason.contains("queue"), "{}", e.reason);
+
+    // With the queue description at the target, the split store spanning a
+    // jump type-checks (the paper's "fair amount of flexibility in how the
+    // instructions may be interleaved").
+    accept(
+        "\n.data\nregion out at 4096 len 1 : int output\n.code\nmain:\n  \
+         .pre { forall m:mem; mem: m; }\n  mov r5, G 9\n  mov r6, G 4096\n  stG r6, r5\n  \
+         mov r1, G @t\n  mov r2, B @t\n  jmpG r1\n  jmpB r2\nt:\n  \
+         .pre { forall m:mem; queue: [(4096, 9)]; mem: m; }\n  \
+         mov r7, B 9\n  mov r8, B 4096\n  stB r8, r7\n  halt\n",
+    );
+}
+
+// ---- bzG-t / bzB-t ---------------------------------------------------------
+
+#[test]
+fn bzg_with_blue_condition_rejected() {
+    let e = reject(
+        "\n.code\nmain:\n  .pre { forall m:mem; mem: m; }\n  mov r1, B 0\n  \
+         mov r2, G @main\n  bzG r1, r2\n  halt\n",
+    );
+    assert!(e.reason.contains("green"), "{}", e.reason);
+}
+
+#[test]
+fn bzb_without_prior_bzg_rejected() {
+    let e = reject(
+        "\n.code\nmain:\n  .pre { forall m:mem; mem: m; }\n  mov r1, B 0\n  \
+         mov r2, B @main\n  bzB r1, r2\n  halt\n",
+    );
+    assert!(e.reason.contains("conditional latched"), "{}", e.reason);
+}
+
+#[test]
+fn bz_pair_with_different_targets_rejected() {
+    let e = reject(
+        "\n.code\nmain:\n  .pre { forall x:int, m:mem; r1: (G, int, x); r2: (B, int, x); mem: m; }\n  \
+         mov r3, G @t1\n  mov r4, B @t2\n  bzG r1, r3\n  bzB r2, r4\n  halt\nt1:\n  \
+         .pre { forall m:mem; mem: m; }\n  halt\nt2:\n  .pre { forall m:mem; mem: m; }\n  halt\n",
+    );
+    assert!(e.reason.contains("blue tests"), "{}", e.reason);
+}
+
+#[test]
+fn bzg_with_pending_latch_rejected() {
+    // bzG twice without an intervening blue commit: second sees d ≠ 0.
+    let e = reject(
+        "\n.code\nmain:\n  .pre { forall x:int, m:mem; r1: (G, int, x); mem: m; }\n  \
+         mov r3, G @main\n  bzG r1, r3\n  bzG r1, r3\n  halt\n",
+    );
+    assert!(e.reason.contains("destination register"), "{}", e.reason);
+}
+
+// ---- code typing (C-t) ----------------------------------------------------
+
+#[test]
+fn conditional_type_survives_between_the_halves() {
+    // A label *between* bzG and bzB carries the conditional d type — the
+    // full Figure 5 syntax is checkable.
+    accept(
+        "\n.code\nmain:\n  .pre { forall x:int, m:mem; r1: (G, int, x); r2: (B, int, x); mem: m; }\n  \
+         mov r3, G @t\n  mov r4, B @t\n  bzG r1, r3\nmid:\n  \
+         .pre { forall x:int, m:mem; r2: (B, int, x); r4: (B, code @t, @t);\n    \
+                d: x == 0 => (G, code @t, @t); mem: m; }\n  \
+         bzB r2, r4\n  halt\nt:\n  .pre { forall m:mem; mem: m; }\n  halt\n",
+    );
+}
+
+#[test]
+fn wrong_conditional_annotation_rejected() {
+    // Same program, but the label's guard names a different expression.
+    let e = reject(
+        "\n.code\nmain:\n  .pre { forall x:int, y:int, m:mem; r1: (G, int, x); r2: (B, int, x);\n    \
+                r5: (G, int, y); mem: m; }\n  \
+         mov r3, G @t\n  mov r4, B @t\n  bzG r1, r3\nmid:\n  \
+         .pre { forall x:int, y:int, m:mem; r2: (B, int, x); r4: (B, code @t, @t);\n    \
+                d: y == 0 => (G, code @t, @t); mem: m; }\n  \
+         bzB r2, r4\n  halt\nt:\n  .pre { forall m:mem; mem: m; }\n  halt\n",
+    );
+    assert!(
+        e.reason.contains("fall-through") || e.reason.contains("destination"),
+        "{}",
+        e.reason
+    );
+}

@@ -1,0 +1,526 @@
+//! Single-event-upset fault-injection campaigns — the dynamic validation of
+//! the paper's metatheory (§4) on concrete programs.
+//!
+//! **Theorem 4 (Fault Tolerance)**, restated operationally: take a fault-free
+//! run of `n` steps with output trace `s`. Inject *one* fault (any
+//! `reg-zap`/`Q-zap` transition) at any point. Then the faulty run, within
+//! `n + 1` steps, either
+//!
+//! * completes with output trace **equal** to `s` and a final state similar
+//!   (`sim_c`) to the fault-free one — the fault was *masked*; or
+//! * reaches the hardware `fault` state with a trace that is a **prefix** of
+//!   `s` — the fault was *detected* before corrupt data escaped.
+//!
+//! Anything else — a deviating trace (**silent data corruption**), a stuck
+//! state (Progress violation), or an over-long run — is a counterexample.
+//! [`run_campaign`] enumerates the fault space (every dynamic step × every
+//! site × a set of corrupted values) and classifies every injection.
+//!
+//! For *well-typed* programs the campaign must report zero violations; for
+//! the unprotected baseline it measurably reports SDC — the contrast the
+//! paper's evaluation is built on. Corollary 3 (**No False Positives**) is
+//! checked by [`golden_run`]: the fault-free run of a well-typed program
+//! never signals `fault`.
+
+#![warn(missing_docs)]
+
+pub mod recovery;
+
+pub use recovery::{run_with_recovery, PlannedFault, RecoveryResult};
+
+use std::sync::Arc;
+
+use talft_isa::Program;
+use talft_machine::{
+    inject, mutations, read_site, sim_some_color, sites, step, FaultSite, Machine, OobLoadPolicy,
+    Status,
+};
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Step budget for the golden run.
+    pub max_steps: u64,
+    /// Cap on corrupted values tried per site (from [`mutations`]).
+    pub mutations_per_site: usize,
+    /// Inject before every `stride`-th step (1 = exhaustive in time).
+    pub stride: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Out-of-bounds-load policy for all runs.
+    pub oob: OobLoadPolicy,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            max_steps: 2_000_000,
+            mutations_per_site: 3,
+            stride: 1,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            oob: OobLoadPolicy::Value(0x6EAD_BEEF),
+        }
+    }
+}
+
+/// Classification of one injection, per Theorem 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Run completed with the identical trace and a `sim_c`-similar state.
+    Masked,
+    /// Hardware signalled `fault`; the emitted trace is a prefix of golden.
+    Detected,
+    /// **Silent data corruption**: the trace deviated from golden.
+    Sdc,
+    /// The machine got stuck (Progress violation).
+    Stuck,
+    /// Ran past the `n + 1` bound without terminating.
+    Overrun,
+    /// Completed with the right trace but a dissimilar final state
+    /// (similarity clause of Theorem 4 violated).
+    DissimilarState,
+}
+
+impl Verdict {
+    /// Whether this verdict violates Theorem 4.
+    #[must_use]
+    pub fn is_violation(self) -> bool {
+        !matches!(self, Verdict::Masked | Verdict::Detected)
+    }
+}
+
+/// One classified injection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Injection {
+    /// Steps taken before the fault transition.
+    pub at_step: u64,
+    /// Where the fault struck.
+    pub site: FaultSite,
+    /// The corrupted value written.
+    pub value: i64,
+    /// Classification.
+    pub verdict: Verdict,
+}
+
+/// Histogram of steps from injection to hardware detection (log₂ buckets:
+/// bucket `k` counts latencies in `[2ᵏ, 2ᵏ⁺¹)`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 24],
+    /// Largest observed detection latency.
+    pub max: u64,
+    sum: u64,
+    count: u64,
+}
+
+impl LatencyHistogram {
+    /// Record one detection latency (in machine steps).
+    pub fn record(&mut self, latency: u64) {
+        let k = (64 - latency.max(1).leading_zeros() as usize - 1).min(23);
+        self.buckets[k] += 1;
+        self.max = self.max.max(latency);
+        self.sum += latency;
+        self.count += 1;
+    }
+
+    /// Mean detection latency.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Iterate non-empty `(bucket_lo, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| (1u64 << k, c))
+    }
+
+    fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+/// Aggregate campaign results.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// Total injections performed.
+    pub total: u64,
+    /// Masked count.
+    pub masked: u64,
+    /// Detected count.
+    pub detected: u64,
+    /// SDC count.
+    pub sdc: u64,
+    /// Other violations (stuck/overrun/dissimilar).
+    pub other_violations: u64,
+    /// Up to 32 concrete counterexamples.
+    pub violations: Vec<Injection>,
+    /// Steps from injection to hardware detection, over detected faults.
+    pub detection_latency: LatencyHistogram,
+}
+
+impl CampaignReport {
+    /// Whether the program passed (no Theorem 4 violations at all).
+    #[must_use]
+    pub fn fault_tolerant(&self) -> bool {
+        self.sdc == 0 && self.other_violations == 0
+    }
+
+    /// Detection coverage among non-masked faults (1.0 when fault tolerant).
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        let exposed = self.detected + self.sdc + self.other_violations;
+        if exposed == 0 {
+            1.0
+        } else {
+            self.detected as f64 / exposed as f64
+        }
+    }
+
+    fn absorb(&mut self, inj: Injection) {
+        self.total += 1;
+        match inj.verdict {
+            Verdict::Masked => self.masked += 1,
+            Verdict::Detected => self.detected += 1,
+            Verdict::Sdc => {
+                self.sdc += 1;
+                self.keep(inj);
+            }
+            _ => {
+                self.other_violations += 1;
+                self.keep(inj);
+            }
+        }
+    }
+
+    fn keep(&mut self, inj: Injection) {
+        if self.violations.len() < 32 {
+            self.violations.push(inj);
+        }
+    }
+
+    fn merge(&mut self, other: CampaignReport) {
+        self.total += other.total;
+        self.masked += other.masked;
+        self.detected += other.detected;
+        self.sdc += other.sdc;
+        self.other_violations += other.other_violations;
+        self.detection_latency.merge(&other.detection_latency);
+        for v in other.violations {
+            self.keep(v);
+        }
+    }
+}
+
+/// The fault-free reference run.
+#[derive(Debug, Clone)]
+pub struct Golden {
+    /// Final machine state.
+    pub machine: Machine,
+    /// Output trace.
+    pub trace: Vec<(i64, i64)>,
+    /// Steps to termination.
+    pub steps: u64,
+    /// Terminal status.
+    pub status: Status,
+}
+
+/// Run the fault-free execution (also the Corollary 3 check: a well-typed
+/// program must end `Halted`, never `Fault`).
+#[must_use]
+pub fn golden_run(program: &Arc<Program>, cfg: &CampaignConfig) -> Golden {
+    let mut m = Machine::boot(Arc::clone(program)).with_oob_policy(cfg.oob);
+    while m.status().is_running() && m.steps() < cfg.max_steps {
+        step(&mut m);
+    }
+    Golden {
+        trace: m.trace().to_vec(),
+        steps: m.steps(),
+        status: m.status(),
+        machine: m,
+    }
+}
+
+/// Run the full single-fault campaign.
+#[must_use]
+pub fn run_campaign(program: &Arc<Program>, cfg: &CampaignConfig) -> CampaignReport {
+    let golden = golden_run(program, cfg);
+    run_campaign_against(program, cfg, &golden)
+}
+
+/// Run the campaign against a precomputed golden run.
+#[must_use]
+pub fn run_campaign_against(
+    program: &Arc<Program>,
+    cfg: &CampaignConfig,
+    golden: &Golden,
+) -> CampaignReport {
+    let n = golden.steps;
+    let threads = cfg.threads.max(1);
+    let chunk = n / threads as u64 + 1;
+    let mut report = CampaignReport::default();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t as u64 * chunk;
+            let hi = (lo + chunk).min(n + 1);
+            if lo > n {
+                continue;
+            }
+            let program = Arc::clone(program);
+            let golden_trace = &golden.trace;
+            let golden_machine = &golden.machine;
+            handles.push(scope.spawn(move || {
+                let mut rep = CampaignReport::default();
+                // Advance a frontier machine to the chunk start.
+                let mut frontier = Machine::boot(Arc::clone(&program)).with_oob_policy(cfg.oob);
+                while frontier.steps() < lo && frontier.status().is_running() {
+                    step(&mut frontier);
+                }
+                let mut at = frontier.steps();
+                loop {
+                    if at % cfg.stride == 0 {
+                        for site in sites(&frontier) {
+                            let Some(old) = read_site(&frontier, site) else {
+                                continue;
+                            };
+                            for value in
+                                mutations(old).into_iter().take(cfg.mutations_per_site)
+                            {
+                                let mut faulty = frontier.clone();
+                                if !inject(&mut faulty, site, value) {
+                                    continue;
+                                }
+                                let injected_at = faulty.steps();
+                                let verdict =
+                                    classify(&mut faulty, golden_trace, n, golden_machine);
+                                if verdict == Verdict::Detected {
+                                    rep.detection_latency
+                                        .record(faulty.steps().saturating_sub(injected_at));
+                                }
+                                rep.absorb(Injection { at_step: at, site, value, verdict });
+                            }
+                        }
+                    }
+                    if at + 1 >= hi || !frontier.status().is_running() {
+                        break;
+                    }
+                    step(&mut frontier);
+                    at = frontier.steps();
+                }
+                rep
+            }));
+        }
+        for h in handles {
+            report.merge(h.join().expect("campaign worker panicked"));
+        }
+    });
+    report
+}
+
+/// Classify one faulty continuation per Theorem 4 (the fault transition has
+/// already been applied to `faulty`).
+fn classify(
+    faulty: &mut Machine,
+    golden_trace: &[(i64, i64)],
+    golden_steps: u64,
+    golden_final: &Machine,
+) -> Verdict {
+    // The faulty run gets the golden step count plus slack for the fault's
+    // own transition.
+    let bound = golden_steps + 1;
+    while faulty.status().is_running() && faulty.steps() < bound {
+        step(faulty);
+    }
+    match faulty.status() {
+        Status::Running => Verdict::Overrun,
+        Status::Stuck(_) => Verdict::Stuck,
+        Status::Fault => {
+            if golden_trace.starts_with(faulty.trace()) {
+                Verdict::Detected
+            } else {
+                Verdict::Sdc
+            }
+        }
+        Status::Halted => {
+            if faulty.trace() != golden_trace {
+                Verdict::Sdc
+            } else if sim_some_color(golden_final, faulty) {
+                Verdict::Masked
+            } else {
+                Verdict::DissimilarState
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use talft_isa::assemble;
+
+    fn arc(src: &str) -> Arc<Program> {
+        Arc::new(assemble(src).expect("assembles").program)
+    }
+
+    const PROTECTED: &str = r#"
+.data
+region out at 4096 len 1 : int output
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r1, G 5
+  mov r2, G 4096
+  stG r2, r1
+  mov r3, B 5
+  mov r4, B 4096
+  stB r4, r3
+  halt
+"#;
+
+    /// The paper's protected store sequence: every injected fault is masked
+    /// or detected — never SDC.
+    #[test]
+    fn protected_store_sequence_is_fault_tolerant() {
+        let p = arc(PROTECTED);
+        let cfg = CampaignConfig { threads: 2, ..CampaignConfig::default() };
+        let rep = run_campaign(&p, &cfg);
+        assert!(rep.total > 100, "campaign too small: {}", rep.total);
+        assert!(rep.fault_tolerant(), "violations: {:?}", rep.violations);
+        assert!(rep.detected > 0, "some faults must be detected");
+        assert!(rep.masked > 0, "some faults must be masked");
+    }
+
+    /// The §2.2 CSE miscompilation: same-register store pair. The checker
+    /// rejects it, and the campaign finds real SDC — the two tools agree.
+    #[test]
+    fn unprotected_store_exhibits_sdc() {
+        let p = arc(r#"
+.data
+region out at 4096 len 1 : int output
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r1, G 5
+  mov r2, G 4096
+  stG r2, r1
+  stB r2, r1
+  halt
+"#);
+        let cfg = CampaignConfig { threads: 2, ..CampaignConfig::default() };
+        let rep = run_campaign(&p, &cfg);
+        assert!(rep.sdc > 0, "expected SDC in the unprotected idiom: {rep:?}");
+    }
+
+    #[test]
+    fn golden_run_has_no_false_positives() {
+        let p = arc(PROTECTED);
+        let g = golden_run(&p, &CampaignConfig::default());
+        assert_eq!(g.status, Status::Halted);
+        assert_eq!(g.trace, vec![(4096, 5)]);
+    }
+
+    #[test]
+    fn stride_reduces_campaign_size() {
+        let p = arc(PROTECTED);
+        let full = run_campaign(&p, &CampaignConfig { threads: 1, ..Default::default() });
+        let strided = run_campaign(
+            &p,
+            &CampaignConfig { threads: 1, stride: 4, ..Default::default() },
+        );
+        assert!(strided.total < full.total);
+        assert!(strided.total > 0);
+    }
+
+    #[test]
+    fn single_and_multi_thread_agree() {
+        let p = arc(PROTECTED);
+        let one = run_campaign(&p, &CampaignConfig { threads: 1, ..Default::default() });
+        let many = run_campaign(&p, &CampaignConfig { threads: 4, ..Default::default() });
+        assert_eq!(one.total, many.total);
+        assert_eq!(one.masked, many.masked);
+        assert_eq!(one.detected, many.detected);
+        assert_eq!(one.sdc, many.sdc);
+    }
+
+    #[test]
+    fn report_merge_and_coverage() {
+        let mut a = CampaignReport::default();
+        a.absorb(Injection {
+            at_step: 0,
+            site: FaultSite::Reg(talft_isa::Reg::r(0)),
+            value: 1,
+            verdict: Verdict::Detected,
+        });
+        let mut b = CampaignReport::default();
+        b.absorb(Injection {
+            at_step: 1,
+            site: FaultSite::Reg(talft_isa::Reg::r(1)),
+            value: 2,
+            verdict: Verdict::Sdc,
+        });
+        a.merge(b);
+        assert_eq!(a.total, 2);
+        assert_eq!(a.detected, 1);
+        assert_eq!(a.sdc, 1);
+        assert!(!a.fault_tolerant());
+        assert!((a.coverage() - 0.5).abs() < 1e-9);
+        assert_eq!(a.violations.len(), 1);
+    }
+
+    #[test]
+    fn verdict_violation_classification() {
+        assert!(!Verdict::Masked.is_violation());
+        assert!(!Verdict::Detected.is_violation());
+        assert!(Verdict::Sdc.is_violation());
+        assert!(Verdict::Stuck.is_violation());
+        assert!(Verdict::Overrun.is_violation());
+        assert!(Verdict::DissimilarState.is_violation());
+    }
+}
+
+#[cfg(test)]
+mod latency_tests {
+    use super::*;
+    use talft_isa::assemble;
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let mut h = LatencyHistogram::default();
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(9);
+        assert_eq!(h.max, 9);
+        assert!((h.mean() - 3.75).abs() < 1e-9);
+        let buckets: Vec<(u64, u64)> = h.iter().collect();
+        assert_eq!(buckets, vec![(1, 1), (2, 2), (8, 1)]);
+    }
+
+    #[test]
+    fn detected_faults_have_bounded_latency() {
+        // Theorem 4's bound: a detected fault fires within n+1 steps.
+        let src = "\n.data\nregion out at 4096 len 1 : int output\n.code\nmain:\n  \
+                   .pre { forall m:mem; mem: m; }\n  mov r1, G 5\n  mov r2, G 4096\n  \
+                   stG r2, r1\n  mov r3, B 5\n  mov r4, B 4096\n  stB r4, r3\n  halt\n";
+        let p = std::sync::Arc::new(assemble(src).expect("ok").program);
+        let cfg = CampaignConfig { threads: 1, ..CampaignConfig::default() };
+        let golden = golden_run(&p, &cfg);
+        let rep = run_campaign_against(&p, &cfg, &golden);
+        assert!(rep.detected > 0);
+        assert!(rep.detection_latency.max <= golden.steps + 1);
+        assert!(rep.detection_latency.mean() > 0.0);
+    }
+}

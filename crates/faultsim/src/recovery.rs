@@ -1,0 +1,226 @@
+//! Detect-and-restart **recovery** — the paper's declared non-goal ("since
+//! recovery is largely orthogonal to detection, we omit the former"), built
+//! here as the natural extension on top of detection.
+//!
+//! The design is justified *by* Theorem 4: when the hardware signals
+//! `fault`, the outputs already committed are a **prefix** of the correct
+//! trace. Restarting the (deterministic) program from boot therefore
+//! re-emits exactly that prefix before producing new outputs, so a
+//! device-side deduplicator that verifies the replayed prefix and suppresses
+//! it makes restart transparent: the logical output stream is precisely the
+//! fault-free trace, no matter where the fault struck. Without the prefix
+//! property (i.e. with SDC-prone unprotected code) this scheme would
+//! silently emit corrupt data or fail to reconcile the replay.
+
+use std::sync::Arc;
+
+use talft_isa::Program;
+use talft_machine::{inject, step, FaultSite, Machine, OobLoadPolicy, Status};
+
+/// A fault plan for one logical execution: inject `value` at `site` when
+/// the (per-attempt) step counter reaches `at_step` of attempt `attempt`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedFault {
+    /// Which restart attempt to strike (0 = first run).
+    pub attempt: u32,
+    /// Steps into that attempt.
+    pub at_step: u64,
+    /// Where.
+    pub site: FaultSite,
+    /// Corrupted value.
+    pub value: i64,
+}
+
+/// Outcome of a recovering execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryResult {
+    /// The deduplicated (logical) output stream the device accepted.
+    pub logical_trace: Vec<(i64, i64)>,
+    /// Restarts taken.
+    pub restarts: u32,
+    /// Total machine steps across attempts.
+    pub total_steps: u64,
+    /// Whether the run completed (vs. exhausting restarts).
+    pub completed: bool,
+    /// Whether the device ever saw a replay mismatch (must never happen for
+    /// well-typed programs — it would mean the prefix property failed).
+    pub replay_mismatch: bool,
+}
+
+/// Run with detect-and-restart recovery, injecting the planned faults.
+///
+/// The device model: it keeps the committed output log; after a restart it
+/// expects the program to re-emit the committed prefix verbatim (verified
+/// pair by pair) and only then appends new outputs.
+#[must_use]
+pub fn run_with_recovery(
+    program: &Arc<Program>,
+    faults: &[PlannedFault],
+    max_restarts: u32,
+    max_steps_per_attempt: u64,
+) -> RecoveryResult {
+    let mut committed: Vec<(i64, i64)> = Vec::new();
+    let mut restarts = 0u32;
+    let mut total_steps = 0u64;
+    let mut replay_mismatch = false;
+
+    loop {
+        let mut m = Machine::boot(Arc::clone(program))
+            .with_oob_policy(OobLoadPolicy::Value(0x7EC0_4EE7));
+        let mut emitted = 0usize; // outputs produced by this attempt
+        while m.status().is_running() && m.steps() < max_steps_per_attempt {
+            for f in faults {
+                if f.attempt == restarts && f.at_step == m.steps() {
+                    inject(&mut m, f.site, f.value);
+                }
+            }
+            let ev = step(&mut m);
+            if let Some(out) = ev.output {
+                if emitted < committed.len() {
+                    // replay of the committed prefix: verify, don't re-commit
+                    if committed[emitted] != out {
+                        replay_mismatch = true;
+                    }
+                } else {
+                    committed.push(out);
+                }
+                emitted += 1;
+            }
+        }
+        total_steps += m.steps();
+        match m.status() {
+            Status::Halted => {
+                return RecoveryResult {
+                    logical_trace: committed,
+                    restarts,
+                    total_steps,
+                    completed: true,
+                    replay_mismatch,
+                };
+            }
+            _ => {
+                if restarts >= max_restarts {
+                    return RecoveryResult {
+                        logical_trace: committed,
+                        restarts,
+                        total_steps,
+                        completed: false,
+                        replay_mismatch,
+                    };
+                }
+                restarts += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use talft_isa::{assemble, Reg};
+
+    fn protected() -> Arc<Program> {
+        let src = r#"
+.data
+region out at 4096 len 8 : int output
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r1, G 5
+  mov r2, B 5
+loop:
+  .pre { forall x:int, m:mem; r1: (G, int, x); r2: (B, int, x); mem: m; }
+  and r5, r1, G 7
+  add r5, r5, G 4096
+  and r6, r2, B 7
+  add r6, r6, B 4096
+  stG r5, r1
+  stB r6, r2
+  sub r1, r1, G 1
+  sub r2, r2, B 1
+  mov r3, G @done
+  mov r4, B @done
+  bzG r1, r3
+  bzB r2, r4
+  mov r7, G @loop
+  mov r8, B @loop
+  jmpG r7
+  jmpB r8
+done:
+  .pre { forall m:mem; mem: m; }
+  halt
+"#;
+        Arc::new(assemble(src).expect("assembles").program)
+    }
+
+    fn golden(p: &Arc<Program>) -> Vec<(i64, i64)> {
+        talft_machine::run_program(p, 100_000).trace
+    }
+
+    #[test]
+    fn no_faults_no_restarts() {
+        let p = protected();
+        let r = run_with_recovery(&p, &[], 3, 100_000);
+        assert!(r.completed);
+        assert_eq!(r.restarts, 0);
+        assert!(!r.replay_mismatch);
+        assert_eq!(r.logical_trace, golden(&p));
+    }
+
+    #[test]
+    fn detected_fault_recovers_transparently() {
+        let p = protected();
+        let expected = golden(&p);
+        // strike a live green register mid-loop on the first attempt
+        let fault = PlannedFault {
+            attempt: 0,
+            at_step: 40,
+            site: FaultSite::Reg(Reg::r(1)),
+            value: 9999,
+        };
+        let r = run_with_recovery(&p, &[fault], 3, 100_000);
+        assert!(r.completed);
+        assert!(r.restarts <= 1);
+        assert!(!r.replay_mismatch, "prefix property violated");
+        assert_eq!(r.logical_trace, expected);
+    }
+
+    #[test]
+    fn every_injection_point_recovers_to_the_golden_trace() {
+        let p = protected();
+        let expected = golden(&p);
+        let steps = talft_machine::run_program(&p, 100_000).steps;
+        for at in (0..steps).step_by(3) {
+            for site in [FaultSite::Reg(Reg::r(1)), FaultSite::Reg(Reg::r(6)), FaultSite::Reg(Reg::Dst)]
+            {
+                let fault = PlannedFault { attempt: 0, at_step: at, site, value: -7 };
+                let r = run_with_recovery(&p, &[fault], 3, 100_000);
+                assert!(r.completed, "at={at} site={site}");
+                assert!(!r.replay_mismatch, "at={at} site={site}: prefix violated");
+                assert_eq!(r.logical_trace, expected, "at={at} site={site}");
+            }
+        }
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_reported() {
+        let p = protected();
+        // a fault on every attempt, early enough to always trip detection…
+        let faults: Vec<PlannedFault> = (0..4)
+            .map(|a| PlannedFault {
+                attempt: a,
+                at_step: 46,
+                site: FaultSite::Reg(Reg::r(1)),
+                value: 4242,
+            })
+            .collect();
+        let r = run_with_recovery(&p, &faults, 2, 100_000);
+        // (r1 at step 46 may be masked or detected depending on phase; only
+        // assert the accounting is coherent)
+        assert!(r.restarts <= 2);
+        if !r.completed {
+            assert_eq!(r.restarts, 2);
+        }
+        assert!(!r.replay_mismatch);
+    }
+}

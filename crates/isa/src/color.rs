@@ -1,0 +1,129 @@
+//! Computation colors and colored values (paper Figure 1).
+//!
+//! Every fault-tolerant program maintains two redundant computations: a
+//! **green** (leading) and a **blue** (trailing) one. Runtime values carry a
+//! color tag `c` which — per the paper — "has no effect on the run-time
+//! behavior of programs" but makes the fault-tolerance metatheory (and our
+//! dynamic audits) expressible.
+
+use std::fmt;
+
+/// A computation color: `c ::= G | B`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Color {
+    /// The green (generally leading) computation.
+    Green,
+    /// The blue (generally trailing) computation.
+    Blue,
+}
+
+impl Color {
+    /// The other color.
+    #[must_use]
+    pub fn other(self) -> Color {
+        match self {
+            Color::Green => Color::Blue,
+            Color::Blue => Color::Green,
+        }
+    }
+
+    /// One-letter tag used in assembly syntax (`G`/`B`).
+    #[must_use]
+    pub fn letter(self) -> char {
+        match self {
+            Color::Green => 'G',
+            Color::Blue => 'B',
+        }
+    }
+
+    /// Parse the one-letter tag.
+    #[must_use]
+    pub fn from_letter(c: char) -> Option<Color> {
+        match c {
+            'G' => Some(Color::Green),
+            'B' => Some(Color::Blue),
+            _ => None,
+        }
+    }
+
+    /// Both colors, green first.
+    pub const BOTH: [Color; 2] = [Color::Green, Color::Blue];
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// A colored machine word: `v ::= c n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CVal {
+    /// The color tag (fictional at runtime; preserved by faults).
+    pub color: Color,
+    /// The payload integer.
+    pub val: i64,
+}
+
+impl CVal {
+    /// Construct a colored value.
+    #[must_use]
+    pub fn new(color: Color, val: i64) -> Self {
+        Self { color, val }
+    }
+
+    /// A green value.
+    #[must_use]
+    pub fn green(val: i64) -> Self {
+        Self::new(Color::Green, val)
+    }
+
+    /// A blue value.
+    #[must_use]
+    pub fn blue(val: i64) -> Self {
+        Self::new(Color::Blue, val)
+    }
+
+    /// Same color, different payload (how `reg-zap` corrupts a register:
+    /// "the color tag is preserved").
+    #[must_use]
+    pub fn with_val(self, val: i64) -> Self {
+        Self { val, ..self }
+    }
+}
+
+impl fmt::Display for CVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.color, self.val)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_is_involutive() {
+        for c in Color::BOTH {
+            assert_eq!(c.other().other(), c);
+            assert_ne!(c.other(), c);
+        }
+    }
+
+    #[test]
+    fn letter_round_trip() {
+        for c in Color::BOTH {
+            assert_eq!(Color::from_letter(c.letter()), Some(c));
+        }
+        assert_eq!(Color::from_letter('x'), None);
+    }
+
+    #[test]
+    fn cval_display_and_zap() {
+        let v = CVal::green(42);
+        assert_eq!(v.to_string(), "G 42");
+        let z = v.with_val(-7);
+        assert_eq!(z.color, Color::Green);
+        assert_eq!(z.val, -7);
+    }
+}

@@ -1,0 +1,217 @@
+//! Machine instructions (paper Figure 1).
+//!
+//! ```text
+//! i ::= op rd, rs, rt | op rd, rs, v | ld_c rd, rs | st_c rd, rs
+//!     | mov rd, v | bz_c rz, rd | jmp_c rd
+//! ```
+//!
+//! plus the `halt` pseudo-instruction (our extension: the paper's programs
+//! never terminate, but an evaluation needs terminating workloads; `halt` is
+//! a dangerous-action-free sink state, see DESIGN.md).
+//!
+//! ALU ops `op` come from [`talft_logic::BinOp`] — `add|sub|mul` as in the
+//! paper, plus the conservative `slt`/bitwise extensions.
+
+use std::fmt;
+
+use talft_logic::BinOp;
+
+use crate::color::{CVal, Color};
+use crate::reg::Gpr;
+
+/// Second ALU operand: a register or a colored immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpSrc {
+    /// Register operand (`op rd, rs, rt`).
+    Reg(Gpr),
+    /// Colored-constant operand (`op rd, rs, c n`).
+    Imm(CVal),
+}
+
+impl fmt::Display for OpSrc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpSrc::Reg(r) => write!(f, "{r}"),
+            OpSrc::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One TAL_FT machine instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// `op rd, rs, src2` — ALU operation (rules `op2r` / `op1r`).
+    Op {
+        /// The ALU operation.
+        op: BinOp,
+        /// Destination register.
+        rd: Gpr,
+        /// First (register) source.
+        rs: Gpr,
+        /// Second source: register or colored immediate.
+        src2: OpSrc,
+    },
+    /// `mov rd, v` — load a colored constant (rule `mov`).
+    Mov {
+        /// Destination register.
+        rd: Gpr,
+        /// The colored immediate.
+        v: CVal,
+    },
+    /// `ld_c rd, rs` — load from memory; the green variant snoops the store
+    /// queue first (rules `ldG-queue` / `ldG-mem` / `ldB-mem`).
+    Ld {
+        /// Color of this load.
+        color: Color,
+        /// Destination register.
+        rd: Gpr,
+        /// Address register.
+        rs: Gpr,
+    },
+    /// `st_c rd, rs` — store `rs` to address `rd`. `stG` enqueues the pair;
+    /// `stB` compares against the queue tail and commits (rules `stG-queue`
+    /// / `stB-mem`).
+    St {
+        /// Color of this store.
+        color: Color,
+        /// Address register.
+        rd: Gpr,
+        /// Value register.
+        rs: Gpr,
+    },
+    /// `bz_c rz, rd` — conditional branch protocol: the green version
+    /// conditionally latches the target into `d`; the blue version commits
+    /// or falls through (rules `bz-untaken` / `bzG-taken` / `bzB-taken`).
+    Bz {
+        /// Color of this branch half.
+        color: Color,
+        /// Register tested against zero.
+        rz: Gpr,
+        /// Register holding the branch target.
+        rd: Gpr,
+    },
+    /// `jmp_c rd` — unconditional jump protocol: green latches the target
+    /// into `d`; blue compares and transfers (rules `jmpG` / `jmpB`).
+    Jmp {
+        /// Color of this jump half.
+        color: Color,
+        /// Register holding the jump target.
+        rd: Gpr,
+    },
+    /// `halt` — stop cleanly (extension; see module docs).
+    Halt,
+}
+
+impl Instr {
+    /// The GPRs this instruction reads.
+    #[must_use]
+    pub fn uses(&self) -> Vec<Gpr> {
+        match *self {
+            Instr::Op { rs, src2, .. } => match src2 {
+                OpSrc::Reg(rt) => vec![rs, rt],
+                OpSrc::Imm(_) => vec![rs],
+            },
+            Instr::Mov { .. } | Instr::Halt => vec![],
+            Instr::Ld { rs, .. } => vec![rs],
+            Instr::St { rd, rs, .. } => vec![rd, rs],
+            Instr::Bz { rz, rd, .. } => vec![rz, rd],
+            Instr::Jmp { rd, .. } => vec![rd],
+        }
+    }
+
+    /// The GPR this instruction writes, if any.
+    #[must_use]
+    pub fn def(&self) -> Option<Gpr> {
+        match *self {
+            Instr::Op { rd, .. } | Instr::Mov { rd, .. } | Instr::Ld { rd, .. } => Some(rd),
+            Instr::St { .. } | Instr::Bz { .. } | Instr::Jmp { .. } | Instr::Halt => None,
+        }
+    }
+
+    /// Whether this instruction can transfer control (blue halves and halt).
+    #[must_use]
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Jmp { .. } | Instr::Bz { .. } | Instr::Halt
+        )
+    }
+
+    /// The color annotation, for colored instructions.
+    #[must_use]
+    pub fn color(&self) -> Option<Color> {
+        match *self {
+            Instr::Ld { color, .. }
+            | Instr::St { color, .. }
+            | Instr::Bz { color, .. }
+            | Instr::Jmp { color, .. } => Some(color),
+            Instr::Op { src2: OpSrc::Imm(v), .. } => Some(v.color),
+            Instr::Mov { v, .. } => Some(v.color),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Op { op, rd, rs, src2 } => write!(f, "{op} {rd}, {rs}, {src2}"),
+            Instr::Mov { rd, v } => write!(f, "mov {rd}, {v}"),
+            Instr::Ld { color, rd, rs } => write!(f, "ld{color} {rd}, {rs}"),
+            Instr::St { color, rd, rs } => write!(f, "st{color} {rd}, {rs}"),
+            Instr::Bz { color, rz, rd } => write!(f, "bz{color} {rz}, {rd}"),
+            Instr::Jmp { color, rd } => write!(f, "jmp{color} {rd}"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        let i = Instr::St { color: Color::Green, rd: Gpr(2), rs: Gpr(1) };
+        assert_eq!(i.to_string(), "stG r2, r1");
+        let j = Instr::Op {
+            op: BinOp::Add,
+            rd: Gpr(1),
+            rs: Gpr(2),
+            src2: OpSrc::Imm(CVal::blue(5)),
+        };
+        assert_eq!(j.to_string(), "add r1, r2, B 5");
+        let k = Instr::Bz { color: Color::Blue, rz: Gpr(3), rd: Gpr(4) };
+        assert_eq!(k.to_string(), "bzB r3, r4");
+    }
+
+    #[test]
+    fn uses_and_defs() {
+        let st = Instr::St { color: Color::Green, rd: Gpr(2), rs: Gpr(1) };
+        assert_eq!(st.uses(), vec![Gpr(2), Gpr(1)]);
+        assert_eq!(st.def(), None);
+        let op = Instr::Op {
+            op: BinOp::Mul,
+            rd: Gpr(0),
+            rs: Gpr(1),
+            src2: OpSrc::Reg(Gpr(2)),
+        };
+        assert_eq!(op.uses(), vec![Gpr(1), Gpr(2)]);
+        assert_eq!(op.def(), Some(Gpr(0)));
+        let mv = Instr::Mov { rd: Gpr(9), v: CVal::green(3) };
+        assert!(mv.uses().is_empty());
+        assert_eq!(mv.def(), Some(Gpr(9)));
+    }
+
+    #[test]
+    fn control_and_color_classification() {
+        assert!(Instr::Halt.is_control());
+        assert!(Instr::Jmp { color: Color::Green, rd: Gpr(0) }.is_control());
+        assert!(!Instr::Mov { rd: Gpr(0), v: CVal::green(0) }.is_control());
+        assert_eq!(
+            Instr::Ld { color: Color::Blue, rd: Gpr(0), rs: Gpr(1) }.color(),
+            Some(Color::Blue)
+        );
+        assert_eq!(Instr::Halt.color(), None);
+    }
+}

@@ -1,0 +1,311 @@
+//! Pretty-printing programs back to `.talft` source text.
+//!
+//! The printer emits exactly the grammar [`crate::asm`] accepts, so
+//! `assemble(print(p)) == p` up to expression identity (round-trip tested in
+//! `tests/roundtrip.rs`). Useful for inspecting compiler output and for
+//! shipping compiled kernels as standalone artifacts.
+
+use std::fmt::Write;
+
+use talft_logic::{BinOp, ExprArena, ExprId, ExprNode, Kind};
+
+use crate::program::Program;
+use crate::reg::Reg;
+use crate::ty::{BasicTy, CodeTy, FactAnn, RegTy, ValTy};
+use crate::Instr;
+
+/// Render a whole program as `.talft` source.
+#[must_use]
+pub fn print_program(program: &Program, arena: &ExprArena) -> String {
+    let mut s = String::new();
+    if !program.regions.is_empty() {
+        s.push_str(".data\n");
+        for r in &program.regions {
+            write!(
+                s,
+                "region {} at {} len {} : {}",
+                r.name,
+                r.base,
+                r.len,
+                print_basic(&r.elem, program)
+            )
+            .expect("write to string");
+            if r.output {
+                s.push_str(" output");
+            }
+            if !r.init.is_empty() {
+                s.push_str(" =");
+                for v in &r.init {
+                    write!(s, " {v}").expect("write to string");
+                }
+            }
+            s.push('\n');
+        }
+        s.push('\n');
+    }
+    if program.num_gprs != crate::asm::DEFAULT_GPRS {
+        writeln!(s, ".gprs {}", program.num_gprs).expect("write to string");
+    }
+    if let Some(entry) = program.label_at(program.entry) {
+        if entry != "main" {
+            writeln!(s, ".entry {entry}").expect("write to string");
+        }
+    }
+    s.push_str(".code\n");
+    for (idx, instr) in program.instrs.iter().enumerate() {
+        let addr = idx as i64 + 1;
+        if let Some(label) = program.label_at(addr) {
+            writeln!(s, "{label}:").expect("write to string");
+        }
+        if let Some(pre) = program.precond(addr) {
+            s.push_str(&print_precond(pre, arena, program, addr));
+        }
+        writeln!(s, "  {instr}").expect("write to string");
+    }
+    s
+}
+
+/// Render one precondition as a `.pre { … }` block.
+#[must_use]
+pub fn print_precond(pre: &CodeTy, arena: &ExprArena, program: &Program, addr: i64) -> String {
+    let mut s = String::from("  .pre {\n");
+    if !pre.delta.is_empty() {
+        s.push_str("    forall ");
+        for (i, (v, k)) in pre.delta.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            write!(
+                s,
+                "{}:{}",
+                arena.var_name(*v),
+                match k {
+                    Kind::Int => "int",
+                    Kind::Mem => "mem",
+                }
+            )
+            .expect("write to string");
+        }
+        s.push('\n');
+    }
+    for f in &pre.facts {
+        match f {
+            FactAnn::EqZero(e) => {
+                writeln!(s, "    fact {} == 0", print_expr(arena, *e)).expect("write")
+            }
+            FactAnn::NeqZero(e) => {
+                writeln!(s, "    fact {} != 0", print_expr(arena, *e)).expect("write")
+            }
+            FactAnn::Ge0(e) => {
+                writeln!(s, "    fact {} >= 0", print_expr(arena, *e)).expect("write")
+            }
+        }
+    }
+    for (r, t) in pre.regs.iter() {
+        // The assembler re-creates the default pc/d rows; print them only
+        // when they deviate from the defaults.
+        if is_default_row(r, t, arena, addr) {
+            continue;
+        }
+        writeln!(s, "    {r}: {}", print_reg_ty(t, arena, program)).expect("write");
+    }
+    if !pre.queue.is_empty() {
+        s.push_str("    queue: [");
+        for (i, (d, v)) in pre.queue.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            write!(s, "({}, {})", print_expr(arena, *d), print_expr(arena, *v)).expect("write");
+        }
+        s.push_str("]\n");
+    }
+    writeln!(s, "    mem: {}", print_expr(arena, pre.mem)).expect("write");
+    s.push_str("  }\n");
+    s
+}
+
+fn is_default_row(r: Reg, t: &RegTy, arena: &ExprArena, addr: i64) -> bool {
+    let expr_is = |e: ExprId, n: i64| matches!(arena.node(e), ExprNode::Int(v) if v == n);
+    match (r, t) {
+        (Reg::Dst, RegTy::Val(v)) => {
+            v.color == crate::Color::Green && v.basic == BasicTy::Int && expr_is(v.expr, 0)
+        }
+        (Reg::Pc(c), RegTy::Val(v)) => {
+            v.color == c && v.basic == BasicTy::Int && expr_is(v.expr, addr)
+        }
+        _ => false,
+    }
+}
+
+/// Render a register type.
+#[must_use]
+pub fn print_reg_ty(t: &RegTy, arena: &ExprArena, program: &Program) -> String {
+    match t {
+        RegTy::Top => "top".to_owned(),
+        RegTy::Val(v) => print_val_ty(v, arena, program),
+        RegTy::Cond { guard, inner } => format!(
+            "{} == 0 => {}",
+            print_expr(arena, *guard),
+            print_val_ty(inner, arena, program)
+        ),
+    }
+}
+
+fn print_val_ty(v: &ValTy, arena: &ExprArena, program: &Program) -> String {
+    format!(
+        "({}, {}, {})",
+        v.color,
+        print_basic(&v.basic, program),
+        print_expr(arena, v.expr)
+    )
+}
+
+/// Render a basic type in assembler syntax (`code @label` needs the label).
+#[must_use]
+pub fn print_basic(b: &BasicTy, program: &Program) -> String {
+    match b {
+        BasicTy::Int => "int".to_owned(),
+        BasicTy::Code(addr) => {
+            let label = program
+                .label_at(*addr)
+                .map_or_else(|| format!("addr{addr}"), str::to_owned);
+            format!("code @{label}")
+        }
+        BasicTy::Ref(inner) => match **inner {
+            BasicTy::Ref(_) | BasicTy::Code(_) => {
+                format!("({}) ref", print_basic(inner, program))
+            }
+            BasicTy::Int => "int ref".to_owned(),
+        },
+    }
+}
+
+/// Render a static expression in the assembler's infix grammar.
+#[must_use]
+pub fn print_expr(arena: &ExprArena, e: ExprId) -> String {
+    match arena.node(e) {
+        ExprNode::Var(v) => arena.var_name(v).to_owned(),
+        ExprNode::Int(n) => {
+            if n < 0 {
+                format!("(0 - {})", n.unsigned_abs())
+            } else {
+                n.to_string()
+            }
+        }
+        ExprNode::Emp => "emp".to_owned(),
+        ExprNode::Bin(op, a, b) => match op {
+            BinOp::Add => format!("({} + {})", print_expr(arena, a), print_expr(arena, b)),
+            BinOp::Sub => format!("({} - {})", print_expr(arena, a), print_expr(arena, b)),
+            BinOp::Mul => format!("({} * {})", print_expr(arena, a), print_expr(arena, b)),
+            other => format!(
+                "{}({}, {})",
+                other.mnemonic(),
+                print_expr(arena, a),
+                print_expr(arena, b)
+            ),
+        },
+        ExprNode::Sel(m, a) => {
+            format!("sel({}, {})", print_expr(arena, m), print_expr(arena, a))
+        }
+        ExprNode::Upd(m, a, v) => format!(
+            "upd({}, {}, {})",
+            print_expr(arena, m),
+            print_expr(arena, a),
+            print_expr(arena, v)
+        ),
+    }
+}
+
+/// Disassemble just the instruction stream (addresses + labels, no types).
+#[must_use]
+pub fn disassemble(program: &Program) -> String {
+    let mut s = String::new();
+    for (idx, instr) in program.instrs.iter().enumerate() {
+        let addr = idx as i64 + 1;
+        if let Some(label) = program.label_at(addr) {
+            writeln!(s, "{label}:").expect("write");
+        }
+        writeln!(s, "  {addr:4}  {instr}").expect("write");
+    }
+    s
+}
+
+/// Re-export target check helper for tests.
+#[doc(hidden)]
+pub fn _instr_display(i: &Instr) -> String {
+    i.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    const SRC: &str = r#"
+.data
+region tab at 8192 len 4 : int = 9 8 7
+region out at 4096 len 2 : int output
+
+.code
+main:
+  .pre {
+    forall x:int, m:mem;
+    fact x >= 0
+    r1: (G, int, x + 1);
+    r2: (B, int ref, 4096);
+    queue: [(x, x * 2)]
+    mem: upd(m, 4096, x)
+  }
+  add r3, r1, G 1
+  mov r4, G @main
+  stG r2, r1
+  halt
+"#;
+
+    #[test]
+    fn print_then_reassemble_preserves_structure() {
+        let asm1 = assemble(SRC).expect("assembles");
+        let text = print_program(&asm1.program, &asm1.arena);
+        let asm2 = assemble(&text).unwrap_or_else(|e| panic!("reassembles: {e}\n{text}"));
+        assert_eq!(asm1.program.instrs, asm2.program.instrs);
+        assert_eq!(asm1.program.labels, asm2.program.labels);
+        assert_eq!(asm1.program.entry, asm2.program.entry);
+        assert_eq!(asm1.program.regions, asm2.program.regions);
+        assert_eq!(
+            asm1.program.preconds.keys().collect::<Vec<_>>(),
+            asm2.program.preconds.keys().collect::<Vec<_>>()
+        );
+        // precondition shapes survive
+        let p1 = asm1.program.precond(1).expect("pre");
+        let p2 = asm2.program.precond(1).expect("pre");
+        assert_eq!(p1.delta.len(), p2.delta.len());
+        assert_eq!(p1.facts.len(), p2.facts.len());
+        assert_eq!(p1.queue.len(), p2.queue.len());
+        assert_eq!(p1.regs.len(), p2.regs.len());
+    }
+
+    #[test]
+    fn expr_printer_matches_grammar() {
+        let mut a = ExprArena::new();
+        let x = a.var("x");
+        let two = a.int(2);
+        let neg = a.int(-3);
+        let m = a.var("m");
+        let prod = a.mul(x, two);
+        let sum = a.add(prod, neg);
+        let slt = a.bin(BinOp::Slt, x, two);
+        let sel = a.sel(m, sum);
+        assert_eq!(print_expr(&a, sum), "((x * 2) + (0 - 3))");
+        assert_eq!(print_expr(&a, slt), "slt(x, 2)");
+        assert_eq!(print_expr(&a, sel), "sel(m, ((x * 2) + (0 - 3)))");
+    }
+
+    #[test]
+    fn disassembly_lists_addresses() {
+        let asm = assemble(SRC).expect("assembles");
+        let d = disassemble(&asm.program);
+        assert!(d.contains("main:"));
+        assert!(d.contains("add r3, r1, G 1"));
+        assert!(d.contains("   4  halt"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Register names (paper Figure 1).
+//!
+//! ```text
+//! general regs  r ::= rn
+//! registers     a ::= r | d | pcG | pcB
+//! ```
+//!
+//! The machine has a bank of general-purpose registers `r0 … r(N-1)` (the
+//! paper writes `r1, r2, …`; we are zero-based), the special **destination
+//! register** `d` used by the split control-flow protocol, and the two
+//! program counters `pcG`/`pcB`.
+
+use std::fmt;
+
+use crate::color::Color;
+
+/// A general-purpose register index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Gpr(pub u16);
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Any register (`a` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Reg {
+    /// A general-purpose register.
+    Gpr(Gpr),
+    /// The destination register `d` (latched control-flow intent).
+    Dst,
+    /// The program counter of color `c`.
+    Pc(Color),
+}
+
+impl Reg {
+    /// Shorthand for a GPR.
+    #[must_use]
+    pub fn r(n: u16) -> Reg {
+        Reg::Gpr(Gpr(n))
+    }
+
+    /// Parse a register name (`r7`, `d`, `pcG`, `pcB`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Reg> {
+        match s {
+            "d" => Some(Reg::Dst),
+            "pcG" => Some(Reg::Pc(Color::Green)),
+            "pcB" => Some(Reg::Pc(Color::Blue)),
+            _ => {
+                let n = s.strip_prefix('r')?;
+                n.parse::<u16>().ok().map(Reg::r)
+            }
+        }
+    }
+
+    /// Enumerate every register of a machine with `num_gprs` GPRs
+    /// (GPRs first, then `d`, `pcG`, `pcB`).
+    pub fn all(num_gprs: u16) -> impl Iterator<Item = Reg> {
+        (0..num_gprs)
+            .map(Reg::r)
+            .chain([Reg::Dst, Reg::Pc(Color::Green), Reg::Pc(Color::Blue)])
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Gpr(g) => write!(f, "{g}"),
+            Reg::Dst => write!(f, "d"),
+            Reg::Pc(c) => write!(f, "pc{c}"),
+        }
+    }
+}
+
+impl From<Gpr> for Reg {
+    fn from(g: Gpr) -> Reg {
+        Reg::Gpr(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        for r in [Reg::r(0), Reg::r(63), Reg::Dst, Reg::Pc(Color::Green), Reg::Pc(Color::Blue)] {
+            assert_eq!(Reg::parse(&r.to_string()), Some(r));
+        }
+        assert_eq!(Reg::parse("x1"), None);
+        assert_eq!(Reg::parse("r"), None);
+        assert_eq!(Reg::parse("pcX"), None);
+    }
+
+    #[test]
+    fn all_enumerates_gprs_and_specials() {
+        let regs: Vec<Reg> = Reg::all(4).collect();
+        assert_eq!(regs.len(), 7);
+        assert_eq!(regs[0], Reg::r(0));
+        assert_eq!(regs[4], Reg::Dst);
+        assert_eq!(regs[6], Reg::Pc(Color::Blue));
+    }
+}

@@ -1,0 +1,373 @@
+//! TAL_FT type syntax (paper Figure 5).
+//!
+//! ```text
+//! zap tags      Z  ::= · | c
+//! basic types   b  ::= int | T → void | b ref
+//! reg types     t  ::= (c, b, E) | E' = 0 ⇒ (c, b, E)
+//! regfile types Γ  ::= · | Γ, a ↦ t
+//! result types  RT ::= T | void
+//! heap typing   Ψ  ::= · | Ψ, n : b
+//! static ctx    T  ::= Δ; Γ; (Ed,Es)*; Em
+//! ```
+//!
+//! Two engineering choices (both documented in DESIGN.md):
+//!
+//! 1. **Code types are label references.** `T → void` is represented as
+//!    [`BasicTy::Code`]`(addr)` pointing at the labeled block whose
+//!    precondition is `T`. This makes the (self-)recursive code types of
+//!    loops representable without cyclic data, and makes code-type equality
+//!    (needed by the `jmpB`/`bzB` rules) a constant-time address comparison.
+//! 2. **`Δ` carries facts.** Besides kind bindings, a precondition may state
+//!    path facts (equalities/disequalities/linear inequalities), which is how
+//!    `bzB` fall-throughs refine the conditional type of `d` and how array
+//!    bounds flow to the region-coercion rule.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use talft_logic::{ExprArena, ExprId, Kind, KindCtx, VarId};
+
+use crate::color::Color;
+use crate::reg::Reg;
+
+/// Zap tag `Z ::= · | c` — which color (if any) may have been corrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ZapTag {
+    /// No fault has occurred (`·`).
+    #[default]
+    None,
+    /// A single fault may have corrupted values of this color.
+    Zapped(Color),
+}
+
+impl ZapTag {
+    /// Whether values of color `c` are suspect under this tag.
+    #[must_use]
+    pub fn zaps(self, c: Color) -> bool {
+        matches!(self, ZapTag::Zapped(z) if z == c)
+    }
+}
+
+impl fmt::Display for ZapTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZapTag::None => write!(f, "·"),
+            ZapTag::Zapped(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Basic types `b ::= int | T → void | b ref`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BasicTy {
+    /// Any machine word.
+    Int,
+    /// A code pointer to the block labeled at the given address; the block's
+    /// precondition (stored in the program) is the `T` of `T → void`.
+    Code(i64),
+    /// A pointer to a value of the inner type.
+    Ref(Box<BasicTy>),
+}
+
+impl BasicTy {
+    /// `b ref`.
+    #[must_use]
+    pub fn reference(self) -> BasicTy {
+        BasicTy::Ref(Box::new(self))
+    }
+
+    /// If this is `b ref`, the pointee type.
+    #[must_use]
+    pub fn deref(&self) -> Option<&BasicTy> {
+        match self {
+            BasicTy::Ref(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BasicTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BasicTy::Int => write!(f, "int"),
+            BasicTy::Code(n) => write!(f, "code@{n}"),
+            BasicTy::Ref(b) => match **b {
+                BasicTy::Ref(_) => write!(f, "({b}) ref"),
+                _ => write!(f, "{b} ref"),
+            },
+        }
+    }
+}
+
+/// The value half of a register type: `(c, b, E)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ValTy {
+    /// Color of values of this type.
+    pub color: Color,
+    /// Basic (shape) type.
+    pub basic: BasicTy,
+    /// Singleton static expression: absent faults, the value equals `[[E]]`.
+    pub expr: ExprId,
+}
+
+impl ValTy {
+    /// Construct `(c, b, E)`.
+    #[must_use]
+    pub fn new(color: Color, basic: BasicTy, expr: ExprId) -> Self {
+        Self { color, basic, expr }
+    }
+}
+
+/// Register types `t ::= (c,b,E) | E'=0 ⇒ (c,b,E) | ⊤`.
+///
+/// `Top` is the standard TAL "unconstrained register" weakening: registers
+/// not mentioned by a precondition can hold anything (of any color) and can
+/// never be read. The paper's Γ is total; `Top` is how we write the rows a
+/// compiler would fill with fresh universally-quantified variables, without
+/// forcing a color on dead registers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RegTy {
+    /// `(c, b, E)` — a value type.
+    Val(ValTy),
+    /// `E' = 0 ⇒ (c, b, E)` — a conditional type (rule `cond-t`): if the
+    /// guard is zero the register has the inner type, otherwise it holds 0.
+    Cond {
+        /// The guard expression `E'`.
+        guard: ExprId,
+        /// The type held when the guard is zero.
+        inner: ValTy,
+    },
+    /// Unconstrained (junk) register.
+    Top,
+}
+
+impl RegTy {
+    /// Shorthand for `(c, int, E)`.
+    #[must_use]
+    pub fn int(color: Color, expr: ExprId) -> RegTy {
+        RegTy::Val(ValTy::new(color, BasicTy::Int, expr))
+    }
+
+    /// The value type, if this is an unconditional value type.
+    #[must_use]
+    pub fn as_val(&self) -> Option<&ValTy> {
+        match self {
+            RegTy::Val(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A fact carried by a precondition (our `Δ`-extension; DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FactAnn {
+    /// `E = 0`.
+    EqZero(ExprId),
+    /// `E ≠ 0`.
+    NeqZero(ExprId),
+    /// `E ≥ 0`.
+    Ge0(ExprId),
+}
+
+/// Register-file typing `Γ`: a finite map from registers to types; GPRs not
+/// present are implicitly [`RegTy::Top`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegFileTy {
+    regs: BTreeMap<Reg, RegTy>,
+}
+
+impl RegFileTy {
+    /// Empty Γ (everything `Top`).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set a register's type.
+    pub fn set(&mut self, r: Reg, t: RegTy) {
+        self.regs.insert(r, t);
+    }
+
+    /// Remove a register's entry (back to `Top`).
+    pub fn clear(&mut self, r: Reg) {
+        self.regs.remove(&r);
+    }
+
+    /// Get a register's type (`Top` if absent).
+    #[must_use]
+    pub fn get(&self, r: Reg) -> &RegTy {
+        self.regs.get(&r).unwrap_or(&RegTy::Top)
+    }
+
+    /// Iterate over explicitly typed registers.
+    pub fn iter(&self) -> impl Iterator<Item = (Reg, &RegTy)> + '_ {
+        self.regs.iter().map(|(&r, t)| (r, t))
+    }
+
+    /// Number of explicitly typed registers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Whether no register is explicitly typed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+}
+
+/// A static context / code-type body `T = Δ; Γ; (Ed,Es)*; Em`
+/// (precondition of a labeled block).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeTy {
+    /// `Δ` kind bindings: the universally quantified expression variables.
+    pub delta: Vec<(VarId, Kind)>,
+    /// Path facts assumed by this block (extension; see module docs).
+    pub facts: Vec<FactAnn>,
+    /// `Γ` — register-file typing.
+    pub regs: RegFileTy,
+    /// `(Ed, Es)*` — static description of the store queue, front (newest)
+    /// first, matching the machine's queue orientation.
+    pub queue: Vec<(ExprId, ExprId)>,
+    /// `Em` — static description of value memory.
+    pub mem: ExprId,
+}
+
+impl CodeTy {
+    /// Build the kind context `Δ` for this code type.
+    #[must_use]
+    pub fn kind_ctx(&self) -> KindCtx {
+        let mut ctx = KindCtx::new();
+        for &(v, k) in &self.delta {
+            ctx.bind(v, k);
+        }
+        ctx
+    }
+
+    /// Pretty-print with an arena for expressions.
+    #[must_use]
+    pub fn display(&self, arena: &ExprArena) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        if !self.delta.is_empty() {
+            write!(s, "forall ").unwrap();
+            for (i, (v, k)) in self.delta.iter().enumerate() {
+                if i > 0 {
+                    write!(s, ", ").unwrap();
+                }
+                write!(s, "{}:{k}", arena.var_name(*v)).unwrap();
+            }
+            write!(s, ". ").unwrap();
+        }
+        for f in &self.facts {
+            match f {
+                FactAnn::EqZero(e) => write!(s, "fact {} == 0; ", arena.display(*e)).unwrap(),
+                FactAnn::NeqZero(e) => write!(s, "fact {} != 0; ", arena.display(*e)).unwrap(),
+                FactAnn::Ge0(e) => write!(s, "fact {} >= 0; ", arena.display(*e)).unwrap(),
+            }
+        }
+        write!(s, "{{").unwrap();
+        for (i, (r, t)) in self.regs.iter().enumerate() {
+            if i > 0 {
+                write!(s, ", ").unwrap();
+            }
+            match t {
+                RegTy::Val(v) => write!(
+                    s,
+                    "{r}: ({}, {}, {})",
+                    v.color,
+                    v.basic,
+                    arena.display(v.expr)
+                )
+                .unwrap(),
+                RegTy::Cond { guard, inner } => write!(
+                    s,
+                    "{r}: {} = 0 => ({}, {}, {})",
+                    arena.display(*guard),
+                    inner.color,
+                    inner.basic,
+                    arena.display(inner.expr)
+                )
+                .unwrap(),
+                RegTy::Top => write!(s, "{r}: top").unwrap(),
+            }
+        }
+        write!(s, "}} queue [").unwrap();
+        for (i, (d, v)) in self.queue.iter().enumerate() {
+            if i > 0 {
+                write!(s, ", ").unwrap();
+            }
+            write!(s, "({}, {})", arena.display(*d), arena.display(*v)).unwrap();
+        }
+        write!(s, "] mem {}", arena.display(self.mem)).unwrap();
+        s
+    }
+}
+
+/// Result types `RT ::= T | void` — what instruction typing yields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResultTy {
+    /// Control falls through with this postcondition.
+    Post(CodeTy),
+    /// Control does not proceed past the instruction.
+    Void,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ty_display_and_deref() {
+        let t = BasicTy::Int.reference();
+        assert_eq!(t.to_string(), "int ref");
+        assert_eq!(t.deref(), Some(&BasicTy::Int));
+        let tt = t.clone().reference();
+        assert_eq!(tt.to_string(), "(int ref) ref");
+        assert_eq!(BasicTy::Code(42).to_string(), "code@42");
+        assert_eq!(BasicTy::Int.deref(), None);
+    }
+
+    #[test]
+    fn regfile_defaults_to_top() {
+        let mut g = RegFileTy::new();
+        assert_eq!(g.get(Reg::r(3)), &RegTy::Top);
+        let mut arena = ExprArena::new();
+        let e = arena.int(0);
+        g.set(Reg::Dst, RegTy::int(Color::Green, e));
+        assert!(g.get(Reg::Dst).as_val().is_some());
+        g.clear(Reg::Dst);
+        assert_eq!(g.get(Reg::Dst), &RegTy::Top);
+    }
+
+    #[test]
+    fn zap_tag_matching() {
+        assert!(!ZapTag::None.zaps(Color::Green));
+        assert!(ZapTag::Zapped(Color::Green).zaps(Color::Green));
+        assert!(!ZapTag::Zapped(Color::Green).zaps(Color::Blue));
+    }
+
+    #[test]
+    fn code_ty_displays() {
+        let mut arena = ExprArena::new();
+        let x = arena.var_id("x");
+        let xe = arena.var_expr(x);
+        let m = arena.var_id("m");
+        let me = arena.var_expr(m);
+        let mut regs = RegFileTy::new();
+        regs.set(Reg::r(1), RegTy::int(Color::Green, xe));
+        let t = CodeTy {
+            delta: vec![(x, Kind::Int), (m, Kind::Mem)],
+            facts: vec![FactAnn::Ge0(xe)],
+            regs,
+            queue: vec![],
+            mem: me,
+        };
+        let s = t.display(&arena);
+        assert!(s.contains("forall x:int, m:mem"));
+        assert!(s.contains("fact x >= 0"));
+        assert!(s.contains("r1: (G, int, x)"));
+        assert!(s.contains("mem m"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Property test: random instruction streams survive the
+//! print → assemble round-trip exactly.
+
+use proptest::prelude::*;
+use talft_isa::{assemble, print_program, CVal, Color, Gpr, Instr, OpSrc};
+use talft_logic::BinOp;
+
+fn color() -> impl Strategy<Value = Color> {
+    prop_oneof![Just(Color::Green), Just(Color::Blue)]
+}
+
+fn gpr() -> impl Strategy<Value = Gpr> {
+    (0u16..16).prop_map(Gpr)
+}
+
+fn instr() -> impl Strategy<Value = Instr> {
+    let binop = prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Slt),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Shl),
+        Just(BinOp::Shr),
+    ];
+    prop_oneof![
+        (binop, gpr(), gpr(), prop_oneof![
+            gpr().prop_map(OpSrc::Reg),
+            (color(), -100i64..100).prop_map(|(c, n)| OpSrc::Imm(CVal::new(c, n))),
+        ])
+            .prop_map(|(op, rd, rs, src2)| Instr::Op { op, rd, rs, src2 }),
+        (gpr(), color(), -1000i64..1000)
+            .prop_map(|(rd, c, n)| Instr::Mov { rd, v: CVal::new(c, n) }),
+        (color(), gpr(), gpr()).prop_map(|(color, rd, rs)| Instr::Ld { color, rd, rs }),
+        (color(), gpr(), gpr()).prop_map(|(color, rd, rs)| Instr::St { color, rd, rs }),
+        (color(), gpr(), gpr()).prop_map(|(color, rz, rd)| Instr::Bz { color, rz, rd }),
+        (color(), gpr()).prop_map(|(color, rd)| Instr::Jmp { color, rd }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_assemble_round_trip(instrs in proptest::collection::vec(instr(), 1..40)) {
+        // Build a program around the random body (halt-terminated so the
+        // structure is always valid).
+        let mut src = String::from(".code\nmain:\n  .pre { forall m:mem; mem: m; }\n");
+        for i in &instrs {
+            src.push_str(&format!("  {i}\n"));
+        }
+        src.push_str("  halt\n");
+        let asm1 = assemble(&src).expect("assembles");
+        prop_assert_eq!(&asm1.program.instrs[..instrs.len()], &instrs[..]);
+        // Round-trip through the printer.
+        let text = print_program(&asm1.program, &asm1.arena);
+        let asm2 = assemble(&text).unwrap_or_else(|e| panic!("reassemble: {e}\n{text}"));
+        prop_assert_eq!(&asm1.program.instrs, &asm2.program.instrs);
+        prop_assert_eq!(&asm1.program.labels, &asm2.program.labels);
+    }
+}

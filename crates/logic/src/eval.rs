@@ -1,0 +1,263 @@
+//! Denotation of closed static expressions, `[[E]]` (paper Appendix A.2).
+//!
+//! ```text
+//! [[n]]              = n
+//! [[E1 op E2]]       = [[E1]] op [[E2]]
+//! [[emp]]            = ·
+//! [[sel Em En]]      = [[Em]]([[En]])
+//! [[upd Em E1 E2]]   = [[Em]][[[E1]] ↦ [[E2]]]
+//! ```
+//!
+//! Memories are modelled as *total* functions that default to `0` outside the
+//! explicitly written footprint; this matches the normalizer's read-over-write
+//! reasoning and keeps `[[·]]` total on well-kinded closed terms. (Whether a
+//! concrete machine address is mapped at all is a *machine*-level question,
+//! handled by `talft-machine`'s `Dom(M)` checks, not a logic-level one.)
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use crate::expr::{ExprArena, ExprId, ExprNode, VarId};
+
+/// A denotational value: an integer or a memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// An integer (kind `κint`).
+    Int(i64),
+    /// A memory (kind `κmem`): explicit footprint, default 0 elsewhere.
+    Mem(MemVal),
+}
+
+impl Value {
+    /// Extract an integer, if this is one.
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            Value::Mem(_) => None,
+        }
+    }
+
+    /// Extract a memory, if this is one.
+    #[must_use]
+    pub fn as_mem(&self) -> Option<&MemVal> {
+        match self {
+            Value::Mem(m) => Some(m),
+            Value::Int(_) => None,
+        }
+    }
+}
+
+/// A memory value: total function `i64 → i64` with finite support.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemVal {
+    writes: BTreeMap<i64, i64>,
+}
+
+impl MemVal {
+    /// The empty memory `·` (all zeros).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from explicit contents.
+    #[must_use]
+    pub fn from_map(map: BTreeMap<i64, i64>) -> Self {
+        let mut m = Self { writes: map };
+        m.writes.retain(|_, v| *v != 0);
+        m
+    }
+
+    /// Read address `a` (0 outside the footprint).
+    #[must_use]
+    pub fn get(&self, a: i64) -> i64 {
+        self.writes.get(&a).copied().unwrap_or(0)
+    }
+
+    /// Write `v` at `a`.
+    pub fn set(&mut self, a: i64, v: i64) {
+        if v == 0 {
+            self.writes.remove(&a);
+        } else {
+            self.writes.insert(a, v);
+        }
+    }
+
+    /// The non-zero footprint, in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, i64)> + '_ {
+        self.writes.iter().map(|(&a, &v)| (a, v))
+    }
+}
+
+/// An environment giving ground values to free variables.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    vals: HashMap<VarId, Value>,
+}
+
+impl Env {
+    /// Empty environment (only closed terms evaluate).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind a variable to a value.
+    pub fn bind(&mut self, v: VarId, val: Value) {
+        self.vals.insert(v, val);
+    }
+
+    /// Bind an integer.
+    pub fn bind_int(&mut self, v: VarId, n: i64) {
+        self.bind(v, Value::Int(n));
+    }
+
+    /// Bind a memory.
+    pub fn bind_mem(&mut self, v: VarId, m: MemVal) {
+        self.bind(v, Value::Mem(m));
+    }
+
+    /// Look up a variable.
+    #[must_use]
+    pub fn get(&self, v: VarId) -> Option<&Value> {
+        self.vals.get(&v)
+    }
+}
+
+/// Evaluation error: the term was open (or ill-kinded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A free variable had no binding in the environment.
+    UnboundVar(VarId),
+    /// An operand had the wrong kind (e.g. `sel` of an integer).
+    KindMismatch(ExprId),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::UnboundVar(v) => write!(f, "unbound variable #{}", v.0),
+            EvalError::KindMismatch(e) => write!(f, "kind mismatch at expression #{}", e.0),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluate `e` under `env`. Implements `[[E]]` of Appendix A.2.
+pub fn eval(arena: &ExprArena, env: &Env, e: ExprId) -> Result<Value, EvalError> {
+    match arena.node(e) {
+        ExprNode::Var(v) => env.get(v).cloned().ok_or(EvalError::UnboundVar(v)),
+        ExprNode::Int(n) => Ok(Value::Int(n)),
+        ExprNode::Bin(op, a, b) => {
+            let a = eval_int(arena, env, a)?;
+            let b = eval_int(arena, env, b)?;
+            Ok(Value::Int(op.eval(a, b)))
+        }
+        ExprNode::Sel(m, a) => {
+            let m = eval_mem(arena, env, m)?;
+            let a = eval_int(arena, env, a)?;
+            Ok(Value::Int(m.get(a)))
+        }
+        ExprNode::Emp => Ok(Value::Mem(MemVal::new())),
+        ExprNode::Upd(m, a, v) => {
+            let mut m = eval_mem(arena, env, m)?;
+            let a = eval_int(arena, env, a)?;
+            let v = eval_int(arena, env, v)?;
+            m.set(a, v);
+            Ok(Value::Mem(m))
+        }
+    }
+}
+
+/// Evaluate an integer-kinded expression.
+pub fn eval_int(arena: &ExprArena, env: &Env, e: ExprId) -> Result<i64, EvalError> {
+    match eval(arena, env, e)? {
+        Value::Int(n) => Ok(n),
+        Value::Mem(_) => Err(EvalError::KindMismatch(e)),
+    }
+}
+
+/// Evaluate a memory-kinded expression.
+pub fn eval_mem(arena: &ExprArena, env: &Env, e: ExprId) -> Result<MemVal, EvalError> {
+    match eval(arena, env, e)? {
+        Value::Mem(m) => Ok(m),
+        Value::Int(_) => Err(EvalError::KindMismatch(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+
+    #[test]
+    fn eval_arith() {
+        let mut a = ExprArena::new();
+        let e1 = a.int(3);
+        let e2 = a.int(4);
+        let s = a.mul(e1, e2);
+        let s = a.add(s, e1);
+        assert_eq!(eval(&a, &Env::new(), s), Ok(Value::Int(15)));
+    }
+
+    #[test]
+    fn eval_memory_update_and_select() {
+        let mut a = ExprArena::new();
+        let emp = a.emp();
+        let a1 = a.int(100);
+        let v1 = a.int(7);
+        let a2 = a.int(101);
+        let v2 = a.int(9);
+        let m1 = a.upd(emp, a1, v1);
+        let m2 = a.upd(m1, a2, v2);
+        let m3 = a.upd(m2, a1, v2); // overwrite 100
+        let s1 = a.sel(m3, a1);
+        let s2 = a.sel(m3, a2);
+        let s3 = a.sel(m3, v1); // untouched address ⇒ 0
+        let env = Env::new();
+        assert_eq!(eval(&a, &env, s1), Ok(Value::Int(9)));
+        assert_eq!(eval(&a, &env, s2), Ok(Value::Int(9)));
+        assert_eq!(eval(&a, &env, s3), Ok(Value::Int(0)));
+    }
+
+    #[test]
+    fn eval_env_lookup() {
+        let mut a = ExprArena::new();
+        let x = a.var_id("x");
+        let xe = a.var_expr(x);
+        let one = a.int(1);
+        let e = a.bin(BinOp::Slt, xe, one);
+        let mut env = Env::new();
+        env.bind_int(x, 0);
+        assert_eq!(eval(&a, &env, e), Ok(Value::Int(1)));
+        env.bind_int(x, 5);
+        assert_eq!(eval(&a, &env, e), Ok(Value::Int(0)));
+        let y = a.var("y");
+        assert!(matches!(eval(&a, &env, y), Err(EvalError::UnboundVar(_))));
+    }
+
+    #[test]
+    fn eval_mem_var() {
+        let mut a = ExprArena::new();
+        let m = a.var_id("m");
+        let me = a.var_expr(m);
+        let addr = a.int(42);
+        let s = a.sel(me, addr);
+        let mut env = Env::new();
+        let mut mv = MemVal::new();
+        mv.set(42, -3);
+        env.bind_mem(m, mv);
+        assert_eq!(eval(&a, &env, s), Ok(Value::Int(-3)));
+    }
+
+    #[test]
+    fn memval_zero_writes_normalize_footprint() {
+        let mut m = MemVal::new();
+        m.set(1, 5);
+        m.set(1, 0);
+        assert_eq!(m.iter().count(), 0);
+        assert_eq!(m.get(1), 0);
+    }
+}

@@ -1,0 +1,509 @@
+//! Normal forms for static expressions.
+//!
+//! Integer expressions normalize to **polynomials** over *atoms* — variables,
+//! residual `sel` terms, and opaque-operator applications — with coefficients
+//! in the machine ring `ℤ/2⁶⁴` (wrapping `i64` arithmetic, which matches the
+//! machine's ALU, so ring rewriting is sound for the machine semantics).
+//! Memory expressions normalize to a **base + canonical write list**
+//! ([`MemNf`]) with read-over-write simplification for `sel (upd …)`.
+//!
+//! Normalization consults a [`crate::Facts`] set so that facts learned from
+//! branches (`E = 0` / `E ≠ 0` / `E ≥ 0`) sharpen array-aliasing decisions.
+//! The procedure is *sound* and deliberately incomplete: validity in nonlinear
+//! arithmetic plus arrays is undecidable (§3.1 of the paper leans on a
+//! classical Hoare-logic theory; a real checker, like ours, ships a sound
+//! fragment).
+
+use std::collections::BTreeMap;
+
+use crate::entail::Facts;
+use crate::expr::{BinOp, ExprArena, ExprId, ExprNode};
+
+/// A monomial: a multiset of atom ids, kept sorted. Empty = the constant
+/// monomial `1`.
+pub type Monomial = Vec<ExprId>;
+
+/// A polynomial over atoms with wrapping `i64` coefficients.
+///
+/// Invariant: no zero coefficients are stored; each monomial's atom list is
+/// sorted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Poly {
+    terms: BTreeMap<Monomial, i64>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    #[must_use]
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// A constant polynomial.
+    #[must_use]
+    pub fn constant(n: i64) -> Self {
+        let mut p = Self::zero();
+        if n != 0 {
+            p.terms.insert(Vec::new(), n);
+        }
+        p
+    }
+
+    /// A single atom with coefficient 1.
+    #[must_use]
+    pub fn atom(a: ExprId) -> Self {
+        let mut p = Self::zero();
+        p.terms.insert(vec![a], 1);
+        p
+    }
+
+    /// Whether this is the zero polynomial.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// If the polynomial is a constant, return it.
+    #[must_use]
+    pub fn as_constant(&self) -> Option<i64> {
+        match self.terms.len() {
+            0 => Some(0),
+            1 => self.terms.get(&Vec::new() as &Monomial).copied(),
+            _ => None,
+        }
+    }
+
+    /// If the polynomial is exactly one atom with coefficient 1, return it.
+    #[must_use]
+    pub fn as_single_atom(&self) -> Option<ExprId> {
+        if self.terms.len() != 1 {
+            return None;
+        }
+        let (m, &c) = self.terms.iter().next().expect("len == 1");
+        if c == 1 && m.len() == 1 {
+            Some(m[0])
+        } else {
+            None
+        }
+    }
+
+    /// Iterate `(monomial, coefficient)` in canonical order.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, i64)> + '_ {
+        self.terms.iter().map(|(m, &c)| (m, c))
+    }
+
+    /// Number of terms.
+    #[must_use]
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    fn add_term(&mut self, m: Monomial, c: i64) {
+        if c == 0 {
+            return;
+        }
+        let entry = self.terms.entry(m);
+        match entry {
+            std::collections::btree_map::Entry::Occupied(mut o) => {
+                let nc = o.get().wrapping_add(c);
+                if nc == 0 {
+                    o.remove();
+                } else {
+                    *o.get_mut() = nc;
+                }
+            }
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(c);
+            }
+        }
+    }
+
+    /// `self + other`.
+    #[must_use]
+    pub fn add(&self, other: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, c) in other.terms() {
+            out.add_term(m.clone(), c);
+        }
+        out
+    }
+
+    /// `-self`.
+    #[must_use]
+    pub fn neg(&self) -> Poly {
+        let mut out = Poly::zero();
+        for (m, c) in self.terms() {
+            out.add_term(m.clone(), c.wrapping_neg());
+        }
+        out
+    }
+
+    /// `self - other`.
+    #[must_use]
+    pub fn sub(&self, other: &Poly) -> Poly {
+        self.add(&other.neg())
+    }
+
+    /// `self * other`.
+    #[must_use]
+    pub fn mul(&self, other: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for (m1, c1) in self.terms() {
+            for (m2, c2) in other.terms() {
+                let mut m: Monomial = m1.iter().chain(m2.iter()).copied().collect();
+                m.sort_unstable();
+                out.add_term(m, c1.wrapping_mul(c2));
+            }
+        }
+        out
+    }
+
+    /// Substitute `replacement` for `atom` throughout (used to apply solved
+    /// equality facts). Monomials containing the atom k times are multiplied
+    /// by `replacement` k times.
+    #[must_use]
+    pub fn subst_atom(&self, atom: ExprId, replacement: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for (m, c) in self.terms() {
+            let count = m.iter().filter(|&&a| a == atom).count();
+            if count == 0 {
+                out.add_term(m.clone(), c);
+            } else {
+                let rest: Monomial = m.iter().copied().filter(|&a| a != atom).collect();
+                let mut piece = Poly::constant(c);
+                {
+                    let mut base = Poly::zero();
+                    base.add_term(rest, 1);
+                    piece = piece.mul(&base);
+                }
+                for _ in 0..count {
+                    piece = piece.mul(replacement);
+                }
+                out = out.add(&piece);
+            }
+        }
+        out
+    }
+
+    /// Whether the atom occurs in any monomial.
+    #[must_use]
+    pub fn mentions_atom(&self, atom: ExprId) -> bool {
+        self.terms.keys().any(|m| m.contains(&atom))
+    }
+}
+
+/// Memory normal form: a base (variable or `emp`, as an expression id) plus a
+/// write list `(addr, val)` oldest→newest, canonically reordered where
+/// aliasing is decidable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemNf {
+    /// Base memory: `emp` or a memory variable (reified expression).
+    pub base: ExprId,
+    /// Writes oldest→newest; addresses pairwise either provably distinct
+    /// (then sorted by reified id) or of unknown aliasing (order preserved).
+    pub writes: Vec<(Poly, Poly)>,
+}
+
+/// Normalize an integer-kinded expression to a polynomial.
+///
+/// Sound w.r.t. [`crate::eval`] for every environment satisfying `facts`.
+pub fn norm_int(arena: &mut ExprArena, facts: &Facts, e: ExprId) -> Poly {
+    match arena.node(e) {
+        ExprNode::Var(_) => facts.resolve_atom(e),
+        ExprNode::Int(n) => Poly::constant(n),
+        ExprNode::Bin(op, a, b) => {
+            let pa = norm_int(arena, facts, a);
+            let pb = norm_int(arena, facts, b);
+            match op {
+                BinOp::Add => pa.add(&pb),
+                BinOp::Sub => pa.sub(&pb),
+                BinOp::Mul => pa.mul(&pb),
+                _ => {
+                    // Opaque operator: constant-fold or build a canonical atom.
+                    if let (Some(ca), Some(cb)) = (pa.as_constant(), pb.as_constant()) {
+                        Poly::constant(op.eval(ca, cb))
+                    } else {
+                        let ra = reify_poly(arena, &pa);
+                        let rb = reify_poly(arena, &pb);
+                        let atom = arena.bin(op, ra, rb);
+                        facts.resolve_atom(atom)
+                    }
+                }
+            }
+        }
+        ExprNode::Sel(m, a) => {
+            let nm = norm_mem(arena, facts, m);
+            let pa = norm_int(arena, facts, a);
+            sel_memnf(arena, facts, &nm, &pa)
+        }
+        ExprNode::Emp | ExprNode::Upd(..) => {
+            // Ill-kinded use; treat as an opaque atom so normalization stays
+            // total. Kind checking reports the real error elsewhere.
+            facts.resolve_atom(e)
+        }
+    }
+}
+
+/// Read `addr` out of a normalized memory, applying read-over-write.
+pub fn sel_memnf(arena: &mut ExprArena, facts: &Facts, m: &MemNf, addr: &Poly) -> Poly {
+    // Scan newest → oldest.
+    for (i, (waddr, wval)) in m.writes.iter().enumerate().rev() {
+        let diff = addr.sub(waddr);
+        if diff.is_zero() {
+            return wval.clone();
+        }
+        if facts.poly_nonzero_with(arena, &diff) {
+            continue; // cannot alias; look deeper
+        }
+        // Unknown aliasing: residual select over the memory truncated to
+        // this write (deeper writes cannot be skipped soundly, but they are
+        // still part of the residual term).
+        let mem_expr = reify_memnf_prefix(arena, m, i + 1);
+        let addr_expr = reify_poly(arena, addr);
+        let atom = arena.sel(mem_expr, addr_expr);
+        return facts.resolve_atom(atom);
+    }
+    // Missed every write: select from the base.
+    if arena.node(m.base) == ExprNode::Emp {
+        return Poly::zero(); // memories default to 0 off-footprint
+    }
+    let addr_expr = reify_poly(arena, addr);
+    let atom = arena.sel(m.base, addr_expr);
+    facts.resolve_atom(atom)
+}
+
+/// Normalize a memory-kinded expression.
+pub fn norm_mem(arena: &mut ExprArena, facts: &Facts, e: ExprId) -> MemNf {
+    match arena.node(e) {
+        ExprNode::Emp => MemNf { base: e, writes: Vec::new() },
+        ExprNode::Var(_) => MemNf { base: e, writes: Vec::new() },
+        ExprNode::Upd(m, a, v) => {
+            let mut nm = norm_mem(arena, facts, m);
+            let pa = norm_int(arena, facts, a);
+            let pv = norm_int(arena, facts, v);
+            push_write(arena, facts, &mut nm, pa, pv);
+            nm
+        }
+        // Ill-kinded (integer where memory expected): opaque base.
+        ExprNode::Int(_) | ExprNode::Bin(..) | ExprNode::Sel(..) => {
+            MemNf { base: e, writes: Vec::new() }
+        }
+    }
+}
+
+/// Append a write, removing superseded older writes and canonically
+/// reordering past provably-distinct neighbours.
+fn push_write(arena: &mut ExprArena, facts: &Facts, m: &mut MemNf, addr: Poly, val: Poly) {
+    // Drop older writes at a provably equal address (the new write wins).
+    m.writes.retain(|(waddr, _)| !addr.sub(waddr).is_zero());
+    m.writes.push((addr, val));
+    // Insertion-style canonicalization: bubble the new write left while the
+    // neighbour is provably distinct and has a larger canonical key.
+    let mut i = m.writes.len() - 1;
+    while i > 0 {
+        let diff = m.writes[i].0.sub(&m.writes[i - 1].0);
+        if !facts.poly_nonzero_with(arena, &diff) && diff.as_constant() != Some(0) {
+            break; // unknown aliasing: order is semantic, keep it
+        }
+        let key_prev = reify_poly(arena, &m.writes[i - 1].0);
+        let key_new = reify_poly(arena, &m.writes[i].0);
+        if key_new < key_prev {
+            m.writes.swap(i, i - 1);
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+}
+
+/// Reify a polynomial back into a canonical expression.
+pub fn reify_poly(arena: &mut ExprArena, p: &Poly) -> ExprId {
+    let mut acc: Option<ExprId> = None;
+    for (m, c) in p.terms() {
+        let mut term: Option<ExprId> = None;
+        for &atom in m {
+            term = Some(match term {
+                None => atom,
+                Some(t) => arena.mul(t, atom),
+            });
+        }
+        let with_coeff = match term {
+            None => arena.int(c),
+            Some(t) => {
+                if c == 1 {
+                    t
+                } else {
+                    let ce = arena.int(c);
+                    arena.mul(ce, t)
+                }
+            }
+        };
+        acc = Some(match acc {
+            None => with_coeff,
+            Some(a) => arena.add(a, with_coeff),
+        });
+    }
+    acc.unwrap_or_else(|| arena.int(0))
+}
+
+/// Reify a memory normal form into a canonical expression.
+pub fn reify_memnf(arena: &mut ExprArena, m: &MemNf) -> ExprId {
+    reify_memnf_prefix(arena, m, m.writes.len())
+}
+
+fn reify_memnf_prefix(arena: &mut ExprArena, m: &MemNf, n_writes: usize) -> ExprId {
+    let mut acc = m.base;
+    for (addr, val) in &m.writes[..n_writes] {
+        let a = reify_poly(arena, addr);
+        let v = reify_poly(arena, val);
+        acc = arena.upd(acc, a, v);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entail::Facts;
+
+    fn setup() -> (ExprArena, Facts) {
+        (ExprArena::new(), Facts::new())
+    }
+
+    #[test]
+    fn ring_identities() {
+        let (mut a, f) = setup();
+        let x = a.var("x");
+        let y = a.var("y");
+        // (x + y) * (x - y) == x*x - y*y
+        let sum = a.add(x, y);
+        let dif = a.sub(x, y);
+        let lhs = a.mul(sum, dif);
+        let xx = a.mul(x, x);
+        let yy = a.mul(y, y);
+        let rhs = a.sub(xx, yy);
+        assert_eq!(norm_int(&mut a, &f, lhs), norm_int(&mut a, &f, rhs));
+    }
+
+    #[test]
+    fn constants_fold_with_wrapping() {
+        let (mut a, f) = setup();
+        let big = a.int(i64::MAX);
+        let one = a.int(1);
+        let e = a.add(big, one);
+        assert_eq!(norm_int(&mut a, &f, e).as_constant(), Some(i64::MIN));
+    }
+
+    #[test]
+    fn opaque_ops_fold_on_constants_only() {
+        let (mut a, f) = setup();
+        let two = a.int(2);
+        let three = a.int(3);
+        let e = a.bin(BinOp::Slt, two, three);
+        assert_eq!(norm_int(&mut a, &f, e).as_constant(), Some(1));
+        let x = a.var("x");
+        let e2 = a.bin(BinOp::Slt, x, three);
+        let p = norm_int(&mut a, &f, e2);
+        assert!(p.as_constant().is_none());
+        // but it is canonical: same term normalizes to same atom
+        let e3 = a.bin(BinOp::Slt, x, three);
+        assert_eq!(p, norm_int(&mut a, &f, e3));
+    }
+
+    #[test]
+    fn read_over_write_hit_and_miss() {
+        let (mut a, f) = setup();
+        let m = a.var("m");
+        let a10 = a.int(10);
+        let a11 = a.int(11);
+        let v = a.var("v");
+        let m1 = a.upd(m, a10, v);
+        // hit: sel (upd m 10 v) 10 == v
+        let s_hit = a.sel(m1, a10);
+        let pv = norm_int(&mut a, &f, v);
+        assert_eq!(norm_int(&mut a, &f, s_hit), pv);
+        // miss: sel (upd m 10 v) 11 == sel m 11
+        let s_miss = a.sel(m1, a11);
+        let s_base = a.sel(m, a11);
+        assert_eq!(
+            norm_int(&mut a, &f, s_miss),
+            norm_int(&mut a, &f, s_base)
+        );
+    }
+
+    #[test]
+    fn read_over_write_unknown_aliasing_is_residual_but_canonical() {
+        let (mut a, f) = setup();
+        let m = a.var("m");
+        let i = a.var("i");
+        let j = a.var("j");
+        let v = a.var("v");
+        let m1 = a.upd(m, i, v);
+        let s = a.sel(m1, j); // i vs j unknown
+        let p1 = norm_int(&mut a, &f, s);
+        assert!(p1.as_constant().is_none());
+        // same term again → identical normal form
+        let m1b = a.upd(m, i, v);
+        let sb = a.sel(m1b, j);
+        assert_eq!(p1, norm_int(&mut a, &f, sb));
+    }
+
+    #[test]
+    fn write_supersedes_older_same_address() {
+        let (mut a, f) = setup();
+        let m = a.var("m");
+        let i = a.var("i");
+        let v1 = a.int(1);
+        let v2 = a.int(2);
+        let u1 = a.upd(m, i, v1);
+        let u2 = a.upd(u1, i, v2);
+        let direct = a.upd(m, i, v2);
+        let n1 = norm_mem(&mut a, &f, u2);
+        let n2 = norm_mem(&mut a, &f, direct);
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn distinct_writes_commute_canonically() {
+        let (mut a, f) = setup();
+        let m = a.var("m");
+        let a1 = a.int(100);
+        let a2 = a.int(200);
+        let v1 = a.var("v1");
+        let v2 = a.var("v2");
+        let u12 = {
+            let t = a.upd(m, a1, v1);
+            a.upd(t, a2, v2)
+        };
+        let u21 = {
+            let t = a.upd(m, a2, v2);
+            a.upd(t, a1, v1)
+        };
+        assert_eq!(norm_mem(&mut a, &f, u12), norm_mem(&mut a, &f, u21));
+    }
+
+    #[test]
+    fn reify_round_trips_through_norm() {
+        let (mut a, f) = setup();
+        let x = a.var("x");
+        let y = a.var("y");
+        let three = a.int(3);
+        let xy = a.mul(x, y);
+        let t = a.mul(three, xy);
+        let e = a.add(t, x);
+        let p = norm_int(&mut a, &f, e);
+        let r = reify_poly(&mut a, &p);
+        assert_eq!(norm_int(&mut a, &f, r), p);
+    }
+
+    #[test]
+    fn subst_atom_expands_powers() {
+        let (mut a, f) = setup();
+        let x = a.var("x");
+        let xx = a.mul(x, x);
+        let p = norm_int(&mut a, &f, xx);
+        // substitute x ↦ 3 ⇒ 9
+        let got = p.subst_atom(x, &Poly::constant(3));
+        assert_eq!(got.as_constant(), Some(9));
+    }
+}

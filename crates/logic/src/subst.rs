@@ -1,0 +1,219 @@
+//! Substitutions `S ::= · | S, E/x` (paper Figure 5).
+//!
+//! The judgment `Δ ⊢ S : Δ'` holds when `S` maps every variable of `Δ'` to an
+//! expression well-kinded in `Δ` at the matching kind.
+
+use std::collections::HashMap;
+
+use crate::expr::{ExprArena, ExprId, ExprNode, Kind, KindCtx, VarId};
+
+/// A finite map from expression variables to expressions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Subst {
+    map: HashMap<VarId, ExprId>,
+}
+
+impl Subst {
+    /// The empty substitution.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extend with `e/x`. Returns the previous binding, if any.
+    pub fn bind(&mut self, x: VarId, e: ExprId) -> Option<ExprId> {
+        self.map.insert(x, e)
+    }
+
+    /// Look up the image of `x`.
+    #[must_use]
+    pub fn get(&self, x: VarId) -> Option<ExprId> {
+        self.map.get(&x).copied()
+    }
+
+    /// Number of bindings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the substitution is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate over `(x, E)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, ExprId)> + '_ {
+        self.map.iter().map(|(&v, &e)| (v, e))
+    }
+
+    /// Apply the substitution to `e`. Unbound variables are left in place
+    /// (so substitutions compose with weakening).
+    pub fn apply(&self, arena: &mut ExprArena, e: ExprId) -> ExprId {
+        match arena.node(e) {
+            ExprNode::Var(v) => self.get(v).unwrap_or(e),
+            ExprNode::Int(_) | ExprNode::Emp => e,
+            ExprNode::Bin(op, a, b) => {
+                let a2 = self.apply(arena, a);
+                let b2 = self.apply(arena, b);
+                if a2 == a && b2 == b {
+                    e
+                } else {
+                    arena.bin(op, a2, b2)
+                }
+            }
+            ExprNode::Sel(m, a) => {
+                let m2 = self.apply(arena, m);
+                let a2 = self.apply(arena, a);
+                if m2 == m && a2 == a {
+                    e
+                } else {
+                    arena.sel(m2, a2)
+                }
+            }
+            ExprNode::Upd(m, a, v) => {
+                let m2 = self.apply(arena, m);
+                let a2 = self.apply(arena, a);
+                let v2 = self.apply(arena, v);
+                if m2 == m && a2 == a && v2 == v {
+                    e
+                } else {
+                    arena.upd(m2, a2, v2)
+                }
+            }
+        }
+    }
+
+    /// Check `Δ ⊢ S : Δ'`: every variable bound by `Δ'` has an image whose
+    /// kind under `Δ` matches. Extra bindings in `S` are permitted.
+    pub fn well_formed(
+        &self,
+        arena: &ExprArena,
+        delta: &KindCtx,
+        delta_target: &KindCtx,
+    ) -> Result<(), SubstError> {
+        for (x, k) in delta_target.iter() {
+            let e = self.get(x).ok_or(SubstError::Missing(x))?;
+            let got = arena
+                .kind_of(delta, e)
+                .map_err(|e| SubstError::IllKinded(x, e))?;
+            if got != k {
+                return Err(SubstError::KindMismatch { var: x, want: k, got });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the substitution covers every variable of `delta_target`.
+    #[must_use]
+    pub fn covers(&self, delta_target: &KindCtx) -> bool {
+        delta_target.iter().all(|(x, _)| self.map.contains_key(&x))
+    }
+}
+
+/// Error from checking `Δ ⊢ S : Δ'`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubstError {
+    /// A target variable has no image.
+    Missing(VarId),
+    /// The image of a variable is ill-kinded in the source context.
+    IllKinded(VarId, crate::expr::KindError),
+    /// The image has the wrong kind.
+    KindMismatch {
+        /// The variable whose image is wrong.
+        var: VarId,
+        /// Kind required by `Δ'`.
+        want: Kind,
+        /// Kind found under `Δ`.
+        got: Kind,
+    },
+}
+
+impl std::fmt::Display for SubstError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubstError::Missing(v) => write!(f, "substitution misses variable #{}", v.0),
+            SubstError::IllKinded(v, e) => {
+                write!(f, "image of variable #{} is ill-kinded: {e}", v.0)
+            }
+            SubstError::KindMismatch { var, want, got } => write!(
+                f,
+                "image of variable #{} has kind {got}, expected {want}",
+                var.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubstError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_substitutes_and_shares() {
+        let mut a = ExprArena::new();
+        let x = a.var_id("x");
+        let xe = a.var_expr(x);
+        let one = a.int(1);
+        let e = a.add(xe, one);
+        let mut s = Subst::new();
+        let seven = a.int(7);
+        s.bind(x, seven);
+        let e2 = s.apply(&mut a, e);
+        assert_eq!(a.display(e2), "(add 7 1)");
+        // applying to a term without x is identity (same id)
+        let closed = a.add(one, one);
+        assert_eq!(s.apply(&mut a, closed), closed);
+    }
+
+    #[test]
+    fn apply_traverses_memory_ops() {
+        let mut a = ExprArena::new();
+        let m = a.var_id("m");
+        let me = a.var_expr(m);
+        let x = a.var_id("x");
+        let xe = a.var_expr(x);
+        let u = a.upd(me, xe, xe);
+        let sel = a.sel(u, xe);
+        let mut s = Subst::new();
+        let emp = a.emp();
+        let two = a.int(2);
+        s.bind(m, emp);
+        s.bind(x, two);
+        let got = s.apply(&mut a, sel);
+        assert_eq!(a.display(got), "(sel (upd emp 2 2) 2)");
+    }
+
+    #[test]
+    fn well_formed_checks_kinds_and_coverage() {
+        let mut a = ExprArena::new();
+        let x = a.var_id("x");
+        let m = a.var_id("m");
+        let mut tgt = KindCtx::new();
+        tgt.bind(x, Kind::Int);
+        tgt.bind(m, Kind::Mem);
+
+        let src = KindCtx::new();
+        let mut s = Subst::new();
+        let five = a.int(5);
+        s.bind(x, five);
+        // missing m
+        assert!(matches!(
+            s.well_formed(&a, &src, &tgt),
+            Err(SubstError::Missing(_))
+        ));
+        // wrong kind for m
+        s.bind(m, five);
+        assert!(matches!(
+            s.well_formed(&a, &src, &tgt),
+            Err(SubstError::KindMismatch { want: Kind::Mem, got: Kind::Int, .. })
+        ));
+        let emp = a.emp();
+        s.bind(m, emp);
+        assert_eq!(s.well_formed(&a, &src, &tgt), Ok(()));
+        assert!(s.covers(&tgt));
+    }
+}

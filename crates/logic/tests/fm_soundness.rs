@@ -1,0 +1,82 @@
+//! Brute-force soundness check for the Fourier–Motzkin entailment: whenever
+//! `prove_ge0` succeeds from a set of linear facts, the entailment must hold
+//! at every integer grid point satisfying the facts. (Completeness is not
+//! asserted — the prover is allowed to say "unknown".)
+
+use proptest::prelude::*;
+use talft_logic::{ExprArena, Facts};
+
+/// Build `a·x + b·y + c` in the arena.
+fn lin(arena: &mut ExprArena, a: i64, b: i64, c: i64) -> talft_logic::ExprId {
+    let x = arena.var("x");
+    let y = arena.var("y");
+    let ae = arena.int(a);
+    let be = arena.int(b);
+    let ce = arena.int(c);
+    let ax = arena.mul(ae, x);
+    let by = arena.mul(be, y);
+    let s = arena.add(ax, by);
+    arena.add(s, ce)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn fm_entailments_hold_on_the_grid(
+        facts_coeffs in proptest::collection::vec((-3i64..4, -3i64..4, -6i64..7), 0..4),
+        q in (-3i64..4, -3i64..4, -6i64..7),
+    ) {
+        let mut arena = ExprArena::new();
+        let mut facts = Facts::new();
+        for &(a, b, c) in &facts_coeffs {
+            let e = lin(&mut arena, a, b, c);
+            facts.assume_ge0(&mut arena, e);
+        }
+        let query = lin(&mut arena, q.0, q.1, q.2);
+        if facts.prove_ge0(&mut arena, query) {
+            for xv in -8i64..=8 {
+                for yv in -8i64..=8 {
+                    let sat = facts_coeffs
+                        .iter()
+                        .all(|&(a, b, c)| a * xv + b * yv + c >= 0);
+                    if sat {
+                        prop_assert!(
+                            q.0 * xv + q.1 * yv + q.2 >= 0,
+                            "unsound: facts {facts_coeffs:?} ⊬ {q:?} at ({xv},{yv})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fm_neq_entailments_hold_on_the_grid(
+        facts_coeffs in proptest::collection::vec((-3i64..4, -3i64..4, -6i64..7), 0..4),
+        q in (-3i64..4, -3i64..4, -6i64..7),
+    ) {
+        let mut arena = ExprArena::new();
+        let mut facts = Facts::new();
+        for &(a, b, c) in &facts_coeffs {
+            let e = lin(&mut arena, a, b, c);
+            facts.assume_ge0(&mut arena, e);
+        }
+        let query = lin(&mut arena, q.0, q.1, q.2);
+        if facts.prove_neq_zero(&mut arena, query) {
+            for xv in -8i64..=8 {
+                for yv in -8i64..=8 {
+                    let sat = facts_coeffs
+                        .iter()
+                        .all(|&(a, b, c)| a * xv + b * yv + c >= 0);
+                    if sat {
+                        prop_assert!(
+                            q.0 * xv + q.1 * yv + q.2 != 0,
+                            "unsound ≠: facts {facts_coeffs:?} at ({xv},{yv})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Property tests for `talft-logic`: the normal forms must be *sound* with
+//! respect to the denotation `[[·]]` of Appendix A.2 — for every ground
+//! environment, an expression and its reified normal form evaluate equal,
+//! and every proved (dis)equality holds semantically.
+
+use proptest::prelude::*;
+use talft_logic::{
+    eval_int, norm_int, reify_poly, BinOp, Env, ExprArena, Facts, MemVal,
+};
+
+/// A tiny recipe language for building random expressions without carrying
+/// arena references through proptest generators.
+#[derive(Debug, Clone)]
+enum IntRecipe {
+    Var(u8),
+    Const(i64),
+    Bin(BinOp, Box<IntRecipe>, Box<IntRecipe>),
+    Sel(Box<MemRecipe>, Box<IntRecipe>),
+}
+
+#[derive(Debug, Clone)]
+enum MemRecipe {
+    Emp,
+    MVar(u8),
+    Upd(Box<MemRecipe>, Box<IntRecipe>, Box<IntRecipe>),
+}
+
+fn int_recipe() -> impl Strategy<Value = IntRecipe> {
+    let leaf = prop_oneof![
+        (0u8..4).prop_map(IntRecipe::Var),
+        (-50i64..50).prop_map(IntRecipe::Const),
+    ];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        let mem = mem_recipe_with(inner.clone());
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Slt),
+                    Just(BinOp::Xor),
+                    Just(BinOp::And),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| IntRecipe::Bin(op, Box::new(a), Box::new(b))),
+            (mem, inner).prop_map(|(m, a)| IntRecipe::Sel(Box::new(m), Box::new(a))),
+        ]
+    })
+}
+
+fn mem_recipe_with(
+    ints: impl Strategy<Value = IntRecipe> + Clone + 'static,
+) -> impl Strategy<Value = MemRecipe> {
+    let leaf = prop_oneof![Just(MemRecipe::Emp), (0u8..2).prop_map(MemRecipe::MVar)];
+    leaf.prop_recursive(3, 24, 3, move |inner| {
+        (inner, ints.clone(), ints.clone())
+            .prop_map(|(m, a, v)| MemRecipe::Upd(Box::new(m), Box::new(a), Box::new(v)))
+    })
+}
+
+fn build_int(arena: &mut ExprArena, r: &IntRecipe) -> talft_logic::ExprId {
+    match r {
+        IntRecipe::Var(i) => arena.var(&format!("x{i}")),
+        IntRecipe::Const(n) => arena.int(*n),
+        IntRecipe::Bin(op, a, b) => {
+            let ea = build_int(arena, a);
+            let eb = build_int(arena, b);
+            arena.bin(*op, ea, eb)
+        }
+        IntRecipe::Sel(m, a) => {
+            let em = build_mem(arena, m);
+            let ea = build_int(arena, a);
+            arena.sel(em, ea)
+        }
+    }
+}
+
+fn build_mem(arena: &mut ExprArena, r: &MemRecipe) -> talft_logic::ExprId {
+    match r {
+        MemRecipe::Emp => arena.emp(),
+        MemRecipe::MVar(i) => arena.var(&format!("m{i}")),
+        MemRecipe::Upd(m, a, v) => {
+            let em = build_mem(arena, m);
+            let ea = build_int(arena, a);
+            let ev = build_int(arena, v);
+            arena.upd(em, ea, ev)
+        }
+    }
+}
+
+fn ground_env(arena: &mut ExprArena, ints: &[i64; 4], mems: &[Vec<(i64, i64)>; 2]) -> Env {
+    let mut env = Env::new();
+    for (i, &n) in ints.iter().enumerate() {
+        let v = arena.var_id(&format!("x{i}"));
+        env.bind_int(v, n);
+    }
+    for (i, footprint) in mems.iter().enumerate() {
+        let v = arena.var_id(&format!("m{i}"));
+        let mut m = MemVal::new();
+        for &(a, val) in footprint {
+            m.set(a, val);
+        }
+        env.bind_mem(v, m);
+    }
+    env
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// [[reify(norm(e))]] == [[e]] for all ground environments.
+    #[test]
+    fn normalization_preserves_denotation(
+        recipe in int_recipe(),
+        ints in proptest::array::uniform4(-20i64..20),
+        m0 in proptest::collection::vec((-30i64..30, -9i64..9), 0..5),
+        m1 in proptest::collection::vec((-30i64..30, -9i64..9), 0..5),
+    ) {
+        let mut arena = ExprArena::new();
+        let facts = Facts::new();
+        let e = build_int(&mut arena, &recipe);
+        let p = norm_int(&mut arena, &facts, e);
+        let r = reify_poly(&mut arena, &p);
+        let env = ground_env(&mut arena, &ints, &[m0, m1]);
+        let lhs = eval_int(&arena, &env, e).expect("closed under env");
+        let rhs = eval_int(&arena, &env, r).expect("closed under env");
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Normalization is idempotent: norm(reify(norm(e))) == norm(e).
+    #[test]
+    fn normalization_idempotent(recipe in int_recipe()) {
+        let mut arena = ExprArena::new();
+        let facts = Facts::new();
+        let e = build_int(&mut arena, &recipe);
+        let p1 = norm_int(&mut arena, &facts, e);
+        let r = reify_poly(&mut arena, &p1);
+        let p2 = norm_int(&mut arena, &facts, r);
+        prop_assert_eq!(p1, p2);
+    }
+
+    /// prove_eq soundness: if two random expressions are proved equal, they
+    /// evaluate equal everywhere we sample.
+    #[test]
+    fn prove_eq_sound(
+        r1 in int_recipe(),
+        r2 in int_recipe(),
+        ints in proptest::array::uniform4(-20i64..20),
+        m0 in proptest::collection::vec((-30i64..30, -9i64..9), 0..5),
+        m1 in proptest::collection::vec((-30i64..30, -9i64..9), 0..5),
+    ) {
+        let mut arena = ExprArena::new();
+        let facts = Facts::new();
+        let e1 = build_int(&mut arena, &r1);
+        let e2 = build_int(&mut arena, &r2);
+        if facts.prove_eq(&mut arena, e1, e2) {
+            let env = ground_env(&mut arena, &ints, &[m0, m1]);
+            let v1 = eval_int(&arena, &env, e1).expect("closed");
+            let v2 = eval_int(&arena, &env, e2).expect("closed");
+            prop_assert_eq!(v1, v2);
+        }
+    }
+
+    /// prove_neq soundness on sampled environments.
+    #[test]
+    fn prove_neq_sound(
+        r1 in int_recipe(),
+        r2 in int_recipe(),
+        ints in proptest::array::uniform4(-20i64..20),
+        m0 in proptest::collection::vec((-30i64..30, -9i64..9), 0..5),
+        m1 in proptest::collection::vec((-30i64..30, -9i64..9), 0..5),
+    ) {
+        let mut arena = ExprArena::new();
+        let facts = Facts::new();
+        let e1 = build_int(&mut arena, &r1);
+        let e2 = build_int(&mut arena, &r2);
+        if facts.prove_neq(&mut arena, e1, e2) {
+            let env = ground_env(&mut arena, &ints, &[m0, m1]);
+            let v1 = eval_int(&arena, &env, e1).expect("closed");
+            let v2 = eval_int(&arena, &env, e2).expect("closed");
+            prop_assert_ne!(v1, v2);
+        }
+    }
+
+    /// Assumed facts restrict the environments; on environments *satisfying*
+    /// an assumed equality, fact-aware normal forms still agree with eval.
+    #[test]
+    fn fact_aware_norm_sound_on_satisfying_env(
+        recipe in int_recipe(),
+        ints in proptest::array::uniform4(-20i64..20),
+        m0 in proptest::collection::vec((-30i64..30, -9i64..9), 0..5),
+        m1 in proptest::collection::vec((-30i64..30, -9i64..9), 0..5),
+    ) {
+        let mut arena = ExprArena::new();
+        let mut facts = Facts::new();
+        // Assume x0 = x1; then evaluate under an env where that holds.
+        let x0 = arena.var("x0");
+        let x1 = arena.var("x1");
+        facts.assume_eq(&mut arena, x0, x1);
+        let e = build_int(&mut arena, &recipe);
+        let p = norm_int(&mut arena, &facts, e);
+        let r = reify_poly(&mut arena, &p);
+        let mut ints = ints;
+        ints[1] = ints[0]; // make the env satisfy x0 = x1
+        let env = ground_env(&mut arena, &ints, &[m0, m1]);
+        let lhs = eval_int(&arena, &env, e).expect("closed");
+        let rhs = eval_int(&arena, &env, r).expect("closed");
+        prop_assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,174 @@
+//! Dynamic color-flow auditing — the runtime mirror of typing Principle 2
+//! ("green depends only on green, blue only on blue") and Principle 3
+//! ("both colors co-sign dangerous actions").
+//!
+//! The operational semantics never inspects color tags (they are
+//! "fictional"); a well-typed program nonetheless maintains strict color
+//! discipline, and — because faults preserve tags — the discipline holds
+//! even in faulty runs. An audit violation therefore indicates a checker or
+//! compiler bug, never a fault. Campaigns and tests can run audited at
+//! moderate cost.
+
+use talft_isa::{Color, Instr, OpSrc, Reg};
+
+use crate::state::{Machine, Status};
+use crate::step::step;
+
+/// One color-discipline violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditViolation {
+    /// Machine step count when observed.
+    pub at_step: u64,
+    /// The offending instruction.
+    pub instr: String,
+    /// What discipline was broken.
+    pub reason: String,
+}
+
+/// Inspect the pending instruction (if any) against the color discipline.
+/// Call immediately before [`step`] when `m.ir()` is `Some`.
+#[must_use]
+pub fn audit_pending(m: &Machine) -> Option<AuditViolation> {
+    let instr = m.ir()?;
+    let bad = |reason: String| {
+        Some(AuditViolation {
+            at_step: m.steps(),
+            instr: instr.to_string(),
+            reason,
+        })
+    };
+    match *instr {
+        Instr::Op { rs, src2, .. } => {
+            let c1 = m.rcol(rs.into());
+            let c2 = match src2 {
+                OpSrc::Reg(rt) => m.rcol(rt.into()),
+                OpSrc::Imm(v) => v.color,
+            };
+            if c1 != c2 {
+                return bad(format!("ALU operands mix colors {c1}/{c2}"));
+            }
+            None
+        }
+        Instr::Ld { color, rs, .. } => {
+            let c = m.rcol(rs.into());
+            if c != color {
+                return bad(format!("ld{color} address register is {c}"));
+            }
+            None
+        }
+        Instr::St { color, rd, rs } => {
+            let ca = m.rcol(rd.into());
+            let cv = m.rcol(rs.into());
+            if ca != color || cv != color {
+                return bad(format!("st{color} operands colored {ca}/{cv}"));
+            }
+            None
+        }
+        Instr::Bz { color, rz, rd } => {
+            let cz = m.rcol(rz.into());
+            let ct = m.rcol(rd.into());
+            if cz != color || ct != color {
+                return bad(format!("bz{color} operands colored {cz}/{ct}"));
+            }
+            // Principle 3: the latched intent in d must be green.
+            if color == Color::Blue && m.rval(Reg::Dst) != 0 && m.rcol(Reg::Dst) != Color::Green
+            {
+                return bad("blue branch committing a non-green latched target".into());
+            }
+            None
+        }
+        Instr::Jmp { color, rd } => {
+            let ct = m.rcol(rd.into());
+            if ct != color {
+                return bad(format!("jmp{color} target register is {ct}"));
+            }
+            if color == Color::Blue && m.rval(Reg::Dst) != 0 && m.rcol(Reg::Dst) != Color::Green
+            {
+                return bad("blue jump committing a non-green latched target".into());
+            }
+            None
+        }
+        Instr::Mov { .. } | Instr::Halt => None,
+    }
+}
+
+/// Run to termination with auditing; returns the terminal status and every
+/// violation observed (empty for well-typed programs).
+pub fn run_audited(m: &mut Machine, max_steps: u64) -> (Status, Vec<AuditViolation>) {
+    let mut violations = Vec::new();
+    let start = m.steps();
+    while m.status().is_running() && m.steps() - start < max_steps {
+        if let Some(v) = audit_pending(m) {
+            if violations.len() < 64 {
+                violations.push(v);
+            }
+        }
+        step(m);
+    }
+    (m.status(), violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use talft_isa::assemble;
+
+    #[test]
+    fn well_typed_store_sequence_audits_clean() {
+        let src = "\n.data\nregion out at 4096 len 1 : int output\n.code\nmain:\n  \
+                   .pre { forall m:mem; mem: m; }\n  mov r1, G 5\n  mov r2, G 4096\n  \
+                   stG r2, r1\n  mov r3, B 5\n  mov r4, B 4096\n  stB r4, r3\n  halt\n";
+        let p = Arc::new(assemble(src).expect("ok").program);
+        let mut m = Machine::boot(p);
+        let (st, v) = run_audited(&mut m, 10_000);
+        assert_eq!(st, Status::Halted);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cse_miscompilation_flagged_by_audit() {
+        // The §2.2 bug: blue store with green operands — the audit sees the
+        // discipline break that the type checker rejects statically.
+        let src = "\n.data\nregion out at 4096 len 1 : int output\n.code\nmain:\n  \
+                   .pre { forall m:mem; mem: m; }\n  mov r1, G 5\n  mov r2, G 4096\n  \
+                   stG r2, r1\n  stB r2, r1\n  halt\n";
+        let p = Arc::new(assemble(src).expect("ok").program);
+        let mut m = Machine::boot(p);
+        let (st, v) = run_audited(&mut m, 10_000);
+        assert_eq!(st, Status::Halted); // executes fine —
+        assert!(!v.is_empty()); // — but the discipline violation is visible
+        assert!(v[0].reason.contains("stB"));
+    }
+
+    #[test]
+    fn mixed_color_alu_flagged() {
+        let src = "\n.code\nmain:\n  .pre { forall m:mem; mem: m; }\n  \
+                   mov r1, G 1\n  mov r2, B 2\n  add r3, r1, r2\n  halt\n";
+        let p = Arc::new(assemble(src).expect("ok").program);
+        let mut m = Machine::boot(p);
+        let (_, v) = run_audited(&mut m, 1000);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].reason.contains("mix colors"));
+    }
+
+    #[test]
+    fn faults_do_not_trigger_audits() {
+        // Color tags are preserved by reg-zap, so faulty runs of well-typed
+        // programs stay audit-clean (they may end in Fault, which is fine).
+        use crate::fault::{inject, FaultSite};
+        let src = "\n.data\nregion out at 4096 len 1 : int output\n.code\nmain:\n  \
+                   .pre { forall m:mem; mem: m; }\n  mov r1, G 5\n  mov r2, G 4096\n  \
+                   stG r2, r1\n  mov r3, B 5\n  mov r4, B 4096\n  stB r4, r3\n  halt\n";
+        let p = Arc::new(assemble(src).expect("ok").program);
+        for step_at in 0..10 {
+            let mut m = Machine::boot(Arc::clone(&p));
+            for _ in 0..step_at {
+                step(&mut m);
+            }
+            inject(&mut m, FaultSite::Reg(talft_isa::Reg::r(1)), 777);
+            let (_, v) = run_audited(&mut m, 10_000);
+            assert!(v.is_empty(), "audit fired on a faulty-but-well-typed run: {v:?}");
+        }
+    }
+}

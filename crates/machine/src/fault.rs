@@ -1,0 +1,180 @@
+//! The fault model: Single Event Upset transitions (paper §2.1).
+//!
+//! Exactly three operational rules introduce faults, and they are the only
+//! way state may be corrupted:
+//!
+//! * `reg-zap` — replace any register's payload (color tag preserved);
+//! * `Q-zap1` — corrupt the *address* of any store-queue entry;
+//! * `Q-zap2` — corrupt the *value* of any store-queue entry.
+//!
+//! [`FaultSite`] names a location, [`inject`] performs the `─→1` transition,
+//! and [`sites`] enumerates every site of a given machine state — the fan-out
+//! used by exhaustive campaigns.
+
+use talft_isa::Reg;
+
+use crate::state::Machine;
+
+/// A place a single-event upset can strike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// `reg-zap` on this register.
+    Reg(Reg),
+    /// `Q-zap1` on the address of the queue entry at this index
+    /// (0 = front/newest).
+    QueueAddr(usize),
+    /// `Q-zap2` on the value of the queue entry at this index.
+    QueueVal(usize),
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSite::Reg(r) => write!(f, "reg-zap {r}"),
+            FaultSite::QueueAddr(i) => write!(f, "Q-zap1 [{i}].addr"),
+            FaultSite::QueueVal(i) => write!(f, "Q-zap2 [{i}].val"),
+        }
+    }
+}
+
+/// Enumerate every fault site of the current state.
+#[must_use]
+pub fn sites(m: &Machine) -> Vec<FaultSite> {
+    let mut out: Vec<FaultSite> = Reg::all(m.num_gprs()).map(FaultSite::Reg).collect();
+    for i in 0..m.queue().len() {
+        out.push(FaultSite::QueueAddr(i));
+        out.push(FaultSite::QueueVal(i));
+    }
+    out
+}
+
+/// The value currently stored at a fault site (useful for choosing a
+/// corrupted replacement).
+#[must_use]
+pub fn read_site(m: &Machine, site: FaultSite) -> Option<i64> {
+    match site {
+        FaultSite::Reg(r) => Some(m.rval(r)),
+        FaultSite::QueueAddr(i) => m.queue().get(i).map(|&(a, _)| a),
+        FaultSite::QueueVal(i) => m.queue().get(i).map(|&(_, v)| v),
+    }
+}
+
+/// Perform a faulty transition `S ─→1 S'`, writing `new_val` at `site`.
+///
+/// Register color tags are preserved (the tag "is fictional" and the
+/// `reg-zap` rule keeps it). Returns `false` if the site no longer exists
+/// (queue shrank), in which case the machine is unchanged.
+pub fn inject(m: &mut Machine, site: FaultSite, new_val: i64) -> bool {
+    match site {
+        FaultSite::Reg(r) => {
+            let old = m.reg(r);
+            m.set_reg(r, old.with_val(new_val));
+            true
+        }
+        FaultSite::QueueAddr(i) => match m.queue_mut().get_mut(i) {
+            Some(slot) => {
+                slot.0 = new_val;
+                true
+            }
+            None => false,
+        },
+        FaultSite::QueueVal(i) => match m.queue_mut().get_mut(i) {
+            Some(slot) => {
+                slot.1 = new_val;
+                true
+            }
+            None => false,
+        },
+    }
+}
+
+/// Representative corrupted values to try at a site holding `old`:
+/// single-bit flips of low/high/sign bits, small offsets, zero, and a
+/// large-magnitude constant. All distinct from `old`.
+#[must_use]
+pub fn mutations(old: i64) -> Vec<i64> {
+    let candidates = [
+        old ^ 1,
+        old ^ (1 << 7),
+        old ^ (1 << 31),
+        old ^ (1i64 << 62),
+        old.wrapping_add(1),
+        old.wrapping_sub(1),
+        0,
+        -1,
+        0x7fff_ffff,
+        old.wrapping_neg(),
+    ];
+    let mut out = Vec::new();
+    for c in candidates {
+        if c != old && !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use talft_isa::{assemble, CVal, Color};
+
+    fn boot() -> Machine {
+        let src = "\n.code\nmain:\n  .pre { forall m:mem; mem: m; }\n  halt\n";
+        Machine::boot(Arc::new(assemble(src).expect("ok").program))
+    }
+
+    #[test]
+    fn sites_cover_registers_and_queue() {
+        let mut m = boot();
+        let base = sites(&m);
+        assert_eq!(base.len(), usize::from(m.num_gprs()) + 3); // + d, pcG, pcB
+        m.queue_mut().push_front((1, 2));
+        m.queue_mut().push_front((3, 4));
+        let with_q = sites(&m);
+        assert_eq!(with_q.len(), base.len() + 4);
+    }
+
+    #[test]
+    fn inject_preserves_register_color() {
+        let mut m = boot();
+        m.set_reg(Reg::r(1), CVal::blue(10));
+        assert!(inject(&mut m, FaultSite::Reg(Reg::r(1)), 999));
+        assert_eq!(m.reg(Reg::r(1)), CVal::new(Color::Blue, 999));
+    }
+
+    #[test]
+    fn inject_queue_entries() {
+        let mut m = boot();
+        m.queue_mut().push_front((100, 5));
+        assert!(inject(&mut m, FaultSite::QueueAddr(0), 101));
+        assert_eq!(m.queue()[0], (101, 5));
+        assert!(inject(&mut m, FaultSite::QueueVal(0), 6));
+        assert_eq!(m.queue()[0], (101, 6));
+        assert!(!inject(&mut m, FaultSite::QueueVal(3), 0));
+    }
+
+    #[test]
+    fn read_site_matches_state() {
+        let mut m = boot();
+        m.set_reg(Reg::Dst, CVal::green(77));
+        assert_eq!(read_site(&m, FaultSite::Reg(Reg::Dst)), Some(77));
+        assert_eq!(read_site(&m, FaultSite::QueueAddr(0)), None);
+        m.queue_mut().push_front((8, 9));
+        assert_eq!(read_site(&m, FaultSite::QueueAddr(0)), Some(8));
+        assert_eq!(read_site(&m, FaultSite::QueueVal(0)), Some(9));
+    }
+
+    #[test]
+    fn mutations_are_distinct_and_nontrivial() {
+        for old in [0i64, 1, -1, 4096, i64::MAX, i64::MIN] {
+            let ms = mutations(old);
+            assert!(!ms.is_empty());
+            assert!(ms.iter().all(|&v| v != old));
+            let mut dedup = ms.clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), ms.len());
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Whole-program execution helpers: run a machine to a terminal state with a
+//! step budget, collecting the observable trace.
+
+use std::sync::Arc;
+
+use talft_isa::Program;
+
+use crate::state::{Machine, OobLoadPolicy, Output, Status};
+use crate::step::step;
+
+/// Result of running a machine to termination (or budget exhaustion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// Terminal status (`Running` means the step budget ran out).
+    pub status: Status,
+    /// The observable output trace, in commit order.
+    pub trace: Vec<Output>,
+    /// Steps taken.
+    pub steps: u64,
+}
+
+impl RunResult {
+    /// Whether the run finished cleanly (halted without hardware fault).
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.status == Status::Halted
+    }
+}
+
+/// Run `m` until it leaves `Running` or `max_steps` is exhausted.
+pub fn run(m: &mut Machine, max_steps: u64) -> RunResult {
+    let start = m.steps();
+    while m.status().is_running() && m.steps() - start < max_steps {
+        step(m);
+    }
+    RunResult {
+        status: m.status(),
+        trace: m.trace().to_vec(),
+        steps: m.steps() - start,
+    }
+}
+
+/// Boot and run a program in one call.
+pub fn run_program(program: &Arc<Program>, max_steps: u64) -> RunResult {
+    let mut m = Machine::boot(Arc::clone(program));
+    run(&mut m, max_steps)
+}
+
+/// Boot and run with an explicit out-of-bounds-load policy.
+pub fn run_program_with_policy(
+    program: &Arc<Program>,
+    max_steps: u64,
+    policy: OobLoadPolicy,
+) -> RunResult {
+    let mut m = Machine::boot(Arc::clone(program)).with_oob_policy(policy);
+    run(&mut m, max_steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use talft_isa::assemble;
+
+    #[test]
+    fn run_collects_trace_and_steps() {
+        let src = "\n.data\nregion out at 4096 len 1 : int output\n.code\nmain:\n  \
+                   .pre { forall m:mem; mem: m; }\n  mov r1, G 5\n  mov r2, G 4096\n  \
+                   stG r2, r1\n  mov r3, B 5\n  mov r4, B 4096\n  stB r4, r3\n  halt\n";
+        let p = Arc::new(assemble(src).expect("ok").program);
+        let r = run_program(&p, 1000);
+        assert!(r.halted());
+        assert_eq!(r.trace, vec![(4096, 5)]);
+        // 7 instructions, each fetch+exec = 2 steps
+        assert_eq!(r.steps, 14);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_running() {
+        // tight infinite loop: jmpG/jmpB back to main
+        let src = "\n.code\nmain:\n  .pre { forall m:mem; mem: m; }\n  \
+                   mov r1, G @main\n  mov r2, B @main\n  jmpG r1\n  jmpB r2\n  halt\n";
+        let p = Arc::new(assemble(src).expect("ok").program);
+        let r = run_program(&p, 50);
+        assert_eq!(r.status, Status::Running);
+        assert_eq!(r.steps, 50);
+    }
+}

@@ -1,0 +1,131 @@
+//! Similarity relations `· sim_Z ·` between machine states (paper Figure 9).
+//!
+//! Intuitively: under the empty zap tag related objects are identical; under
+//! zap tag `c`, objects must be identical *except* values colored `c`, which
+//! may have been arbitrarily corrupted. Queue entries are all (conceptually)
+//! green, so queues of equal length are similar under `Z = G`.
+//!
+//! The fault-tolerance theorem (Theorem 4) asserts that a single-fault run
+//! that survives to completion is `sim_c`-related to the fault-free run for
+//! some color `c`; the campaign driver in `talft-faultsim` checks exactly
+//! this.
+
+use talft_isa::{CVal, Color, Reg, ZapTag};
+
+use crate::state::Machine;
+
+/// `v1 sim_Z v2` (rules `sim-val` / `sim-val-zap`): equal, or both of the
+/// zapped color.
+#[must_use]
+pub fn sim_val(z: ZapTag, v1: CVal, v2: CVal) -> bool {
+    if v1 == v2 {
+        return true;
+    }
+    v1.color == v2.color && z.zaps(v1.color)
+}
+
+/// `R sim_Z R'` (rule `sim-R`): pointwise on every register.
+#[must_use]
+pub fn sim_regs(z: ZapTag, m1: &Machine, m2: &Machine) -> bool {
+    if m1.num_gprs() != m2.num_gprs() {
+        return false;
+    }
+    Reg::all(m1.num_gprs()).all(|r| sim_val(z, m1.reg(r), m2.reg(r)))
+}
+
+/// `Q sim_Z Q'` (rules `sim-Q-empty` / `sim-Q`): equal length; entries equal
+/// unless the zap tag is green (queue contents are green values).
+#[must_use]
+pub fn sim_queue(z: ZapTag, m1: &Machine, m2: &Machine) -> bool {
+    if m1.queue().len() != m2.queue().len() {
+        return false;
+    }
+    if z.zaps(Color::Green) {
+        return true;
+    }
+    m1.queue().iter().zip(m2.queue().iter()).all(|(a, b)| a == b)
+}
+
+/// `S1 sim_Z S2` (rule `sim-S`): same code and memory and pending `ir`,
+/// similar registers and queues. (The paper's rule fixes `C`, `M`, and `ir`
+/// to be *equal* across the two states.)
+#[must_use]
+pub fn sim_state(z: ZapTag, m1: &Machine, m2: &Machine) -> bool {
+    m1.memory() == m2.memory()
+        && m1.ir() == m2.ir()
+        && sim_regs(z, m1, m2)
+        && sim_queue(z, m1, m2)
+}
+
+/// `S1 sim_c S2` for *some* color `c` (the existential in Theorem 4).
+#[must_use]
+pub fn sim_some_color(m1: &Machine, m2: &Machine) -> bool {
+    Color::BOTH
+        .into_iter()
+        .any(|c| sim_state(ZapTag::Zapped(c), m1, m2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{inject, FaultSite};
+    use std::sync::Arc;
+    use talft_isa::assemble;
+
+    fn boot() -> Machine {
+        let src = "\n.code\nmain:\n  .pre { forall m:mem; mem: m; }\n  halt\n";
+        Machine::boot(Arc::new(assemble(src).expect("ok").program))
+    }
+
+    #[test]
+    fn sim_val_cases() {
+        let z = ZapTag::Zapped(Color::Green);
+        assert!(sim_val(ZapTag::None, CVal::green(1), CVal::green(1)));
+        assert!(!sim_val(ZapTag::None, CVal::green(1), CVal::green(2)));
+        assert!(sim_val(z, CVal::green(1), CVal::green(2)));
+        assert!(!sim_val(z, CVal::blue(1), CVal::blue(2)));
+        // colors must match even when zapped
+        assert!(!sim_val(z, CVal::green(1), CVal::blue(1)));
+    }
+
+    #[test]
+    fn identical_states_are_similar_under_empty_tag() {
+        let m1 = boot();
+        let m2 = boot();
+        assert!(sim_state(ZapTag::None, &m1, &m2));
+        assert!(sim_some_color(&m1, &m2));
+    }
+
+    #[test]
+    fn zapped_register_breaks_empty_but_not_colored_sim() {
+        let m1 = boot();
+        let mut m2 = boot();
+        inject(&mut m2, FaultSite::Reg(Reg::r(5)), 42); // r5 is green at boot
+        assert!(!sim_state(ZapTag::None, &m1, &m2));
+        assert!(sim_state(ZapTag::Zapped(Color::Green), &m1, &m2));
+        assert!(!sim_state(ZapTag::Zapped(Color::Blue), &m1, &m2));
+        assert!(sim_some_color(&m1, &m2));
+    }
+
+    #[test]
+    fn queue_similarity_requires_equal_length() {
+        let m1 = boot();
+        let mut m2 = boot();
+        m2.queue_mut().push_front((1, 2));
+        assert!(!sim_queue(ZapTag::Zapped(Color::Green), &m1, &m2));
+        let mut m1b = boot();
+        m1b.queue_mut().push_front((9, 9));
+        // different contents: only green zap tolerates
+        assert!(sim_queue(ZapTag::Zapped(Color::Green), &m1b, &m2));
+        assert!(!sim_queue(ZapTag::Zapped(Color::Blue), &m1b, &m2));
+        assert!(!sim_queue(ZapTag::None, &m1b, &m2));
+    }
+
+    #[test]
+    fn memory_divergence_breaks_similarity() {
+        let m1 = boot();
+        let mut m2 = boot();
+        m2.mem_write(4096, 1);
+        assert!(!sim_state(ZapTag::Zapped(Color::Green), &m1, &m2));
+    }
+}

@@ -1,0 +1,339 @@
+//! Machine states `S = (R, C, M, Q, ir) | fault` (paper Figure 1) and the
+//! step-level bookkeeping around them.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use talft_isa::{CVal, Color, Gpr, Instr, Program, Reg};
+
+/// What to do when a load's address is outside `Dom(M)`.
+///
+/// Appendix A.1 gives *nondeterministic* rules for this case: the hardware
+/// may signal a fault (`ldG-fail`/`ldB-fail`) or deliver an arbitrary value
+/// (`ldG-rand`/`ldB-rand`). The policy resolves the nondeterminism so runs
+/// are reproducible; campaigns exercise all branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OobLoadPolicy {
+    /// Signal a hardware fault (`ld*-fail`).
+    #[default]
+    Fault,
+    /// Deliver this fixed arbitrary value (`ld*-rand` with a chosen witness).
+    Value(i64),
+}
+
+/// Why a machine cannot take a step (well-typed programs never get stuck —
+/// Theorem 1; a stuck state in a campaign is a soundness violation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StuckReason {
+    /// Both program counters agree but point outside `Dom(C)`.
+    BadPc(i64),
+    /// The machine had already halted or faulted and was stepped again.
+    NotRunning,
+}
+
+/// Execution status of a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The machine can take further steps.
+    Running,
+    /// The hardware detected a transient fault (`fault` state).
+    Fault,
+    /// The `halt` pseudo-instruction was executed.
+    Halted,
+    /// No rule applies (see [`StuckReason`]).
+    Stuck(StuckReason),
+}
+
+impl Status {
+    /// Whether further steps are possible.
+    #[must_use]
+    pub fn is_running(self) -> bool {
+        self == Status::Running
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Status::Running => write!(f, "running"),
+            Status::Fault => write!(f, "fault"),
+            Status::Halted => write!(f, "halted"),
+            Status::Stuck(StuckReason::BadPc(a)) => write!(f, "stuck (bad pc {a})"),
+            Status::Stuck(StuckReason::NotRunning) => write!(f, "stuck (not running)"),
+        }
+    }
+}
+
+/// One observable output: an `(address, value)` pair committed by `stB`
+/// (the `s` decorating the step judgment `S ─s→k S'`).
+pub type Output = (i64, i64);
+
+/// The TAL_FT abstract machine.
+///
+/// `R` is the register bank (GPRs plus `d`, `pcG`, `pcB`); `C` is the
+/// (protected, immutable) code memory inside the [`Program`]; `M` is value
+/// memory; `Q` is the store queue with **front = newest** (`stG` pushes the
+/// front, `stB` pops the back, `find` scans front-to-back as in the paper).
+#[derive(Debug, Clone)]
+pub struct Machine {
+    program: Arc<Program>,
+    gprs: Vec<CVal>,
+    d: CVal,
+    pc: [CVal; 2], // indexed by color
+    mem: BTreeMap<i64, i64>,
+    queue: VecDeque<(i64, i64)>,
+    ir: Option<Instr>,
+    status: Status,
+    /// Observable trace: every pair committed to memory, in order.
+    trace: Vec<Output>,
+    steps: u64,
+    max_queue_depth: usize,
+    pub(crate) oob_policy: OobLoadPolicy,
+}
+
+impl Machine {
+    /// Boot a machine at the program's entry: GPRs and `d` zeroed green,
+    /// `pcG`/`pcB` at the entry address, memory from the program's regions,
+    /// queue empty.
+    #[must_use]
+    pub fn boot(program: Arc<Program>) -> Self {
+        let entry = program.entry;
+        let mem = program.initial_memory();
+        let n = program.num_gprs;
+        Self {
+            program,
+            gprs: vec![CVal::green(0); usize::from(n)],
+            d: CVal::green(0),
+            pc: [CVal::green(entry), CVal::blue(entry)],
+            mem,
+            queue: VecDeque::new(),
+            ir: None,
+            status: Status::Running,
+            trace: Vec::new(),
+            steps: 0,
+            max_queue_depth: 0,
+            oob_policy: OobLoadPolicy::default(),
+        }
+    }
+
+    /// Set the out-of-bounds load policy (builder style).
+    #[must_use]
+    pub fn with_oob_policy(mut self, p: OobLoadPolicy) -> Self {
+        self.oob_policy = p;
+        self
+    }
+
+    /// The program this machine runs.
+    #[must_use]
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// Current status.
+    #[must_use]
+    pub fn status(&self) -> Status {
+        self.status
+    }
+
+    pub(crate) fn set_status(&mut self, s: Status) {
+        self.status = s;
+    }
+
+    /// Steps taken so far (fetches and executions both count, as in the
+    /// paper's small-step semantics).
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    pub(crate) fn bump_steps(&mut self) {
+        self.steps += 1;
+    }
+
+    /// The observable output trace so far.
+    #[must_use]
+    pub fn trace(&self) -> &[Output] {
+        &self.trace
+    }
+
+    pub(crate) fn emit(&mut self, out: Output) {
+        self.trace.push(out);
+    }
+
+    /// The pending instruction register (`ir`): `None` means the next step
+    /// is a fetch.
+    #[must_use]
+    pub fn ir(&self) -> Option<&Instr> {
+        self.ir.as_ref()
+    }
+
+    pub(crate) fn set_ir(&mut self, i: Option<Instr>) {
+        self.ir = i;
+    }
+
+    // ---- register bank -----------------------------------------------------
+
+    /// Read a register (colored).
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> CVal {
+        match r {
+            Reg::Gpr(Gpr(n)) => self.gprs[usize::from(n)],
+            Reg::Dst => self.d,
+            Reg::Pc(c) => self.pc[pc_index(c)],
+        }
+    }
+
+    /// Write a register (colored).
+    pub fn set_reg(&mut self, r: Reg, v: CVal) {
+        match r {
+            Reg::Gpr(Gpr(n)) => self.gprs[usize::from(n)] = v,
+            Reg::Dst => self.d = v,
+            Reg::Pc(c) => self.pc[pc_index(c)] = v,
+        }
+    }
+
+    /// `Rval(a)` — the integer payload.
+    #[must_use]
+    pub fn rval(&self, r: Reg) -> i64 {
+        self.reg(r).val
+    }
+
+    /// `Rcol(a)` — the color tag.
+    #[must_use]
+    pub fn rcol(&self, r: Reg) -> Color {
+        self.reg(r).color
+    }
+
+    /// `R++` — advance both program counters by one.
+    pub(crate) fn bump_pcs(&mut self) {
+        for c in Color::BOTH {
+            let i = pc_index(c);
+            self.pc[i] = self.pc[i].with_val(self.pc[i].val.wrapping_add(1));
+        }
+    }
+
+    /// Number of GPRs.
+    #[must_use]
+    pub fn num_gprs(&self) -> u16 {
+        self.program.num_gprs
+    }
+
+    // ---- memory and queue ---------------------------------------------------
+
+    /// Read memory (`None` when `addr ∉ Dom(M)`).
+    #[must_use]
+    pub fn mem(&self, addr: i64) -> Option<i64> {
+        self.mem.get(&addr).copied()
+    }
+
+    /// Whether `addr ∈ Dom(M)`.
+    #[must_use]
+    pub fn in_mem_dom(&self, addr: i64) -> bool {
+        self.mem.contains_key(&addr)
+    }
+
+    /// Raw write used by `stB` commit (paper rule `stB-mem`: `M[nl ↦ nl']`,
+    /// with no domain check — committed pairs have passed the dual-color
+    /// comparison).
+    pub(crate) fn mem_write(&mut self, addr: i64, val: i64) {
+        self.mem.insert(addr, val);
+    }
+
+    /// The whole value memory (for similarity checks and harnesses).
+    #[must_use]
+    pub fn memory(&self) -> &BTreeMap<i64, i64> {
+        &self.mem
+    }
+
+    /// The store queue, front (newest) first.
+    #[must_use]
+    pub fn queue(&self) -> &VecDeque<(i64, i64)> {
+        &self.queue
+    }
+
+    /// Mutable access to the store queue (fault injection and test hooks;
+    /// ordinary execution goes through [`crate::step()`]).
+    pub fn queue_mut(&mut self) -> &mut VecDeque<(i64, i64)> {
+        &mut self.queue
+    }
+
+    /// High-water mark of the store queue (hardware store-buffer sizing).
+    #[must_use]
+    pub fn max_queue_depth(&self) -> usize {
+        self.max_queue_depth
+    }
+
+    pub(crate) fn note_queue_depth(&mut self) {
+        self.max_queue_depth = self.max_queue_depth.max(self.queue.len());
+    }
+
+    /// `find(Q, n)`: the first (newest) pair with address `n`.
+    #[must_use]
+    pub fn queue_find(&self, addr: i64) -> Option<(i64, i64)> {
+        self.queue.iter().copied().find(|&(a, _)| a == addr)
+    }
+}
+
+pub(crate) fn pc_index(c: Color) -> usize {
+    match c {
+        Color::Green => 0,
+        Color::Blue => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use talft_logic::ExprArena;
+
+    fn tiny() -> Arc<Program> {
+        let mut arena = ExprArena::new();
+        let src = "\n.code\nmain:\n  .pre { forall m:mem; mem: m; }\n  halt\n";
+        let _ = &mut arena;
+        Arc::new(talft_isa::assemble(src).expect("assembles").program)
+    }
+
+    #[test]
+    fn boot_state_matches_paper_conventions() {
+        let m = Machine::boot(tiny());
+        assert_eq!(m.status(), Status::Running);
+        assert_eq!(m.rval(Reg::Pc(Color::Green)), 1);
+        assert_eq!(m.rval(Reg::Pc(Color::Blue)), 1);
+        assert_eq!(m.rcol(Reg::Pc(Color::Green)), Color::Green);
+        assert_eq!(m.rcol(Reg::Pc(Color::Blue)), Color::Blue);
+        assert_eq!(m.reg(Reg::Dst), CVal::green(0));
+        assert!(m.queue().is_empty());
+        assert!(m.trace().is_empty());
+        assert!(m.ir().is_none());
+    }
+
+    #[test]
+    fn register_bank_read_write() {
+        let mut m = Machine::boot(tiny());
+        m.set_reg(Reg::r(3), CVal::blue(99));
+        assert_eq!(m.reg(Reg::r(3)), CVal::blue(99));
+        assert_eq!(m.rval(Reg::r(3)), 99);
+        assert_eq!(m.rcol(Reg::r(3)), Color::Blue);
+        m.set_reg(Reg::Dst, CVal::green(7));
+        assert_eq!(m.rval(Reg::Dst), 7);
+    }
+
+    #[test]
+    fn queue_find_scans_newest_first() {
+        let mut m = Machine::boot(tiny());
+        m.queue_mut().push_front((100, 1)); // older
+        m.queue_mut().push_front((100, 2)); // newer
+        assert_eq!(m.queue_find(100), Some((100, 2)));
+        assert_eq!(m.queue_find(42), None);
+    }
+
+    #[test]
+    fn bump_pcs_preserves_colors() {
+        let mut m = Machine::boot(tiny());
+        m.bump_pcs();
+        assert_eq!(m.reg(Reg::Pc(Color::Green)), CVal::green(2));
+        assert_eq!(m.reg(Reg::Pc(Color::Blue)), CVal::blue(2));
+    }
+}

@@ -1,0 +1,479 @@
+//! The small-step operational semantics `S ─s→k S'` (paper Figures 2–4 and
+//! the failure rules of Appendix A.1).
+//!
+//! Each call to [`step`] applies exactly one non-faulty rule (`k = 0`);
+//! faulty transitions (`k = 1`) are separate, explicit actions provided by
+//! [`crate::fault`]. The observable decoration `s` is returned as the step's
+//! [`StepEvent::output`] and accumulated in the machine's trace.
+
+use talft_isa::{CVal, Color, Instr, OpSrc, Reg};
+
+use crate::state::{Machine, OobLoadPolicy, Status, StuckReason};
+
+/// What one step did (for tracing and audits).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepEvent {
+    /// The rule that fired (paper rule names).
+    pub rule: &'static str,
+    /// Output written to the memory-mapped device, if any (`s`).
+    pub output: Option<(i64, i64)>,
+    /// Status after the step.
+    pub status: Status,
+}
+
+impl StepEvent {
+    fn plain(rule: &'static str, status: Status) -> Self {
+        Self { rule, output: None, status }
+    }
+}
+
+/// Take one small step. Returns the event describing the rule that fired.
+///
+/// A machine that is not `Running` does not move (`StuckReason::NotRunning`).
+pub fn step(m: &mut Machine) -> StepEvent {
+    if !m.status().is_running() {
+        return StepEvent::plain("(not running)", m.status());
+    }
+    m.bump_steps();
+    match m.ir().copied() {
+        None => fetch(m),
+        Some(i) => {
+            m.set_ir(None);
+            exec(m, i)
+        }
+    }
+}
+
+/// Instruction fetch (rules `fetch` / `fetch-fail`).
+fn fetch(m: &mut Machine) -> StepEvent {
+    let g = m.rval(Reg::Pc(Color::Green));
+    let b = m.rval(Reg::Pc(Color::Blue));
+    if g != b {
+        m.set_status(Status::Fault);
+        return StepEvent::plain("fetch-fail", Status::Fault);
+    }
+    match m.program().instr(g).copied() {
+        Some(i) => {
+            m.set_ir(Some(i));
+            StepEvent::plain("fetch", Status::Running)
+        }
+        None => {
+            // No rule fires: the machine is stuck. (Well-typed programs
+            // never reach this — Theorem 1.)
+            let st = Status::Stuck(StuckReason::BadPc(g));
+            m.set_status(st);
+            StepEvent::plain("(stuck: bad pc)", st)
+        }
+    }
+}
+
+fn exec(m: &mut Machine, i: Instr) -> StepEvent {
+    match i {
+        Instr::Op { op, rd, rs, src2 } => {
+            let a = m.rval(rs.into());
+            let (b, color) = match src2 {
+                // op2r: result colored like rt.
+                OpSrc::Reg(rt) => (m.rval(rt.into()), m.rcol(rt.into())),
+                // op1r: result colored like the immediate.
+                OpSrc::Imm(v) => (v.val, v.color),
+            };
+            let r = op.eval(a, b);
+            m.bump_pcs();
+            m.set_reg(rd.into(), CVal::new(color, r));
+            StepEvent::plain(
+                match src2 {
+                    OpSrc::Reg(_) => "op2r",
+                    OpSrc::Imm(_) => "op1r",
+                },
+                Status::Running,
+            )
+        }
+        Instr::Mov { rd, v } => {
+            m.bump_pcs();
+            m.set_reg(rd.into(), v);
+            StepEvent::plain("mov", Status::Running)
+        }
+        Instr::St { color: Color::Green, rd, rs } => {
+            // stG-queue: push (Rval(rd), Rval(rs)) on the *front*.
+            let pair = (m.rval(rd.into()), m.rval(rs.into()));
+            m.queue_mut().push_front(pair);
+            m.note_queue_depth();
+            m.bump_pcs();
+            StepEvent::plain("stG-queue", Status::Running)
+        }
+        Instr::St { color: Color::Blue, rd, rs } => {
+            // stB-mem / stB-mem-fail / stB-queue-fail: compare against the
+            // *back* (oldest) pair and commit.
+            match m.queue_mut().pop_back() {
+                None => {
+                    m.set_status(Status::Fault);
+                    StepEvent::plain("stB-queue-fail", Status::Fault)
+                }
+                Some((nl, nv)) => {
+                    if m.rval(rd.into()) == nl && m.rval(rs.into()) == nv {
+                        m.mem_write(nl, nv);
+                        m.emit((nl, nv));
+                        m.bump_pcs();
+                        StepEvent {
+                            rule: "stB-mem",
+                            output: Some((nl, nv)),
+                            status: Status::Running,
+                        }
+                    } else {
+                        m.set_status(Status::Fault);
+                        StepEvent::plain("stB-mem-fail", Status::Fault)
+                    }
+                }
+            }
+        }
+        Instr::Ld { color: Color::Green, rd, rs } => {
+            let addr = m.rval(rs.into());
+            if let Some((_, v)) = m.queue_find(addr) {
+                // ldG-queue: forward the pending (green) store.
+                m.bump_pcs();
+                m.set_reg(rd.into(), CVal::green(v));
+                StepEvent::plain("ldG-queue", Status::Running)
+            } else if let Some(v) = m.mem(addr) {
+                m.bump_pcs();
+                m.set_reg(rd.into(), CVal::green(v));
+                StepEvent::plain("ldG-mem", Status::Running)
+            } else {
+                oob_load(m, rd.into(), Color::Green, "ldG")
+            }
+        }
+        Instr::Ld { color: Color::Blue, rd, rs } => {
+            // ldB ignores the queue.
+            let addr = m.rval(rs.into());
+            if let Some(v) = m.mem(addr) {
+                m.bump_pcs();
+                m.set_reg(rd.into(), CVal::blue(v));
+                StepEvent::plain("ldB-mem", Status::Running)
+            } else {
+                oob_load(m, rd.into(), Color::Blue, "ldB")
+            }
+        }
+        Instr::Jmp { color: Color::Green, rd } => {
+            // jmpG / jmpG-fail: latch the intended target into d.
+            if m.rval(Reg::Dst) == 0 {
+                let v = m.reg(rd.into());
+                m.bump_pcs();
+                m.set_reg(Reg::Dst, v);
+                StepEvent::plain("jmpG", Status::Running)
+            } else {
+                m.set_status(Status::Fault);
+                StepEvent::plain("jmpG-fail", Status::Fault)
+            }
+        }
+        Instr::Jmp { color: Color::Blue, rd } => {
+            // jmpB / jmpB-fail: compare and commit the transfer.
+            let dval = m.rval(Reg::Dst);
+            if dval != 0 && m.rval(rd.into()) == dval {
+                let dv = m.reg(Reg::Dst);
+                let rv = m.reg(rd.into());
+                m.set_reg(Reg::Pc(Color::Green), dv);
+                m.set_reg(Reg::Pc(Color::Blue), rv);
+                m.set_reg(Reg::Dst, CVal::green(0));
+                StepEvent::plain("jmpB", Status::Running)
+            } else {
+                m.set_status(Status::Fault);
+                StepEvent::plain("jmpB-fail", Status::Fault)
+            }
+        }
+        Instr::Bz { color, rz, rd } => {
+            let z = m.rval(rz.into());
+            let dval = m.rval(Reg::Dst);
+            if z != 0 {
+                // Untaken: requires d = 0 (else a prior bzG latched a target
+                // the blue side now disagrees about — bz-untaken-fail).
+                if dval == 0 {
+                    m.bump_pcs();
+                    StepEvent::plain("bz-untaken", Status::Running)
+                } else {
+                    m.set_status(Status::Fault);
+                    StepEvent::plain("bz-untaken-fail", Status::Fault)
+                }
+            } else {
+                match color {
+                    Color::Green => {
+                        // bzG-taken: conditional move of the target into d.
+                        if dval == 0 {
+                            let v = m.reg(rd.into());
+                            m.bump_pcs();
+                            m.set_reg(Reg::Dst, v);
+                            StepEvent::plain("bzG-taken", Status::Running)
+                        } else {
+                            m.set_status(Status::Fault);
+                            StepEvent::plain("bzG-taken-fail", Status::Fault)
+                        }
+                    }
+                    Color::Blue => {
+                        // bzB-taken: compare and commit.
+                        if dval != 0 && m.rval(rd.into()) == dval {
+                            let dv = m.reg(Reg::Dst);
+                            let rv = m.reg(rd.into());
+                            m.set_reg(Reg::Pc(Color::Green), dv);
+                            m.set_reg(Reg::Pc(Color::Blue), rv);
+                            m.set_reg(Reg::Dst, CVal::green(0));
+                            StepEvent::plain("bzB-taken", Status::Running)
+                        } else {
+                            m.set_status(Status::Fault);
+                            StepEvent::plain("bzB-taken-fail", Status::Fault)
+                        }
+                    }
+                }
+            }
+        }
+        Instr::Halt => {
+            m.set_status(Status::Halted);
+            StepEvent::plain("halt", Status::Halted)
+        }
+    }
+}
+
+fn oob_load(m: &mut Machine, rd: Reg, color: Color, base: &'static str) -> StepEvent {
+    match m.oob_policy {
+        OobLoadPolicy::Fault => {
+            m.set_status(Status::Fault);
+            StepEvent::plain(
+                if base == "ldG" { "ldG-fail" } else { "ldB-fail" },
+                Status::Fault,
+            )
+        }
+        OobLoadPolicy::Value(v) => {
+            m.bump_pcs();
+            m.set_reg(rd, CVal::new(color, v));
+            StepEvent::plain(
+                if base == "ldG" { "ldG-rand" } else { "ldB-rand" },
+                Status::Running,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use talft_isa::assemble;
+
+    fn boot(src: &str) -> Machine {
+        Machine::boot(Arc::new(assemble(src).expect("assembles").program))
+    }
+
+    const PRE: &str = ".pre { forall m:mem; mem: m; }";
+
+    #[test]
+    fn paper_store_sequence_commits_once() {
+        let src = format!(
+            "\n.data\nregion out at 4096 len 1 : int output\n.code\nmain:\n  {PRE}\n  \
+             mov r1, G 5\n  mov r2, G 4096\n  stG r2, r1\n  mov r3, B 5\n  mov r4, B 4096\n  \
+             stB r4, r3\n  halt\n"
+        );
+        let mut m = boot(&src);
+        let mut outputs = Vec::new();
+        while m.status().is_running() {
+            let ev = step(&mut m);
+            if let Some(o) = ev.output {
+                outputs.push(o);
+            }
+        }
+        assert_eq!(m.status(), Status::Halted);
+        assert_eq!(outputs, vec![(4096, 5)]);
+        assert_eq!(m.trace(), &[(4096, 5)]);
+        assert_eq!(m.mem(4096), Some(5));
+        assert!(m.queue().is_empty());
+    }
+
+    #[test]
+    fn fetch_fail_on_diverged_pcs() {
+        let src = format!("\n.code\nmain:\n  {PRE}\n  halt\n");
+        let mut m = boot(&src);
+        m.set_reg(Reg::Pc(Color::Blue), CVal::blue(2)); // inject divergence
+        let ev = step(&mut m);
+        assert_eq!(ev.rule, "fetch-fail");
+        assert_eq!(m.status(), Status::Fault);
+    }
+
+    #[test]
+    fn stuck_on_bad_pc() {
+        let src = format!("\n.code\nmain:\n  {PRE}\n  halt\n");
+        let mut m = boot(&src);
+        m.set_reg(Reg::Pc(Color::Green), CVal::green(99));
+        m.set_reg(Reg::Pc(Color::Blue), CVal::blue(99));
+        let ev = step(&mut m);
+        assert_eq!(m.status(), Status::Stuck(StuckReason::BadPc(99)));
+        assert_eq!(ev.status, m.status());
+    }
+
+    #[test]
+    fn stb_mismatch_faults() {
+        let src = format!(
+            "\n.data\nregion out at 4096 len 1 : int output\n.code\nmain:\n  {PRE}\n  \
+             mov r1, G 5\n  mov r2, G 4096\n  stG r2, r1\n  mov r3, B 6\n  mov r4, B 4096\n  \
+             stB r4, r3\n  halt\n"
+        );
+        let mut m = boot(&src);
+        while m.status().is_running() {
+            step(&mut m);
+        }
+        assert_eq!(m.status(), Status::Fault);
+        assert!(m.trace().is_empty()); // nothing observable escaped
+    }
+
+    #[test]
+    fn stb_on_empty_queue_faults() {
+        let src = format!(
+            "\n.data\nregion out at 4096 len 1 : int\n.code\nmain:\n  {PRE}\n  \
+             mov r3, B 5\n  mov r4, B 4096\n  stB r4, r3\n  halt\n"
+        );
+        let mut m = boot(&src);
+        while m.status().is_running() {
+            step(&mut m);
+        }
+        assert_eq!(m.status(), Status::Fault);
+    }
+
+    #[test]
+    fn ldg_forwards_from_queue_ldb_reads_memory() {
+        let src = format!(
+            "\n.data\nregion out at 4096 len 1 : int = 7\n.code\nmain:\n  {PRE}\n  \
+             mov r1, G 5\n  mov r2, G 4096\n  stG r2, r1\n  \
+             ldG r5, r2\n  \
+             mov r6, B 4096\n  ldB r7, r6\n  halt\n"
+        );
+        let mut m = boot(&src);
+        while m.status().is_running() {
+            step(&mut m);
+        }
+        assert_eq!(m.status(), Status::Halted);
+        // Green saw the pending store (5); blue read memory (7).
+        assert_eq!(m.reg(Reg::r(5)), CVal::green(5));
+        assert_eq!(m.reg(Reg::r(7)), CVal::blue(7));
+    }
+
+    #[test]
+    fn oob_load_policies() {
+        let src = format!("\n.code\nmain:\n  {PRE}\n  mov r1, G 12345\n  ldG r2, r1\n  halt\n");
+        let mut m = boot(&src);
+        while m.status().is_running() {
+            step(&mut m);
+        }
+        assert_eq!(m.status(), Status::Fault); // default policy: ldG-fail
+
+        let mut m2 = boot(&src).with_oob_policy(OobLoadPolicy::Value(-1));
+        while m2.status().is_running() {
+            step(&mut m2);
+        }
+        assert_eq!(m2.status(), Status::Halted); // ldG-rand
+        assert_eq!(m2.reg(Reg::r(2)), CVal::green(-1));
+    }
+
+    #[test]
+    fn jump_protocol_transfers_and_resets_d() {
+        let src = format!(
+            "\n.code\nmain:\n  {PRE}\n  \
+             mov r1, G @target\n  mov r2, B @target\n  jmpG r1\n  jmpB r2\n  halt\ntarget:\n  {PRE}\n  halt\n"
+        );
+        let mut m = boot(&src);
+        while m.status().is_running() {
+            step(&mut m);
+        }
+        assert_eq!(m.status(), Status::Halted);
+        // We must have halted at `target` (address 6), not the inline halt (5).
+        assert_eq!(m.rval(Reg::Pc(Color::Green)), 6);
+        assert_eq!(m.reg(Reg::Dst), CVal::green(0));
+    }
+
+    #[test]
+    fn jmpb_with_mismatched_target_faults() {
+        let src = format!(
+            "\n.code\nmain:\n  {PRE}\n  \
+             mov r1, G @target\n  mov r2, B @main\n  jmpG r1\n  jmpB r2\n  halt\ntarget:\n  {PRE}\n  halt\n"
+        );
+        let mut m = boot(&src);
+        while m.status().is_running() {
+            step(&mut m);
+        }
+        assert_eq!(m.status(), Status::Fault);
+    }
+
+    #[test]
+    fn jmpg_with_nonzero_d_faults() {
+        let src = format!(
+            "\n.code\nmain:\n  {PRE}\n  mov r1, G @main\n  jmpG r1\n  jmpG r1\n  halt\n"
+        );
+        let mut m = boot(&src);
+        while m.status().is_running() {
+            step(&mut m);
+        }
+        assert_eq!(m.status(), Status::Fault); // second jmpG sees d ≠ 0
+    }
+
+    #[test]
+    fn branch_protocol_taken_and_untaken() {
+        // Taken: rz = 0 latches then commits.
+        let taken = format!(
+            "\n.code\nmain:\n  {PRE}\n  mov r1, G 0\n  mov r2, B 0\n  \
+             mov r3, G @target\n  mov r4, B @target\n  bzG r1, r3\n  bzB r2, r4\n  halt\ntarget:\n  {PRE}\n  halt\n"
+        );
+        let mut m = boot(&taken);
+        while m.status().is_running() {
+            step(&mut m);
+        }
+        assert_eq!(m.status(), Status::Halted);
+        assert_eq!(m.rval(Reg::Pc(Color::Green)), 8); // halted at target
+        assert_eq!(m.reg(Reg::Dst), CVal::green(0));
+
+        // Untaken: rz ≠ 0 falls through both halves.
+        let untaken = taken.replace("mov r1, G 0", "mov r1, G 1").replace("mov r2, B 0", "mov r2, B 1");
+        let mut m = boot(&untaken);
+        while m.status().is_running() {
+            step(&mut m);
+        }
+        assert_eq!(m.status(), Status::Halted);
+        assert_eq!(m.rval(Reg::Pc(Color::Green)), 7); // fell through to inline halt
+    }
+
+    #[test]
+    fn bz_disagreement_faults() {
+        // Green says taken (latches d), blue says untaken (rz' ≠ 0) with
+        // d ≠ 0 ⇒ bz-untaken-fail.
+        let src = format!(
+            "\n.code\nmain:\n  {PRE}\n  mov r1, G 0\n  mov r2, B 1\n  \
+             mov r3, G @target\n  mov r4, B @target\n  bzG r1, r3\n  bzB r2, r4\n  halt\ntarget:\n  {PRE}\n  halt\n"
+        );
+        let mut m = boot(&src);
+        while m.status().is_running() {
+            step(&mut m);
+        }
+        assert_eq!(m.status(), Status::Fault);
+    }
+
+    #[test]
+    fn op_colors_follow_paper_rules() {
+        let src = format!(
+            "\n.code\nmain:\n  {PRE}\n  mov r1, B 3\n  mov r2, B 4\n  add r3, r1, r2\n  \
+             add r4, r1, B 10\n  halt\n"
+        );
+        let mut m = boot(&src);
+        while m.status().is_running() {
+            step(&mut m);
+        }
+        assert_eq!(m.reg(Reg::r(3)), CVal::blue(7));
+        assert_eq!(m.reg(Reg::r(4)), CVal::blue(13));
+    }
+
+    #[test]
+    fn steps_and_events_are_counted() {
+        let src = format!("\n.code\nmain:\n  {PRE}\n  halt\n");
+        let mut m = boot(&src);
+        let e1 = step(&mut m);
+        assert_eq!(e1.rule, "fetch");
+        let e2 = step(&mut m);
+        assert_eq!(e2.rule, "halt");
+        assert_eq!(m.steps(), 2);
+        let e3 = step(&mut m);
+        assert_eq!(e3.rule, "(not running)");
+        assert_eq!(m.steps(), 2);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the operational semantics.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use talft_isa::{assemble, Program};
+use talft_machine::{run_program, step, Machine, Status};
+
+fn store_loop_program() -> Arc<Program> {
+    let src = r#"
+.data
+region out at 4096 len 8 : int output
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r1, G 5
+  mov r2, B 5
+loop:
+  .pre { forall x:int, m:mem; r1: (G, int, x); r2: (B, int, x); mem: m; }
+  and r5, r1, G 7
+  add r5, r5, G 4096
+  and r6, r2, B 7
+  add r6, r6, B 4096
+  stG r5, r1
+  stB r6, r2
+  sub r1, r1, G 1
+  sub r2, r2, B 1
+  mov r3, G @done
+  mov r4, B @done
+  bzG r1, r3
+  bzB r2, r4
+  mov r7, G @loop
+  mov r8, B @loop
+  jmpG r7
+  jmpB r8
+done:
+  .pre { forall m:mem; mem: m; }
+  halt
+"#;
+    Arc::new(assemble(src).expect("assembles").program)
+}
+
+proptest! {
+    /// The machine is deterministic: any two runs of the same program agree
+    /// step by step (sampled at random prefixes).
+    #[test]
+    fn machine_is_deterministic(prefix in 0u64..200) {
+        let p = store_loop_program();
+        let mut a = Machine::boot(Arc::clone(&p));
+        let mut b = Machine::boot(Arc::clone(&p));
+        for _ in 0..prefix {
+            let ea = step(&mut a);
+            let eb = step(&mut b);
+            prop_assert_eq!(ea, eb);
+        }
+        prop_assert_eq!(a.trace(), b.trace());
+        prop_assert_eq!(a.status(), b.status());
+        prop_assert_eq!(a.memory(), b.memory());
+    }
+
+    /// Traces only grow, statuses only leave `Running` once, and the step
+    /// counter advances exactly when running.
+    #[test]
+    fn trace_monotone_and_status_final(budget in 1u64..400) {
+        let p = store_loop_program();
+        let mut m = Machine::boot(p);
+        let mut last_len = 0usize;
+        let mut terminal_seen = false;
+        for _ in 0..budget {
+            let before = m.steps();
+            step(&mut m);
+            prop_assert!(m.trace().len() >= last_len);
+            last_len = m.trace().len();
+            if terminal_seen {
+                prop_assert_eq!(m.steps(), before, "terminal machines do not step");
+            }
+            if !m.status().is_running() {
+                terminal_seen = true;
+            }
+        }
+    }
+}
+
+#[test]
+fn full_run_is_golden() {
+    let p = store_loop_program();
+    let r = run_program(&p, 100_000);
+    assert_eq!(r.status, Status::Halted);
+    let values: Vec<i64> = r.trace.iter().map(|&(_, v)| v).collect();
+    assert_eq!(values, vec![5, 4, 3, 2, 1]);
+}

@@ -1,0 +1,442 @@
+//! The Wile kernels standing in for SPEC CINT2000 / MediaBench workloads.
+//!
+//! Every kernel generates its own input deterministically (a 20-bit LCG
+//! stream computed in Wile — the reproduction cannot ship SPEC's reference
+//! inputs), computes its class's characteristic inner loop, and writes
+//! per-element results plus a final checksum to the observable `out` region.
+
+/// Kernel scale: array sizes / trip counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Campaign-sized (fault injection replays the whole run per fault).
+    Tiny,
+    /// Test-sized.
+    Small,
+    /// Timing-sized (Figure 10 runs).
+    Full,
+}
+
+impl Scale {
+    /// The base element count for this scale (power of two).
+    #[must_use]
+    pub fn n(self) -> i64 {
+        match self {
+            Scale::Tiny => 8,
+            Scale::Small => 32,
+            Scale::Full => 128,
+        }
+    }
+}
+
+/// A named benchmark kernel.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Benchmark name (`spec_*` / `mb_*`, after the paper's suites).
+    pub name: &'static str,
+    /// Workload class description.
+    pub class: &'static str,
+    /// Wile source text.
+    pub source: String,
+}
+
+/// Shared input generator: fills `data[n]` with a 20-bit LCG stream.
+fn lcg_fill(n: i64) -> String {
+    format!(
+        "var seed = 12345;\n  var gi = 0;\n  while (gi < {n}) {{\n    \
+         seed = (seed * 1103515245 + 12345) & 1048575;\n    \
+         data[gi] = seed;\n    gi = gi + 1;\n  }}\n"
+    )
+}
+
+/// All kernels at the given scale.
+#[must_use]
+pub fn kernels(scale: Scale) -> Vec<Kernel> {
+    let n = scale.n();
+    vec![
+        spec_gzip(n),
+        spec_vpr(n),
+        spec_mcf(n),
+        spec_crafty(n),
+        spec_parser(n),
+        spec_bzip2(n),
+        spec_twolf(n),
+        mb_adpcm(n),
+        mb_epic(n),
+        mb_g721(n),
+        mb_gsm(n),
+        mb_jpeg(n),
+        mb_mpeg2(n),
+        mb_pegwit(n),
+        spec_gap(n),
+        spec_vortex(n),
+        mb_mesa(n),
+        mb_rasta(n),
+    ]
+}
+
+/// Permutation composition and cycle counting (gap's group arithmetic).
+fn spec_gap(n: i64) -> Kernel {
+    let fill = lcg_fill(n);
+    let source = format!(
+        "array data[{n}];\narray perm[{n}];\narray comp[{n}];\noutput out[{n}];\nfunc main() {{\n  {fill}\
+  var i = 0;\n  while (i < {n}) {{ perm[i] = i; i = i + 1; }}\n  \
+  var k = 0;\n  while (k < {n}) {{\n    \
+    var a = data[k] & {mask};\n    var b = (data[k] >> 7) & {mask};\n    \
+    var t = perm[a];\n    perm[a] = perm[b];\n    perm[b] = t;\n    k = k + 1;\n  }}\n  \
+  var j = 0;\n  var fixed = 0;\n  while (j < {n}) {{\n    \
+    comp[j] = perm[perm[j] & {mask}];\n    \
+    if (comp[j] == j) {{ fixed = fixed + 1; }}\n    \
+    out[j] = comp[j];\n    j = j + 1;\n  }}\n  out[0] = fixed;\n}}\n",
+        mask = n - 1
+    );
+    Kernel { name: "spec_gap", class: "permutation group arithmetic", source }
+}
+
+/// Object-store bucket lookup with probing (vortex's OO database shape).
+fn spec_vortex(n: i64) -> Kernel {
+    let fill = lcg_fill(n);
+    let source = format!(
+        "array data[{n}];\narray buckets[{n}];\noutput out[{n}];\nfunc main() {{\n  {fill}\
+  var i = 0;\n  while (i < {n}) {{ buckets[i] = 0 - 1; i = i + 1; }}\n  \
+  var k = 0;\n  while (k < {half}) {{\n    \
+    var key = data[k] & 65535;\n    var h = (key * 2654435761) & {mask};\n    \
+    var probes = 0;\n    var placed = 0;\n    \
+    while (probes < 4 && placed == 0) {{\n      \
+      var slot = (h + probes) & {mask};\n      \
+      if (buckets[slot] == 0 - 1) {{ buckets[slot] = key; placed = 1; }}\n      \
+      probes = probes + 1;\n    }}\n    k = k + 1;\n  }}\n  \
+  var q = 0;\n  var hits = 0;\n  while (q < {half}) {{\n    \
+    var key = data[q] & 65535;\n    var h = (key * 2654435761) & {mask};\n    \
+    var probes = 0;\n    var found = 0;\n    \
+    while (probes < 4) {{\n      \
+      var slot = (h + probes) & {mask};\n      \
+      if (buckets[slot] == key) {{ found = 1; }}\n      \
+      probes = probes + 1;\n    }}\n    \
+    hits = hits + found;\n    out[q] = found;\n    q = q + 1;\n  }}\n  \
+  out[0] = hits;\n}}\n",
+        mask = n - 1,
+        half = n / 2
+    );
+    Kernel { name: "spec_vortex", class: "object-store hash lookup", source }
+}
+
+/// Fixed-point vertex transform (mesa's 3D pipeline shape): a 3x3 matrix
+/// times a stream of vectors, with `>> 8` fixed-point scaling.
+fn mb_mesa(n: i64) -> Kernel {
+    let fill = lcg_fill(n);
+    let source = format!(
+        "array data[{n}];\narray mtx[8] = [256, 12, 3, 7, 250, 9, 2, 14];\noutput out[{n}];\nfunc main() {{\n  {fill}\
+  var i = 0;\n  while (i + 3 <= {n}) {{\n    \
+    var x = (data[i] & 1023) - 512;\n    \
+    var y = (data[i + 1] & 1023) - 512;\n    \
+    var z = (data[i + 2] & 1023) - 512;\n    \
+    out[i] = (mtx[0] * x + mtx[1] * y + mtx[2] * z) >> 8;\n    \
+    out[i + 1] = (mtx[3] * x + mtx[4] * y + mtx[5] * z) >> 8;\n    \
+    out[i + 2] = (mtx[6] * x + mtx[7] * y + mtx[2] * z) >> 8;\n    \
+    i = i + 3;\n  }}\n}}\n"
+    );
+    Kernel { name: "mb_mesa", class: "fixed-point vertex transform", source }
+}
+
+/// Critical-band filter energy accumulation (rasta's speech front end).
+fn mb_rasta(n: i64) -> Kernel {
+    let fill = lcg_fill(n);
+    let source = format!(
+        "array data[{n}];\noutput out[8];\nfunc main() {{\n  {fill}\
+  var band = 0;\n  while (band < 8) {{\n    \
+    var lo = band * ({n} >> 3);\n    var hi = lo + ({n} >> 3);\n    \
+    var acc = 0;\n    var i = lo;\n    while (i < hi) {{\n      \
+      var v = (data[i] & 511) - 256;\n      \
+      acc = acc + v * v;\n      i = i + 1;\n    }}\n    \
+    var l = 0;\n    var t = acc;\n    while (t > 0) {{ t = t >> 1; l = l + 1; }}\n    \
+    out[band] = l;\n    band = band + 1;\n  }}\n}}\n"
+    );
+    Kernel { name: "mb_rasta", class: "filter-bank energies", source }
+}
+
+/// LZ77-style match finding (the gzip deflate inner loop): for each
+/// position, the longest match (≤ 4) against a sliding window.
+fn spec_gzip(n: i64) -> Kernel {
+    let fill = lcg_fill(n);
+    let source = format!(
+        "array data[{n}];\noutput out[{n}];\nfunc main() {{\n  {fill}\
+  var sum = 0;\n  var i = 4;\n  while (i < {n}) {{\n    \
+    var best = 0;\n    var j = 1;\n    while (j < 4) {{\n      \
+      var len = 0;\n      \
+      if (data[i - j] == data[i]) {{ len = 1;\n        \
+        if (i + 1 < {n}) {{ if (data[i - j + 1] == data[i + 1]) {{ len = 2; }} }}\n      }}\n      \
+      if (len > best) {{ best = len; }}\n      j = j + 1;\n    }}\n    \
+    out[i] = best;\n    sum = sum + best;\n    i = i + 1;\n  }}\n  \
+  out[0] = sum;\n}}\n"
+    );
+    Kernel { name: "spec_gzip", class: "compression match-finding", source }
+}
+
+/// Routing-cost relaxation sweeps (vpr's route loop shape).
+fn spec_vpr(n: i64) -> Kernel {
+    let fill = lcg_fill(n);
+    let source = format!(
+        "array data[{n}];\narray cost[{n}];\noutput out[{n}];\nfunc main() {{\n  {fill}\
+  var i = 0;\n  while (i < {n}) {{ cost[i] = data[i] & 255; i = i + 1; }}\n  \
+  var sweep = 0;\n  while (sweep < 4) {{\n    var k = 1;\n    while (k < {n}) {{\n      \
+      var c = cost[k - 1] + (data[k] & 15) + 1;\n      \
+      if (c < cost[k]) {{ cost[k] = c; }}\n      k = k + 1;\n    }}\n    \
+    sweep = sweep + 1;\n  }}\n  \
+  var j = 0;\n  while (j < {n}) {{ out[j] = cost[j]; j = j + 1; }}\n}}\n"
+    );
+    Kernel { name: "spec_vpr", class: "routing cost relaxation", source }
+}
+
+/// Bellman–Ford edge relaxation (mcf's network-simplex flavor).
+fn spec_mcf(n: i64) -> Kernel {
+    let fill = lcg_fill(n);
+    let source = format!(
+        "array data[{n}];\narray dist[{n}];\noutput out[{n}];\nfunc main() {{\n  {fill}\
+  var i = 0;\n  while (i < {n}) {{ dist[i] = 1048575; i = i + 1; }}\n  dist[0] = 0;\n  \
+  var round = 0;\n  while (round < 4) {{\n    var e = 0;\n    while (e < {n}) {{\n      \
+      var u = data[e] & {umask};\n      var v = (data[e] >> 5) & {umask};\n      \
+      var w = (data[e] >> 10) & 63;\n      \
+      var nd = dist[u] + w;\n      if (nd < dist[v]) {{ dist[v] = nd; }}\n      \
+      e = e + 1;\n    }}\n    round = round + 1;\n  }}\n  \
+  var j = 0;\n  while (j < {n}) {{ out[j] = dist[j] & 1048575; j = j + 1; }}\n}}\n",
+        umask = n - 1
+    );
+    Kernel { name: "spec_mcf", class: "shortest-path relaxation", source }
+}
+
+/// Bitboard population counts and mobility masks (crafty's move generator).
+fn spec_crafty(n: i64) -> Kernel {
+    let fill = lcg_fill(n);
+    let source = format!(
+        "array data[{n}];\noutput out[{n}];\nfunc main() {{\n  {fill}\
+  var i = 0;\n  var total = 0;\n  while (i < {n}) {{\n    \
+    var b = data[i];\n    var pop = 0;\n    var k = 0;\n    while (k < 20) {{\n      \
+      pop = pop + (b & 1);\n      b = b >> 1;\n      k = k + 1;\n    }}\n    \
+    var mob = (data[i] << 1) ^ (data[i] >> 1);\n    \
+    out[i] = pop + (mob & 7);\n    total = total + pop;\n    i = i + 1;\n  }}\n  \
+  out[0] = total;\n}}\n"
+    );
+    Kernel { name: "spec_crafty", class: "bitboard population counts", source }
+}
+
+/// Token scanning: classify a byte stream and count token runs (parser's
+/// dictionary scan shape).
+fn spec_parser(n: i64) -> Kernel {
+    let fill = lcg_fill(n);
+    let source = format!(
+        "array data[{n}];\noutput out[4];\nfunc main() {{\n  {fill}\
+  var tokens = 0;\n  var inword = 0;\n  var alpha = 0;\n  var i = 0;\n  \
+  while (i < {n}) {{\n    var c = data[i] & 127;\n    \
+    var isalpha = 0;\n    if (c >= 65) {{ if (c < 91) {{ isalpha = 1; }} }}\n    \
+    if (c >= 97) {{ if (c < 123) {{ isalpha = 1; }} }}\n    \
+    alpha = alpha + isalpha;\n    \
+    if (isalpha == 1) {{\n      if (inword == 0) {{ tokens = tokens + 1; inword = 1; }}\n    \
+    }} else {{ inword = 0; }}\n    i = i + 1;\n  }}\n  \
+  out[0] = tokens;\n  out[1] = alpha;\n  out[2] = {n} - alpha;\n  out[3] = tokens * 2 + alpha;\n}}\n"
+    );
+    Kernel { name: "spec_parser", class: "token scanning", source }
+}
+
+/// Move-to-front transform (bzip2's second stage).
+fn spec_bzip2(n: i64) -> Kernel {
+    let fill = lcg_fill(n);
+    let source = format!(
+        "array data[{n}];\narray mtf[16];\noutput out[{n}];\nfunc main() {{\n  {fill}\
+  var t = 0;\n  while (t < 16) {{ mtf[t] = t; t = t + 1; }}\n  \
+  var i = 0;\n  var sum = 0;\n  while (i < {n}) {{\n    \
+    var sym = data[i] & 15;\n    \
+    var idx = 0;\n    var k = 0;\n    while (k < 16) {{\n      \
+      if (mtf[k] == sym) {{ idx = k; }}\n      k = k + 1;\n    }}\n    \
+    var m = idx;\n    while (m > 0) {{ mtf[m] = mtf[m - 1]; m = m - 1; }}\n    \
+    mtf[0] = sym;\n    \
+    out[i] = idx;\n    sum = sum + idx;\n    i = i + 1;\n  }}\n  \
+  out[0] = sum;\n}}\n"
+    );
+    Kernel { name: "spec_bzip2", class: "move-to-front transform", source }
+}
+
+/// Placement swap-cost evaluation (twolf's annealing inner loop).
+fn spec_twolf(n: i64) -> Kernel {
+    let fill = lcg_fill(n);
+    let source = format!(
+        "array data[{n}];\narray posx[{n}];\noutput out[{n}];\nfunc main() {{\n  {fill}\
+  var i = 0;\n  while (i < {n}) {{ posx[i] = data[i] & 511; i = i + 1; }}\n  \
+  var best = 1048575;\n  var j = 0;\n  while (j < {n}) {{\n    \
+    var k = j + 1;\n    var cost = 0;\n    while (k < {n}) {{\n      \
+      var d = posx[j] - posx[k];\n      if (d < 0) {{ d = 0 - d; }}\n      \
+      cost = cost + d;\n      k = k + 4;\n    }}\n    \
+    out[j] = cost;\n    if (cost < best) {{ best = cost; }}\n    j = j + 1;\n  }}\n  \
+  out[0] = best;\n}}\n"
+    );
+    Kernel { name: "spec_twolf", class: "placement swap cost", source }
+}
+
+/// ADPCM step-size encoder (adpcm's rawcaudio shape).
+fn mb_adpcm(n: i64) -> Kernel {
+    let fill = lcg_fill(n);
+    let source = format!(
+        "array data[{n}];\narray steptab[8] = [7, 11, 16, 24, 34, 49, 70, 100];\n\
+output out[{n}];\nfunc main() {{\n  {fill}\
+  var pred = 0;\n  var stepidx = 0;\n  var i = 0;\n  while (i < {n}) {{\n    \
+    var sample = (data[i] & 2047) - 1024;\n    \
+    var delta = sample - pred;\n    var sign = 0;\n    \
+    if (delta < 0) {{ sign = 8; delta = 0 - delta; }}\n    \
+    var step = steptab[stepidx];\n    var code = 0;\n    \
+    if (delta >= step) {{ code = 4; delta = delta - step; }}\n    \
+    if (delta >= (step >> 1)) {{ code = code + 2; delta = delta - (step >> 1); }}\n    \
+    if (delta >= (step >> 2)) {{ code = code + 1; }}\n    \
+    var diff = step >> 3;\n    \
+    if (code & 4 == 4) {{ diff = diff + step; }}\n    \
+    if (code & 2 == 2) {{ diff = diff + (step >> 1); }}\n    \
+    if (code & 1 == 1) {{ diff = diff + (step >> 2); }}\n    \
+    if (sign == 8) {{ pred = pred - diff; }} else {{ pred = pred + diff; }}\n    \
+    if (pred > 1023) {{ pred = 1023; }}\n    if (pred < -1024) {{ pred = -1024; }}\n    \
+    if (code >= 4) {{ stepidx = stepidx + 1; }} else {{ stepidx = stepidx - 1; }}\n    \
+    if (stepidx < 0) {{ stepidx = 0; }}\n    if (stepidx > 7) {{ stepidx = 7; }}\n    \
+    out[i] = code + sign;\n    i = i + 1;\n  }}\n  out[0] = pred & 2047;\n}}\n"
+    );
+    Kernel { name: "mb_adpcm", class: "ADPCM encode", source }
+}
+
+/// 5-tap low-pass filter + decimation (epic's pyramid stage).
+fn mb_epic(n: i64) -> Kernel {
+    let fill = lcg_fill(n);
+    let half = n / 2;
+    let source = format!(
+        "array data[{n}];\noutput out[{half}];\nfunc main() {{\n  {fill}\
+  var i = 0;\n  while (i < {half}) {{\n    var c = i * 2;\n    \
+    var acc = data[c] * 6;\n    \
+    if (c >= 1) {{ acc = acc + data[c - 1] * 4; }}\n    \
+    if (c >= 2) {{ acc = acc + data[c - 2]; }}\n    \
+    if (c + 1 < {n}) {{ acc = acc + data[c + 1] * 4; }}\n    \
+    if (c + 2 < {n}) {{ acc = acc + data[c + 2]; }}\n    \
+    out[i] = (acc >> 4) & 1048575;\n    i = i + 1;\n  }}\n}}\n"
+    );
+    Kernel { name: "mb_epic", class: "image pyramid filter", source }
+}
+
+/// Threshold quantizer (g721's quan() scan).
+fn mb_g721(n: i64) -> Kernel {
+    let fill = lcg_fill(n);
+    let source = format!(
+        "array data[{n}];\narray thresh[8] = [62, 125, 251, 502, 1004, 2008, 4016, 8032];\n\
+output out[{n}];\nfunc main() {{\n  {fill}\
+  var i = 0;\n  var hist = 0;\n  while (i < {n}) {{\n    \
+    var v = data[i] & 8191;\n    var q = 0;\n    var k = 0;\n    \
+    while (k < 8) {{\n      if (v >= thresh[k]) {{ q = k + 1; }}\n      k = k + 1;\n    }}\n    \
+    out[i] = q;\n    hist = hist + q;\n    i = i + 1;\n  }}\n  out[0] = hist;\n}}\n"
+    );
+    Kernel { name: "mb_g721", class: "threshold quantizer", source }
+}
+
+/// Autocorrelation lags (gsm's LPC analysis front end).
+fn mb_gsm(n: i64) -> Kernel {
+    let fill = lcg_fill(n);
+    let source = format!(
+        "array data[{n}];\noutput out[8];\nfunc main() {{\n  {fill}\
+  var lag = 0;\n  while (lag < 5) {{\n    var acc = 0;\n    var i = 0;\n    \
+    while (i + lag < {n}) {{\n      \
+      var a = (data[i] & 255) - 128;\n      var b = (data[i + lag] & 255) - 128;\n      \
+      acc = acc + a * b;\n      i = i + 1;\n    }}\n    \
+    out[lag] = acc & 1048575;\n    lag = lag + 1;\n  }}\n}}\n"
+    );
+    Kernel { name: "mb_gsm", class: "LPC autocorrelation", source }
+}
+
+/// Quantization + zigzag reorder over 8×8 blocks (jpeg's cjpeg shape).
+fn mb_jpeg(n: i64) -> Kernel {
+    let fill = lcg_fill(n);
+    let source = format!(
+        "array data[{n}];\narray zig[8] = [0, 1, 5, 6, 2, 4, 7, 3];\n\
+array qshift[8] = [3, 4, 4, 5, 5, 6, 6, 7];\noutput out[{n}];\nfunc main() {{\n  {fill}\
+  var blk = 0;\n  while (blk + 8 <= {n}) {{\n    var k = 0;\n    while (k < 8) {{\n      \
+      var src = blk + zig[k];\n      var q = data[src] >> qshift[k];\n      \
+      out[blk + k] = q;\n      k = k + 1;\n    }}\n    blk = blk + 8;\n  }}\n}}\n"
+    );
+    Kernel { name: "mb_jpeg", class: "quantize + zigzag", source }
+}
+
+/// Butterfly IDCT-lite over rows of 8 (mpeg2dec's idctcol shape).
+fn mb_mpeg2(n: i64) -> Kernel {
+    let fill = lcg_fill(n);
+    let source = format!(
+        "array data[{n}];\noutput out[{n}];\nfunc main() {{\n  {fill}\
+  var blk = 0;\n  while (blk + 8 <= {n}) {{\n    \
+    var s0 = data[blk] + data[blk + 4];\n    var d0 = data[blk] - data[blk + 4];\n    \
+    var s1 = data[blk + 1] + data[blk + 5];\n    var d1 = data[blk + 1] - data[blk + 5];\n    \
+    var s2 = data[blk + 2] + data[blk + 6];\n    var d2 = data[blk + 2] - data[blk + 6];\n    \
+    var s3 = data[blk + 3] + data[blk + 7];\n    var d3 = data[blk + 3] - data[blk + 7];\n    \
+    out[blk] = (s0 + s2) >> 1;\n    out[blk + 1] = (s1 + s3) >> 1;\n    \
+    out[blk + 2] = (s0 - s2) >> 1;\n    out[blk + 3] = (s1 - s3) >> 1;\n    \
+    out[blk + 4] = (d0 + d2) >> 1;\n    out[blk + 5] = (d1 + d3) >> 1;\n    \
+    out[blk + 6] = (d0 - d2) >> 1;\n    out[blk + 7] = (d1 - d3) >> 1;\n    \
+    blk = blk + 8;\n  }}\n}}\n"
+    );
+    Kernel { name: "mb_mpeg2", class: "IDCT butterflies", source }
+}
+
+/// Polynomial rolling hash with a mixing pass (pegwit's arithmetic shape).
+fn mb_pegwit(n: i64) -> Kernel {
+    let fill = lcg_fill(n);
+    let source = format!(
+        "array data[{n}];\noutput out[{n}];\nfunc main() {{\n  {fill}\
+  var h = 5381;\n  var i = 0;\n  while (i < {n}) {{\n    \
+    h = (h * 33 + data[i]) & 16777215;\n    \
+    out[i] = h & 65535;\n    i = i + 1;\n  }}\n  \
+  var j = 0;\n  var mix = 0;\n  while (j < {n}) {{\n    \
+    mix = (mix ^ out[j]) * 2654435761;\n    mix = (mix >> 8) & 16777215;\n    \
+    j = j + 1;\n  }}\n  out[0] = mix & 65535;\n}}\n"
+    );
+    Kernel { name: "mb_pegwit", class: "modular rolling hash", source }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use talft_compiler::{compile, vir::interpret, CompileOptions};
+
+    /// Every kernel at every scale parses, analyzes, lowers, and its VIR
+    /// reference run halts with a non-trivial trace.
+    #[test]
+    fn kernels_lower_and_run_at_all_scales() {
+        for scale in [Scale::Tiny, Scale::Small] {
+            for k in kernels(scale) {
+                let c = compile(&k.source, &CompileOptions::default())
+                    .unwrap_or_else(|e| panic!("{} fails to compile: {e}", k.name));
+                let r = interpret(&c.vir, 10_000_000);
+                assert!(r.halted, "{} did not halt", k.name);
+                assert!(!r.trace.is_empty(), "{} produced no output", k.name);
+            }
+        }
+    }
+
+    /// Deterministic: two compilations/interpretations agree.
+    #[test]
+    fn kernels_are_deterministic() {
+        for k in kernels(Scale::Tiny) {
+            let c1 = compile(&k.source, &CompileOptions::default()).expect("compiles");
+            let c2 = compile(&k.source, &CompileOptions::default()).expect("compiles");
+            let r1 = interpret(&c1.vir, 10_000_000);
+            let r2 = interpret(&c2.vir, 10_000_000);
+            assert_eq!(r1.trace, r2.trace, "{} nondeterministic", k.name);
+        }
+    }
+
+    /// Scales change the workload size.
+    #[test]
+    fn scales_change_dynamic_size() {
+        let tiny = kernels(Scale::Tiny);
+        let full = kernels(Scale::Full);
+        for (t, f) in tiny.iter().zip(full.iter()) {
+            let ct = compile(&t.source, &CompileOptions::default()).expect("compiles");
+            let cf = compile(&f.source, &CompileOptions::default()).expect("compiles");
+            let rt = interpret(&ct.vir, 50_000_000);
+            let rf = interpret(&cf.vir, 50_000_000);
+            assert!(
+                rf.dyn_instrs > rt.dyn_instrs,
+                "{}: full not larger than tiny",
+                t.name
+            );
+        }
+    }
+}

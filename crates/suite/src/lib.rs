@@ -1,0 +1,40 @@
+//! The benchmark suite for the TAL_FT evaluation (paper §5).
+//!
+//! The paper compiled SPEC CINT2000 and MediaBench with the modified
+//! VELOCITY compiler. We reproduce the *workload classes* of those suites as
+//! deterministic Wile kernels (DESIGN.md "Substitutions"): each kernel
+//! exercises the memory/ILP/branch mix characteristic of its namesake —
+//! compression match-finding, graph relaxation, bit manipulation, token
+//! scanning, DSP filters, quantization — and writes a self-checking stream
+//! of results to its `out` region.
+//!
+//! Kernels are size-parameterized ([`Scale`]) so fault-injection campaigns
+//! (which replay the whole program per injected fault) can use small inputs
+//! while timing runs use larger ones.
+
+#![warn(missing_docs)]
+
+pub mod kernels;
+
+pub use kernels::{kernels, Kernel, Scale};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_both_families() {
+        let ks = kernels(Scale::Tiny);
+        assert!(ks.iter().filter(|k| k.name.starts_with("spec_")).count() >= 7);
+        assert!(ks.iter().filter(|k| k.name.starts_with("mb_")).count() >= 7);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let ks = kernels(Scale::Small);
+        let mut names: Vec<&str> = ks.iter().map(|k| k.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ks.len());
+    }
+}

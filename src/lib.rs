@@ -1,0 +1,62 @@
+//! **talft** — a complete reproduction of *Fault-tolerant Typed Assembly
+//! Language* (Perry, Mackey, Reis, Ligatti, August, Walker; PLDI 2007).
+//!
+//! TAL_FT is a hybrid hardware/software scheme for detecting transient
+//! hardware faults (single-event upsets), with — uniquely for its time — a
+//! *proof* that well-typed programs are fault tolerant: no single fault can
+//! silently change a program's observable output.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! * [`logic`] — static expressions and decision procedures (§3.1, App. A.2);
+//! * [`isa`] — the instruction set, type syntax, and `.talft` assembler
+//!   (Figures 1 & 5);
+//! * [`machine`] — the faulty hardware's small-step semantics and the SEU
+//!   fault model (§2, Figure 9);
+//! * [`core`] — **the paper's contribution**: the TAL_FT type checker (§3);
+//! * [`compiler`] — a Wile→TAL_FT compiler with the green/blue reliability
+//!   transformation (§5);
+//! * [`sim`] — the in-order timing model behind Figure 10;
+//! * [`faultsim`] — exhaustive fault-injection campaigns validating
+//!   Theorems 1–4;
+//! * [`suite`] — the SPEC/MediaBench-class benchmark kernels.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use talft::isa::assemble;
+//! use talft::core::check_program;
+//! use talft::machine::run_program;
+//! use std::sync::Arc;
+//!
+//! // The paper's §2.2 example: store 5 to address 4096, redundantly.
+//! let src = r#"
+//! .data
+//! region out at 4096 len 1 : int output
+//! .code
+//! main:
+//!   .pre { forall m:mem; mem: m; }
+//!   mov r1, G 5
+//!   mov r2, G 4096
+//!   stG r2, r1
+//!   mov r3, B 5
+//!   mov r4, B 4096
+//!   stB r4, r3
+//!   halt
+//! "#;
+//! let mut asm = assemble(src).unwrap();
+//! check_program(&asm.program, &mut asm.arena).expect("provably fault tolerant");
+//! let run = run_program(&Arc::new(asm.program), 10_000);
+//! assert_eq!(run.trace, vec![(4096, 5)]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use talft_compiler as compiler;
+pub use talft_core as core;
+pub use talft_faultsim as faultsim;
+pub use talft_isa as isa;
+pub use talft_logic as logic;
+pub use talft_machine as machine;
+pub use talft_sim as sim;
+pub use talft_suite as suite;

@@ -1,0 +1,51 @@
+//! The hand-written `.talft` artifacts under `examples/asm/` must assemble,
+//! type-check, execute, and survive an exhaustive fault campaign.
+
+use std::sync::Arc;
+
+use talft::core::check_program;
+use talft::faultsim::{run_campaign, CampaignConfig};
+use talft::isa::assemble;
+use talft::machine::{run_program, Status};
+
+fn load(name: &str) -> String {
+    let path = format!("{}/examples/asm/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn check_and_run(name: &str, patch_fptr: bool) -> Vec<(i64, i64)> {
+    let mut asm = assemble(&load(name)).unwrap_or_else(|e| panic!("{name}: {e}"));
+    if patch_fptr {
+        let h = asm.program.label_addr("handler").expect("handler label");
+        for r in &mut asm.program.regions {
+            if r.name == "table" {
+                r.init = vec![h];
+            }
+        }
+    }
+    check_program(&asm.program, &mut asm.arena)
+        .unwrap_or_else(|e| panic!("{name} rejected: {e}"));
+    let p = Arc::new(asm.program);
+    let r = run_program(&p, 1_000_000);
+    assert_eq!(r.status, Status::Halted, "{name}");
+    let rep = run_campaign(&p, &CampaignConfig::default());
+    assert!(rep.fault_tolerant(), "{name}: {:?}", rep.violations);
+    r.trace
+}
+
+#[test]
+fn store5_artifact() {
+    assert_eq!(check_and_run("store5.talft", false), vec![(4096, 5)]);
+}
+
+#[test]
+fn countdown_artifact() {
+    let trace = check_and_run("countdown.talft", false);
+    let values: Vec<i64> = trace.iter().map(|&(_, v)| v).collect();
+    assert_eq!(values, vec![5, 4, 3, 2, 1]);
+}
+
+#[test]
+fn dispatch_artifact() {
+    assert_eq!(check_and_run("dispatch.talft", true), vec![(8192, 77)]);
+}

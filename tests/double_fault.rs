@@ -1,0 +1,109 @@
+//! Tightness of the fault model: TAL_FT guarantees fault tolerance under
+//! the **Single** Event Upset assumption (§2.1, "we will work under the
+//! standard assumption of a single upset event"). This test shows the
+//! assumption is *necessary*: two coordinated faults — one per color —
+//! defeat the dual-modular comparison and produce silent data corruption
+//! even in a well-typed program.
+//!
+//! This is not a bug; it is the precise boundary of Theorem 4, made
+//! executable.
+
+use std::sync::Arc;
+
+use talft::core::check_program;
+use talft::isa::{assemble, Reg};
+use talft::machine::{inject, run, FaultSite, Machine, Status};
+
+const PROTECTED: &str = r#"
+.data
+region out at 4096 len 1 : int output
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r1, G 5
+  mov r2, G 4096
+  stG r2, r1
+  mov r3, B 5
+  mov r4, B 4096
+  stB r4, r3
+  halt
+"#;
+
+#[test]
+fn coordinated_double_fault_defeats_detection() {
+    let mut asm = assemble(PROTECTED).expect("assembles");
+    check_program(&asm.program, &mut asm.arena).expect("well-typed");
+    let p = Arc::new(asm.program);
+
+    // Corrupt the green value right after its mov (before stG enqueues it)…
+    let mut m = Machine::boot(Arc::clone(&p));
+    while m.steps() < 2 {
+        talft::machine::step(&mut m);
+    }
+    inject(&mut m, FaultSite::Reg(Reg::r(1)), 666);
+    // …and the blue value right after *its* mov (before stB compares) —
+    // two coordinated SEUs, one per color, outside the paper's model.
+    while m.steps() < 8 {
+        talft::machine::step(&mut m);
+    }
+    inject(&mut m, FaultSite::Reg(Reg::r(3)), 666);
+    let r = run(&mut m, 10_000);
+
+    // The comparison passes — both copies agree — and corrupt data reaches
+    // the output device: silent data corruption.
+    assert_eq!(r.status, Status::Halted);
+    assert_eq!(m.trace(), &[(4096, 666)], "double fault escaped detection");
+}
+
+#[test]
+fn uncoordinated_double_faults_are_usually_caught_or_masked() {
+    // Two faults of the *same* color still cannot corrupt the other stream;
+    // the comparison catches any disagreement they cause.
+    let asm = assemble(PROTECTED).expect("assembles");
+    let p = Arc::new(asm.program);
+    let mut sdc = 0;
+    for (v1, v2) in [(666, 667), (1, 2), (-1, -2)] {
+        let mut m = Machine::boot(Arc::clone(&p));
+        while m.steps() < 8 {
+            talft::machine::step(&mut m);
+        }
+        inject(&mut m, FaultSite::Reg(Reg::r(1)), v1); // green value
+        inject(&mut m, FaultSite::Reg(Reg::r(2)), v2); // green address
+        let r = run(&mut m, 10_000);
+        if r.status == Status::Halted && m.trace() != [(4096, 5)] && !m.trace().is_empty() {
+            sdc += 1;
+        }
+    }
+    assert_eq!(sdc, 0, "same-color double faults must still be caught");
+}
+
+#[test]
+fn single_fault_guarantee_is_exact_here() {
+    // Sanity: every *single* fault at the same point is caught or masked —
+    // the contrast that makes the double-fault case meaningful.
+    let asm = assemble(PROTECTED).expect("assembles");
+    let p = Arc::new(asm.program);
+    for value in [666, -1, 0, 9999] {
+        for reg in 0..8 {
+            let mut m = Machine::boot(Arc::clone(&p));
+            while m.steps() < 8 {
+                talft::machine::step(&mut m);
+            }
+            inject(&mut m, FaultSite::Reg(Reg::r(reg)), value);
+            let r = run(&mut m, 10_000);
+            match r.status {
+                Status::Halted => {
+                    assert!(
+                        m.trace() == [(4096, 5)],
+                        "single fault in r{reg}←{value} escaped: {:?}",
+                        m.trace()
+                    );
+                }
+                Status::Fault => {
+                    assert!(m.trace().is_empty() || m.trace() == [(4096, 5)]);
+                }
+                other => panic!("unexpected status {other:?}"),
+            }
+        }
+    }
+}

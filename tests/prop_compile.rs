@@ -1,0 +1,154 @@
+//! Property test: for *random* Wile programs, the compiler's protected
+//! output (a) always type-checks — the reliability transformation is
+//! correct by construction, exactly the paper's "debug compilers that
+//! intend to generate reliable code" use case — and (b) executes on the
+//! faulty machine with a trace identical to the VIR reference interpreter
+//! (and to the unprotected baseline).
+
+use proptest::prelude::*;
+
+use talft::compiler::{compile, vir::interpret, CompileOptions};
+use talft::core::check_program;
+use talft::machine::{run_program, Status};
+
+/// A recipe for a random statement over a fixed variable pool v0..v4 and
+/// arrays a (size 8) and out (size 16).
+#[derive(Debug, Clone)]
+enum StmtR {
+    Assign(u8, ExprR),
+    StoreA(ExprR, ExprR),
+    StoreOut(ExprR, ExprR),
+    If(ExprR, Vec<StmtR>, Vec<StmtR>),
+    /// Bounded loop: `while (lN < trip) { body; lN = lN + 1; }`.
+    Loop(u8, Vec<StmtR>),
+}
+
+#[derive(Debug, Clone)]
+enum ExprR {
+    Lit(i8),
+    Var(u8),
+    ReadA(Box<ExprR>),
+    Bin(u8, Box<ExprR>, Box<ExprR>),
+    Cmp(u8, Box<ExprR>, Box<ExprR>),
+}
+
+fn expr_r() -> impl Strategy<Value = ExprR> {
+    let leaf = prop_oneof![
+        any::<i8>().prop_map(ExprR::Lit),
+        (0u8..5).prop_map(ExprR::Var),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| ExprR::ReadA(Box::new(e))),
+            ((0u8..8), inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| ExprR::Bin(op, Box::new(a), Box::new(b))),
+            ((0u8..6), inner.clone(), inner)
+                .prop_map(|(op, a, b)| ExprR::Cmp(op, Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn stmt_r(depth: u32) -> BoxedStrategy<StmtR> {
+    let leaf = prop_oneof![
+        ((0u8..5), expr_r()).prop_map(|(v, e)| StmtR::Assign(v, e)),
+        (expr_r(), expr_r()).prop_map(|(i, v)| StmtR::StoreA(i, v)),
+        (expr_r(), expr_r()).prop_map(|(i, v)| StmtR::StoreOut(i, v)),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        prop_oneof![
+            4 => leaf,
+            1 => (expr_r(), proptest::collection::vec(stmt_r(depth - 1), 0..3),
+                  proptest::collection::vec(stmt_r(depth - 1), 0..3))
+                .prop_map(|(c, t, e)| StmtR::If(c, t, e)),
+            1 => ((2u8..6), proptest::collection::vec(stmt_r(depth - 1), 1..3))
+                .prop_map(|(trip, body)| StmtR::Loop(trip, body)),
+        ]
+        .boxed()
+    }
+}
+
+fn render_expr(e: &ExprR) -> String {
+    match e {
+        ExprR::Lit(n) => format!("({n})"),
+        ExprR::Var(v) => format!("v{}", v % 5),
+        ExprR::ReadA(i) => format!("a[{}]", render_expr(i)),
+        ExprR::Bin(op, a, b) => {
+            let ops = ["+", "-", "*", "&", "|", "^", "<<", ">>"];
+            format!("({} {} {})", render_expr(a), ops[*op as usize % 8], render_expr(b))
+        }
+        ExprR::Cmp(op, a, b) => {
+            let ops = ["<", "<=", ">", ">=", "==", "!="];
+            format!("({} {} {})", render_expr(a), ops[*op as usize % 6], render_expr(b))
+        }
+    }
+}
+
+fn render_stmts(stmts: &[StmtR], loop_counter: &mut u32, out: &mut String, indent: usize) {
+    let pad = "  ".repeat(indent);
+    for s in stmts {
+        match s {
+            StmtR::Assign(v, e) => {
+                out.push_str(&format!("{pad}v{} = {};\n", v % 5, render_expr(e)));
+            }
+            StmtR::StoreA(i, v) => {
+                out.push_str(&format!("{pad}a[{}] = {};\n", render_expr(i), render_expr(v)));
+            }
+            StmtR::StoreOut(i, v) => {
+                out.push_str(&format!("{pad}out[{}] = {};\n", render_expr(i), render_expr(v)));
+            }
+            StmtR::If(c, t, e) => {
+                out.push_str(&format!("{pad}if ({}) {{\n", render_expr(c)));
+                render_stmts(t, loop_counter, out, indent + 1);
+                out.push_str(&format!("{pad}}} else {{\n"));
+                render_stmts(e, loop_counter, out, indent + 1);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            StmtR::Loop(trip, body) => {
+                let l = *loop_counter;
+                *loop_counter += 1;
+                out.push_str(&format!("{pad}var l{l} = 0;\n"));
+                out.push_str(&format!("{pad}while (l{l} < {trip}) {{\n"));
+                render_stmts(body, loop_counter, out, indent + 1);
+                out.push_str(&format!("{}l{l} = l{l} + 1;\n", "  ".repeat(indent + 1)));
+                out.push_str(&format!("{pad}}}\n"));
+            }
+        }
+    }
+}
+
+fn render_program(stmts: &[StmtR]) -> String {
+    let mut body = String::new();
+    let mut lc = 0;
+    render_stmts(stmts, &mut lc, &mut body, 1);
+    format!(
+        "array a[8] = [3, 1, 4, 1, 5, 9, 2, 6];\noutput out[16];\nfunc main() {{\n  \
+         var v0 = 1; var v1 = 2; var v2 = 3; var v3 = 4; var v4 = 5;\n{body}  \
+         out[15] = v0 + v1 + v2 + v3 + v4;\n}}\n"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn random_programs_check_and_agree(stmts in proptest::collection::vec(stmt_r(2), 1..8)) {
+        let src = render_program(&stmts);
+        let mut c = match compile(&src, &CompileOptions::default()) {
+            Ok(c) => c,
+            Err(e) => panic!("generated program failed to compile: {e}\n{src}"),
+        };
+        // (a) the reliability transformation always yields well-typed code
+        check_program(&c.protected.program, &mut c.protected.arena)
+            .unwrap_or_else(|e| panic!("checker rejected compiled output: {e}\n{src}"));
+        // (b) differential execution
+        let reference = interpret(&c.vir, 2_000_000);
+        prop_assume!(reference.halted); // (budget exhaustion: skip, cannot happen with bounded loops)
+        let prot = run_program(&c.protected.program, 20_000_000);
+        prop_assert_eq!(prot.status, Status::Halted, "protected did not halt\n{}", src);
+        prop_assert_eq!(&prot.trace, &reference.trace, "protected trace diverged\n{}", src);
+        let base = run_program(&c.baseline.program, 20_000_000);
+        prop_assert_eq!(&base.trace, &reference.trace, "baseline trace diverged\n{}", src);
+    }
+}
