@@ -1,35 +1,40 @@
-//! Criterion bench for E7: type-checker throughput — supports the paper's
-//! claim that the checker is usable "as a debugging aid within a compiler".
+//! Bench for E7: type-checker throughput — supports the paper's claim that
+//! the checker is usable "as a debugging aid within a compiler". Plain
+//! `Instant` harness (no registry deps).
+//!
+//! ```sh
+//! cargo bench --bench checker
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use talft_compiler::{compile, CompileOptions};
 use talft_core::check_program;
 use talft_suite::{kernels, Scale};
+use talft_testutil::{bench_ns, fmt_bench};
 
-fn bench_checker(c: &mut Criterion) {
+fn main() {
     let ks = kernels(Scale::Small);
-    let mut g = c.benchmark_group("checker");
-    g.sample_size(20);
     for k in ks.iter().take(4) {
         let compiled = compile(&k.source, &CompileOptions::default()).expect("compiles");
-        g.bench_function(format!("check/{}", k.name), |b| {
-            b.iter_batched(
-                || (compiled.protected.program.clone(), clone_arena(&k.source)),
-                |(prog, mut arena)| {
-                    let _ = check_program(&prog, &mut arena);
-                },
-                criterion::BatchSize::SmallInput,
-            );
+        // The checker mutates the arena (interning new normal forms), so
+        // each iteration recompiles for a fresh arena; the recompile cost is
+        // reported in its own row so check time can be read by subtraction.
+        let setup_ns = bench_ns(20, || {
+            let _ = compile(&k.source, &CompileOptions::default()).expect("compiles");
         });
+        let ns = bench_ns(20, || {
+            let mut arena = compile(&k.source, &CompileOptions::default())
+                .expect("compiles")
+                .protected
+                .arena;
+            let _ = check_program(&compiled.protected.program, &mut arena);
+        });
+        println!(
+            "{}",
+            fmt_bench(&format!("checker/compile/{}", k.name), setup_ns)
+        );
+        println!(
+            "{}",
+            fmt_bench(&format!("checker/compile+check/{}", k.name), ns)
+        );
     }
-    g.finish();
 }
-
-/// The checker mutates the arena (interning new normal forms), so each
-/// iteration gets a fresh compile's arena.
-fn clone_arena(src: &str) -> talft_logic::ExprArena {
-    compile(src, &CompileOptions::default()).expect("compiles").protected.arena
-}
-
-criterion_group!(benches, bench_checker);
-criterion_main!(benches);

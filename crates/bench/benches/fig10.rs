@@ -1,31 +1,47 @@
-//! Criterion bench for E1 (Figure 10): times the full per-kernel pipeline
+//! Bench for E1 (Figure 10): times the full per-kernel pipeline
 //! (compile → reference replay → three timing simulations) and the timing
-//! simulator itself.
+//! simulator itself. Plain `Instant` harness (no registry deps).
+//!
+//! ```sh
+//! cargo bench --bench fig10
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use talft_bench::{fig10_row, reference_visits};
 use talft_compiler::{compile, CompileOptions};
 use talft_sim::{simulate, MachineModel};
 use talft_suite::{kernels, Scale};
+use talft_testutil::{bench_ns, fmt_bench};
 
-fn bench_fig10(c: &mut Criterion) {
+fn main() {
     let model = MachineModel::default();
     let ks = kernels(Scale::Tiny);
-    let mut g = c.benchmark_group("fig10");
-    g.sample_size(10);
-    g.bench_function("row/spec_gzip", |b| {
-        b.iter(|| fig10_row(&ks[0], &model).expect("row"));
-    });
+    println!(
+        "{}",
+        fmt_bench(
+            "fig10/row/spec_gzip",
+            bench_ns(10, || {
+                fig10_row(&ks[0], &model).expect("row");
+            })
+        )
+    );
     let compiled = compile(&ks[0].source, &CompileOptions::default()).expect("compiles");
     let visits = reference_visits(&compiled).expect("halts");
-    g.bench_function("simulate/protected", |b| {
-        b.iter(|| simulate(&compiled.protected.sched, &visits, &model));
-    });
-    g.bench_function("simulate/baseline", |b| {
-        b.iter(|| simulate(&compiled.baseline.sched, &visits, &model));
-    });
-    g.finish();
+    println!(
+        "{}",
+        fmt_bench(
+            "fig10/simulate/protected",
+            bench_ns(50, || {
+                let _ = simulate(&compiled.protected.sched, &visits, &model);
+            })
+        )
+    );
+    println!(
+        "{}",
+        fmt_bench(
+            "fig10/simulate/baseline",
+            bench_ns(50, || {
+                let _ = simulate(&compiled.baseline.sched, &visits, &model);
+            })
+        )
+    );
 }
-
-criterion_group!(benches, bench_fig10);
-criterion_main!(benches);

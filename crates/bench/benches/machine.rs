@@ -1,27 +1,43 @@
-//! Criterion bench: faulty-machine stepping throughput and fault-injection
-//! campaign cost (the substrate of the E2 coverage experiment).
+//! Bench: faulty-machine stepping throughput and fault-injection campaign
+//! cost (the substrate of the E2 coverage experiment). Plain `Instant`
+//! harness (no registry deps).
+//!
+//! ```sh
+//! cargo bench --bench machine
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use talft_compiler::{compile, CompileOptions};
 use talft_faultsim::{golden_run, run_campaign_against, CampaignConfig};
 use talft_machine::run_program;
 use talft_suite::{kernels, Scale};
+use talft_testutil::{bench_ns, fmt_bench};
 
-fn bench_machine(c: &mut Criterion) {
+fn main() {
     let ks = kernels(Scale::Tiny);
     let compiled = compile(&ks[0].source, &CompileOptions::default()).expect("compiles");
-    let mut g = c.benchmark_group("machine");
-    g.sample_size(20);
-    g.bench_function("run/protected", |b| {
-        b.iter(|| run_program(&compiled.protected.program, 10_000_000));
-    });
-    let cfg = CampaignConfig { stride: 293, mutations_per_site: 1, threads: 1, ..Default::default() };
-    let golden = golden_run(&compiled.protected.program, &cfg);
-    g.bench_function("campaign/strided", |b| {
-        b.iter(|| run_campaign_against(&compiled.protected.program, &cfg, &golden));
-    });
-    g.finish();
+    println!(
+        "{}",
+        fmt_bench(
+            "machine/run/protected",
+            bench_ns(20, || {
+                run_program(&compiled.protected.program, 10_000_000);
+            })
+        )
+    );
+    let cfg = CampaignConfig {
+        stride: 293,
+        mutations_per_site: 1,
+        threads: 1,
+        ..Default::default()
+    };
+    let golden = golden_run(&compiled.protected.program, &cfg).expect("golden run halts");
+    println!(
+        "{}",
+        fmt_bench(
+            "machine/campaign/strided",
+            bench_ns(20, || {
+                let _ = run_campaign_against(&compiled.protected.program, &cfg, &golden);
+            })
+        )
+    );
 }
-
-criterion_group!(benches, bench_machine);
-criterion_main!(benches);

@@ -4,7 +4,12 @@
 //! runs never signal a fault (Corollary 3). The unprotected baselines show
 //! real SDC under the identical campaign.
 //!
-//! Usage: `cargo run --release -p talft-bench --bin coverage [-- --stride N]`
+//! Usage: `cargo run --release -p talft-bench --bin coverage
+//!          [-- --stride N] [--stop-on-violation]`
+//!
+//! `--stop-on-violation` short-circuits each campaign at its first
+//! Theorem 4 violation (go/no-go mode; counts then cover only the
+//! injections performed). `TALFT_STRIDE_SCALE` multiplies the stride.
 
 use talft_bench::{coverage_row, render_coverage};
 use talft_faultsim::CampaignConfig;
@@ -16,7 +21,13 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(11);
-    let cfg = CampaignConfig { stride, mutations_per_site: 3, ..CampaignConfig::default() };
+    let stop = std::env::args().any(|a| a == "--stop-on-violation");
+    let cfg = CampaignConfig {
+        stride,
+        mutations_per_site: 3,
+        stop_on_first_violation: stop,
+        ..CampaignConfig::default()
+    };
     println!("# Fault-injection campaign (SEU model: reg-zap, Q-zap1, Q-zap2)");
     println!("# every dynamic step ≡ 0 mod {stride}, every site, 3 corrupted values/site");
     let mut rows = Vec::new();

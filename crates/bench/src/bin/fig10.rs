@@ -19,7 +19,11 @@ fn main() {
     println!("# Figure 10 — Performance normalized to unprotected version");
     println!(
         "# model: {}-wide in-order, lat(alu/mul/ld/st) = {}/{}/{}/{}, branch penalty {}",
-        model.width, model.lat_alu, model.lat_mul, model.lat_load, model.lat_store,
+        model.width,
+        model.lat_alu,
+        model.lat_mul,
+        model.lat_load,
+        model.lat_store,
         model.branch_penalty
     );
     match fig10_rows(scale, &model) {

@@ -20,7 +20,11 @@ fn main() {
         let mut base_sum = 0u64;
         let mut prot_sum = 0u64;
         for k in kernels(Scale::Small) {
-            let opts = CompileOptions { invert_loops: invert, model, ..Default::default() };
+            let opts = CompileOptions {
+                invert_loops: invert,
+                model,
+                ..Default::default()
+            };
             let c = match compile(&k.source, &opts) {
                 Ok(c) => c,
                 Err(e) => {
@@ -39,6 +43,9 @@ fn main() {
             prot_sum += row.talft_cycles;
             ratios.push(row.ratio_ordered());
         }
-        println!("| {label} | {:.3}x | {base_sum} | {prot_sum} |", geomean(&ratios));
+        println!(
+            "| {label} | {:.3}x | {base_sum} | {prot_sum} |",
+            geomean(&ratios)
+        );
     }
 }

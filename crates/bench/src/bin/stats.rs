@@ -16,7 +16,11 @@ fn main() {
         "| benchmark | base instrs | prot instrs | growth | dyn steps | max queue | det. latency mean | max |"
     );
     println!("|---|---:|---:|---:|---:|---:|---:|---:|");
-    let cfg = CampaignConfig { stride: 23, mutations_per_site: 2, ..Default::default() };
+    let cfg = CampaignConfig {
+        stride: 23,
+        mutations_per_site: 2,
+        ..Default::default()
+    };
     for k in kernels(Scale::Tiny) {
         let c = match compile(&k.source, &CompileOptions::default()) {
             Ok(c) => c,
@@ -29,7 +33,13 @@ fn main() {
         let prot_n = c.protected.program.code_len();
         let mut m = Machine::boot(std::sync::Arc::clone(&c.protected.program));
         let r = run(&mut m, 100_000_000);
-        let rep = run_campaign(&c.protected.program, &cfg);
+        let rep = match run_campaign(&c.protected.program, &cfg) {
+            Ok(rep) => rep,
+            Err(e) => {
+                eprintln!("error: {}: {e}", k.name);
+                std::process::exit(1);
+            }
+        };
         println!(
             "| {} | {} | {} | {:.2}x | {} | {} | {:.1} | {} |",
             k.name,

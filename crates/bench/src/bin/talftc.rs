@@ -7,10 +7,19 @@
 //!   --disasm          print a bare disassembly
 //!   --no-check        skip type checking
 //!   --run             execute and print the observable trace
-//!   --campaign[=N]    run a single-fault campaign (stride N, default 11)
+//!   --campaign[=N]    run a fault campaign (stride N, default 11)
+//!   --campaign-k=K    fault multiplicity (default 1; K>=2 samples the
+//!                     boundary outside the single-upset model — SDC there
+//!                     is reported but is not a Theorem 4 violation)
+//!   --seed=N          sampler seed for K>=2 campaigns
+//!   --max-steps=N     step budget for the golden run
 //!   --baseline        operate on the unprotected baseline instead
 //!   --time            report Figure 10-style cycles for this program
 //! ```
+//!
+//! Exit codes: 2 = type error, 3 = Theorem 4 violation found by a k=1
+//! campaign (or engine error in any campaign), 1 = other errors, incl. a
+//! golden run that exhausts `--max-steps`.
 //!
 //! Wile inputs go through the full reliability-transforming compiler;
 //! `.talft` inputs are assembled directly.
@@ -20,7 +29,7 @@ use std::sync::Arc;
 
 use talft_compiler::{compile, CompileOptions};
 use talft_core::check_program;
-use talft_faultsim::{run_campaign, CampaignConfig};
+use talft_faultsim::{run_multi_campaign, CampaignConfig};
 use talft_isa::{assemble, print_program, Program};
 use talft_logic::ExprArena;
 use talft_machine::run_program;
@@ -32,6 +41,9 @@ struct Flags {
     check: bool,
     run: bool,
     campaign: Option<u64>,
+    campaign_k: u32,
+    seed: Option<u64>,
+    max_steps: Option<u64>,
     baseline: bool,
     time: bool,
 }
@@ -39,7 +51,10 @@ struct Flags {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(path) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
-        eprintln!("usage: talftc <file.wile|file.talft> [--emit-asm] [--disasm] [--no-check] [--run] [--campaign[=N]] [--baseline] [--time]");
+        eprintln!(
+            "usage: talftc <file.wile|file.talft> [--emit-asm] [--disasm] [--no-check] [--run] \
+             [--campaign[=N]] [--campaign-k=K] [--seed=N] [--max-steps=N] [--baseline] [--time]"
+        );
         return ExitCode::FAILURE;
     };
     let flags = Flags {
@@ -49,8 +64,23 @@ fn main() -> ExitCode {
         run: args.iter().any(|a| a == "--run"),
         campaign: args.iter().find_map(|a| {
             a.strip_prefix("--campaign")
-                .map(|rest| rest.strip_prefix('=').and_then(|n| n.parse().ok()).unwrap_or(11))
+                .filter(|rest| rest.is_empty() || rest.starts_with('='))
+                .map(|rest| {
+                    rest.strip_prefix('=')
+                        .and_then(|n| n.parse().ok())
+                        .unwrap_or(11)
+                })
         }),
+        campaign_k: args
+            .iter()
+            .find_map(|a| a.strip_prefix("--campaign-k=").and_then(|n| n.parse().ok()))
+            .unwrap_or(1),
+        seed: args
+            .iter()
+            .find_map(|a| a.strip_prefix("--seed=").and_then(|n| n.parse().ok())),
+        max_steps: args
+            .iter()
+            .find_map(|a| a.strip_prefix("--max-steps=").and_then(|n| n.parse().ok())),
         baseline: args.iter().any(|a| a == "--baseline"),
         time: args.iter().any(|a| a == "--time"),
     };
@@ -115,19 +145,59 @@ fn main() -> ExitCode {
             println!("{a}\t{v}");
         }
     }
-    if let Some(stride) = flags.campaign {
-        let cfg = CampaignConfig { stride, ..CampaignConfig::default() };
-        let rep = run_campaign(&program, &cfg);
+    // --campaign-k=K alone implies a campaign at the default stride.
+    let campaign_stride = flags
+        .campaign
+        .or_else(|| (flags.campaign_k > 1).then_some(11));
+    if let Some(stride) = campaign_stride {
+        let mut cfg = CampaignConfig {
+            stride,
+            ..CampaignConfig::default()
+        };
+        if let Some(seed) = flags.seed {
+            cfg.seed = seed;
+        }
+        if let Some(max_steps) = flags.max_steps {
+            cfg.max_steps = max_steps;
+        }
+        let k = flags.campaign_k.max(1);
+        let rep = match run_multi_campaign(&program, &cfg, k) {
+            Ok(rep) => rep,
+            Err(e) => {
+                eprintln!("talftc: campaign aborted: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         eprintln!(
-            "talftc: campaign: {} injections — {} masked, {} detected, {} SDC, {} other",
-            rep.total, rep.masked, rep.detected, rep.sdc, rep.other_violations
+            "talftc: campaign (k={k}): {} injections — {} masked, {} detected, {} SDC, \
+             {} other, {} engine errors ({:.1}% detection coverage)",
+            rep.total,
+            rep.masked,
+            rep.detected,
+            rep.sdc,
+            rep.other_violations,
+            rep.engine_errors,
+            100.0 * rep.coverage(),
         );
         if !rep.fault_tolerant() {
-            eprintln!("talftc: NOT fault tolerant; first counterexamples:");
+            eprintln!("talftc: faults escaped; first counterexamples:");
             for v in rep.violations.iter().take(5) {
-                eprintln!("  {:?} at step {} ← {}", v.site, v.at_step, v.value);
+                eprintln!(
+                    "  {:?} at step {} ← {} (+{} strikes)",
+                    v.site,
+                    v.at_step,
+                    v.value,
+                    v.followups.len()
+                );
             }
-            return ExitCode::from(3);
+            if rep.within_fault_model() || rep.engine_errors > 0 {
+                eprintln!("talftc: THEOREM 4 VIOLATION (single-upset model)");
+                return ExitCode::from(3);
+            }
+            eprintln!(
+                "talftc: k={k} is outside the single-upset model — boundary measurement, \
+                 not a Theorem 4 violation"
+            );
         }
     }
     ExitCode::SUCCESS

@@ -13,7 +13,7 @@
 #![warn(missing_docs)]
 
 use talft_compiler::{compile, vir::interpret, CompileOptions, Compiled};
-use talft_faultsim::{run_campaign, CampaignConfig, CampaignReport};
+use talft_faultsim::{run_campaign, run_multi_campaign, CampaignConfig, CampaignReport};
 use talft_sim::{simulate, BlockVisit, MachineModel};
 use talft_suite::{Kernel, Scale};
 
@@ -50,7 +50,10 @@ impl Fig10Row {
 /// Compile a kernel and replay its dynamic block sequence through the three
 /// schedule variants.
 pub fn fig10_row(kernel: &Kernel, model: &MachineModel) -> Result<Fig10Row, String> {
-    let opts = CompileOptions { model: *model, ..CompileOptions::default() };
+    let opts = CompileOptions {
+        model: *model,
+        ..CompileOptions::default()
+    };
     let c = compile(&kernel.source, &opts).map_err(|e| format!("{}: {e}", kernel.name))?;
     let visits = reference_visits(&c)?;
     Ok(Fig10Row {
@@ -113,7 +116,12 @@ pub fn render_fig10(rows: &[Fig10Row]) -> String {
         .expect("write to string");
     }
     let go = geomean(&rows.iter().map(Fig10Row::ratio_ordered).collect::<Vec<_>>());
-    let gu = geomean(&rows.iter().map(Fig10Row::ratio_unordered).collect::<Vec<_>>());
+    let gu = geomean(
+        &rows
+            .iter()
+            .map(Fig10Row::ratio_unordered)
+            .collect::<Vec<_>>(),
+    );
     writeln!(s, "| **geomean** | | | | **{go:.3}x** | **{gu:.3}x** |").expect("write to string");
     s
 }
@@ -135,33 +143,98 @@ pub fn coverage_row(kernel: &Kernel, cfg: &CampaignConfig) -> Result<CoverageRow
         .map_err(|e| format!("{}: {e}", kernel.name))?;
     Ok(CoverageRow {
         name: kernel.name,
-        protected: run_campaign(&c.protected.program, cfg),
-        baseline: run_campaign(&c.baseline.program, cfg),
+        protected: run_campaign(&c.protected.program, cfg)
+            .map_err(|e| format!("{} (protected): {e}", kernel.name))?,
+        baseline: run_campaign(&c.baseline.program, cfg)
+            .map_err(|e| format!("{} (baseline): {e}", kernel.name))?,
     })
 }
 
-/// Render the coverage table as markdown.
+/// Render the coverage table as markdown. The `CEs dropped` column counts
+/// counterexamples beyond the 32-entry cap (`prot/base`), so a truncated
+/// violation list is visible rather than silent.
 #[must_use]
 pub fn render_coverage(rows: &[CoverageRow]) -> String {
     use std::fmt::Write;
     let mut s = String::new();
     writeln!(
         s,
-        "| benchmark | inj (prot) | masked | detected | SDC | inj (base) | SDC (base) |"
+        "| benchmark | inj (prot) | masked | detected | SDC | inj (base) | SDC (base) | CEs dropped |"
     )
     .expect("write to string");
-    writeln!(s, "|---|---:|---:|---:|---:|---:|---:|").expect("write to string");
+    writeln!(s, "|---|---:|---:|---:|---:|---:|---:|---:|").expect("write to string");
     for r in rows {
         writeln!(
             s,
-            "| {} | {} | {} | {} | **{}** | {} | {} |",
+            "| {} | {} | {} | {} | **{}** | {} | {} | {}/{} |",
             r.name,
             r.protected.total,
             r.protected.masked,
             r.protected.detected,
             r.protected.sdc + r.protected.other_violations,
             r.baseline.total,
-            r.baseline.sdc
+            r.baseline.sdc,
+            r.protected.violations_truncated,
+            r.baseline.violations_truncated,
+        )
+        .expect("write to string");
+    }
+    s
+}
+
+/// One row of the k-fault boundary table (E13): the protected binary under
+/// a sampled `k`-fault campaign, where Theorem 4 makes no promise.
+#[derive(Debug, Clone)]
+pub struct MultifaultRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Fault multiplicity of the campaign.
+    pub k: u32,
+    /// Campaign over the protected binary.
+    pub protected: CampaignReport,
+}
+
+/// Run a sampled `k`-fault campaign over one kernel's protected binary.
+pub fn multifault_row(
+    kernel: &Kernel,
+    cfg: &CampaignConfig,
+    k: u32,
+) -> Result<MultifaultRow, String> {
+    let c = compile(&kernel.source, &CompileOptions::default())
+        .map_err(|e| format!("{}: {e}", kernel.name))?;
+    Ok(MultifaultRow {
+        name: kernel.name,
+        k,
+        protected: run_multi_campaign(&c.protected.program, cfg, k)
+            .map_err(|e| format!("{}: {e}", kernel.name))?,
+    })
+}
+
+/// Render the k-fault boundary table as markdown. SDC here is *expected*
+/// for `k ≥ 2` — it quantifies the edge of the single-event-upset model,
+/// not a Theorem 4 violation — so the table leads with detection coverage.
+#[must_use]
+pub fn render_multifault(rows: &[MultifaultRow]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    writeln!(
+        s,
+        "| benchmark | k | plans | masked | detected | SDC | other | coverage |"
+    )
+    .expect("write to string");
+    writeln!(s, "|---|---:|---:|---:|---:|---:|---:|---:|").expect("write to string");
+    for r in rows {
+        writeln!(
+            s,
+            "| {} | {} | {} | {} | {} | {} | {} | {:.1}% |",
+            r.name,
+            r.k,
+            r.protected.total,
+            r.protected.masked,
+            r.protected.detected,
+            r.protected.sdc,
+            r.protected.other_violations,
+            100.0 * r.protected.coverage(),
         )
         .expect("write to string");
     }
@@ -172,10 +245,18 @@ pub fn render_coverage(rows: &[CoverageRow]) -> String {
 pub fn width_sweep(scale: Scale, widths: &[u32]) -> Result<Vec<(u32, f64, f64)>, String> {
     let mut out = Vec::new();
     for &w in widths {
-        let model = MachineModel { width: w, ..MachineModel::default() };
+        let model = MachineModel {
+            width: w,
+            ..MachineModel::default()
+        };
         let rows = fig10_rows(scale, &model)?;
         let go = geomean(&rows.iter().map(Fig10Row::ratio_ordered).collect::<Vec<_>>());
-        let gu = geomean(&rows.iter().map(Fig10Row::ratio_unordered).collect::<Vec<_>>());
+        let gu = geomean(
+            &rows
+                .iter()
+                .map(Fig10Row::ratio_unordered)
+                .collect::<Vec<_>>(),
+        );
         out.push((w, go, gu));
     }
     Ok(out)

@@ -188,11 +188,17 @@ pub struct DupProgram {
 }
 
 fn g(v: VReg) -> CVReg {
-    CVReg { v, color: Color::Green }
+    CVReg {
+        v,
+        color: Color::Green,
+    }
 }
 
 fn b(v: VReg) -> CVReg {
-    CVReg { v, color: Color::Blue }
+    CVReg {
+        v,
+        color: Color::Blue,
+    }
 }
 
 /// Apply the reliability transformation to a whole VIR program.
@@ -215,20 +221,42 @@ pub fn duplicate(p: &VirProgram) -> (DupProgram, u32) {
                         VOperand::Reg(r) => COperand::Reg(b(r)),
                         VOperand::Imm(n) => COperand::Imm(n),
                     };
-                    out.instrs.push(CInstr::Op { op, d: g(d), a: g(a), b: b2g });
-                    out.instrs.push(CInstr::Op { op, d: b(d), a: b(a), b: b2b });
+                    out.instrs.push(CInstr::Op {
+                        op,
+                        d: g(d),
+                        a: g(a),
+                        b: b2g,
+                    });
+                    out.instrs.push(CInstr::Op {
+                        op,
+                        d: b(d),
+                        a: b(a),
+                        b: b2b,
+                    });
                 }
                 VInstr::Movi { d, imm } => {
                     out.instrs.push(CInstr::Movi { d: g(d), imm });
                     out.instrs.push(CInstr::Movi { d: b(d), imm });
                 }
                 VInstr::Ld { d, addr } => {
-                    out.instrs.push(CInstr::Ld { d: g(d), addr: g(addr) });
-                    out.instrs.push(CInstr::Ld { d: b(d), addr: b(addr) });
+                    out.instrs.push(CInstr::Ld {
+                        d: g(d),
+                        addr: g(addr),
+                    });
+                    out.instrs.push(CInstr::Ld {
+                        d: b(d),
+                        addr: b(addr),
+                    });
                 }
                 VInstr::St { addr, val } => {
-                    out.instrs.push(CInstr::StG { addr: g(addr), val: g(val) });
-                    out.instrs.push(CInstr::StB { addr: b(addr), val: b(val) });
+                    out.instrs.push(CInstr::StG {
+                        addr: g(addr),
+                        val: g(val),
+                    });
+                    out.instrs.push(CInstr::StB {
+                        addr: b(addr),
+                        val: b(val),
+                    });
                 }
             }
         }
@@ -249,8 +277,14 @@ pub fn duplicate(p: &VirProgram) -> (DupProgram, u32) {
                 debug_assert_eq!(fall, bid + 1, "lowering layout discipline");
                 let tv = VReg(next_vreg);
                 next_vreg += 1;
-                out.instrs.push(CInstr::MovLabel { d: g(tv), block: target });
-                out.instrs.push(CInstr::MovLabel { d: b(tv), block: target });
+                out.instrs.push(CInstr::MovLabel {
+                    d: g(tv),
+                    block: target,
+                });
+                out.instrs.push(CInstr::MovLabel {
+                    d: b(tv),
+                    block: target,
+                });
                 out.instrs.push(CInstr::BzG { z: g(z), t: g(tv) });
                 out.instrs.push(CInstr::BzB { z: b(z), t: b(tv) });
             }
@@ -280,19 +314,19 @@ fn dependence_edges(instrs: &[CInstr]) -> Vec<DepEdge> {
     let mut edges = Vec::new();
     let mut push = |from: usize, to: usize, ordering_only: bool| {
         if from != to {
-            edges.push(DepEdge { from, to, ordering_only });
+            edges.push(DepEdge {
+                from,
+                to,
+                ordering_only,
+            });
         }
     };
 
     // Register dependences.
     for (j, ij) in instrs.iter().enumerate() {
         for (i, ii) in instrs.iter().enumerate().take(j) {
-            let raw = ii
-                .def()
-                .is_some_and(|d| ij.uses().contains(&d));
-            let war = ij
-                .def()
-                .is_some_and(|d| ii.uses().contains(&d));
+            let raw = ii.def().is_some_and(|d| ij.uses().contains(&d));
+            let war = ij.def().is_some_and(|d| ii.uses().contains(&d));
             let waw = match (ii.def(), ij.def()) {
                 (Some(a), Some(b)) => a == b,
                 _ => false,
@@ -366,8 +400,8 @@ fn dependence_edges(instrs: &[CInstr]) -> Vec<DepEdge> {
         .iter()
         .position(|i| matches!(i, CInstr::BzB { .. } | CInstr::JmpB { .. } | CInstr::Halt));
     if let Some(fc) = first_commit {
-        for j in 0..instrs.len() {
-            if j != fc && !instrs[j].uses_d_protocol() && !matches!(instrs[j], CInstr::Halt) {
+        for (j, instr) in instrs.iter().enumerate() {
+            if j != fc && !instr.uses_d_protocol() && !matches!(instr, CInstr::Halt) {
                 if j < fc {
                     push(j, fc, false);
                 } else {
@@ -379,6 +413,78 @@ fn dependence_edges(instrs: &[CInstr]) -> Vec<DepEdge> {
         }
     }
     edges
+}
+
+/// The **unprotected baseline** backend: the same VIR emitted single-color
+/// (all green), with stores/transfers encoded as same-register pairs (the
+/// only way the TAL_FT hardware can store at all). This is exactly the
+/// "unreliable version" of the paper's evaluation: it executes correctly in
+/// fault-free runs, the type checker rejects it (cf. the §2.2 CSE example),
+/// and fault injection finds silent data corruption in it.
+pub fn baseline(p: &VirProgram) -> (DupProgram, u32) {
+    let mut next_vreg = p.num_vregs;
+    let mut blocks = Vec::with_capacity(p.blocks.len());
+    for (bid, block) in p.blocks.iter().enumerate() {
+        let mut out = DupBlock::default();
+        for i in &block.instrs {
+            match *i {
+                VInstr::Op { op, d, a, b: src2 } => {
+                    let b2 = match src2 {
+                        VOperand::Reg(r) => COperand::Reg(g(r)),
+                        VOperand::Imm(n) => COperand::Imm(n),
+                    };
+                    out.instrs.push(CInstr::Op {
+                        op,
+                        d: g(d),
+                        a: g(a),
+                        b: b2,
+                    });
+                }
+                VInstr::Movi { d, imm } => out.instrs.push(CInstr::Movi { d: g(d), imm }),
+                VInstr::Ld { d, addr } => out.instrs.push(CInstr::Ld {
+                    d: g(d),
+                    addr: g(addr),
+                }),
+                VInstr::St { addr, val } => {
+                    // same-register pair: the unprotected store idiom
+                    out.instrs.push(CInstr::StG {
+                        addr: g(addr),
+                        val: g(val),
+                    });
+                    out.instrs.push(CInstr::StB {
+                        addr: g(addr),
+                        val: g(val),
+                    });
+                }
+            }
+        }
+        match block.term.expect("lowering seals every block") {
+            Terminator::Jmp(t) => {
+                if t != bid + 1 {
+                    let tv = VReg(next_vreg);
+                    next_vreg += 1;
+                    out.instrs.push(CInstr::MovLabel { d: g(tv), block: t });
+                    out.instrs.push(CInstr::JmpG { t: g(tv) });
+                    out.instrs.push(CInstr::JmpB { t: g(tv) });
+                }
+            }
+            Terminator::Bz { z, target, fall } => {
+                debug_assert_eq!(fall, bid + 1);
+                let tv = VReg(next_vreg);
+                next_vreg += 1;
+                out.instrs.push(CInstr::MovLabel {
+                    d: g(tv),
+                    block: target,
+                });
+                out.instrs.push(CInstr::BzG { z: g(z), t: g(tv) });
+                out.instrs.push(CInstr::BzB { z: g(z), t: g(tv) });
+            }
+            Terminator::Halt => out.instrs.push(CInstr::Halt),
+        }
+        out.deps = dependence_edges(&out.instrs);
+        blocks.push(out);
+    }
+    (DupProgram { blocks }, next_vreg)
 }
 
 #[cfg(test)]
@@ -505,59 +611,4 @@ mod tests {
             }
         }
     }
-}
-
-/// The **unprotected baseline** backend: the same VIR emitted single-color
-/// (all green), with stores/transfers encoded as same-register pairs (the
-/// only way the TAL_FT hardware can store at all). This is exactly the
-/// "unreliable version" of the paper's evaluation: it executes correctly in
-/// fault-free runs, the type checker rejects it (cf. the §2.2 CSE example),
-/// and fault injection finds silent data corruption in it.
-pub fn baseline(p: &VirProgram) -> (DupProgram, u32) {
-    let mut next_vreg = p.num_vregs;
-    let mut blocks = Vec::with_capacity(p.blocks.len());
-    for (bid, block) in p.blocks.iter().enumerate() {
-        let mut out = DupBlock::default();
-        for i in &block.instrs {
-            match *i {
-                VInstr::Op { op, d, a, b: src2 } => {
-                    let b2 = match src2 {
-                        VOperand::Reg(r) => COperand::Reg(g(r)),
-                        VOperand::Imm(n) => COperand::Imm(n),
-                    };
-                    out.instrs.push(CInstr::Op { op, d: g(d), a: g(a), b: b2 });
-                }
-                VInstr::Movi { d, imm } => out.instrs.push(CInstr::Movi { d: g(d), imm }),
-                VInstr::Ld { d, addr } => out.instrs.push(CInstr::Ld { d: g(d), addr: g(addr) }),
-                VInstr::St { addr, val } => {
-                    // same-register pair: the unprotected store idiom
-                    out.instrs.push(CInstr::StG { addr: g(addr), val: g(val) });
-                    out.instrs.push(CInstr::StB { addr: g(addr), val: g(val) });
-                }
-            }
-        }
-        match block.term.expect("lowering seals every block") {
-            Terminator::Jmp(t) => {
-                if t != bid + 1 {
-                    let tv = VReg(next_vreg);
-                    next_vreg += 1;
-                    out.instrs.push(CInstr::MovLabel { d: g(tv), block: t });
-                    out.instrs.push(CInstr::JmpG { t: g(tv) });
-                    out.instrs.push(CInstr::JmpB { t: g(tv) });
-                }
-            }
-            Terminator::Bz { z, target, fall } => {
-                debug_assert_eq!(fall, bid + 1);
-                let tv = VReg(next_vreg);
-                next_vreg += 1;
-                out.instrs.push(CInstr::MovLabel { d: g(tv), block: target });
-                out.instrs.push(CInstr::BzG { z: g(z), t: g(tv) });
-                out.instrs.push(CInstr::BzB { z: g(z), t: g(tv) });
-            }
-            Terminator::Halt => out.instrs.push(CInstr::Halt),
-        }
-        out.deps = dependence_edges(&out.instrs);
-        blocks.push(out);
-    }
-    (DupProgram { blocks }, next_vreg)
 }

@@ -53,9 +53,9 @@ pub fn emit(
     // Block start addresses; empty blocks share the next block's address.
     let mut addr = vec![0i64; nblocks + 1];
     let mut next_addr = 1i64;
-    for bid in 0..nblocks {
-        addr[bid] = next_addr;
-        next_addr += dup.blocks[bid].instrs.len() as i64;
+    for (slot, block) in addr.iter_mut().zip(&dup.blocks) {
+        *slot = next_addr;
+        next_addr += block.instrs.len() as i64;
     }
     addr[nblocks] = next_addr;
 
@@ -87,7 +87,11 @@ pub fn emit(
         // Label + precondition (skip empty fall-through blocks: they share
         // the successor's address and contract).
         if !is_empty || bid == 0 {
-            let label = if bid == 0 { "main".to_owned() } else { format!("b{bid}") };
+            let label = if bid == 0 {
+                "main".to_owned()
+            } else {
+                format!("b{bid}")
+            };
             let this_addr = addr[bid];
             if !is_empty {
                 program.labels.insert(label, this_addr);
@@ -127,7 +131,10 @@ fn lower_instr(i: &CInstr, alloc: &Allocation, addr: &[i64]) -> Result<Instr, Em
                 COperand::Imm(n) => OpSrc::Imm(CVal::new(d.color, n)),
             },
         },
-        CInstr::Movi { d, imm } => Instr::Mov { rd: phys(alloc, d), v: CVal::new(d.color, imm) },
+        CInstr::Movi { d, imm } => Instr::Mov {
+            rd: phys(alloc, d),
+            v: CVal::new(d.color, imm),
+        },
         CInstr::MovLabel { d, block } => Instr::Mov {
             rd: phys(alloc, d),
             v: CVal::new(
@@ -162,8 +169,14 @@ fn lower_instr(i: &CInstr, alloc: &Allocation, addr: &[i64]) -> Result<Instr, Em
             rz: phys(alloc, z),
             rd: phys(alloc, t),
         },
-        CInstr::JmpG { t } => Instr::Jmp { color: Color::Green, rd: phys(alloc, t) },
-        CInstr::JmpB { t } => Instr::Jmp { color: Color::Blue, rd: phys(alloc, t) },
+        CInstr::JmpG { t } => Instr::Jmp {
+            color: Color::Green,
+            rd: phys(alloc, t),
+        },
+        CInstr::JmpB { t } => Instr::Jmp {
+            color: Color::Blue,
+            rd: phys(alloc, t),
+        },
         CInstr::Halt => Instr::Halt,
     })
 }
@@ -189,7 +202,11 @@ fn precond(
             continue;
         }
         let v = (k / 2) as u32;
-        let color = if k % 2 == 0 { Color::Green } else { Color::Blue };
+        let color = if k % 2 == 0 {
+            Color::Green
+        } else {
+            Color::Blue
+        };
         let var = *vreg_var.entry(v).or_insert_with(|| {
             let var = arena.var_id(&format!("v{v}_{bid}"));
             delta.push((var, Kind::Int));
@@ -222,7 +239,13 @@ fn precond(
     delta.push((mvar, Kind::Mem));
     let mem = arena.var_expr(mvar);
 
-    Ok(CodeTy { delta, facts: Vec::new(), regs, queue: Vec::new(), mem })
+    Ok(CodeTy {
+        delta,
+        facts: Vec::new(),
+        regs,
+        queue: Vec::new(),
+        mem,
+    })
 }
 
 /// Convenience: wrap a program in an `Arc` (the machine's expected form).

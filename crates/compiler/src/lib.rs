@@ -151,8 +151,8 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, CompileErro
         .map(|b| sched::schedule_block(b, &opts.model, true))
         .collect();
     let live = regalloc::liveness(&vir, &dup, &orders, nv);
-    let alloc = regalloc::allocate(&dup, &orders, &live, opts.num_gprs)
-        .map_err(CompileError::Alloc)?;
+    let alloc =
+        regalloc::allocate(&dup, &orders, &live, opts.num_gprs).map_err(CompileError::Alloc)?;
     let (prog, arena, addrs) = emit::emit(&vir, &dup, &orders, &live, &alloc, opts.num_gprs)
         .map_err(CompileError::Emit)?;
     let protected = Artifact {
@@ -191,11 +191,10 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, CompileErro
         .map(|b| sched::schedule_block(b, &opts.model, true))
         .collect();
     let blive = regalloc::liveness(&vir, &bdup, &borders, bnv);
-    let balloc = regalloc::allocate(&bdup, &borders, &blive, opts.num_gprs)
-        .map_err(CompileError::Alloc)?;
-    let (bprog, barena, baddrs) =
-        emit::emit(&vir, &bdup, &borders, &blive, &balloc, opts.num_gprs)
-            .map_err(CompileError::Emit)?;
+    let balloc =
+        regalloc::allocate(&bdup, &borders, &blive, opts.num_gprs).map_err(CompileError::Alloc)?;
+    let (bprog, barena, baddrs) = emit::emit(&vir, &bdup, &borders, &blive, &balloc, opts.num_gprs)
+        .map_err(CompileError::Emit)?;
     let baseline = Artifact {
         program: Arc::new(bprog),
         arena: barena,
@@ -203,7 +202,12 @@ pub fn compile(src: &str, opts: &CompileOptions) -> Result<Compiled, CompileErro
         sched: timing_view(&bdup, &borders, &balloc, true),
     };
 
-    Ok(Compiled { vir, protected, protected_unordered_sched, baseline })
+    Ok(Compiled {
+        vir,
+        protected,
+        protected_unordered_sched,
+        baseline,
+    })
 }
 
 /// Standalone issue cost of one block under a schedule (used to pick the
@@ -214,11 +218,19 @@ fn block_cost(
     alloc: &Allocation,
     model: &MachineModel,
 ) -> u64 {
-    let one = DupProgram { blocks: vec![dup::DupBlock { instrs: block.instrs.clone(), deps: block.deps.clone() }] };
+    let one = DupProgram {
+        blocks: vec![dup::DupBlock {
+            instrs: block.instrs.clone(),
+            deps: block.deps.clone(),
+        }],
+    };
     let view = timing_view(&one, &[order.to_vec()], alloc, false);
     talft_sim::simulate(
         &view,
-        &[talft_sim::BlockVisit { block: 0, taken_exit: false }],
+        &[talft_sim::BlockVisit {
+            block: 0,
+            taken_exit: false,
+        }],
         model,
     )
 }

@@ -122,7 +122,12 @@ impl Lowerer<'_> {
                 // Copy into a dedicated register so later reassignments
                 // don't clobber shared temporaries.
                 let dst = self.fresh();
-                self.emit(VInstr::Op { op: BinOp::Add, d: dst, a: v, b: VOperand::Imm(0) });
+                self.emit(VInstr::Op {
+                    op: BinOp::Add,
+                    d: dst,
+                    a: v,
+                    b: VOperand::Imm(0),
+                });
                 self.env.insert(name.clone(), dst);
                 Ok(())
             }
@@ -132,7 +137,12 @@ impl Lowerer<'_> {
                     .env
                     .get(name)
                     .ok_or_else(|| LowerError(format!("assignment to undeclared {name}")))?;
-                self.emit(VInstr::Op { op: BinOp::Add, d: dst, a: v, b: VOperand::Imm(0) });
+                self.emit(VInstr::Op {
+                    op: BinOp::Add,
+                    d: dst,
+                    a: v,
+                    b: VOperand::Imm(0),
+                });
                 Ok(())
             }
             Stmt::Store(arr, idx, val) => {
@@ -152,8 +162,11 @@ impl Lowerer<'_> {
                 self.stmts(els)?;
                 let else_end = self.cur;
                 let join_id = self.open_block();
-                self.blocks[bz_block].term =
-                    Some(Terminator::Bz { z, target: else_id, fall: then_id });
+                self.blocks[bz_block].term = Some(Terminator::Bz {
+                    z,
+                    target: else_id,
+                    fall: then_id,
+                });
                 if self.blocks[then_end].term.is_none() {
                     self.blocks[then_end].term = Some(Terminator::Jmp(join_id));
                 }
@@ -176,8 +189,11 @@ impl Lowerer<'_> {
                 self.stmts(body)?;
                 let body_end = self.cur;
                 let exit_id = self.open_block();
-                self.blocks[header_end].term =
-                    Some(Terminator::Bz { z, target: exit_id, fall: body_id });
+                self.blocks[header_end].term = Some(Terminator::Bz {
+                    z,
+                    target: exit_id,
+                    fall: body_id,
+                });
                 if self.blocks[body_end].term.is_none() {
                     self.blocks[body_end].term = Some(Terminator::Jmp(header_id));
                 }
@@ -201,14 +217,25 @@ impl Lowerer<'_> {
         // true, i.e. bz on the inverted condition.
         let z = self.cond(c)?;
         let nz = self.fresh();
-        self.emit(VInstr::Op { op: BinOp::Xor, d: nz, a: z, b: VOperand::Imm(1) });
+        self.emit(VInstr::Op {
+            op: BinOp::Xor,
+            d: nz,
+            a: z,
+            b: VOperand::Imm(1),
+        });
         let body_end = self.cur;
         let exit_id = self.open_block();
-        self.blocks[guard_end].term =
-            Some(Terminator::Bz { z: z0, target: exit_id, fall: body_id });
+        self.blocks[guard_end].term = Some(Terminator::Bz {
+            z: z0,
+            target: exit_id,
+            fall: body_id,
+        });
         if self.blocks[body_end].term.is_none() {
-            self.blocks[body_end].term =
-                Some(Terminator::Bz { z: nz, target: body_id, fall: exit_id });
+            self.blocks[body_end].term = Some(Terminator::Bz {
+                z: nz,
+                target: body_id,
+                fall: exit_id,
+            });
         }
         Ok(())
     }
@@ -228,9 +255,19 @@ impl Lowerer<'_> {
         let (mask, base) = (info.mask, info.base);
         let i = self.expr(idx)?;
         let t = self.fresh();
-        self.emit(VInstr::Op { op: BinOp::And, d: t, a: i, b: VOperand::Imm(mask) });
+        self.emit(VInstr::Op {
+            op: BinOp::And,
+            d: t,
+            a: i,
+            b: VOperand::Imm(mask),
+        });
         let addr = self.fresh();
-        self.emit(VInstr::Op { op: BinOp::Add, d: addr, a: t, b: VOperand::Imm(base) });
+        self.emit(VInstr::Op {
+            op: BinOp::Add,
+            d: addr,
+            a: t,
+            b: VOperand::Imm(base),
+        });
         Ok(addr)
     }
 
@@ -258,14 +295,24 @@ impl Lowerer<'_> {
                 let zero = self.fresh();
                 self.emit(VInstr::Movi { d: zero, imm: 0 });
                 let d = self.fresh();
-                self.emit(VInstr::Op { op: BinOp::Sub, d, a: zero, b: VOperand::Reg(v) });
+                self.emit(VInstr::Op {
+                    op: BinOp::Sub,
+                    d,
+                    a: zero,
+                    b: VOperand::Reg(v),
+                });
                 Ok(d)
             }
             Expr::Not(e) => {
                 // !e = 1 - truth(e)
                 let t = self.truth(e)?;
                 let d = self.fresh();
-                self.emit(VInstr::Op { op: BinOp::Xor, d, a: t, b: VOperand::Imm(1) });
+                self.emit(VInstr::Op {
+                    op: BinOp::Xor,
+                    d,
+                    a: t,
+                    b: VOperand::Imm(1),
+                });
                 Ok(d)
             }
             Expr::Bin(op, a, b) => match op {
@@ -282,19 +329,34 @@ impl Lowerer<'_> {
                 AstBinOp::Ge => {
                     let lt = self.simple_bin(BinOp::Slt, a, b)?;
                     let d = self.fresh();
-                    self.emit(VInstr::Op { op: BinOp::Xor, d, a: lt, b: VOperand::Imm(1) });
+                    self.emit(VInstr::Op {
+                        op: BinOp::Xor,
+                        d,
+                        a: lt,
+                        b: VOperand::Imm(1),
+                    });
                     Ok(d)
                 }
                 AstBinOp::Le => {
                     let gt = self.simple_bin(BinOp::Slt, b, a)?;
                     let d = self.fresh();
-                    self.emit(VInstr::Op { op: BinOp::Xor, d, a: gt, b: VOperand::Imm(1) });
+                    self.emit(VInstr::Op {
+                        op: BinOp::Xor,
+                        d,
+                        a: gt,
+                        b: VOperand::Imm(1),
+                    });
                     Ok(d)
                 }
                 AstBinOp::Eq => {
                     let ne = self.ne01(a, b)?;
                     let d = self.fresh();
-                    self.emit(VInstr::Op { op: BinOp::Xor, d, a: ne, b: VOperand::Imm(1) });
+                    self.emit(VInstr::Op {
+                        op: BinOp::Xor,
+                        d,
+                        a: ne,
+                        b: VOperand::Imm(1),
+                    });
                     Ok(d)
                 }
                 AstBinOp::Ne => self.ne01(a, b),
@@ -302,14 +364,24 @@ impl Lowerer<'_> {
                     let ta = self.truth(a)?;
                     let tb = self.truth(b)?;
                     let d = self.fresh();
-                    self.emit(VInstr::Op { op: BinOp::And, d, a: ta, b: VOperand::Reg(tb) });
+                    self.emit(VInstr::Op {
+                        op: BinOp::And,
+                        d,
+                        a: ta,
+                        b: VOperand::Reg(tb),
+                    });
                     Ok(d)
                 }
                 AstBinOp::LOr => {
                     let ta = self.truth(a)?;
                     let tb = self.truth(b)?;
                     let d = self.fresh();
-                    self.emit(VInstr::Op { op: BinOp::Or, d, a: ta, b: VOperand::Reg(tb) });
+                    self.emit(VInstr::Op {
+                        op: BinOp::Or,
+                        d,
+                        a: ta,
+                        b: VOperand::Reg(tb),
+                    });
                     Ok(d)
                 }
             },
@@ -324,12 +396,22 @@ impl Lowerer<'_> {
         // Immediate operand shortcut for literals.
         if let Expr::Int(n) = b {
             let d = self.fresh();
-            self.emit(VInstr::Op { op, d, a: va, b: VOperand::Imm(*n) });
+            self.emit(VInstr::Op {
+                op,
+                d,
+                a: va,
+                b: VOperand::Imm(*n),
+            });
             return Ok(d);
         }
         let vb = self.expr(b)?;
         let d = self.fresh();
-        self.emit(VInstr::Op { op, d, a: va, b: VOperand::Reg(vb) });
+        self.emit(VInstr::Op {
+            op,
+            d,
+            a: va,
+            b: VOperand::Reg(vb),
+        });
         Ok(d)
     }
 
@@ -338,7 +420,12 @@ impl Lowerer<'_> {
         let va = self.expr(a)?;
         let vb = self.expr(b)?;
         let d = self.fresh();
-        self.emit(VInstr::Op { op: BinOp::Xor, d, a: va, b: VOperand::Reg(vb) });
+        self.emit(VInstr::Op {
+            op: BinOp::Xor,
+            d,
+            a: va,
+            b: VOperand::Reg(vb),
+        });
         self.nonzero01(d)
     }
 
@@ -371,11 +458,26 @@ impl Lowerer<'_> {
         let zero = self.fresh();
         self.emit(VInstr::Movi { d: zero, imm: 0 });
         let pos = self.fresh();
-        self.emit(VInstr::Op { op: BinOp::Slt, d: pos, a: zero, b: VOperand::Reg(v) });
+        self.emit(VInstr::Op {
+            op: BinOp::Slt,
+            d: pos,
+            a: zero,
+            b: VOperand::Reg(v),
+        });
         let neg = self.fresh();
-        self.emit(VInstr::Op { op: BinOp::Slt, d: neg, a: v, b: VOperand::Imm(0) });
+        self.emit(VInstr::Op {
+            op: BinOp::Slt,
+            d: neg,
+            a: v,
+            b: VOperand::Imm(0),
+        });
         let d = self.fresh();
-        self.emit(VInstr::Op { op: BinOp::Or, d, a: pos, b: VOperand::Reg(neg) });
+        self.emit(VInstr::Op {
+            op: BinOp::Or,
+            d,
+            a: pos,
+            b: VOperand::Reg(neg),
+        });
         Ok(d)
     }
 
@@ -400,9 +502,7 @@ mod tests {
 
     #[test]
     fn straight_line_program_runs() {
-        let p = lower_src(
-            "output out[2]; func main() { out[0] = 7; out[1] = 7 * 6; }",
-        );
+        let p = lower_src("output out[2]; func main() { out[0] = 7; out[1] = 7 * 6; }");
         let r = interpret(&p, 10_000);
         assert!(r.halted);
         assert_eq!(r.trace, vec![(4096, 7), (4097, 42)]);

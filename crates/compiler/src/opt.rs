@@ -90,8 +90,15 @@ pub fn fold_and_propagate(p: &VirProgram) -> VirProgram {
                             // algebraic identities: x+0, x-0, x*1, x|0, x^0
                             let identity = matches!(
                                 (op, cb),
-                                (BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr, Some(0))
-                                    | (BinOp::Mul, Some(1))
+                                (
+                                    BinOp::Add
+                                        | BinOp::Sub
+                                        | BinOp::Or
+                                        | BinOp::Xor
+                                        | BinOp::Shl
+                                        | BinOp::Shr,
+                                    Some(0)
+                                ) | (BinOp::Mul, Some(1))
                             );
                             if identity {
                                 // d = copy of ra
@@ -104,7 +111,12 @@ pub fn fold_and_propagate(p: &VirProgram) -> VirProgram {
                                 let srcv = version.get(&ra).copied().unwrap_or(0);
                                 known.insert(d, Value::Copy(ra, srcv));
                             } else {
-                                *instr = VInstr::Op { op, d, a: ra, b: rb };
+                                *instr = VInstr::Op {
+                                    op,
+                                    d,
+                                    a: ra,
+                                    b: rb,
+                                };
                                 known.remove(&d);
                             }
                         }
@@ -126,7 +138,11 @@ pub fn fold_and_propagate(p: &VirProgram) -> VirProgram {
         // propagate into the terminator's condition
         if let Some(Terminator::Bz { z, target, fall }) = block.term {
             let (rz, _) = resolve_reg(&known, &version, z);
-            block.term = Some(Terminator::Bz { z: rz, target, fall });
+            block.term = Some(Terminator::Bz {
+                z: rz,
+                target,
+                fall,
+            });
         }
     }
     out
@@ -241,9 +257,8 @@ mod tests {
 
     #[test]
     fn dead_defs_are_removed() {
-        let p = vir_of(
-            "output out[1]; func main() { var dead = 1 + 2; var live = 7; out[0] = live; }",
-        );
+        let p =
+            vir_of("output out[1]; func main() { var dead = 1 + 2; var live = 7; out[0] = live; }");
         let o = optimize(&p);
         assert!(
             o.static_len() < p.static_len(),

@@ -62,7 +62,10 @@ fn lex(src: &str) -> Result<Vec<LTok>, ParseError> {
                         "&&" => "&&",
                         _ => "||",
                     };
-                    out.push(LTok { tok: Tok::Punct(p), line });
+                    out.push(LTok {
+                        tok: Tok::Punct(p),
+                        line,
+                    });
                     i += 2;
                 }
                 '(' | ')' | '{' | '}' | '[' | ']' | ',' | ';' | '=' | '+' | '-' | '*' | '&'
@@ -87,7 +90,10 @@ fn lex(src: &str) -> Result<Vec<LTok>, ParseError> {
                         '>' => ">",
                         _ => "!",
                     };
-                    out.push(LTok { tok: Tok::Punct(p), line });
+                    out.push(LTok {
+                        tok: Tok::Punct(p),
+                        line,
+                    });
                     i += 1;
                 }
                 c if c.is_ascii_digit() => {
@@ -99,7 +105,10 @@ fn lex(src: &str) -> Result<Vec<LTok>, ParseError> {
                         line,
                         msg: "integer literal out of range".into(),
                     })?;
-                    out.push(LTok { tok: Tok::Int(n), line });
+                    out.push(LTok {
+                        tok: Tok::Int(n),
+                        line,
+                    });
                 }
                 c if c.is_ascii_alphabetic() || c == '_' => {
                     let start = i;
@@ -108,10 +117,16 @@ fn lex(src: &str) -> Result<Vec<LTok>, ParseError> {
                     {
                         i += 1;
                     }
-                    out.push(LTok { tok: Tok::Ident(raw[start..i].to_owned()), line });
+                    out.push(LTok {
+                        tok: Tok::Ident(raw[start..i].to_owned()),
+                        line,
+                    });
                 }
                 c => {
-                    return Err(ParseError { line, msg: format!("unexpected character '{c}'") })
+                    return Err(ParseError {
+                        line,
+                        msg: format!("unexpected character '{c}'"),
+                    })
                 }
             }
         }
@@ -143,7 +158,10 @@ impl Parser {
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { line: self.line(), msg: msg.into() }
+        ParseError {
+            line: self.line(),
+            msg: msg.into(),
+        }
     }
 
     fn at_end(&self) -> bool {
@@ -222,7 +240,12 @@ impl Parser {
                 self.expect("]")?;
             }
             self.expect(";")?;
-            Ok(Item::Array { name, len, init, output })
+            Ok(Item::Array {
+                name,
+                len,
+                init,
+                output,
+            })
         } else if self.peek_ident("const") {
             self.next()?;
             let name = self.ident()?;
@@ -255,7 +278,12 @@ impl Parser {
                 body.push(self.stmt()?);
             }
             self.expect("}")?;
-            Ok(Item::Func(FuncDecl { name, params, body, ret }))
+            Ok(Item::Func(FuncDecl {
+                name,
+                params,
+                body,
+                ret,
+            }))
         } else {
             Err(self.err("expected `array`, `output`, `const`, or `func`"))
         }
@@ -559,7 +587,12 @@ func main() {
         assert_eq!(p.items.len(), 4);
         assert!(p.func("main").is_some());
         match &p.items[1] {
-            Item::Array { name, len, init, output } => {
+            Item::Array {
+                name,
+                len,
+                init,
+                output,
+            } => {
                 assert_eq!(name, "tab");
                 assert_eq!(*len, 8);
                 assert_eq!(init, &[1, 2, 3]);
@@ -616,7 +649,14 @@ func main() { var y = sq(5); }
         let p = parse(src).expect("parses");
         let f = p.func("sq").expect("sq");
         assert_eq!(f.params, vec!["x"]);
-        assert_eq!(f.ret, Expr::Bin(AstBinOp::Mul, Box::new(Expr::Var("x".into())), Box::new(Expr::Var("x".into()))));
+        assert_eq!(
+            f.ret,
+            Expr::Bin(
+                AstBinOp::Mul,
+                Box::new(Expr::Var("x".into())),
+                Box::new(Expr::Var("x".into()))
+            )
+        );
     }
 
     #[test]

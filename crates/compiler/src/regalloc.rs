@@ -134,7 +134,11 @@ pub fn liveness(
             }
         }
     }
-    Liveness { live_in, live_out, nbits }
+    Liveness {
+        live_in,
+        live_out,
+        nbits,
+    }
 }
 
 /// Linear-scan allocation over global live intervals.
@@ -183,14 +187,21 @@ pub fn allocate(
                 touch(k, base[bid], &mut start, &mut end);
             }
             if live.live_out[bid][k] {
-                touch(k, base[bid] + dup.blocks[bid].instrs.len(), &mut start, &mut end);
+                touch(
+                    k,
+                    base[bid] + dup.blocks[bid].instrs.len(),
+                    &mut start,
+                    &mut end,
+                );
             }
         }
     }
     let _ = total;
 
     // Linear scan.
-    let mut order: Vec<usize> = (0..live.nbits).filter(|&k| start[k] != usize::MAX).collect();
+    let mut order: Vec<usize> = (0..live.nbits)
+        .filter(|&k| start[k] != usize::MAX)
+        .collect();
     order.sort_by_key(|&k| (start[k], k));
     let mut free: Vec<u16> = (0..num_gprs).rev().collect();
     let mut active: Vec<(usize, u16)> = Vec::new(); // (end, phys)
@@ -205,7 +216,10 @@ pub fn allocate(
             }
         });
         let Some(phys) = free.pop() else {
-            return Err(AllocError { available: num_gprs, needed: active.len() + 1 });
+            return Err(AllocError {
+                available: num_gprs,
+                needed: active.len() + 1,
+            });
         };
         active.push((end[k], phys));
         let r = reg_of_index[k].expect("interval implies occurrence");
@@ -248,7 +262,10 @@ mod tests {
         let live = liveness(&vir, &dup, &orders, nv);
         // the loop header (block 1) must have live-in values (i, s pairs)
         let live_in_count = live.live_in[1].iter().filter(|&&b| b).count();
-        assert!(live_in_count >= 4, "expected ≥ 2 pairs live-in, got {live_in_count}");
+        assert!(
+            live_in_count >= 4,
+            "expected ≥ 2 pairs live-in, got {live_in_count}"
+        );
     }
 
     #[test]

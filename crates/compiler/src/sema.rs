@@ -73,7 +73,13 @@ pub fn analyze(prog: &WileProgram) -> Result<SemProgram, SemError> {
     let mut arrays = Vec::new();
     let mut next = DATA_BASE;
     for item in &prog.items {
-        if let Item::Array { name, len, init, output } = item {
+        if let Item::Array {
+            name,
+            len,
+            init,
+            output,
+        } = item
+        {
             if arrays.iter().any(|a: &ArrayInfo| a.name == *name) {
                 return Err(SemError(format!("duplicate array {name}")));
             }
@@ -105,7 +111,12 @@ pub fn analyze(prog: &WileProgram) -> Result<SemProgram, SemError> {
     if !main.params.is_empty() {
         return Err(SemError("main must take no parameters".into()));
     }
-    let mut inliner = Inliner { prog, consts: &consts, counter: 0, stack: Vec::new() };
+    let mut inliner = Inliner {
+        prog,
+        consts: &consts,
+        counter: 0,
+        stack: Vec::new(),
+    };
     let mut body = Vec::new();
     let rename = HashMap::new();
     let _ = inliner.inline_stmts(&main.body, &rename, &mut body)?;
@@ -274,10 +285,8 @@ mod tests {
 
     #[test]
     fn arrays_laid_out_sequentially() {
-        let p = analyze_src(
-            "array a[8]; array b[16]; output out[4]; func main() { var x = 0; }",
-        )
-        .expect("ok");
+        let p = analyze_src("array a[8]; array b[16]; output out[4]; func main() { var x = 0; }")
+            .expect("ok");
         assert_eq!(p.array("a").map(|a| a.base), Some(DATA_BASE));
         assert_eq!(p.array("b").map(|a| a.base), Some(DATA_BASE + 8));
         assert_eq!(p.array("out").map(|a| a.base), Some(DATA_BASE + 24));
@@ -309,10 +318,9 @@ mod tests {
 
     #[test]
     fn calls_inline_with_renaming() {
-        let p = analyze_src(
-            "func sq(x) { var t = x * x; return t; } func main() { var y = sq(5); }",
-        )
-        .expect("ok");
+        let p =
+            analyze_src("func sq(x) { var t = x * x; return t; } func main() { var y = sq(5); }")
+                .expect("ok");
         // prelude: x$1 = 5; t$2 = x$1 * x$1; ret$3 = t$2; y = ret$3
         assert!(p.body.len() >= 4);
         let names: Vec<&str> = p
@@ -340,10 +348,8 @@ mod tests {
 
     #[test]
     fn recursion_rejected() {
-        let err = analyze_src(
-            "func f(x) { return f(x); } func main() { var y = f(1); }",
-        )
-        .expect_err("recursive");
+        let err = analyze_src("func f(x) { return f(x); } func main() { var y = f(1); }")
+            .expect_err("recursive");
         assert!(err.0.contains("recursive"));
     }
 

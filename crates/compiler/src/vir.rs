@@ -152,7 +152,11 @@ impl VirProgram {
         let mut m = BTreeMap::new();
         for r in &self.regions {
             for i in 0..r.len {
-                let v = r.init.get(usize::try_from(i).expect("fits")).copied().unwrap_or(0);
+                let v = r
+                    .init
+                    .get(usize::try_from(i).expect("fits"))
+                    .copied()
+                    .unwrap_or(0);
                 m.insert(r.base + i, v);
             }
         }
@@ -215,7 +219,10 @@ pub fn interpret(p: &VirProgram, max_instrs: u64) -> VirRun {
                 }
             }
             if dyn_instrs >= max_instrs {
-                visits.push(BlockVisit { block: bid, taken_exit: false });
+                visits.push(BlockVisit {
+                    block: bid,
+                    taken_exit: false,
+                });
                 break 'outer;
             }
         }
@@ -229,16 +236,27 @@ pub fn interpret(p: &VirProgram, max_instrs: u64) -> VirRun {
                 }
             }
             Terminator::Halt => {
-                visits.push(BlockVisit { block: bid, taken_exit: false });
+                visits.push(BlockVisit {
+                    block: bid,
+                    taken_exit: false,
+                });
                 halted = true;
                 break;
             }
         };
-        visits.push(BlockVisit { block: bid, taken_exit: taken });
+        visits.push(BlockVisit {
+            block: bid,
+            taken_exit: taken,
+        });
         bid = next;
     }
 
-    VirRun { trace, visits, dyn_instrs, halted }
+    VirRun {
+        trace,
+        visits,
+        dyn_instrs,
+        halted,
+    }
 }
 
 #[cfg(test)]
@@ -250,9 +268,15 @@ mod tests {
     fn interpret_store() {
         let b = Block {
             instrs: vec![
-                VInstr::Movi { d: VReg(0), imm: 5000 },
+                VInstr::Movi {
+                    d: VReg(0),
+                    imm: 5000,
+                },
                 VInstr::Movi { d: VReg(1), imm: 5 },
-                VInstr::St { addr: VReg(0), val: VReg(1) },
+                VInstr::St {
+                    addr: VReg(0),
+                    val: VReg(1),
+                },
             ],
             term: Some(Terminator::Halt),
         };
@@ -287,7 +311,11 @@ mod tests {
         };
         let b1 = Block {
             instrs: vec![],
-            term: Some(Terminator::Bz { z: VReg(0), target: 3, fall: 2 }),
+            term: Some(Terminator::Bz {
+                z: VReg(0),
+                target: 3,
+                fall: 2,
+            }),
         };
         let b2 = Block {
             instrs: vec![VInstr::Op {
@@ -298,7 +326,10 @@ mod tests {
             }],
             term: Some(Terminator::Jmp(1)),
         };
-        let b3 = Block { instrs: vec![], term: Some(Terminator::Halt) };
+        let b3 = Block {
+            instrs: vec![],
+            term: Some(Terminator::Halt),
+        };
         let p = VirProgram {
             blocks: vec![b0, b1, b2, b3],
             regions: vec![],
@@ -315,14 +346,26 @@ mod tests {
             .filter(|v| v.block == 2)
             .all(|v| v.taken_exit));
         // the final b1 exit (to b3) is taken
-        let last_b1 = r.visits.iter().rev().find(|v| v.block == 1).expect("b1 visited");
+        let last_b1 = r
+            .visits
+            .iter()
+            .rev()
+            .find(|v| v.block == 1)
+            .expect("b1 visited");
         assert!(last_b1.taken_exit);
     }
 
     #[test]
     fn budget_exhaustion_reported() {
-        let b0 = Block { instrs: vec![], term: Some(Terminator::Jmp(0)) };
-        let p = VirProgram { blocks: vec![b0], regions: vec![], num_vregs: 0 };
+        let b0 = Block {
+            instrs: vec![],
+            term: Some(Terminator::Jmp(0)),
+        };
+        let p = VirProgram {
+            blocks: vec![b0],
+            regions: vec![],
+            num_vregs: 0,
+        };
         let r = interpret(&p, 10);
         assert!(!r.halted);
     }
@@ -331,12 +374,22 @@ mod tests {
     fn loads_default_to_zero_off_region() {
         let b = Block {
             instrs: vec![
-                VInstr::Movi { d: VReg(0), imm: 12345 },
-                VInstr::Ld { d: VReg(1), addr: VReg(0) },
+                VInstr::Movi {
+                    d: VReg(0),
+                    imm: 12345,
+                },
+                VInstr::Ld {
+                    d: VReg(1),
+                    addr: VReg(0),
+                },
             ],
             term: Some(Terminator::Halt),
         };
-        let p = VirProgram { blocks: vec![b], regions: vec![], num_vregs: 2 };
+        let p = VirProgram {
+            blocks: vec![b],
+            regions: vec![],
+            num_vregs: 2,
+        };
         let r = interpret(&p, 100);
         assert!(r.halted);
     }

@@ -23,7 +23,10 @@ fn assert_traces_agree(c: &Compiled) {
     assert!(reference.halted, "reference run must halt");
     let prot = run_program(&c.protected.program, 20_000_000);
     assert_eq!(prot.status, Status::Halted, "protected run must halt");
-    assert_eq!(prot.trace, reference.trace, "protected trace must match VIR");
+    assert_eq!(
+        prot.trace, reference.trace,
+        "protected trace must match VIR"
+    );
     let base = run_program(&c.baseline.program, 20_000_000);
     assert_eq!(base.status, Status::Halted, "baseline run must halt");
     assert_eq!(base.trace, reference.trace, "baseline trace must match VIR");
@@ -183,16 +186,25 @@ fn inverted_loops_check_and_agree() {
         let plain = compile(src, &CompileOptions::default()).expect("plain compiles");
         let mut inv = compile(
             src,
-            &CompileOptions { invert_loops: true, ..CompileOptions::default() },
+            &CompileOptions {
+                invert_loops: true,
+                ..CompileOptions::default()
+            },
         )
         .expect("inverted compiles");
         check_program(&inv.protected.program, &mut inv.protected.arena)
             .expect("inverted output type-checks");
         let r_plain = interpret(&plain.vir, 5_000_000);
         let r_inv = interpret(&inv.vir, 5_000_000);
-        assert_eq!(r_plain.trace, r_inv.trace, "inversion changed semantics\n{src}");
+        assert_eq!(
+            r_plain.trace, r_inv.trace,
+            "inversion changed semantics\n{src}"
+        );
         let run = run_program(&inv.protected.program, 20_000_000);
-        assert_eq!(run.trace, r_plain.trace, "inverted machine trace diverged\n{src}");
+        assert_eq!(
+            run.trace, r_plain.trace,
+            "inverted machine trace diverged\n{src}"
+        );
         // fewer dynamic block transitions per iteration
         assert!(r_inv.visits.len() <= r_plain.visits.len());
     }
@@ -212,7 +224,10 @@ fn optimized_programs_check_and_agree() {
         let plain = compile(src, &CompileOptions::default()).expect("plain");
         let mut optd = compile(
             src,
-            &CompileOptions { optimize: true, ..CompileOptions::default() },
+            &CompileOptions {
+                optimize: true,
+                ..CompileOptions::default()
+            },
         )
         .expect("optimized");
         check_program(&optd.protected.program, &mut optd.protected.arena)

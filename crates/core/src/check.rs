@@ -156,7 +156,11 @@ main:
   halt
 "#;
         let err = check_src(src).expect_err("ill-typed");
-        assert!(err.reason.contains("queued value"), "reason: {}", err.reason);
+        assert!(
+            err.reason.contains("queued value"),
+            "reason: {}",
+            err.reason
+        );
     }
 
     #[test]
@@ -171,7 +175,11 @@ main:
   halt
 "#;
         let err = check_src(src).expect_err("ill-typed");
-        assert!(err.reason.contains("colors differ"), "reason: {}", err.reason);
+        assert!(
+            err.reason.contains("colors differ"),
+            "reason: {}",
+            err.reason
+        );
     }
 
     #[test]
@@ -210,7 +218,11 @@ t2:
   halt
 "#;
         let err = check_src(src).expect_err("ill-typed");
-        assert!(err.reason.contains("blue jumps to"), "reason: {}", err.reason);
+        assert!(
+            err.reason.contains("blue jumps to"),
+            "reason: {}",
+            err.reason
+        );
     }
 
     #[test]
@@ -264,7 +276,11 @@ done:
   halt
 "#;
         let err = check_src(src).expect_err("ill-typed");
-        assert!(err.reason.contains("conditions differ"), "reason: {}", err.reason);
+        assert!(
+            err.reason.contains("conditions differ"),
+            "reason: {}",
+            err.reason
+        );
     }
 
     #[test]
@@ -295,7 +311,11 @@ next:
   halt
 "#;
         let err = check_src(src).expect_err("ill-typed");
-        assert!(err.reason.contains("fall-through"), "reason: {}", err.reason);
+        assert!(
+            err.reason.contains("fall-through"),
+            "reason: {}",
+            err.reason
+        );
     }
 
     #[test]

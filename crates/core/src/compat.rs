@@ -52,14 +52,7 @@ pub fn check_transfer(
     // Infer S by matching target patterns against the current context.
     let mut goals = GoalSet::new();
     goals_for_target(
-        &mut goals,
-        arena,
-        target,
-        &ctx.regs,
-        &ctx.queue,
-        ctx.mem,
-        er_green,
-        er_blue,
+        &mut goals, arena, target, &ctx.regs, &ctx.queue, ctx.mem, er_green, er_blue,
     )?;
     let delta_target = target.kind_ctx();
     let (s, residual) = goals
@@ -177,9 +170,12 @@ pub fn prove_mem_eq(arena: &mut ExprArena, facts: &Facts, e1: ExprId, e2: ExprId
     if n1.base != n2.base || n1.writes.len() != n2.writes.len() {
         return false;
     }
-    n1.writes.iter().zip(n2.writes.iter()).all(|((a1, v1), (a2, v2))| {
-        facts.poly_provably_zero(&a1.sub(a2)) && facts.poly_provably_zero(&v1.sub(v2))
-    })
+    n1.writes
+        .iter()
+        .zip(n2.writes.iter())
+        .all(|((a1, v1), (a2, v2))| {
+            facts.poly_provably_zero(&a1.sub(a2)) && facts.poly_provably_zero(&v1.sub(v2))
+        })
 }
 
 #[cfg(test)]

@@ -17,7 +17,11 @@ impl TypeError {
     /// Construct an error at an address.
     #[must_use]
     pub fn at(addr: i64, reason: impl Into<String>) -> Self {
-        Self { addr, instr: None, reason: reason.into() }
+        Self {
+            addr,
+            instr: None,
+            reason: reason.into(),
+        }
     }
 
     /// Attach the instruction display text.

@@ -51,7 +51,16 @@ impl GoalSet {
     pub fn add_reg(&mut self, target: &RegTy, current: &RegTy) {
         match (target, current) {
             (RegTy::Val(t), RegTy::Val(c)) => self.add(t.expr, c.expr),
-            (RegTy::Cond { guard: tg, inner: ti }, RegTy::Cond { guard: cg, inner: ci }) => {
+            (
+                RegTy::Cond {
+                    guard: tg,
+                    inner: ti,
+                },
+                RegTy::Cond {
+                    guard: cg,
+                    inner: ci,
+                },
+            ) => {
                 self.add(*tg, *cg);
                 self.add(ti.expr, ci.expr);
             }
@@ -94,7 +103,10 @@ impl GoalSet {
         // Residual obligations with S applied.
         let out = deferred
             .into_iter()
-            .map(|g| Goal { pattern: s.apply(arena, g.pattern), subject: g.subject })
+            .map(|g| Goal {
+                pattern: s.apply(arena, g.pattern),
+                subject: g.subject,
+            })
             .collect();
         Ok((s, out))
     }
@@ -124,12 +136,7 @@ impl std::fmt::Display for MatchError {
 
 impl std::error::Error for MatchError {}
 
-fn has_unbound_hole(
-    arena: &ExprArena,
-    delta: &KindCtx,
-    s: &Subst,
-    e: ExprId,
-) -> bool {
+fn has_unbound_hole(arena: &ExprArena, delta: &KindCtx, s: &Subst, e: ExprId) -> bool {
     match arena.node(e) {
         ExprNode::Var(v) => delta.contains(v) && s.get(v).is_none(),
         ExprNode::Int(_) | ExprNode::Emp => false,
@@ -144,6 +151,7 @@ fn has_unbound_hole(
     }
 }
 
+#[allow(clippy::only_used_in_recursion)] // facts reserved for fact-guided solving
 fn match_one(
     arena: &mut ExprArena,
     facts: &Facts,
@@ -166,13 +174,26 @@ fn match_one(
             // Structural decomposition when the subject has the same head.
             if let ExprNode::Bin(op2, sa, sb) = arena.node(g.subject) {
                 if op == op2 {
-                    match_one(arena, facts, delta, s, Goal { pattern: a, subject: sa }, deferred)?;
+                    match_one(
+                        arena,
+                        facts,
+                        delta,
+                        s,
+                        Goal {
+                            pattern: a,
+                            subject: sa,
+                        },
+                        deferred,
+                    )?;
                     return match_one(
                         arena,
                         facts,
                         delta,
                         s,
-                        Goal { pattern: b, subject: sb },
+                        Goal {
+                            pattern: b,
+                            subject: sb,
+                        },
                         deferred,
                     );
                 }
@@ -184,39 +205,129 @@ fn match_one(
                 (BinOp::Add, true, false) => {
                     let rb = s.apply(arena, b);
                     let solved = arena.sub(g.subject, rb);
-                    match_one(arena, facts, delta, s, Goal { pattern: a, subject: solved }, deferred)
+                    match_one(
+                        arena,
+                        facts,
+                        delta,
+                        s,
+                        Goal {
+                            pattern: a,
+                            subject: solved,
+                        },
+                        deferred,
+                    )
                 }
                 (BinOp::Add, false, true) => {
                     let ra = s.apply(arena, a);
                     let solved = arena.sub(g.subject, ra);
-                    match_one(arena, facts, delta, s, Goal { pattern: b, subject: solved }, deferred)
+                    match_one(
+                        arena,
+                        facts,
+                        delta,
+                        s,
+                        Goal {
+                            pattern: b,
+                            subject: solved,
+                        },
+                        deferred,
+                    )
                 }
                 (BinOp::Sub, true, false) => {
                     let rb = s.apply(arena, b);
                     let solved = arena.add(g.subject, rb);
-                    match_one(arena, facts, delta, s, Goal { pattern: a, subject: solved }, deferred)
+                    match_one(
+                        arena,
+                        facts,
+                        delta,
+                        s,
+                        Goal {
+                            pattern: a,
+                            subject: solved,
+                        },
+                        deferred,
+                    )
                 }
                 (BinOp::Sub, false, true) => {
                     let ra = s.apply(arena, a);
                     let solved = arena.sub(ra, g.subject);
-                    match_one(arena, facts, delta, s, Goal { pattern: b, subject: solved }, deferred)
+                    match_one(
+                        arena,
+                        facts,
+                        delta,
+                        s,
+                        Goal {
+                            pattern: b,
+                            subject: solved,
+                        },
+                        deferred,
+                    )
                 }
                 _ => Err(MatchError::Structural(g.pattern, g.subject)),
             }
         }
         ExprNode::Sel(m, a) => {
             if let ExprNode::Sel(sm, sa) = arena.node(g.subject) {
-                match_one(arena, facts, delta, s, Goal { pattern: m, subject: sm }, deferred)?;
-                match_one(arena, facts, delta, s, Goal { pattern: a, subject: sa }, deferred)
+                match_one(
+                    arena,
+                    facts,
+                    delta,
+                    s,
+                    Goal {
+                        pattern: m,
+                        subject: sm,
+                    },
+                    deferred,
+                )?;
+                match_one(
+                    arena,
+                    facts,
+                    delta,
+                    s,
+                    Goal {
+                        pattern: a,
+                        subject: sa,
+                    },
+                    deferred,
+                )
             } else {
                 Err(MatchError::Structural(g.pattern, g.subject))
             }
         }
         ExprNode::Upd(m, a, v) => {
             if let ExprNode::Upd(sm, sa, sv) = arena.node(g.subject) {
-                match_one(arena, facts, delta, s, Goal { pattern: m, subject: sm }, deferred)?;
-                match_one(arena, facts, delta, s, Goal { pattern: a, subject: sa }, deferred)?;
-                match_one(arena, facts, delta, s, Goal { pattern: v, subject: sv }, deferred)
+                match_one(
+                    arena,
+                    facts,
+                    delta,
+                    s,
+                    Goal {
+                        pattern: m,
+                        subject: sm,
+                    },
+                    deferred,
+                )?;
+                match_one(
+                    arena,
+                    facts,
+                    delta,
+                    s,
+                    Goal {
+                        pattern: a,
+                        subject: sa,
+                    },
+                    deferred,
+                )?;
+                match_one(
+                    arena,
+                    facts,
+                    delta,
+                    s,
+                    Goal {
+                        pattern: v,
+                        subject: sv,
+                    },
+                    deferred,
+                )
             } else {
                 Err(MatchError::Structural(g.pattern, g.subject))
             }
@@ -242,7 +353,11 @@ pub fn subst_reg_ty(arena: &mut ExprArena, s: &Subst, t: &RegTy) -> RegTy {
 
 /// Apply a substitution to a value type (the basic type has no expressions).
 pub fn subst_val_ty(arena: &mut ExprArena, s: &Subst, v: &ValTy) -> ValTy {
-    ValTy { color: v.color, basic: v.basic.clone(), expr: s.apply(arena, v.expr) }
+    ValTy {
+        color: v.color,
+        basic: v.basic.clone(),
+        expr: s.apply(arena, v.expr),
+    }
 }
 
 /// Collect goals from a whole target precondition against current context

@@ -57,7 +57,8 @@ pub fn check_instr(
             }
             let e = arena.bin(op, vs.expr, e2);
             ctx.bump_pcs(arena);
-            ctx.regs.set(rd.into(), RegTy::Val(ValTy::new(vs.color, BasicTy::Int, e)));
+            ctx.regs
+                .set(rd.into(), RegTy::Val(ValTy::new(vs.color, BasicTy::Int, e)));
             Ok(Outcome::Continue)
         }
         Instr::Mov { rd, v } => {
@@ -65,7 +66,8 @@ pub fn check_instr(
             let e = arena.int(v.val);
             let basic = basic_ty_of_const(program, v.val);
             ctx.bump_pcs(arena);
-            ctx.regs.set(rd.into(), RegTy::Val(ValTy::new(v.color, basic, e)));
+            ctx.regs
+                .set(rd.into(), RegTy::Val(ValTy::new(v.color, basic, e)));
             Ok(Outcome::Continue)
         }
         Instr::Ld { color, rd, rs } => {
@@ -92,10 +94,15 @@ pub fn check_instr(
                 Color::Blue => arena.sel(ctx.mem, vs.expr),
             };
             ctx.bump_pcs(arena);
-            ctx.regs.set(rd.into(), RegTy::Val(ValTy::new(color, pointee, e)));
+            ctx.regs
+                .set(rd.into(), RegTy::Val(ValTy::new(color, pointee, e)));
             Ok(Outcome::Continue)
         }
-        Instr::St { color: Color::Green, rd, rs } => {
+        Instr::St {
+            color: Color::Green,
+            rd,
+            rs,
+        } => {
             // stG-t: push a green (address, value) pair onto the queue front.
             let va = read_val(arena, ctx, rd).map_err(&fail)?;
             let vv = read_val(arena, ctx, rs).map_err(&fail)?;
@@ -114,7 +121,11 @@ pub fn check_instr(
             ctx.bump_pcs(arena);
             Ok(Outcome::Continue)
         }
-        Instr::St { color: Color::Blue, rd, rs } => {
+        Instr::St {
+            color: Color::Blue,
+            rd,
+            rs,
+        } => {
             // stB-t: compare against the queue *back* and commit to memory.
             let va = read_val(arena, ctx, rd).map_err(&fail)?;
             let vv = read_val(arena, ctx, rs).map_err(&fail)?;
@@ -154,7 +165,10 @@ pub fn check_instr(
             ctx.bump_pcs(arena);
             Ok(Outcome::Continue)
         }
-        Instr::Jmp { color: Color::Green, rd } => {
+        Instr::Jmp {
+            color: Color::Green,
+            rd,
+        } => {
             // jmpG-t: a checked move of the target into d.
             check_d_zero(arena, ctx).map_err(&fail)?;
             let v = read_val(arena, ctx, rd).map_err(&fail)?;
@@ -167,7 +181,10 @@ pub fn check_instr(
             ctx.regs.set(Reg::Dst, RegTy::Val(v));
             Ok(Outcome::Continue)
         }
-        Instr::Jmp { color: Color::Blue, rd } => {
+        Instr::Jmp {
+            color: Color::Blue,
+            rd,
+        } => {
             // jmpB-t: the committing jump; result type void.
             let vb = read_val(arena, ctx, rd).map_err(&fail)?;
             if vb.color != Color::Blue {
@@ -176,7 +193,11 @@ pub fn check_instr(
             let target_b = code_target(&vb).map_err(&fail)?;
             let vd = match ctx.regs.get(Reg::Dst).clone() {
                 RegTy::Val(v) => v,
-                _ => return Err(fail("jmpB requires d to hold a latched green target".into())),
+                _ => {
+                    return Err(fail(
+                        "jmpB requires d to hold a latched green target".into(),
+                    ))
+                }
             };
             if vd.color != Color::Green {
                 return Err(fail("destination register is not green".into()));
@@ -194,11 +215,23 @@ pub fn check_instr(
                     arena.display(vb.expr)
                 )));
             }
-            check_transfer(arena, program, ctx, target_b, vd.expr, vb.expr, &DEntry::ResetToZero)
-                .map_err(&fail)?;
+            check_transfer(
+                arena,
+                program,
+                ctx,
+                target_b,
+                vd.expr,
+                vb.expr,
+                &DEntry::ResetToZero,
+            )
+            .map_err(&fail)?;
             Ok(Outcome::Void)
         }
-        Instr::Bz { color: Color::Green, rz, rd } => {
+        Instr::Bz {
+            color: Color::Green,
+            rz,
+            rd,
+        } => {
             // bzG-t: conditional move into d.
             check_d_zero(arena, ctx).map_err(&fail)?;
             let vz = read_val(arena, ctx, rz).map_err(&fail)?;
@@ -212,10 +245,20 @@ pub fn check_instr(
             let target = code_target(&vt).map_err(&fail)?;
             target_d_is_zero(arena, program, target).map_err(&fail)?;
             ctx.bump_pcs(arena);
-            ctx.regs.set(Reg::Dst, RegTy::Cond { guard: vz.expr, inner: vt });
+            ctx.regs.set(
+                Reg::Dst,
+                RegTy::Cond {
+                    guard: vz.expr,
+                    inner: vt,
+                },
+            );
             Ok(Outcome::Continue)
         }
-        Instr::Bz { color: Color::Blue, rz, rd } => {
+        Instr::Bz {
+            color: Color::Blue,
+            rz,
+            rd,
+        } => {
             // bzB-t: commit or fall through.
             let vz = read_val(arena, ctx, rz).map_err(&fail)?;
             if vz.color != Color::Blue {
@@ -296,9 +339,7 @@ pub fn read_val(arena: &mut ExprArena, ctx: &Ctx, r: Gpr) -> Result<ValTy, Strin
                 let zero = arena.int(0);
                 Ok(ValTy::new(inner.color, BasicTy::Int, zero))
             } else {
-                Err(format!(
-                    "register {r} has an unresolved conditional type"
-                ))
+                Err(format!("register {r} has an unresolved conditional type"))
             }
         }
         RegTy::Top => Err(format!(
@@ -334,11 +375,7 @@ fn check_d_zero(arena: &mut ExprArena, ctx: &Ctx) -> Result<(), String> {
 }
 
 /// The target's own `Γ'(d) = (G, int, 0)` premise.
-fn target_d_is_zero(
-    arena: &mut ExprArena,
-    program: &Program,
-    target: i64,
-) -> Result<(), String> {
+fn target_d_is_zero(arena: &mut ExprArena, program: &Program, target: i64) -> Result<(), String> {
     let t = program
         .precond(target)
         .ok_or_else(|| format!("code@{target} has no precondition"))?;

@@ -45,10 +45,16 @@ pub fn check_state_at(
         return Err("program counters have wrong colors".into());
     }
     if pcg.val != pcb.val {
-        return Err(format!("program counters disagree: {} vs {}", pcg.val, pcb.val));
+        return Err(format!(
+            "program counters disagree: {} vs {}",
+            pcg.val, pcb.val
+        ));
     }
     if pcg.val != addr {
-        return Err(format!("program counters at {} but checking {addr}", pcg.val));
+        return Err(format!(
+            "program counters at {} but checking {addr}",
+            pcg.val
+        ));
     }
     if machine.ir().is_some() {
         return Err("state has a pending instruction (not a boundary state)".into());

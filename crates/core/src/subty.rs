@@ -31,9 +31,16 @@ pub fn reg_subtype(arena: &mut ExprArena, facts: &Facts, sub: &RegTy, sup: &RegT
     match (sub, sup) {
         (_, RegTy::Top) => true,
         (RegTy::Val(a), RegTy::Val(b)) => val_subtype(arena, facts, a, b),
-        (RegTy::Cond { guard: g1, inner: i1 }, RegTy::Cond { guard: g2, inner: i2 }) => {
-            facts.prove_eq(arena, *g1, *g2) && val_subtype(arena, facts, i1, i2)
-        }
+        (
+            RegTy::Cond {
+                guard: g1,
+                inner: i1,
+            },
+            RegTy::Cond {
+                guard: g2,
+                inner: i2,
+            },
+        ) => facts.prove_eq(arena, *g1, *g2) && val_subtype(arena, facts, i1, i2),
         // cond-elim: guard provably non-zero ⇒ the value is (c, int, 0).
         (RegTy::Cond { guard, inner }, RegTy::Val(b)) => {
             if !facts.prove_neq_zero(arena, *guard) {

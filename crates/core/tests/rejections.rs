@@ -50,7 +50,11 @@ fn ldg_with_blue_address_rejected() {
         "\n.data\nregion tab at 4096 len 4 : int\n.code\nmain:\n  \
          .pre { forall m:mem; mem: m; }\n  mov r1, B 4096\n  ldG r2, r1\n  halt\n",
     );
-    assert!(e.reason.contains("ldG") && e.reason.contains("B"), "{}", e.reason);
+    assert!(
+        e.reason.contains("ldG") && e.reason.contains("B"),
+        "{}",
+        e.reason
+    );
 }
 
 #[test]
@@ -67,7 +71,11 @@ fn load_outside_every_region_rejected() {
     let e = reject(&format!(
         "\n.code\nmain:\n  {PRE}\n  mov r1, G 99999\n  ldG r2, r1\n  halt\n"
     ));
-    assert!(e.reason.contains("reference") || e.reason.contains("bounds"), "{}", e.reason);
+    assert!(
+        e.reason.contains("reference") || e.reason.contains("bounds"),
+        "{}",
+        e.reason
+    );
 }
 
 // ---- stG-t / stB-t ---------------------------------------------------------
@@ -147,7 +155,11 @@ fn jmpb_without_latched_intent_rejected() {
     let e = reject(
         "\n.code\nmain:\n  .pre { forall m:mem; mem: m; }\n  mov r1, B @main\n  jmpB r1\n  halt\n",
     );
-    assert!(e.reason.contains("code type") || e.reason.contains("latched"), "{}", e.reason);
+    assert!(
+        e.reason.contains("code type") || e.reason.contains("latched"),
+        "{}",
+        e.reason
+    );
 }
 
 #[test]

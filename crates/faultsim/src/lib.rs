@@ -1,5 +1,6 @@
-//! Single-event-upset fault-injection campaigns — the dynamic validation of
-//! the paper's metatheory (§4) on concrete programs.
+//! Fault-injection campaigns — the dynamic validation of the paper's
+//! metatheory (§4) on concrete programs, generalized from single upsets to
+//! ordered **k-fault plans**.
 //!
 //! **Theorem 4 (Fault Tolerance)**, restated operationally: take a fault-free
 //! run of `n` steps with output trace `s`. Inject *one* fault (any
@@ -13,42 +14,78 @@
 //!
 //! Anything else — a deviating trace (**silent data corruption**), a stuck
 //! state (Progress violation), or an over-long run — is a counterexample.
-//! [`run_campaign`] enumerates the fault space (every dynamic step × every
-//! site × a set of corrupted values) and classifies every injection.
 //!
-//! For *well-typed* programs the campaign must report zero violations; for
-//! the unprotected baseline it measurably reports SDC — the contrast the
-//! paper's evaluation is built on. Corollary 3 (**No False Positives**) is
-//! checked by [`golden_run`]: the fault-free run of a well-typed program
-//! never signals `fault`.
+//! The engine is *plan-driven*: [`run_plan_campaign`] executes any set of
+//! [`FaultPlan`]s (ordered `{at_step, site, value}` strikes) and classifies
+//! each continuation **as the trace streams out** — the first divergent
+//! committed output condemns the run immediately, instead of simulating to
+//! the `n + k` bound and diffing afterwards. The classic exhaustive
+//! single-fault sweep ([`run_campaign`]) is the `k = 1` instantiation
+//! ([`single_fault_plans`]); [`run_multi_campaign`] samples the `k ≥ 2`
+//! space ([`multi_fault_plans`]), where Theorem 4 makes **no promise** —
+//! its SDC counts quantify the boundary of the single-event-upset model
+//! rather than falsify the theorem ([`CampaignReport::within_fault_model`]).
+//!
+//! The runtime is hardened for long campaigns: each injection runs under
+//! `catch_unwind` so a harness panic becomes a recorded
+//! [`Verdict::EngineError`] instead of poisoning the worker; a
+//! [`CampaignConfig::stop_on_first_violation`] knob short-circuits sweeps
+//! used as go/no-go gates; and [`golden_run`] returns a hard
+//! [`GoldenError`] when the reference run exhausts its step budget —
+//! campaigning against a truncated golden trace would silently misclassify
+//! every injection.
+//!
+//! For *well-typed* programs the `k = 1` campaign must report zero
+//! violations; for the unprotected baseline it measurably reports SDC — the
+//! contrast the paper's evaluation is built on. Corollary 3 (**No False
+//! Positives**) is checked by [`golden_run`]: the fault-free run of a
+//! well-typed program never signals `fault`.
 
 #![warn(missing_docs)]
 
+pub mod plan;
 pub mod recovery;
 
-pub use recovery::{run_with_recovery, PlannedFault, RecoveryResult};
+pub use plan::{multi_fault_plans, single_fault_plans, FaultPlan, Strike};
+pub use recovery::{
+    run_supervised, run_with_recovery, storm_from_plan, AttemptRecord, PlannedFault,
+    RecoveryResult, SupervisorConfig, SupervisorOutcome, SupervisorReport,
+};
 
-use std::sync::Arc;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use talft_isa::Program;
-use talft_machine::{
-    inject, mutations, read_site, sim_some_color, sites, step, FaultSite, Machine, OobLoadPolicy,
-    Status,
-};
+use talft_machine::{inject, sim_some_color, step, FaultSite, Machine, OobLoadPolicy, Status};
 
 /// Campaign configuration.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
     /// Step budget for the golden run.
     pub max_steps: u64,
-    /// Cap on corrupted values tried per site (from [`mutations`]).
+    /// Cap on corrupted values tried per site (from
+    /// [`talft_machine::mutations`]).
     pub mutations_per_site: usize,
-    /// Inject before every `stride`-th step (1 = exhaustive in time).
+    /// Inject before every `stride`-th step (1 = exhaustive in time). The
+    /// `TALFT_STRIDE_SCALE` environment variable multiplies this globally
+    /// (CI time-tuning); see [`CampaignConfig::effective_stride`].
     pub stride: u64,
     /// Worker threads.
     pub threads: usize,
     /// Out-of-bounds-load policy for all runs.
     pub oob: OobLoadPolicy,
+    /// Seed for the `k ≥ 2` plan samplers (plans are a deterministic
+    /// function of seed + config + program).
+    pub seed: u64,
+    /// Target number of sampled plans per `k ≥ 2` campaign.
+    pub pair_samples: usize,
+    /// Window (in steps) for correlated cross-color pair search.
+    pub pair_window: u64,
+    /// Abort the campaign at the first Theorem 4 violation (go/no-go mode).
+    /// Counts in the report then cover only the injections performed.
+    pub stop_on_first_violation: bool,
 }
 
 impl Default for CampaignConfig {
@@ -59,9 +96,63 @@ impl Default for CampaignConfig {
             stride: 1,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             oob: OobLoadPolicy::Value(0x6EAD_BEEF),
+            seed: 0x7A1F_F00D,
+            pair_samples: 4096,
+            pair_window: 24,
+            stop_on_first_violation: false,
         }
     }
 }
+
+fn stride_scale() -> u64 {
+    static SCALE: OnceLock<u64> = OnceLock::new();
+    *SCALE.get_or_init(|| {
+        std::env::var("TALFT_STRIDE_SCALE")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .filter(|&s| s >= 1)
+            .unwrap_or(1)
+    })
+}
+
+impl CampaignConfig {
+    /// The stride actually used: `stride × TALFT_STRIDE_SCALE` (environment
+    /// variable, default 1). Lets CI thin exhaustive campaigns uniformly
+    /// without touching per-test configs.
+    #[must_use]
+    pub fn effective_stride(&self) -> u64 {
+        self.stride.max(1).saturating_mul(stride_scale())
+    }
+}
+
+/// The golden (fault-free) run failed to produce a usable reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GoldenError {
+    /// The step budget ran out while the machine was still `Running`.
+    /// Campaigning against a truncated reference trace would misclassify
+    /// every injection (a faulty run matching the truncated prefix is not
+    /// evidence of masking), so this is a hard error, not a warning.
+    BudgetExhausted {
+        /// Steps taken when the budget ran out.
+        steps: u64,
+        /// The configured budget.
+        max_steps: u64,
+    },
+}
+
+impl fmt::Display for GoldenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GoldenError::BudgetExhausted { steps, max_steps } => write!(
+                f,
+                "golden run still running after {steps} steps (budget {max_steps}); \
+                 raise max_steps — a truncated reference would misclassify injections"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GoldenError {}
 
 /// Classification of one injection, per Theorem 4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,34 +161,43 @@ pub enum Verdict {
     Masked,
     /// Hardware signalled `fault`; the emitted trace is a prefix of golden.
     Detected,
-    /// **Silent data corruption**: the trace deviated from golden.
+    /// **Silent data corruption**: a committed output deviated from golden
+    /// (flagged at the first divergent output by the streaming comparator).
     Sdc,
     /// The machine got stuck (Progress violation).
     Stuck,
-    /// Ran past the `n + 1` bound without terminating.
+    /// Ran past the `n + k` bound without terminating.
     Overrun,
     /// Completed with the right trace but a dissimilar final state
     /// (similarity clause of Theorem 4 violated).
     DissimilarState,
+    /// The injection harness itself panicked (isolated by `catch_unwind`).
+    /// Not a Theorem 4 verdict — but the run is unclassified, so it is
+    /// treated as a violation for certification purposes.
+    EngineError,
 }
 
 impl Verdict {
-    /// Whether this verdict violates Theorem 4.
+    /// Whether this verdict violates Theorem 4 (or, for
+    /// [`Verdict::EngineError`], leaves it unestablished).
     #[must_use]
     pub fn is_violation(self) -> bool {
         !matches!(self, Verdict::Masked | Verdict::Detected)
     }
 }
 
-/// One classified injection.
+/// One classified injection (the first strike of its plan; any further
+/// strikes of a multi-fault plan are in `followups`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Injection {
-    /// Steps taken before the fault transition.
+    /// Steps taken before the first fault transition.
     pub at_step: u64,
-    /// Where the fault struck.
+    /// Where the first fault struck.
     pub site: FaultSite,
-    /// The corrupted value written.
+    /// The corrupted value written by the first strike.
     pub value: i64,
+    /// The remaining strikes of the plan (empty for `k = 1`).
+    pub followups: Vec<Strike>,
     /// Classification.
     pub verdict: Verdict,
 }
@@ -165,17 +265,32 @@ pub struct CampaignReport {
     pub sdc: u64,
     /// Other violations (stuck/overrun/dissimilar).
     pub other_violations: u64,
+    /// Injections whose harness panicked (isolated, see
+    /// [`Verdict::EngineError`]) plus workers lost entirely.
+    pub engine_errors: u64,
     /// Up to 32 concrete counterexamples.
     pub violations: Vec<Injection>,
+    /// Counterexamples dropped once [`CampaignReport::violations`] was full.
+    pub violations_truncated: u64,
+    /// Plans where some strike could not be applied (site vanished or the
+    /// machine terminated before the strike's step).
+    pub incomplete_plans: u64,
+    /// Largest fault multiplicity `k` among the executed plans (1 for the
+    /// classic sweep; 0 for an empty campaign).
+    pub fault_order: u32,
+    /// Whether the campaign aborted early on
+    /// [`CampaignConfig::stop_on_first_violation`].
+    pub stopped_early: bool,
     /// Steps from injection to hardware detection, over detected faults.
     pub detection_latency: LatencyHistogram,
 }
 
 impl CampaignReport {
-    /// Whether the program passed (no Theorem 4 violations at all).
+    /// Whether the program passed (no Theorem 4 violations and no
+    /// unclassified injections).
     #[must_use]
     pub fn fault_tolerant(&self) -> bool {
-        self.sdc == 0 && self.other_violations == 0
+        self.sdc == 0 && self.other_violations == 0 && self.engine_errors == 0
     }
 
     /// Detection coverage among non-masked faults (1.0 when fault tolerant).
@@ -189,6 +304,14 @@ impl CampaignReport {
         }
     }
 
+    /// Whether this campaign stayed inside the paper's single-event-upset
+    /// model. SDC at `k = 1` falsifies Theorem 4; SDC at `k ≥ 2` is
+    /// *outside the model* and quantifies its boundary instead.
+    #[must_use]
+    pub fn within_fault_model(&self) -> bool {
+        self.fault_order <= 1
+    }
+
     fn absorb(&mut self, inj: Injection) {
         self.total += 1;
         match inj.verdict {
@@ -196,6 +319,10 @@ impl CampaignReport {
             Verdict::Detected => self.detected += 1,
             Verdict::Sdc => {
                 self.sdc += 1;
+                self.keep(inj);
+            }
+            Verdict::EngineError => {
+                self.engine_errors += 1;
                 self.keep(inj);
             }
             _ => {
@@ -208,6 +335,8 @@ impl CampaignReport {
     fn keep(&mut self, inj: Injection) {
         if self.violations.len() < 32 {
             self.violations.push(inj);
+        } else {
+            self.violations_truncated += 1;
         }
     }
 
@@ -217,6 +346,11 @@ impl CampaignReport {
         self.detected += other.detected;
         self.sdc += other.sdc;
         self.other_violations += other.other_violations;
+        self.engine_errors += other.engine_errors;
+        self.violations_truncated += other.violations_truncated;
+        self.incomplete_plans += other.incomplete_plans;
+        self.fault_order = self.fault_order.max(other.fault_order);
+        self.stopped_early |= other.stopped_early;
         self.detection_latency.merge(&other.detection_latency);
         for v in other.violations {
             self.keep(v);
@@ -239,131 +373,229 @@ pub struct Golden {
 
 /// Run the fault-free execution (also the Corollary 3 check: a well-typed
 /// program must end `Halted`, never `Fault`).
-#[must_use]
-pub fn golden_run(program: &Arc<Program>, cfg: &CampaignConfig) -> Golden {
+///
+/// # Errors
+///
+/// [`GoldenError::BudgetExhausted`] if the run is still `Running` when
+/// `cfg.max_steps` is reached — a truncated reference is unusable as a
+/// campaign baseline. A run that ends `Fault` or `Stuck` is returned `Ok`
+/// (callers checking Corollary 3 inspect [`Golden::status`] themselves).
+pub fn golden_run(program: &Arc<Program>, cfg: &CampaignConfig) -> Result<Golden, GoldenError> {
     let mut m = Machine::boot(Arc::clone(program)).with_oob_policy(cfg.oob);
     while m.status().is_running() && m.steps() < cfg.max_steps {
         step(&mut m);
     }
-    Golden {
+    if m.status().is_running() {
+        return Err(GoldenError::BudgetExhausted {
+            steps: m.steps(),
+            max_steps: cfg.max_steps,
+        });
+    }
+    Ok(Golden {
         trace: m.trace().to_vec(),
         steps: m.steps(),
         status: m.status(),
         machine: m,
-    }
+    })
 }
 
-/// Run the full single-fault campaign.
-#[must_use]
-pub fn run_campaign(program: &Arc<Program>, cfg: &CampaignConfig) -> CampaignReport {
-    let golden = golden_run(program, cfg);
-    run_campaign_against(program, cfg, &golden)
+/// Run the full exhaustive single-fault campaign (the `k = 1`
+/// instantiation of the plan engine).
+///
+/// # Errors
+///
+/// Propagates [`GoldenError`] from the reference run.
+pub fn run_campaign(
+    program: &Arc<Program>,
+    cfg: &CampaignConfig,
+) -> Result<CampaignReport, GoldenError> {
+    let golden = golden_run(program, cfg)?;
+    Ok(run_campaign_against(program, cfg, &golden))
 }
 
-/// Run the campaign against a precomputed golden run.
+/// Run the single-fault campaign against a precomputed golden run.
 #[must_use]
 pub fn run_campaign_against(
     program: &Arc<Program>,
     cfg: &CampaignConfig,
     golden: &Golden,
 ) -> CampaignReport {
-    let n = golden.steps;
-    let threads = cfg.threads.max(1);
-    let chunk = n / threads as u64 + 1;
-    let mut report = CampaignReport::default();
+    let plans = single_fault_plans(program, cfg, golden);
+    run_plan_campaign(program, cfg, golden, &plans)
+}
+
+/// Run a sampled `k`-fault campaign (`k = 1` delegates to the exhaustive
+/// sweep; `k ≥ 2` uses the stratified + correlated sampler).
+///
+/// # Errors
+///
+/// Propagates [`GoldenError`] from the reference run.
+pub fn run_multi_campaign(
+    program: &Arc<Program>,
+    cfg: &CampaignConfig,
+    k: u32,
+) -> Result<CampaignReport, GoldenError> {
+    let golden = golden_run(program, cfg)?;
+    Ok(run_multi_campaign_against(program, cfg, &golden, k))
+}
+
+/// Run a sampled `k`-fault campaign against a precomputed golden run.
+#[must_use]
+pub fn run_multi_campaign_against(
+    program: &Arc<Program>,
+    cfg: &CampaignConfig,
+    golden: &Golden,
+    k: u32,
+) -> CampaignReport {
+    let plans = multi_fault_plans(program, cfg, golden, k);
+    run_plan_campaign(program, cfg, golden, &plans)
+}
+
+/// Execute an arbitrary set of fault plans and classify every continuation.
+///
+/// The engine sorts plans by first-strike step (stable), splits them into
+/// contiguous chunks, and gives each worker a *frontier* machine it
+/// advances monotonically — each plan's continuation is a clone of the
+/// frontier at its first strike, so the fault-free prefix is simulated once
+/// per worker, not once per plan. Each continuation runs under
+/// `catch_unwind`: a panic in the harness is recorded as
+/// [`Verdict::EngineError`] and the worker carries on.
+#[must_use]
+pub fn run_plan_campaign(
+    program: &Arc<Program>,
+    cfg: &CampaignConfig,
+    golden: &Golden,
+    plans: &[FaultPlan],
+) -> CampaignReport {
+    let mut order: Vec<usize> = (0..plans.len()).collect();
+    order.sort_by_key(|&i| plans[i].first_step());
+    let threads = cfg.threads.max(1).min(plans.len().max(1));
+    let chunk = plans.len().div_ceil(threads);
+    let stop = AtomicBool::new(false);
+    let mut report = CampaignReport {
+        fault_order: plans.iter().map(|p| p.order() as u32).max().unwrap_or(0),
+        ..CampaignReport::default()
+    };
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
-            let lo = t as u64 * chunk;
-            let hi = (lo + chunk).min(n + 1);
-            if lo > n {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(plans.len());
+            if lo >= hi {
                 continue;
             }
-            let program = Arc::clone(program);
-            let golden_trace = &golden.trace;
-            let golden_machine = &golden.machine;
+            let idxs = &order[lo..hi];
+            let stop = &stop;
             handles.push(scope.spawn(move || {
                 let mut rep = CampaignReport::default();
-                // Advance a frontier machine to the chunk start.
-                let mut frontier = Machine::boot(Arc::clone(&program)).with_oob_policy(cfg.oob);
-                while frontier.steps() < lo && frontier.status().is_running() {
-                    step(&mut frontier);
-                }
-                let mut at = frontier.steps();
-                loop {
-                    if at % cfg.stride == 0 {
-                        for site in sites(&frontier) {
-                            let Some(old) = read_site(&frontier, site) else {
-                                continue;
-                            };
-                            for value in
-                                mutations(old).into_iter().take(cfg.mutations_per_site)
-                            {
-                                let mut faulty = frontier.clone();
-                                if !inject(&mut faulty, site, value) {
-                                    continue;
-                                }
-                                let injected_at = faulty.steps();
-                                let verdict =
-                                    classify(&mut faulty, golden_trace, n, golden_machine);
-                                if verdict == Verdict::Detected {
-                                    rep.detection_latency
-                                        .record(faulty.steps().saturating_sub(injected_at));
-                                }
-                                rep.absorb(Injection { at_step: at, site, value, verdict });
-                            }
-                        }
-                    }
-                    if at + 1 >= hi || !frontier.status().is_running() {
+                let mut frontier = Machine::boot(Arc::clone(program)).with_oob_policy(cfg.oob);
+                for &i in idxs {
+                    if cfg.stop_on_first_violation && stop.load(Ordering::Relaxed) {
+                        rep.stopped_early = true;
                         break;
                     }
-                    step(&mut frontier);
-                    at = frontier.steps();
+                    let plan = &plans[i];
+                    let first = plan.first_step();
+                    while frontier.steps() < first && frontier.status().is_running() {
+                        step(&mut frontier);
+                    }
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        let mut faulty = frontier.clone();
+                        execute_plan(&mut faulty, plan, golden)
+                    }));
+                    let (verdict, end_steps, applied) = match outcome {
+                        Ok(r) => r,
+                        Err(_) => (Verdict::EngineError, first, 0),
+                    };
+                    if verdict == Verdict::Detected {
+                        rep.detection_latency
+                            .record(end_steps.saturating_sub(first));
+                    }
+                    if verdict != Verdict::EngineError && applied < plan.order() {
+                        rep.incomplete_plans += 1;
+                    }
+                    let lead = plan.strikes.first().copied().unwrap_or(Strike {
+                        at_step: 0,
+                        site: FaultSite::QueueAddr(usize::MAX),
+                        value: 0,
+                    });
+                    rep.absorb(Injection {
+                        at_step: lead.at_step,
+                        site: lead.site,
+                        value: lead.value,
+                        followups: plan.strikes.get(1..).unwrap_or(&[]).to_vec(),
+                        verdict,
+                    });
+                    if cfg.stop_on_first_violation && verdict.is_violation() {
+                        stop.store(true, Ordering::Relaxed);
+                    }
                 }
                 rep
             }));
         }
         for h in handles {
-            report.merge(h.join().expect("campaign worker panicked"));
+            match h.join() {
+                Ok(rep) => report.merge(rep),
+                // A worker dying outside the per-plan catch_unwind (should
+                // not happen) still must not poison the whole campaign.
+                Err(_) => report.engine_errors += 1,
+            }
         }
     });
     report
 }
 
-/// Classify one faulty continuation per Theorem 4 (the fault transition has
-/// already been applied to `faulty`).
-fn classify(
-    faulty: &mut Machine,
-    golden_trace: &[(i64, i64)],
-    golden_steps: u64,
-    golden_final: &Machine,
-) -> Verdict {
-    // The faulty run gets the golden step count plus slack for the fault's
-    // own transition.
-    let bound = golden_steps + 1;
-    while faulty.status().is_running() && faulty.steps() < bound {
-        step(faulty);
+/// Run one plan's continuation to termination with streaming trace
+/// comparison, returning `(verdict, final_steps, strikes_applied)`.
+///
+/// The machine must be the golden prefix at the plan's first strike step.
+/// Outputs are verified against the golden trace *as they commit*: the
+/// first divergent committed output returns [`Verdict::Sdc`] immediately —
+/// no need to simulate to the bound and diff afterwards. (Refinement over
+/// the batch classifier: a run that diverges and then spins is reported as
+/// the `Sdc` it provably is, rather than `Overrun`.)
+fn execute_plan(m: &mut Machine, plan: &FaultPlan, golden: &Golden) -> (Verdict, u64, usize) {
+    let bound = golden.steps + plan.order() as u64;
+    let mut next = 0usize;
+    let mut applied = 0usize;
+    // The pre-strike prefix replays the golden run deterministically; start
+    // verification at the watermark instead of re-checking it.
+    let mut verified = m.trace().len();
+    loop {
+        while next < plan.strikes.len() && plan.strikes[next].at_step <= m.steps() {
+            if inject(m, plan.strikes[next].site, plan.strikes[next].value) {
+                applied += 1;
+            }
+            next += 1;
+        }
+        if !m.status().is_running() || m.steps() >= bound {
+            break;
+        }
+        step(m);
+        for &out in m.trace_since(verified) {
+            if golden.trace.get(verified) != Some(&out) {
+                return (Verdict::Sdc, m.steps(), applied);
+            }
+            verified += 1;
+        }
     }
-    match faulty.status() {
+    let verdict = match m.status() {
         Status::Running => Verdict::Overrun,
         Status::Stuck(_) => Verdict::Stuck,
-        Status::Fault => {
-            if golden_trace.starts_with(faulty.trace()) {
-                Verdict::Detected
-            } else {
-                Verdict::Sdc
-            }
-        }
+        // Every committed output was verified against golden, so the trace
+        // is a prefix — exactly the Detected clause.
+        Status::Fault => Verdict::Detected,
         Status::Halted => {
-            if faulty.trace() != golden_trace {
+            if verified != golden.trace.len() {
                 Verdict::Sdc
-            } else if sim_some_color(golden_final, faulty) {
+            } else if sim_some_color(&golden.machine, m) {
                 Verdict::Masked
             } else {
                 Verdict::DissimilarState
             }
         }
-    }
+    };
+    (verdict, m.steps(), applied)
 }
 
 #[cfg(test)]
@@ -390,24 +622,7 @@ main:
   halt
 "#;
 
-    /// The paper's protected store sequence: every injected fault is masked
-    /// or detected — never SDC.
-    #[test]
-    fn protected_store_sequence_is_fault_tolerant() {
-        let p = arc(PROTECTED);
-        let cfg = CampaignConfig { threads: 2, ..CampaignConfig::default() };
-        let rep = run_campaign(&p, &cfg);
-        assert!(rep.total > 100, "campaign too small: {}", rep.total);
-        assert!(rep.fault_tolerant(), "violations: {:?}", rep.violations);
-        assert!(rep.detected > 0, "some faults must be detected");
-        assert!(rep.masked > 0, "some faults must be masked");
-    }
-
-    /// The §2.2 CSE miscompilation: same-register store pair. The checker
-    /// rejects it, and the campaign finds real SDC — the two tools agree.
-    #[test]
-    fn unprotected_store_exhibits_sdc() {
-        let p = arc(r#"
+    const UNPROTECTED: &str = r#"
 .data
 region out at 4096 len 1 : int output
 .code
@@ -418,28 +633,99 @@ main:
   stG r2, r1
   stB r2, r1
   halt
-"#);
-        let cfg = CampaignConfig { threads: 2, ..CampaignConfig::default() };
-        let rep = run_campaign(&p, &cfg);
-        assert!(rep.sdc > 0, "expected SDC in the unprotected idiom: {rep:?}");
+"#;
+
+    /// The paper's protected store sequence: every injected fault is masked
+    /// or detected — never SDC.
+    #[test]
+    fn protected_store_sequence_is_fault_tolerant() {
+        let p = arc(PROTECTED);
+        let cfg = CampaignConfig {
+            threads: 2,
+            ..CampaignConfig::default()
+        };
+        let rep = run_campaign(&p, &cfg).expect("golden halts");
+        assert!(rep.total > 100, "campaign too small: {}", rep.total);
+        assert!(rep.fault_tolerant(), "violations: {:?}", rep.violations);
+        assert!(rep.detected > 0, "some faults must be detected");
+        assert!(rep.masked > 0, "some faults must be masked");
+        assert_eq!(rep.fault_order, 1);
+        assert!(rep.within_fault_model());
+    }
+
+    /// The §2.2 CSE miscompilation: same-register store pair. The checker
+    /// rejects it, and the campaign finds real SDC — the two tools agree.
+    #[test]
+    fn unprotected_store_exhibits_sdc() {
+        let p = arc(UNPROTECTED);
+        let cfg = CampaignConfig {
+            threads: 2,
+            ..CampaignConfig::default()
+        };
+        let rep = run_campaign(&p, &cfg).expect("golden halts");
+        assert!(
+            rep.sdc > 0,
+            "expected SDC in the unprotected idiom: {rep:?}"
+        );
     }
 
     #[test]
     fn golden_run_has_no_false_positives() {
         let p = arc(PROTECTED);
-        let g = golden_run(&p, &CampaignConfig::default());
+        let g = golden_run(&p, &CampaignConfig::default()).expect("halts in budget");
         assert_eq!(g.status, Status::Halted);
         assert_eq!(g.trace, vec![(4096, 5)]);
+    }
+
+    /// Satellite (a): a golden run that exhausts its budget while `Running`
+    /// is a hard error, not a silently truncated baseline.
+    #[test]
+    fn golden_budget_exhaustion_is_an_error() {
+        let p = arc(r#"
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r1, G @main
+  mov r2, B @main
+  jmpG r1
+  jmpB r2
+"#);
+        let cfg = CampaignConfig {
+            max_steps: 100,
+            ..CampaignConfig::default()
+        };
+        let err = golden_run(&p, &cfg).expect_err("diverging program must not yield a golden");
+        assert_eq!(
+            err,
+            GoldenError::BudgetExhausted {
+                steps: 100,
+                max_steps: 100
+            }
+        );
+        assert!(err.to_string().contains("budget 100"));
+        assert_eq!(run_campaign(&p, &cfg).expect_err("propagates"), err);
     }
 
     #[test]
     fn stride_reduces_campaign_size() {
         let p = arc(PROTECTED);
-        let full = run_campaign(&p, &CampaignConfig { threads: 1, ..Default::default() });
+        let full = run_campaign(
+            &p,
+            &CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .expect("ok");
         let strided = run_campaign(
             &p,
-            &CampaignConfig { threads: 1, stride: 4, ..Default::default() },
-        );
+            &CampaignConfig {
+                threads: 1,
+                stride: 4,
+                ..Default::default()
+            },
+        )
+        .expect("ok");
         assert!(strided.total < full.total);
         assert!(strided.total > 0);
     }
@@ -447,12 +733,194 @@ main:
     #[test]
     fn single_and_multi_thread_agree() {
         let p = arc(PROTECTED);
-        let one = run_campaign(&p, &CampaignConfig { threads: 1, ..Default::default() });
-        let many = run_campaign(&p, &CampaignConfig { threads: 4, ..Default::default() });
+        let one = run_campaign(
+            &p,
+            &CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .expect("ok");
+        let many = run_campaign(
+            &p,
+            &CampaignConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        )
+        .expect("ok");
         assert_eq!(one.total, many.total);
         assert_eq!(one.masked, many.masked);
         assert_eq!(one.detected, many.detected);
         assert_eq!(one.sdc, many.sdc);
+    }
+
+    /// The pre-refactor single-fault sweep, kept verbatim as a reference
+    /// implementation: batch (non-streaming) classification, single thread.
+    fn reference_sweep(program: &Arc<Program>, cfg: &CampaignConfig) -> CampaignReport {
+        fn classify_batch(
+            faulty: &mut Machine,
+            golden_trace: &[(i64, i64)],
+            golden_steps: u64,
+            golden_final: &Machine,
+        ) -> Verdict {
+            let bound = golden_steps + 1;
+            while faulty.status().is_running() && faulty.steps() < bound {
+                step(faulty);
+            }
+            match faulty.status() {
+                Status::Running => Verdict::Overrun,
+                Status::Stuck(_) => Verdict::Stuck,
+                Status::Fault => {
+                    if golden_trace.starts_with(faulty.trace()) {
+                        Verdict::Detected
+                    } else {
+                        Verdict::Sdc
+                    }
+                }
+                Status::Halted => {
+                    if faulty.trace() != golden_trace {
+                        Verdict::Sdc
+                    } else if sim_some_color(golden_final, faulty) {
+                        Verdict::Masked
+                    } else {
+                        Verdict::DissimilarState
+                    }
+                }
+            }
+        }
+        use talft_machine::{mutations, read_site, sites};
+        let golden = golden_run(program, cfg).expect("golden halts");
+        let n = golden.steps;
+        let mut rep = CampaignReport {
+            fault_order: 1,
+            ..CampaignReport::default()
+        };
+        let mut frontier = Machine::boot(Arc::clone(program)).with_oob_policy(cfg.oob);
+        let mut at = frontier.steps();
+        loop {
+            if at.is_multiple_of(cfg.effective_stride()) {
+                for site in sites(&frontier) {
+                    let Some(old) = read_site(&frontier, site) else {
+                        continue;
+                    };
+                    for value in mutations(old).into_iter().take(cfg.mutations_per_site) {
+                        let mut faulty = frontier.clone();
+                        assert!(inject(&mut faulty, site, value));
+                        let verdict =
+                            classify_batch(&mut faulty, &golden.trace, n, &golden.machine);
+                        if verdict == Verdict::Detected {
+                            rep.detection_latency
+                                .record(faulty.steps().saturating_sub(at));
+                        }
+                        rep.absorb(Injection {
+                            at_step: at,
+                            site,
+                            value,
+                            followups: Vec::new(),
+                            verdict,
+                        });
+                    }
+                }
+            }
+            if at >= n || !frontier.status().is_running() {
+                break;
+            }
+            step(&mut frontier);
+            at = frontier.steps();
+        }
+        rep
+    }
+
+    /// Satellite (d): the plan-driven engine at `k = 1` reproduces the
+    /// pre-refactor sweep exactly — same totals and same verdict counts —
+    /// on both the protected and the unprotected store sequence.
+    #[test]
+    fn plan_engine_matches_reference_sweep_at_k1() {
+        for src in [PROTECTED, UNPROTECTED] {
+            let p = arc(src);
+            let cfg = CampaignConfig {
+                threads: 1,
+                ..CampaignConfig::default()
+            };
+            let reference = reference_sweep(&p, &cfg);
+            let planned = run_campaign(&p, &cfg).expect("golden halts");
+            assert_eq!(planned.total, reference.total);
+            assert_eq!(planned.masked, reference.masked);
+            assert_eq!(planned.detected, reference.detected);
+            assert_eq!(planned.sdc, reference.sdc);
+            assert_eq!(planned.other_violations, reference.other_violations);
+            assert_eq!(planned.detection_latency, reference.detection_latency);
+        }
+    }
+
+    /// Same seed, same program ⇒ bit-identical k=2 report; campaigns are
+    /// reproducible end to end.
+    #[test]
+    fn k2_campaign_is_deterministic() {
+        let p = arc(PROTECTED);
+        let cfg = CampaignConfig {
+            threads: 3,
+            pair_samples: 128,
+            ..CampaignConfig::default()
+        };
+        let a = run_multi_campaign(&p, &cfg, 2).expect("ok");
+        let b = run_multi_campaign(&p, &cfg, 2).expect("ok");
+        assert_eq!(a, b);
+        assert!(a.total > 0);
+        assert_eq!(a.fault_order, 2);
+        assert!(!a.within_fault_model());
+    }
+
+    /// A panicking injection is isolated per-plan and recorded as an
+    /// `EngineError` instead of taking down the campaign.
+    #[test]
+    fn harness_panic_is_isolated_as_engine_error() {
+        let p = arc(PROTECTED);
+        let cfg = CampaignConfig {
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let golden = golden_run(&p, &cfg).expect("ok");
+        // Reg::r(200) is out of the register file — injecting it panics.
+        let plans = vec![
+            FaultPlan::single(0, FaultSite::Reg(talft_isa::Reg::r(200)), 7),
+            FaultPlan::single(0, FaultSite::Reg(talft_isa::Reg::r(1)), 7),
+        ];
+        let rep = run_plan_campaign(&p, &cfg, &golden, &plans);
+        assert_eq!(rep.total, 2, "the campaign survives the panic");
+        assert_eq!(rep.engine_errors, 1);
+        assert!(!rep.fault_tolerant());
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| v.verdict == Verdict::EngineError));
+    }
+
+    #[test]
+    fn stop_on_first_violation_short_circuits() {
+        let p = arc(UNPROTECTED);
+        let cfg = CampaignConfig {
+            threads: 1,
+            stop_on_first_violation: true,
+            ..CampaignConfig::default()
+        };
+        let full = run_campaign(
+            &p,
+            &CampaignConfig {
+                threads: 1,
+                ..CampaignConfig::default()
+            },
+        )
+        .expect("ok");
+        let gated = run_campaign(&p, &cfg).expect("ok");
+        assert!(!gated.fault_tolerant());
+        assert!(
+            gated.total < full.total,
+            "gated: {} full: {}",
+            gated.total,
+            full.total
+        );
     }
 
     #[test]
@@ -462,6 +930,7 @@ main:
             at_step: 0,
             site: FaultSite::Reg(talft_isa::Reg::r(0)),
             value: 1,
+            followups: Vec::new(),
             verdict: Verdict::Detected,
         });
         let mut b = CampaignReport::default();
@@ -469,6 +938,7 @@ main:
             at_step: 1,
             site: FaultSite::Reg(talft_isa::Reg::r(1)),
             value: 2,
+            followups: Vec::new(),
             verdict: Verdict::Sdc,
         });
         a.merge(b);
@@ -480,6 +950,31 @@ main:
         assert_eq!(a.violations.len(), 1);
     }
 
+    /// Satellite (b): the 32-counterexample cap is accounted, not silent.
+    #[test]
+    fn violation_overflow_is_counted() {
+        let mut rep = CampaignReport::default();
+        for i in 0..40 {
+            rep.absorb(Injection {
+                at_step: i,
+                site: FaultSite::Reg(talft_isa::Reg::r(0)),
+                value: 1,
+                followups: Vec::new(),
+                verdict: Verdict::Sdc,
+            });
+        }
+        assert_eq!(rep.sdc, 40);
+        assert_eq!(rep.violations.len(), 32);
+        assert_eq!(rep.violations_truncated, 8);
+        let mut merged = CampaignReport::default();
+        merged.merge(rep.clone());
+        merged.merge(rep);
+        assert_eq!(merged.violations.len(), 32);
+        // 8 carried per merge, plus 32 dropped when the second batch found
+        // the list already full
+        assert_eq!(merged.violations_truncated, 8 + 8 + 32);
+    }
+
     #[test]
     fn verdict_violation_classification() {
         assert!(!Verdict::Masked.is_violation());
@@ -488,6 +983,7 @@ main:
         assert!(Verdict::Stuck.is_violation());
         assert!(Verdict::Overrun.is_violation());
         assert!(Verdict::DissimilarState.is_violation());
+        assert!(Verdict::EngineError.is_violation());
     }
 }
 
@@ -516,8 +1012,11 @@ mod latency_tests {
                    .pre { forall m:mem; mem: m; }\n  mov r1, G 5\n  mov r2, G 4096\n  \
                    stG r2, r1\n  mov r3, B 5\n  mov r4, B 4096\n  stB r4, r3\n  halt\n";
         let p = std::sync::Arc::new(assemble(src).expect("ok").program);
-        let cfg = CampaignConfig { threads: 1, ..CampaignConfig::default() };
-        let golden = golden_run(&p, &cfg);
+        let cfg = CampaignConfig {
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let golden = golden_run(&p, &cfg).expect("halts");
         let rep = run_campaign_against(&p, &cfg, &golden);
         assert!(rep.detected > 0);
         assert!(rep.detection_latency.max <= golden.steps + 1);

@@ -77,7 +77,10 @@ pub struct AsmError {
 
 impl AsmError {
     fn new(line: usize, msg: impl Into<String>) -> Self {
-        Self { line, msg: msg.into() }
+        Self {
+            line,
+            msg: msg.into(),
+        }
     }
 }
 
@@ -256,7 +259,7 @@ impl<'a> Assembler<'a> {
                 continue;
             }
             if let Some((start, acc)) = &mut pre_acc {
-                let closes = toks.iter().any(|t| *t == Tok::Punct("}"));
+                let closes = toks.contains(&Tok::Punct("}"));
                 acc.extend(toks);
                 if closes {
                     let (line, toks) = pre_acc.take().expect("accumulating");
@@ -270,22 +273,36 @@ impl<'a> Assembler<'a> {
                 Tok::Punct(".") => {
                     let dir = match toks.get(1) {
                         Some(Tok::Ident(d)) => d.clone(),
-                        _ => return Err(AsmError::new(lineno, "expected directive name after '.'")),
+                        _ => {
+                            return Err(AsmError::new(lineno, "expected directive name after '.'"))
+                        }
                     };
                     match dir.as_str() {
                         "data" | "code" => {} // section markers are informational
                         "pre" => {
                             let rest: Vec<Tok> = toks[2..].to_vec();
-                            if rest.iter().any(|t| *t == Tok::Punct("}")) {
-                                items.push(Item::Pre { line: lineno, toks: rest });
+                            if rest.contains(&Tok::Punct("}")) {
+                                items.push(Item::Pre {
+                                    line: lineno,
+                                    toks: rest,
+                                });
                             } else {
                                 pre_acc = Some((lineno, rest));
                             }
                         }
-                        "gprs" => items.push(Item::Gprs { line: lineno, toks: toks[2..].to_vec() }),
-                        "entry" => items.push(Item::Entry { line: lineno, toks: toks[2..].to_vec() }),
+                        "gprs" => items.push(Item::Gprs {
+                            line: lineno,
+                            toks: toks[2..].to_vec(),
+                        }),
+                        "entry" => items.push(Item::Entry {
+                            line: lineno,
+                            toks: toks[2..].to_vec(),
+                        }),
                         other => {
-                            return Err(AsmError::new(lineno, format!("unknown directive .{other}")))
+                            return Err(AsmError::new(
+                                lineno,
+                                format!("unknown directive .{other}"),
+                            ))
                         }
                     }
                 }
@@ -293,7 +310,10 @@ impl<'a> Assembler<'a> {
                     items.push(Item::Region { line: lineno, toks });
                 }
                 Tok::Ident(name) if toks.get(1) == Some(&Tok::Punct(":")) && toks.len() == 2 => {
-                    items.push(Item::Label { line: lineno, name: name.clone() });
+                    items.push(Item::Label {
+                        line: lineno,
+                        name: name.clone(),
+                    });
                 }
                 Tok::Ident(_) => items.push(Item::Instr { line: lineno, toks }),
                 _ => return Err(AsmError::new(lineno, "unrecognized line")),
@@ -311,10 +331,8 @@ impl<'a> Assembler<'a> {
         let mut addr: i64 = 1;
         for item in &self.items {
             match item {
-                Item::Label { line, name } => {
-                    if labels.insert(name.clone(), addr).is_some() {
-                        return Err(AsmError::new(*line, format!("duplicate label {name}")));
-                    }
+                Item::Label { line, name } if labels.insert(name.clone(), addr).is_some() => {
+                    return Err(AsmError::new(*line, format!("duplicate label {name}")));
                 }
                 Item::Instr { .. } => addr += 1,
                 _ => {}
@@ -345,7 +363,9 @@ impl<'a> Assembler<'a> {
                     _ => return Err(AsmError::new(line, "usage: .entry label")),
                 },
                 Item::Region { line, toks } => {
-                    program.regions.push(self.parse_region(line, &toks, &labels)?);
+                    program
+                        .regions
+                        .push(self.parse_region(line, &toks, &labels)?);
                 }
                 Item::Label { .. } => {}
                 Item::Pre { line, toks } => {
@@ -366,7 +386,10 @@ impl<'a> Assembler<'a> {
             }
         }
         if let Some((line, _)) = pending_pre {
-            return Err(AsmError::new(line, ".pre block not followed by an instruction"));
+            return Err(AsmError::new(
+                line,
+                ".pre block not followed by an instruction",
+            ));
         }
 
         program.entry = match entry_label {
@@ -387,7 +410,13 @@ impl<'a> Assembler<'a> {
         labels: &BTreeMap<String, i64>,
     ) -> Result<Region, AsmError> {
         // region NAME at INT len INT : BTY [output] [= INT*]
-        let mut p = Parser { arena: self.arena, toks, pos: 0, line, labels };
+        let mut p = Parser {
+            arena: self.arena,
+            toks,
+            pos: 0,
+            line,
+            labels,
+        };
         p.expect_ident("region")?;
         let name = p.ident()?;
         p.expect_ident("at")?;
@@ -409,7 +438,14 @@ impl<'a> Assembler<'a> {
             }
         }
         p.finish()?;
-        Ok(Region { name, base, len, elem, init, output })
+        Ok(Region {
+            name,
+            base,
+            len,
+            elem,
+            init,
+            output,
+        })
     }
 
     fn parse_instr(
@@ -418,7 +454,13 @@ impl<'a> Assembler<'a> {
         toks: &[Tok],
         labels: &BTreeMap<String, i64>,
     ) -> Result<Instr, AsmError> {
-        let mut p = Parser { arena: self.arena, toks, pos: 0, line, labels };
+        let mut p = Parser {
+            arena: self.arena,
+            toks,
+            pos: 0,
+            line,
+            labels,
+        };
         let mn = p.ident()?;
         let instr = match mn.as_str() {
             "halt" => Instr::Halt,
@@ -477,7 +519,13 @@ impl<'a> Assembler<'a> {
         labels: &BTreeMap<String, i64>,
         addr: i64,
     ) -> Result<CodeTy, AsmError> {
-        let mut p = Parser { arena: self.arena, toks, pos: 0, line, labels };
+        let mut p = Parser {
+            arena: self.arena,
+            toks,
+            pos: 0,
+            line,
+            labels,
+        };
         p.expect("{")?;
         while p.peek_punct(";") {
             p.expect(";")?;
@@ -501,9 +549,7 @@ impl<'a> Assembler<'a> {
                     let kind = match kw.as_str() {
                         "int" => Kind::Int,
                         "mem" => Kind::Mem,
-                        other => {
-                            return Err(AsmError::new(line, format!("unknown kind {other}")))
-                        }
+                        other => return Err(AsmError::new(line, format!("unknown kind {other}"))),
                     };
                     let v = p.arena.var_id(&name);
                     delta.push((v, kind));
@@ -579,7 +625,13 @@ impl<'a> Assembler<'a> {
                 p.arena.var_expr(v)
             }
         };
-        Ok(CodeTy { delta, facts, regs, queue, mem })
+        Ok(CodeTy {
+            delta,
+            facts,
+            regs,
+            queue,
+            mem,
+        })
     }
 }
 
@@ -744,8 +796,8 @@ impl Parser<'_, '_> {
             self.expect("(")?;
             if let Some(Tok::Ident(c)) = self.peek() {
                 if c.len() == 1 && Color::from_letter(c.chars().next().expect("len 1")).is_some() {
-                    let color = Color::from_letter(c.chars().next().expect("len 1"))
-                        .expect("checked");
+                    let color =
+                        Color::from_letter(c.chars().next().expect("len 1")).expect("checked");
                     self.next()?;
                     if self.peek_punct(",") {
                         self.expect(",")?;
@@ -780,7 +832,10 @@ impl Parser<'_, '_> {
         self.expect(",")?;
         let expr = self.expr()?;
         self.expect(")")?;
-        Ok(RegTy::Cond { guard, inner: ValTy::new(color, basic, expr) })
+        Ok(RegTy::Cond {
+            guard,
+            inner: ValTy::new(color, basic, expr),
+        })
     }
 
     /// A fact: `expr REL expr` with REL ∈ `== != >= <= < >`.
@@ -923,14 +978,28 @@ main:
         let p = &asm.program;
         assert_eq!(p.code_len(), 7);
         assert_eq!(p.entry, 1);
-        assert_eq!(p.instr(1), Some(&Instr::Mov { rd: Gpr(1), v: CVal::green(5) }));
+        assert_eq!(
+            p.instr(1),
+            Some(&Instr::Mov {
+                rd: Gpr(1),
+                v: CVal::green(5)
+            })
+        );
         assert_eq!(
             p.instr(3),
-            Some(&Instr::St { color: Color::Green, rd: Gpr(2), rs: Gpr(1) })
+            Some(&Instr::St {
+                color: Color::Green,
+                rd: Gpr(2),
+                rs: Gpr(1)
+            })
         );
         assert_eq!(
             p.instr(6),
-            Some(&Instr::St { color: Color::Blue, rd: Gpr(4), rs: Gpr(3) })
+            Some(&Instr::St {
+                color: Color::Blue,
+                rd: Gpr(4),
+                rs: Gpr(3)
+            })
         );
         assert_eq!(p.instr(7), Some(&Instr::Halt));
         assert!(p.region("out").is_some_and(|r| r.output));
@@ -974,7 +1043,10 @@ loop:
         assert_eq!(asm.program.label_addr("loop"), Some(5));
         assert_eq!(
             asm.program.instr(1),
-            Some(&Instr::Mov { rd: Gpr(1), v: CVal::green(5) })
+            Some(&Instr::Mov {
+                rd: Gpr(1),
+                v: CVal::green(5)
+            })
         );
     }
 
@@ -1053,7 +1125,11 @@ main:
         );
         assert_eq!(
             p.instr(5),
-            Some(&Instr::Bz { color: Color::Green, rz: Gpr(5), rd: Gpr(6) })
+            Some(&Instr::Bz {
+                color: Color::Green,
+                rz: Gpr(5),
+                rd: Gpr(6)
+            })
         );
     }
 

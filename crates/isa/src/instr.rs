@@ -131,10 +131,7 @@ impl Instr {
     /// Whether this instruction can transfer control (blue halves and halt).
     #[must_use]
     pub fn is_control(&self) -> bool {
-        matches!(
-            self,
-            Instr::Jmp { .. } | Instr::Bz { .. } | Instr::Halt
-        )
+        matches!(self, Instr::Jmp { .. } | Instr::Bz { .. } | Instr::Halt)
     }
 
     /// The color annotation, for colored instructions.
@@ -145,7 +142,10 @@ impl Instr {
             | Instr::St { color, .. }
             | Instr::Bz { color, .. }
             | Instr::Jmp { color, .. } => Some(color),
-            Instr::Op { src2: OpSrc::Imm(v), .. } => Some(v.color),
+            Instr::Op {
+                src2: OpSrc::Imm(v),
+                ..
+            } => Some(v.color),
             Instr::Mov { v, .. } => Some(v.color),
             _ => None,
         }
@@ -172,7 +172,11 @@ mod tests {
 
     #[test]
     fn display_matches_paper_syntax() {
-        let i = Instr::St { color: Color::Green, rd: Gpr(2), rs: Gpr(1) };
+        let i = Instr::St {
+            color: Color::Green,
+            rd: Gpr(2),
+            rs: Gpr(1),
+        };
         assert_eq!(i.to_string(), "stG r2, r1");
         let j = Instr::Op {
             op: BinOp::Add,
@@ -181,13 +185,21 @@ mod tests {
             src2: OpSrc::Imm(CVal::blue(5)),
         };
         assert_eq!(j.to_string(), "add r1, r2, B 5");
-        let k = Instr::Bz { color: Color::Blue, rz: Gpr(3), rd: Gpr(4) };
+        let k = Instr::Bz {
+            color: Color::Blue,
+            rz: Gpr(3),
+            rd: Gpr(4),
+        };
         assert_eq!(k.to_string(), "bzB r3, r4");
     }
 
     #[test]
     fn uses_and_defs() {
-        let st = Instr::St { color: Color::Green, rd: Gpr(2), rs: Gpr(1) };
+        let st = Instr::St {
+            color: Color::Green,
+            rd: Gpr(2),
+            rs: Gpr(1),
+        };
         assert_eq!(st.uses(), vec![Gpr(2), Gpr(1)]);
         assert_eq!(st.def(), None);
         let op = Instr::Op {
@@ -198,7 +210,10 @@ mod tests {
         };
         assert_eq!(op.uses(), vec![Gpr(1), Gpr(2)]);
         assert_eq!(op.def(), Some(Gpr(0)));
-        let mv = Instr::Mov { rd: Gpr(9), v: CVal::green(3) };
+        let mv = Instr::Mov {
+            rd: Gpr(9),
+            v: CVal::green(3),
+        };
         assert!(mv.uses().is_empty());
         assert_eq!(mv.def(), Some(Gpr(9)));
     }
@@ -206,10 +221,23 @@ mod tests {
     #[test]
     fn control_and_color_classification() {
         assert!(Instr::Halt.is_control());
-        assert!(Instr::Jmp { color: Color::Green, rd: Gpr(0) }.is_control());
-        assert!(!Instr::Mov { rd: Gpr(0), v: CVal::green(0) }.is_control());
+        assert!(Instr::Jmp {
+            color: Color::Green,
+            rd: Gpr(0)
+        }
+        .is_control());
+        assert!(!Instr::Mov {
+            rd: Gpr(0),
+            v: CVal::green(0)
+        }
+        .is_control());
         assert_eq!(
-            Instr::Ld { color: Color::Blue, rd: Gpr(0), rs: Gpr(1) }.color(),
+            Instr::Ld {
+                color: Color::Blue,
+                rd: Gpr(0),
+                rs: Gpr(1)
+            }
+            .color(),
             Some(Color::Blue)
         );
         assert_eq!(Instr::Halt.color(), None);

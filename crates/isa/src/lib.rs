@@ -24,10 +24,10 @@ pub mod program;
 pub mod reg;
 pub mod ty;
 
-pub use asm::{assemble, Assembled, AsmError};
-pub use print::{disassemble, print_program};
+pub use asm::{assemble, AsmError, Assembled};
 pub use color::{CVal, Color};
 pub use instr::{Instr, OpSrc};
+pub use print::{disassemble, print_program};
 pub use program::{Program, ProgramError, Region, DATA_BASE};
 pub use reg::{Gpr, Reg};
 pub use ty::{BasicTy, CodeTy, FactAnn, RegFileTy, RegTy, ResultTy, ValTy, ZapTag};

@@ -146,7 +146,9 @@ impl Program {
         let mut m = BTreeMap::new();
         for r in &self.regions {
             for i in 0..r.len {
-                let v = r.init.get(usize::try_from(i).expect("region len fits usize"));
+                let v = r
+                    .init
+                    .get(usize::try_from(i).expect("region len fits usize"));
                 m.insert(r.base + i, v.copied().unwrap_or(0));
             }
         }
@@ -390,10 +392,7 @@ mod tests {
         });
         assert!(p.is_data_addr(DATA_BASE + 3));
         assert!(!p.is_data_addr(DATA_BASE + 4));
-        assert_eq!(
-            p.data_ptr_ty(DATA_BASE),
-            Some(BasicTy::Int.reference())
-        );
+        assert_eq!(p.data_ptr_ty(DATA_BASE), Some(BasicTy::Int.reference()));
         let m = p.initial_memory();
         assert_eq!(m.get(&DATA_BASE), Some(&9));
         assert_eq!(m.get(&(DATA_BASE + 1)), Some(&8));

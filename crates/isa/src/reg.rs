@@ -87,7 +87,13 @@ mod tests {
 
     #[test]
     fn parse_round_trip() {
-        for r in [Reg::r(0), Reg::r(63), Reg::Dst, Reg::Pc(Color::Green), Reg::Pc(Color::Blue)] {
+        for r in [
+            Reg::r(0),
+            Reg::r(63),
+            Reg::Dst,
+            Reg::Pc(Color::Green),
+            Reg::Pc(Color::Blue),
+        ] {
             assert_eq!(Reg::parse(&r.to_string()), Some(r));
         }
         assert_eq!(Reg::parse("x1"), None);

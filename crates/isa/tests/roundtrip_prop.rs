@@ -1,50 +1,85 @@
-//! Property test: random instruction streams survive the
-//! print → assemble round-trip exactly.
+//! Randomized property test (seeded, dependency-free): random instruction
+//! streams survive the print → assemble round-trip exactly.
 
-use proptest::prelude::*;
 use talft_isa::{assemble, print_program, CVal, Color, Gpr, Instr, OpSrc};
 use talft_logic::BinOp;
+use talft_testutil::SplitMix64;
 
-fn color() -> impl Strategy<Value = Color> {
-    prop_oneof![Just(Color::Green), Just(Color::Blue)]
+fn color(r: &mut SplitMix64) -> Color {
+    if r.chance(1, 2) {
+        Color::Green
+    } else {
+        Color::Blue
+    }
 }
 
-fn gpr() -> impl Strategy<Value = Gpr> {
-    (0u16..16).prop_map(Gpr)
+fn gpr(r: &mut SplitMix64) -> Gpr {
+    Gpr(r.below(16) as u16)
 }
 
-fn instr() -> impl Strategy<Value = Instr> {
-    let binop = prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::Slt),
-        Just(BinOp::And),
-        Just(BinOp::Or),
-        Just(BinOp::Xor),
-        Just(BinOp::Shl),
-        Just(BinOp::Shr),
-    ];
-    prop_oneof![
-        (binop, gpr(), gpr(), prop_oneof![
-            gpr().prop_map(OpSrc::Reg),
-            (color(), -100i64..100).prop_map(|(c, n)| OpSrc::Imm(CVal::new(c, n))),
-        ])
-            .prop_map(|(op, rd, rs, src2)| Instr::Op { op, rd, rs, src2 }),
-        (gpr(), color(), -1000i64..1000)
-            .prop_map(|(rd, c, n)| Instr::Mov { rd, v: CVal::new(c, n) }),
-        (color(), gpr(), gpr()).prop_map(|(color, rd, rs)| Instr::Ld { color, rd, rs }),
-        (color(), gpr(), gpr()).prop_map(|(color, rd, rs)| Instr::St { color, rd, rs }),
-        (color(), gpr(), gpr()).prop_map(|(color, rz, rd)| Instr::Bz { color, rz, rd }),
-        (color(), gpr()).prop_map(|(color, rd)| Instr::Jmp { color, rd }),
-    ]
+const BINOPS: [BinOp; 9] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Slt,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::Shr,
+];
+
+fn instr(r: &mut SplitMix64) -> Instr {
+    match r.below(6) {
+        0 => {
+            let src2 = if r.chance(1, 2) {
+                OpSrc::Reg(gpr(r))
+            } else {
+                let c = color(r);
+                OpSrc::Imm(CVal::new(c, r.range_i64(-100, 100)))
+            };
+            Instr::Op {
+                op: *r.pick(&BINOPS),
+                rd: gpr(r),
+                rs: gpr(r),
+                src2,
+            }
+        }
+        1 => {
+            let c = color(r);
+            Instr::Mov {
+                rd: gpr(r),
+                v: CVal::new(c, r.range_i64(-1000, 1000)),
+            }
+        }
+        2 => Instr::Ld {
+            color: color(r),
+            rd: gpr(r),
+            rs: gpr(r),
+        },
+        3 => Instr::St {
+            color: color(r),
+            rd: gpr(r),
+            rs: gpr(r),
+        },
+        4 => Instr::Bz {
+            color: color(r),
+            rz: gpr(r),
+            rd: gpr(r),
+        },
+        _ => Instr::Jmp {
+            color: color(r),
+            rd: gpr(r),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn print_assemble_round_trip(instrs in proptest::collection::vec(instr(), 1..40)) {
+#[test]
+fn print_assemble_round_trip() {
+    let mut rng = SplitMix64::new(0x0151_7201);
+    for case in 0..256 {
+        let len = 1 + rng.index(39);
+        let instrs: Vec<Instr> = (0..len).map(|_| instr(&mut rng)).collect();
         // Build a program around the random body (halt-terminated so the
         // structure is always valid).
         let mut src = String::from(".code\nmain:\n  .pre { forall m:mem; mem: m; }\n");
@@ -53,11 +88,16 @@ proptest! {
         }
         src.push_str("  halt\n");
         let asm1 = assemble(&src).expect("assembles");
-        prop_assert_eq!(&asm1.program.instrs[..instrs.len()], &instrs[..]);
+        assert_eq!(
+            &asm1.program.instrs[..instrs.len()],
+            &instrs[..],
+            "case {case}"
+        );
         // Round-trip through the printer.
         let text = print_program(&asm1.program, &asm1.arena);
-        let asm2 = assemble(&text).unwrap_or_else(|e| panic!("reassemble: {e}\n{text}"));
-        prop_assert_eq!(&asm1.program.instrs, &asm2.program.instrs);
-        prop_assert_eq!(&asm1.program.labels, &asm2.program.labels);
+        let asm2 =
+            assemble(&text).unwrap_or_else(|e| panic!("case {case}: reassemble: {e}\n{text}"));
+        assert_eq!(asm1.program.instrs, asm2.program.instrs, "case {case}");
+        assert_eq!(asm1.program.labels, asm2.program.labels, "case {case}");
     }
 }

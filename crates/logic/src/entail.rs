@@ -97,9 +97,7 @@ impl Facts {
         if let Some((a, b)) = self.slt_atom_operands(arena, &p) {
             // slt(a,b) ≠ 0  ⇒  slt(a,b) = 1  and  b - a ≥ 1
             let one = Poly::constant(1);
-            let gt = Poly::from_parts(b)
-                .sub(&Poly::from_parts(a))
-                .sub(&one);
+            let gt = Poly::from_parts(b).sub(&Poly::from_parts(a)).sub(&one);
             self.ges.push(gt);
             self.assume_poly_eq_zero(arena, p.sub(&one));
             return;
@@ -322,11 +320,17 @@ fn add_implicit_bounds(arena: &ExprArena, cons: &mut Vec<LinCon>) {
             // atom ≥ 0
             let mut lo_coeffs = BTreeMap::new();
             lo_coeffs.insert(m.clone(), 1i128);
-            cons.push(LinCon { coeffs: lo_coeffs, k: 0 });
+            cons.push(LinCon {
+                coeffs: lo_coeffs,
+                k: 0,
+            });
             // hi - atom ≥ 0
             let mut hi_coeffs = BTreeMap::new();
             hi_coeffs.insert(m.clone(), -1i128);
-            cons.push(LinCon { coeffs: hi_coeffs, k: hi });
+            cons.push(LinCon {
+                coeffs: hi_coeffs,
+                k: hi,
+            });
         }
     }
 }
@@ -460,8 +464,14 @@ fn fm_refute(mut cons: Vec<LinCon>) -> bool {
                 return cons.iter().any(LinCon::is_contradiction);
             }
             for m in live {
-                let pos = cons.iter().filter(|c| c.coeffs.get(&m).copied().unwrap_or(0) > 0).count();
-                let neg = cons.iter().filter(|c| c.coeffs.get(&m).copied().unwrap_or(0) < 0).count();
+                let pos = cons
+                    .iter()
+                    .filter(|c| c.coeffs.get(&m).copied().unwrap_or(0) > 0)
+                    .count();
+                let neg = cons
+                    .iter()
+                    .filter(|c| c.coeffs.get(&m).copied().unwrap_or(0) < 0)
+                    .count();
                 let cost = pos * neg;
                 if best.as_ref().is_none_or(|(b, _)| cost < *b) {
                     best = Some((cost, m));
@@ -601,7 +611,7 @@ mod tests {
         let n = a.var("n");
         let cond = a.bin(BinOp::Slt, i, n);
         f.assume_neq_zero(&mut a, cond); // i < n
-        // ⊢ n - i ≥ 1, hence n - i ≠ 0
+                                         // ⊢ n - i ≥ 1, hence n - i ≠ 0
         assert!(f.prove_neq(&mut a, i, n));
         let diff = a.sub(n, i);
         let one = a.int(1);

@@ -362,12 +362,8 @@ impl ExprArena {
         match self.node(e) {
             ExprNode::Var(_) => false,
             ExprNode::Int(_) | ExprNode::Emp => true,
-            ExprNode::Bin(_, a, b) | ExprNode::Sel(a, b) => {
-                self.is_closed(a) && self.is_closed(b)
-            }
-            ExprNode::Upd(m, a, v) => {
-                self.is_closed(m) && self.is_closed(a) && self.is_closed(v)
-            }
+            ExprNode::Bin(_, a, b) | ExprNode::Sel(a, b) => self.is_closed(a) && self.is_closed(b),
+            ExprNode::Upd(m, a, v) => self.is_closed(m) && self.is_closed(a) && self.is_closed(v),
         }
     }
 
@@ -375,7 +371,8 @@ impl ExprArena {
     #[must_use]
     pub fn display(&self, e: ExprId) -> String {
         let mut s = String::new();
-        self.write_expr(&mut s, e).expect("string write cannot fail");
+        self.write_expr(&mut s, e)
+            .expect("string write cannot fail");
         s
     }
 
@@ -434,7 +431,11 @@ impl KindCtx {
     /// Look up a variable's kind.
     #[must_use]
     pub fn get(&self, v: VarId) -> Option<Kind> {
-        self.binds.iter().rev().find(|(w, _)| *w == v).map(|&(_, k)| k)
+        self.binds
+            .iter()
+            .rev()
+            .find(|(w, _)| *w == v)
+            .map(|&(_, k)| k)
     }
 
     /// Whether the context binds `v`.
@@ -538,7 +539,11 @@ mod tests {
         let bad = a.add(me, five);
         assert!(matches!(
             a.kind_of(&ctx, bad),
-            Err(KindError::Mismatch { want: Kind::Int, got: Kind::Mem, .. })
+            Err(KindError::Mismatch {
+                want: Kind::Int,
+                got: Kind::Mem,
+                ..
+            })
         ));
         // unbound variable
         let y = a.var("y");

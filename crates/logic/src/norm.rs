@@ -275,8 +275,14 @@ pub fn sel_memnf(arena: &mut ExprArena, facts: &Facts, m: &MemNf, addr: &Poly) -
 /// Normalize a memory-kinded expression.
 pub fn norm_mem(arena: &mut ExprArena, facts: &Facts, e: ExprId) -> MemNf {
     match arena.node(e) {
-        ExprNode::Emp => MemNf { base: e, writes: Vec::new() },
-        ExprNode::Var(_) => MemNf { base: e, writes: Vec::new() },
+        ExprNode::Emp => MemNf {
+            base: e,
+            writes: Vec::new(),
+        },
+        ExprNode::Var(_) => MemNf {
+            base: e,
+            writes: Vec::new(),
+        },
         ExprNode::Upd(m, a, v) => {
             let mut nm = norm_mem(arena, facts, m);
             let pa = norm_int(arena, facts, a);
@@ -285,9 +291,10 @@ pub fn norm_mem(arena: &mut ExprArena, facts: &Facts, e: ExprId) -> MemNf {
             nm
         }
         // Ill-kinded (integer where memory expected): opaque base.
-        ExprNode::Int(_) | ExprNode::Bin(..) | ExprNode::Sel(..) => {
-            MemNf { base: e, writes: Vec::new() }
-        }
+        ExprNode::Int(_) | ExprNode::Bin(..) | ExprNode::Sel(..) => MemNf {
+            base: e,
+            writes: Vec::new(),
+        },
     }
 }
 
@@ -425,10 +432,7 @@ mod tests {
         // miss: sel (upd m 10 v) 11 == sel m 11
         let s_miss = a.sel(m1, a11);
         let s_base = a.sel(m, a11);
-        assert_eq!(
-            norm_int(&mut a, &f, s_miss),
-            norm_int(&mut a, &f, s_base)
-        );
+        assert_eq!(norm_int(&mut a, &f, s_miss), norm_int(&mut a, &f, s_base));
     }
 
     #[test]

@@ -99,7 +99,11 @@ impl Subst {
                 .kind_of(delta, e)
                 .map_err(|e| SubstError::IllKinded(x, e))?;
             if got != k {
-                return Err(SubstError::KindMismatch { var: x, want: k, got });
+                return Err(SubstError::KindMismatch {
+                    var: x,
+                    want: k,
+                    got,
+                });
             }
         }
         Ok(())
@@ -209,7 +213,11 @@ mod tests {
         s.bind(m, five);
         assert!(matches!(
             s.well_formed(&a, &src, &tgt),
-            Err(SubstError::KindMismatch { want: Kind::Mem, got: Kind::Int, .. })
+            Err(SubstError::KindMismatch {
+                want: Kind::Mem,
+                got: Kind::Int,
+                ..
+            })
         ));
         let emp = a.emp();
         s.bind(m, emp);

@@ -1,10 +1,11 @@
 //! Brute-force soundness check for the Fourier–Motzkin entailment: whenever
 //! `prove_ge0` succeeds from a set of linear facts, the entailment must hold
 //! at every integer grid point satisfying the facts. (Completeness is not
-//! asserted — the prover is allowed to say "unknown".)
+//! asserted — the prover is allowed to say "unknown".) Seeded and
+//! dependency-free.
 
-use proptest::prelude::*;
 use talft_logic::{ExprArena, Facts};
+use talft_testutil::SplitMix64;
 
 /// Build `a·x + b·y + c` in the arena.
 fn lin(arena: &mut ExprArena, a: i64, b: i64, c: i64) -> talft_logic::ExprId {
@@ -19,14 +20,17 @@ fn lin(arena: &mut ExprArena, a: i64, b: i64, c: i64) -> talft_logic::ExprId {
     arena.add(s, ce)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+fn coeffs(r: &mut SplitMix64) -> (i64, i64, i64) {
+    (r.range_i64(-3, 4), r.range_i64(-3, 4), r.range_i64(-6, 7))
+}
 
-    #[test]
-    fn fm_entailments_hold_on_the_grid(
-        facts_coeffs in proptest::collection::vec((-3i64..4, -3i64..4, -6i64..7), 0..4),
-        q in (-3i64..4, -3i64..4, -6i64..7),
-    ) {
+#[test]
+fn fm_entailments_hold_on_the_grid() {
+    let mut rng = SplitMix64::new(0xF0F0_0001);
+    for case in 0..512 {
+        let facts_coeffs: Vec<(i64, i64, i64)> =
+            (0..rng.index(4)).map(|_| coeffs(&mut rng)).collect();
+        let q = coeffs(&mut rng);
         let mut arena = ExprArena::new();
         let mut facts = Facts::new();
         for &(a, b, c) in &facts_coeffs {
@@ -41,21 +45,24 @@ proptest! {
                         .iter()
                         .all(|&(a, b, c)| a * xv + b * yv + c >= 0);
                     if sat {
-                        prop_assert!(
+                        assert!(
                             q.0 * xv + q.1 * yv + q.2 >= 0,
-                            "unsound: facts {facts_coeffs:?} ⊬ {q:?} at ({xv},{yv})"
+                            "case {case} unsound: facts {facts_coeffs:?} ⊬ {q:?} at ({xv},{yv})"
                         );
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn fm_neq_entailments_hold_on_the_grid(
-        facts_coeffs in proptest::collection::vec((-3i64..4, -3i64..4, -6i64..7), 0..4),
-        q in (-3i64..4, -3i64..4, -6i64..7),
-    ) {
+#[test]
+fn fm_neq_entailments_hold_on_the_grid() {
+    let mut rng = SplitMix64::new(0xF0F0_0002);
+    for case in 0..512 {
+        let facts_coeffs: Vec<(i64, i64, i64)> =
+            (0..rng.index(4)).map(|_| coeffs(&mut rng)).collect();
+        let q = coeffs(&mut rng);
         let mut arena = ExprArena::new();
         let mut facts = Facts::new();
         for &(a, b, c) in &facts_coeffs {
@@ -70,9 +77,9 @@ proptest! {
                         .iter()
                         .all(|&(a, b, c)| a * xv + b * yv + c >= 0);
                     if sat {
-                        prop_assert!(
+                        assert!(
                             q.0 * xv + q.1 * yv + q.2 != 0,
-                            "unsound ≠: facts {facts_coeffs:?} at ({xv},{yv})"
+                            "case {case} unsound ≠: facts {facts_coeffs:?} at ({xv},{yv})"
                         );
                     }
                 }

@@ -1,15 +1,14 @@
-//! Property tests for `talft-logic`: the normal forms must be *sound* with
-//! respect to the denotation `[[·]]` of Appendix A.2 — for every ground
-//! environment, an expression and its reified normal form evaluate equal,
-//! and every proved (dis)equality holds semantically.
+//! Randomized (seeded, dependency-free) property tests for `talft-logic`:
+//! the normal forms must be *sound* with respect to the denotation `[[·]]`
+//! of Appendix A.2 — for every ground environment, an expression and its
+//! reified normal form evaluate equal, and every proved (dis)equality holds
+//! semantically.
 
-use proptest::prelude::*;
-use talft_logic::{
-    eval_int, norm_int, reify_poly, BinOp, Env, ExprArena, Facts, MemVal,
-};
+use talft_logic::{eval_int, norm_int, reify_poly, BinOp, Env, ExprArena, Facts, MemVal};
+use talft_testutil::SplitMix64;
 
 /// A tiny recipe language for building random expressions without carrying
-/// arena references through proptest generators.
+/// arena references through the generators.
 #[derive(Debug, Clone)]
 enum IntRecipe {
     Var(u8),
@@ -25,40 +24,50 @@ enum MemRecipe {
     Upd(Box<MemRecipe>, Box<IntRecipe>, Box<IntRecipe>),
 }
 
-fn int_recipe() -> impl Strategy<Value = IntRecipe> {
-    let leaf = prop_oneof![
-        (0u8..4).prop_map(IntRecipe::Var),
-        (-50i64..50).prop_map(IntRecipe::Const),
-    ];
-    leaf.prop_recursive(4, 48, 4, |inner| {
-        let mem = mem_recipe_with(inner.clone());
-        prop_oneof![
-            (
-                prop_oneof![
-                    Just(BinOp::Add),
-                    Just(BinOp::Sub),
-                    Just(BinOp::Mul),
-                    Just(BinOp::Slt),
-                    Just(BinOp::Xor),
-                    Just(BinOp::And),
-                ],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(op, a, b)| IntRecipe::Bin(op, Box::new(a), Box::new(b))),
-            (mem, inner).prop_map(|(m, a)| IntRecipe::Sel(Box::new(m), Box::new(a))),
-        ]
-    })
+const BINOPS: [BinOp; 6] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Slt,
+    BinOp::Xor,
+    BinOp::And,
+];
+
+fn int_recipe(r: &mut SplitMix64, depth: u32) -> IntRecipe {
+    if depth == 0 || r.chance(1, 3) {
+        return if r.chance(1, 2) {
+            IntRecipe::Var(r.below(4) as u8)
+        } else {
+            IntRecipe::Const(r.range_i64(-50, 50))
+        };
+    }
+    if r.chance(1, 5) {
+        IntRecipe::Sel(
+            Box::new(mem_recipe(r, depth - 1)),
+            Box::new(int_recipe(r, depth - 1)),
+        )
+    } else {
+        IntRecipe::Bin(
+            *r.pick(&BINOPS),
+            Box::new(int_recipe(r, depth - 1)),
+            Box::new(int_recipe(r, depth - 1)),
+        )
+    }
 }
 
-fn mem_recipe_with(
-    ints: impl Strategy<Value = IntRecipe> + Clone + 'static,
-) -> impl Strategy<Value = MemRecipe> {
-    let leaf = prop_oneof![Just(MemRecipe::Emp), (0u8..2).prop_map(MemRecipe::MVar)];
-    leaf.prop_recursive(3, 24, 3, move |inner| {
-        (inner, ints.clone(), ints.clone())
-            .prop_map(|(m, a, v)| MemRecipe::Upd(Box::new(m), Box::new(a), Box::new(v)))
-    })
+fn mem_recipe(r: &mut SplitMix64, depth: u32) -> MemRecipe {
+    if depth == 0 || r.chance(1, 2) {
+        return if r.chance(1, 3) {
+            MemRecipe::Emp
+        } else {
+            MemRecipe::MVar(r.below(2) as u8)
+        };
+    }
+    MemRecipe::Upd(
+        Box::new(mem_recipe(r, depth - 1)),
+        Box::new(int_recipe(r, depth - 1)),
+        Box::new(int_recipe(r, depth - 1)),
+    )
 }
 
 fn build_int(arena: &mut ExprArena, r: &IntRecipe) -> talft_logic::ExprId {
@@ -108,92 +117,111 @@ fn ground_env(arena: &mut ExprArena, ints: &[i64; 4], mems: &[Vec<(i64, i64)>; 2
     env
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+fn rand_ints(r: &mut SplitMix64) -> [i64; 4] {
+    [
+        r.range_i64(-20, 20),
+        r.range_i64(-20, 20),
+        r.range_i64(-20, 20),
+        r.range_i64(-20, 20),
+    ]
+}
 
-    /// [[reify(norm(e))]] == [[e]] for all ground environments.
-    #[test]
-    fn normalization_preserves_denotation(
-        recipe in int_recipe(),
-        ints in proptest::array::uniform4(-20i64..20),
-        m0 in proptest::collection::vec((-30i64..30, -9i64..9), 0..5),
-        m1 in proptest::collection::vec((-30i64..30, -9i64..9), 0..5),
-    ) {
+fn rand_mem(r: &mut SplitMix64) -> Vec<(i64, i64)> {
+    (0..r.index(5))
+        .map(|_| (r.range_i64(-30, 30), r.range_i64(-9, 9)))
+        .collect()
+}
+
+/// [[reify(norm(e))]] == [[e]] for all ground environments.
+#[test]
+fn normalization_preserves_denotation() {
+    let mut rng = SplitMix64::new(0x4042_0001);
+    for case in 0..512 {
+        let recipe = int_recipe(&mut rng, 4);
+        let ints = rand_ints(&mut rng);
+        let mems = [rand_mem(&mut rng), rand_mem(&mut rng)];
         let mut arena = ExprArena::new();
         let facts = Facts::new();
         let e = build_int(&mut arena, &recipe);
         let p = norm_int(&mut arena, &facts, e);
         let r = reify_poly(&mut arena, &p);
-        let env = ground_env(&mut arena, &ints, &[m0, m1]);
+        let env = ground_env(&mut arena, &ints, &mems);
         let lhs = eval_int(&arena, &env, e).expect("closed under env");
         let rhs = eval_int(&arena, &env, r).expect("closed under env");
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs, "case {case}: {recipe:?}");
     }
+}
 
-    /// Normalization is idempotent: norm(reify(norm(e))) == norm(e).
-    #[test]
-    fn normalization_idempotent(recipe in int_recipe()) {
+/// Normalization is idempotent: norm(reify(norm(e))) == norm(e).
+#[test]
+fn normalization_idempotent() {
+    let mut rng = SplitMix64::new(0x4042_0002);
+    for case in 0..512 {
+        let recipe = int_recipe(&mut rng, 4);
         let mut arena = ExprArena::new();
         let facts = Facts::new();
         let e = build_int(&mut arena, &recipe);
         let p1 = norm_int(&mut arena, &facts, e);
         let r = reify_poly(&mut arena, &p1);
         let p2 = norm_int(&mut arena, &facts, r);
-        prop_assert_eq!(p1, p2);
+        assert_eq!(p1, p2, "case {case}: {recipe:?}");
     }
+}
 
-    /// prove_eq soundness: if two random expressions are proved equal, they
-    /// evaluate equal everywhere we sample.
-    #[test]
-    fn prove_eq_sound(
-        r1 in int_recipe(),
-        r2 in int_recipe(),
-        ints in proptest::array::uniform4(-20i64..20),
-        m0 in proptest::collection::vec((-30i64..30, -9i64..9), 0..5),
-        m1 in proptest::collection::vec((-30i64..30, -9i64..9), 0..5),
-    ) {
+/// prove_eq soundness: if two random expressions are proved equal, they
+/// evaluate equal everywhere we sample.
+#[test]
+fn prove_eq_sound() {
+    let mut rng = SplitMix64::new(0x4042_0003);
+    for case in 0..512 {
+        let r1 = int_recipe(&mut rng, 4);
+        let r2 = int_recipe(&mut rng, 4);
+        let ints = rand_ints(&mut rng);
+        let mems = [rand_mem(&mut rng), rand_mem(&mut rng)];
         let mut arena = ExprArena::new();
         let facts = Facts::new();
         let e1 = build_int(&mut arena, &r1);
         let e2 = build_int(&mut arena, &r2);
         if facts.prove_eq(&mut arena, e1, e2) {
-            let env = ground_env(&mut arena, &ints, &[m0, m1]);
+            let env = ground_env(&mut arena, &ints, &mems);
             let v1 = eval_int(&arena, &env, e1).expect("closed");
             let v2 = eval_int(&arena, &env, e2).expect("closed");
-            prop_assert_eq!(v1, v2);
+            assert_eq!(v1, v2, "case {case}: {r1:?} vs {r2:?}");
         }
     }
+}
 
-    /// prove_neq soundness on sampled environments.
-    #[test]
-    fn prove_neq_sound(
-        r1 in int_recipe(),
-        r2 in int_recipe(),
-        ints in proptest::array::uniform4(-20i64..20),
-        m0 in proptest::collection::vec((-30i64..30, -9i64..9), 0..5),
-        m1 in proptest::collection::vec((-30i64..30, -9i64..9), 0..5),
-    ) {
+/// prove_neq soundness on sampled environments.
+#[test]
+fn prove_neq_sound() {
+    let mut rng = SplitMix64::new(0x4042_0004);
+    for case in 0..512 {
+        let r1 = int_recipe(&mut rng, 4);
+        let r2 = int_recipe(&mut rng, 4);
+        let ints = rand_ints(&mut rng);
+        let mems = [rand_mem(&mut rng), rand_mem(&mut rng)];
         let mut arena = ExprArena::new();
         let facts = Facts::new();
         let e1 = build_int(&mut arena, &r1);
         let e2 = build_int(&mut arena, &r2);
         if facts.prove_neq(&mut arena, e1, e2) {
-            let env = ground_env(&mut arena, &ints, &[m0, m1]);
+            let env = ground_env(&mut arena, &ints, &mems);
             let v1 = eval_int(&arena, &env, e1).expect("closed");
             let v2 = eval_int(&arena, &env, e2).expect("closed");
-            prop_assert_ne!(v1, v2);
+            assert_ne!(v1, v2, "case {case}: {r1:?} vs {r2:?}");
         }
     }
+}
 
-    /// Assumed facts restrict the environments; on environments *satisfying*
-    /// an assumed equality, fact-aware normal forms still agree with eval.
-    #[test]
-    fn fact_aware_norm_sound_on_satisfying_env(
-        recipe in int_recipe(),
-        ints in proptest::array::uniform4(-20i64..20),
-        m0 in proptest::collection::vec((-30i64..30, -9i64..9), 0..5),
-        m1 in proptest::collection::vec((-30i64..30, -9i64..9), 0..5),
-    ) {
+/// Assumed facts restrict the environments; on environments *satisfying*
+/// an assumed equality, fact-aware normal forms still agree with eval.
+#[test]
+fn fact_aware_norm_sound_on_satisfying_env() {
+    let mut rng = SplitMix64::new(0x4042_0005);
+    for case in 0..512 {
+        let recipe = int_recipe(&mut rng, 4);
+        let mut ints = rand_ints(&mut rng);
+        let mems = [rand_mem(&mut rng), rand_mem(&mut rng)];
         let mut arena = ExprArena::new();
         let mut facts = Facts::new();
         // Assume x0 = x1; then evaluate under an env where that holds.
@@ -203,11 +231,10 @@ proptest! {
         let e = build_int(&mut arena, &recipe);
         let p = norm_int(&mut arena, &facts, e);
         let r = reify_poly(&mut arena, &p);
-        let mut ints = ints;
         ints[1] = ints[0]; // make the env satisfy x0 = x1
-        let env = ground_env(&mut arena, &ints, &[m0, m1]);
+        let env = ground_env(&mut arena, &ints, &mems);
         let lhs = eval_int(&arena, &env, e).expect("closed");
         let rhs = eval_int(&arena, &env, r).expect("closed");
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs, "case {case}: {recipe:?}");
     }
 }

@@ -71,8 +71,7 @@ pub fn audit_pending(m: &Machine) -> Option<AuditViolation> {
                 return bad(format!("bz{color} operands colored {cz}/{ct}"));
             }
             // Principle 3: the latched intent in d must be green.
-            if color == Color::Blue && m.rval(Reg::Dst) != 0 && m.rcol(Reg::Dst) != Color::Green
-            {
+            if color == Color::Blue && m.rval(Reg::Dst) != 0 && m.rcol(Reg::Dst) != Color::Green {
                 return bad("blue branch committing a non-green latched target".into());
             }
             None
@@ -82,8 +81,7 @@ pub fn audit_pending(m: &Machine) -> Option<AuditViolation> {
             if ct != color {
                 return bad(format!("jmp{color} target register is {ct}"));
             }
-            if color == Color::Blue && m.rval(Reg::Dst) != 0 && m.rcol(Reg::Dst) != Color::Green
-            {
+            if color == Color::Blue && m.rval(Reg::Dst) != 0 && m.rcol(Reg::Dst) != Color::Green {
                 return bad("blue jump committing a non-green latched target".into());
             }
             None
@@ -168,7 +166,10 @@ mod tests {
             }
             inject(&mut m, FaultSite::Reg(talft_isa::Reg::r(1)), 777);
             let (_, v) = run_audited(&mut m, 10_000);
-            assert!(v.is_empty(), "audit fired on a faulty-but-well-typed run: {v:?}");
+            assert!(
+                v.is_empty(),
+                "audit fired on a faulty-but-well-typed run: {v:?}"
+            );
         }
     }
 }

@@ -48,6 +48,18 @@ pub fn sites(m: &Machine) -> Vec<FaultSite> {
     out
 }
 
+/// Enumerate the *register* fault sites together with their color tag and
+/// payload — the basis for constructing **correlated** multi-fault plans
+/// (two upsets striking the green and blue copies of one logical value, the
+/// coordinated pattern that probes the boundary of the single-event-upset
+/// model). Queue entries carry no color tag and are not listed.
+#[must_use]
+pub fn colored_reg_sites(m: &Machine) -> Vec<(FaultSite, talft_isa::Color, i64)> {
+    Reg::all(m.num_gprs())
+        .map(|r| (FaultSite::Reg(r), m.rcol(r), m.rval(r)))
+        .collect()
+}
+
 /// The value currently stored at a fault site (useful for choosing a
 /// corrupted replacement).
 #[must_use]

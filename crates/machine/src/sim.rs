@@ -43,7 +43,10 @@ pub fn sim_queue(z: ZapTag, m1: &Machine, m2: &Machine) -> bool {
     if z.zaps(Color::Green) {
         return true;
     }
-    m1.queue().iter().zip(m2.queue().iter()).all(|(a, b)| a == b)
+    m1.queue()
+        .iter()
+        .zip(m2.queue().iter())
+        .all(|(a, b)| a == b)
 }
 
 /// `S1 sim_Z S2` (rule `sim-S`): same code and memory and pending `ir`,
@@ -51,10 +54,7 @@ pub fn sim_queue(z: ZapTag, m1: &Machine, m2: &Machine) -> bool {
 /// to be *equal* across the two states.)
 #[must_use]
 pub fn sim_state(z: ZapTag, m1: &Machine, m2: &Machine) -> bool {
-    m1.memory() == m2.memory()
-        && m1.ir() == m2.ir()
-        && sim_regs(z, m1, m2)
-        && sim_queue(z, m1, m2)
+    m1.memory() == m2.memory() && m1.ir() == m2.ir() && sim_regs(z, m1, m2) && sim_queue(z, m1, m2)
 }
 
 /// `S1 sim_c S2` for *some* color `c` (the existential in Theorem 4).

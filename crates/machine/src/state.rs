@@ -158,6 +158,16 @@ impl Machine {
         &self.trace
     }
 
+    /// The outputs committed after the first `watermark` — the streaming
+    /// hook campaign engines use to compare a faulty run against the golden
+    /// trace *as it is produced* instead of at termination.
+    ///
+    /// Returns an empty slice when fewer than `watermark` outputs exist.
+    #[must_use]
+    pub fn trace_since(&self, watermark: usize) -> &[Output] {
+        self.trace.get(watermark..).unwrap_or(&[])
+    }
+
     pub(crate) fn emit(&mut self, out: Output) {
         self.trace.push(out);
     }

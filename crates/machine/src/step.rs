@@ -23,7 +23,11 @@ pub struct StepEvent {
 
 impl StepEvent {
     fn plain(rule: &'static str, status: Status) -> Self {
-        Self { rule, output: None, status }
+        Self {
+            rule,
+            output: None,
+            status,
+        }
     }
 }
 
@@ -93,7 +97,11 @@ fn exec(m: &mut Machine, i: Instr) -> StepEvent {
             m.set_reg(rd.into(), v);
             StepEvent::plain("mov", Status::Running)
         }
-        Instr::St { color: Color::Green, rd, rs } => {
+        Instr::St {
+            color: Color::Green,
+            rd,
+            rs,
+        } => {
             // stG-queue: push (Rval(rd), Rval(rs)) on the *front*.
             let pair = (m.rval(rd.into()), m.rval(rs.into()));
             m.queue_mut().push_front(pair);
@@ -101,7 +109,11 @@ fn exec(m: &mut Machine, i: Instr) -> StepEvent {
             m.bump_pcs();
             StepEvent::plain("stG-queue", Status::Running)
         }
-        Instr::St { color: Color::Blue, rd, rs } => {
+        Instr::St {
+            color: Color::Blue,
+            rd,
+            rs,
+        } => {
             // stB-mem / stB-mem-fail / stB-queue-fail: compare against the
             // *back* (oldest) pair and commit.
             match m.queue_mut().pop_back() {
@@ -126,7 +138,11 @@ fn exec(m: &mut Machine, i: Instr) -> StepEvent {
                 }
             }
         }
-        Instr::Ld { color: Color::Green, rd, rs } => {
+        Instr::Ld {
+            color: Color::Green,
+            rd,
+            rs,
+        } => {
             let addr = m.rval(rs.into());
             if let Some((_, v)) = m.queue_find(addr) {
                 // ldG-queue: forward the pending (green) store.
@@ -141,7 +157,11 @@ fn exec(m: &mut Machine, i: Instr) -> StepEvent {
                 oob_load(m, rd.into(), Color::Green, "ldG")
             }
         }
-        Instr::Ld { color: Color::Blue, rd, rs } => {
+        Instr::Ld {
+            color: Color::Blue,
+            rd,
+            rs,
+        } => {
             // ldB ignores the queue.
             let addr = m.rval(rs.into());
             if let Some(v) = m.mem(addr) {
@@ -152,7 +172,10 @@ fn exec(m: &mut Machine, i: Instr) -> StepEvent {
                 oob_load(m, rd.into(), Color::Blue, "ldB")
             }
         }
-        Instr::Jmp { color: Color::Green, rd } => {
+        Instr::Jmp {
+            color: Color::Green,
+            rd,
+        } => {
             // jmpG / jmpG-fail: latch the intended target into d.
             if m.rval(Reg::Dst) == 0 {
                 let v = m.reg(rd.into());
@@ -164,7 +187,10 @@ fn exec(m: &mut Machine, i: Instr) -> StepEvent {
                 StepEvent::plain("jmpG-fail", Status::Fault)
             }
         }
-        Instr::Jmp { color: Color::Blue, rd } => {
+        Instr::Jmp {
+            color: Color::Blue,
+            rd,
+        } => {
             // jmpB / jmpB-fail: compare and commit the transfer.
             let dval = m.rval(Reg::Dst);
             if dval != 0 && m.rval(rd.into()) == dval {
@@ -235,7 +261,11 @@ fn oob_load(m: &mut Machine, rd: Reg, color: Color, base: &'static str) -> StepE
         OobLoadPolicy::Fault => {
             m.set_status(Status::Fault);
             StepEvent::plain(
-                if base == "ldG" { "ldG-fail" } else { "ldB-fail" },
+                if base == "ldG" {
+                    "ldG-fail"
+                } else {
+                    "ldB-fail"
+                },
                 Status::Fault,
             )
         }
@@ -243,7 +273,11 @@ fn oob_load(m: &mut Machine, rd: Reg, color: Color, base: &'static str) -> StepE
             m.bump_pcs();
             m.set_reg(rd, CVal::new(color, v));
             StepEvent::plain(
-                if base == "ldG" { "ldG-rand" } else { "ldB-rand" },
+                if base == "ldG" {
+                    "ldG-rand"
+                } else {
+                    "ldB-rand"
+                },
                 Status::Running,
             )
         }
@@ -399,9 +433,8 @@ mod tests {
 
     #[test]
     fn jmpg_with_nonzero_d_faults() {
-        let src = format!(
-            "\n.code\nmain:\n  {PRE}\n  mov r1, G @main\n  jmpG r1\n  jmpG r1\n  halt\n"
-        );
+        let src =
+            format!("\n.code\nmain:\n  {PRE}\n  mov r1, G @main\n  jmpG r1\n  jmpG r1\n  halt\n");
         let mut m = boot(&src);
         while m.status().is_running() {
             step(&mut m);
@@ -425,7 +458,9 @@ mod tests {
         assert_eq!(m.reg(Reg::Dst), CVal::green(0));
 
         // Untaken: rz ≠ 0 falls through both halves.
-        let untaken = taken.replace("mov r1, G 0", "mov r1, G 1").replace("mov r2, B 0", "mov r2, B 1");
+        let untaken = taken
+            .replace("mov r1, G 0", "mov r1, G 1")
+            .replace("mov r2, B 0", "mov r2, B 1");
         let mut m = boot(&untaken);
         while m.status().is_running() {
             step(&mut m);

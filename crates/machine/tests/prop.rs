@@ -1,6 +1,7 @@
-//! Property tests for the operational semantics.
+//! Exhaustive-in-prefix property tests for the operational semantics
+//! (deterministic: the former random sampling is replaced by sweeping every
+//! prefix/budget in the sampled range).
 
-use proptest::prelude::*;
 use std::sync::Arc;
 use talft_isa::{assemble, Program};
 use talft_machine::{run_program, step, Machine, Status};
@@ -39,39 +40,41 @@ done:
     Arc::new(assemble(src).expect("assembles").program)
 }
 
-proptest! {
-    /// The machine is deterministic: any two runs of the same program agree
-    /// step by step (sampled at random prefixes).
-    #[test]
-    fn machine_is_deterministic(prefix in 0u64..200) {
-        let p = store_loop_program();
+/// The machine is deterministic: any two runs of the same program agree
+/// step by step, at every prefix length.
+#[test]
+fn machine_is_deterministic() {
+    let p = store_loop_program();
+    for prefix in (0u64..200).step_by(7) {
         let mut a = Machine::boot(Arc::clone(&p));
         let mut b = Machine::boot(Arc::clone(&p));
         for _ in 0..prefix {
             let ea = step(&mut a);
             let eb = step(&mut b);
-            prop_assert_eq!(ea, eb);
+            assert_eq!(ea, eb, "prefix {prefix}");
         }
-        prop_assert_eq!(a.trace(), b.trace());
-        prop_assert_eq!(a.status(), b.status());
-        prop_assert_eq!(a.memory(), b.memory());
+        assert_eq!(a.trace(), b.trace(), "prefix {prefix}");
+        assert_eq!(a.status(), b.status(), "prefix {prefix}");
+        assert_eq!(a.memory(), b.memory(), "prefix {prefix}");
     }
+}
 
-    /// Traces only grow, statuses only leave `Running` once, and the step
-    /// counter advances exactly when running.
-    #[test]
-    fn trace_monotone_and_status_final(budget in 1u64..400) {
-        let p = store_loop_program();
-        let mut m = Machine::boot(p);
+/// Traces only grow, statuses only leave `Running` once, and the step
+/// counter advances exactly when running.
+#[test]
+fn trace_monotone_and_status_final() {
+    let p = store_loop_program();
+    for budget in (1u64..400).step_by(13) {
+        let mut m = Machine::boot(Arc::clone(&p));
         let mut last_len = 0usize;
         let mut terminal_seen = false;
         for _ in 0..budget {
             let before = m.steps();
             step(&mut m);
-            prop_assert!(m.trace().len() >= last_len);
+            assert!(m.trace().len() >= last_len);
             last_len = m.trace().len();
             if terminal_seen {
-                prop_assert_eq!(m.steps(), before, "terminal machines do not step");
+                assert_eq!(m.steps(), before, "terminal machines do not step");
             }
             if !m.status().is_running() {
                 terminal_seen = true;

@@ -55,7 +55,12 @@ impl TimedOp {
     /// Convenience constructor.
     #[must_use]
     pub fn new(kind: OpKind, dst: Option<u16>, srcs: Vec<u16>) -> Self {
-        Self { kind, dst, srcs, free: false }
+        Self {
+            kind,
+            dst,
+            srcs,
+            free: false,
+        }
     }
 
     /// Mark as a zero-cost pseudo-op.
@@ -117,7 +122,10 @@ impl MachineModel {
     /// the issue-width ablation.
     #[must_use]
     pub fn itanium2_raw() -> Self {
-        Self { width: 6, ..Self::default() }
+        Self {
+            width: 6,
+            ..Self::default()
+        }
     }
 
     /// Latency of an op class.
@@ -220,11 +228,19 @@ mod tests {
 
     #[test]
     fn independent_ops_pack_into_issue_width() {
-        let model = MachineModel { width: 4, ..MachineModel::default() };
+        let model = MachineModel {
+            width: 4,
+            ..MachineModel::default()
+        };
         // 8 independent ALU ops on a 4-wide machine: 2 issue cycles.
         let block: Vec<TimedOp> = (0..8).map(|i| alu(i, &[])).collect();
-        let prog = SchedProgram { blocks: vec![block] };
-        let visits = [BlockVisit { block: 0, taken_exit: false }];
+        let prog = SchedProgram {
+            blocks: vec![block],
+        };
+        let visits = [BlockVisit {
+            block: 0,
+            taken_exit: false,
+        }];
         let c = simulate(&prog, &visits, &model);
         assert_eq!(c, 2);
     }
@@ -234,8 +250,13 @@ mod tests {
         let model = MachineModel::default();
         // r1 = r0+1; r2 = r1+1; r3 = r2+1 — a chain of 3 unit-latency ops.
         let block = vec![alu(1, &[0]), alu(2, &[1]), alu(3, &[2])];
-        let prog = SchedProgram { blocks: vec![block] };
-        let visits = [BlockVisit { block: 0, taken_exit: false }];
+        let prog = SchedProgram {
+            blocks: vec![block],
+        };
+        let visits = [BlockVisit {
+            block: 0,
+            taken_exit: false,
+        }];
         let c = simulate(&prog, &visits, &model);
         assert_eq!(c, 3);
     }
@@ -244,12 +265,20 @@ mod tests {
     fn duplicated_independent_stream_is_absorbed_by_width() {
         // The Figure 10 mechanism in miniature: duplicating an
         // ILP-rich stream on a wide machine costs much less than 2×.
-        let model = MachineModel { width: 6, ..MachineModel::default() };
+        let model = MachineModel {
+            width: 6,
+            ..MachineModel::default()
+        };
         let single: Vec<TimedOp> = (0..6).map(|i| alu(i, &[])).collect();
         let dup: Vec<TimedOp> = (0..12).map(|i| alu(i, &[])).collect();
-        let p1 = SchedProgram { blocks: vec![single] };
+        let p1 = SchedProgram {
+            blocks: vec![single],
+        };
         let p2 = SchedProgram { blocks: vec![dup] };
-        let visits = [BlockVisit { block: 0, taken_exit: false }];
+        let visits = [BlockVisit {
+            block: 0,
+            taken_exit: false,
+        }];
         let c1 = simulate(&p1, &visits, &model);
         let c2 = simulate(&p2, &visits, &model);
         assert_eq!(c1, 1);
@@ -258,10 +287,18 @@ mod tests {
 
     #[test]
     fn free_ops_cost_nothing() {
-        let model = MachineModel { width: 1, ..MachineModel::default() };
+        let model = MachineModel {
+            width: 1,
+            ..MachineModel::default()
+        };
         let block = vec![alu(0, &[]), alu(1, &[]).freed(), alu(2, &[])];
-        let prog = SchedProgram { blocks: vec![block] };
-        let visits = [BlockVisit { block: 0, taken_exit: false }];
+        let prog = SchedProgram {
+            blocks: vec![block],
+        };
+        let visits = [BlockVisit {
+            block: 0,
+            taken_exit: false,
+        }];
         let c = simulate(&prog, &visits, &model);
         assert_eq!(c, 2); // only two real ops on a 1-wide machine
     }
@@ -270,9 +307,17 @@ mod tests {
     fn taken_exits_pay_redirect() {
         let model = MachineModel::default();
         let block = vec![alu(0, &[])];
-        let prog = SchedProgram { blocks: vec![block] };
-        let fall = [BlockVisit { block: 0, taken_exit: false }; 4];
-        let taken = [BlockVisit { block: 0, taken_exit: true }; 4];
+        let prog = SchedProgram {
+            blocks: vec![block],
+        };
+        let fall = [BlockVisit {
+            block: 0,
+            taken_exit: false,
+        }; 4];
+        let taken = [BlockVisit {
+            block: 0,
+            taken_exit: true,
+        }; 4];
         let cf = simulate(&prog, &fall, &model);
         let ct = simulate(&prog, &taken, &model);
         assert!(ct > cf, "{ct} vs {cf}");
@@ -281,12 +326,14 @@ mod tests {
     #[test]
     fn load_latency_stalls_dependent() {
         let model = MachineModel::default();
-        let block = vec![
-            TimedOp::new(OpKind::Load, Some(1), vec![0]),
-            alu(2, &[1]),
-        ];
-        let prog = SchedProgram { blocks: vec![block] };
-        let visits = [BlockVisit { block: 0, taken_exit: false }];
+        let block = vec![TimedOp::new(OpKind::Load, Some(1), vec![0]), alu(2, &[1])];
+        let prog = SchedProgram {
+            blocks: vec![block],
+        };
+        let visits = [BlockVisit {
+            block: 0,
+            taken_exit: false,
+        }];
         let c = simulate(&prog, &visits, &model);
         assert_eq!(c, u64::from(model.lat_load) + 1);
     }
@@ -296,10 +343,18 @@ mod tests {
         let model = MachineModel::default();
         let b0 = vec![TimedOp::new(OpKind::Mul, Some(1), vec![0])];
         let b1 = vec![alu(2, &[1])];
-        let prog = SchedProgram { blocks: vec![b0, b1] };
+        let prog = SchedProgram {
+            blocks: vec![b0, b1],
+        };
         let visits = [
-            BlockVisit { block: 0, taken_exit: false },
-            BlockVisit { block: 1, taken_exit: false },
+            BlockVisit {
+                block: 0,
+                taken_exit: false,
+            },
+            BlockVisit {
+                block: 1,
+                taken_exit: false,
+            },
         ];
         let c = simulate(&prog, &visits, &model);
         assert_eq!(c, u64::from(model.lat_mul) + 1);
@@ -307,11 +362,22 @@ mod tests {
 
     #[test]
     fn wider_machines_are_never_slower() {
-        let narrow = MachineModel { width: 1, ..MachineModel::default() };
-        let wide = MachineModel { width: 8, ..MachineModel::default() };
+        let narrow = MachineModel {
+            width: 1,
+            ..MachineModel::default()
+        };
+        let wide = MachineModel {
+            width: 8,
+            ..MachineModel::default()
+        };
         let block: Vec<TimedOp> = (0..10).map(|i| alu(i % 3, &[(i + 1) % 3])).collect();
-        let prog = SchedProgram { blocks: vec![block] };
-        let visits = [BlockVisit { block: 0, taken_exit: false }; 5];
+        let prog = SchedProgram {
+            blocks: vec![block],
+        };
+        let visits = [BlockVisit {
+            block: 0,
+            taken_exit: false,
+        }; 5];
         assert!(simulate(&prog, &visits, &wide) <= simulate(&prog, &visits, &narrow));
     }
 }
@@ -326,12 +392,21 @@ mod mem_port_tests {
         let loads: Vec<TimedOp> = (0..8)
             .map(|i| TimedOp::new(OpKind::Load, Some(i), vec![]))
             .collect();
-        let prog = SchedProgram { blocks: vec![loads] };
-        let visits = [BlockVisit { block: 0, taken_exit: false }];
+        let prog = SchedProgram {
+            blocks: vec![loads],
+        };
+        let visits = [BlockVisit {
+            block: 0,
+            taken_exit: false,
+        }];
         // 8 loads / 2 ports = 4 cycles even on a 6-wide machine.
         assert_eq!(simulate(&prog, &visits, &model), 4);
         // With 8 ports they fit the width limit instead.
-        let wide = MachineModel { mem_ports: 8, width: 8, ..model };
+        let wide = MachineModel {
+            mem_ports: 8,
+            width: 8,
+            ..model
+        };
         assert_eq!(simulate(&prog, &visits, &wide), 1);
     }
 }

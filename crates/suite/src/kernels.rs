@@ -89,7 +89,11 @@ fn spec_gap(n: i64) -> Kernel {
     out[j] = comp[j];\n    j = j + 1;\n  }}\n  out[0] = fixed;\n}}\n",
         mask = n - 1
     );
-    Kernel { name: "spec_gap", class: "permutation group arithmetic", source }
+    Kernel {
+        name: "spec_gap",
+        class: "permutation group arithmetic",
+        source,
+    }
 }
 
 /// Object-store bucket lookup with probing (vortex's OO database shape).
@@ -117,7 +121,11 @@ fn spec_vortex(n: i64) -> Kernel {
         mask = n - 1,
         half = n / 2
     );
-    Kernel { name: "spec_vortex", class: "object-store hash lookup", source }
+    Kernel {
+        name: "spec_vortex",
+        class: "object-store hash lookup",
+        source,
+    }
 }
 
 /// Fixed-point vertex transform (mesa's 3D pipeline shape): a 3x3 matrix
@@ -135,7 +143,11 @@ fn mb_mesa(n: i64) -> Kernel {
     out[i + 2] = (mtx[6] * x + mtx[7] * y + mtx[2] * z) >> 8;\n    \
     i = i + 3;\n  }}\n}}\n"
     );
-    Kernel { name: "mb_mesa", class: "fixed-point vertex transform", source }
+    Kernel {
+        name: "mb_mesa",
+        class: "fixed-point vertex transform",
+        source,
+    }
 }
 
 /// Critical-band filter energy accumulation (rasta's speech front end).
@@ -151,7 +163,11 @@ fn mb_rasta(n: i64) -> Kernel {
     var l = 0;\n    var t = acc;\n    while (t > 0) {{ t = t >> 1; l = l + 1; }}\n    \
     out[band] = l;\n    band = band + 1;\n  }}\n}}\n"
     );
-    Kernel { name: "mb_rasta", class: "filter-bank energies", source }
+    Kernel {
+        name: "mb_rasta",
+        class: "filter-bank energies",
+        source,
+    }
 }
 
 /// LZ77-style match finding (the gzip deflate inner loop): for each
@@ -169,7 +185,11 @@ fn spec_gzip(n: i64) -> Kernel {
     out[i] = best;\n    sum = sum + best;\n    i = i + 1;\n  }}\n  \
   out[0] = sum;\n}}\n"
     );
-    Kernel { name: "spec_gzip", class: "compression match-finding", source }
+    Kernel {
+        name: "spec_gzip",
+        class: "compression match-finding",
+        source,
+    }
 }
 
 /// Routing-cost relaxation sweeps (vpr's route loop shape).
@@ -184,7 +204,11 @@ fn spec_vpr(n: i64) -> Kernel {
     sweep = sweep + 1;\n  }}\n  \
   var j = 0;\n  while (j < {n}) {{ out[j] = cost[j]; j = j + 1; }}\n}}\n"
     );
-    Kernel { name: "spec_vpr", class: "routing cost relaxation", source }
+    Kernel {
+        name: "spec_vpr",
+        class: "routing cost relaxation",
+        source,
+    }
 }
 
 /// Bellman–Ford edge relaxation (mcf's network-simplex flavor).
@@ -201,7 +225,11 @@ fn spec_mcf(n: i64) -> Kernel {
   var j = 0;\n  while (j < {n}) {{ out[j] = dist[j] & 1048575; j = j + 1; }}\n}}\n",
         umask = n - 1
     );
-    Kernel { name: "spec_mcf", class: "shortest-path relaxation", source }
+    Kernel {
+        name: "spec_mcf",
+        class: "shortest-path relaxation",
+        source,
+    }
 }
 
 /// Bitboard population counts and mobility masks (crafty's move generator).
@@ -216,7 +244,11 @@ fn spec_crafty(n: i64) -> Kernel {
     out[i] = pop + (mob & 7);\n    total = total + pop;\n    i = i + 1;\n  }}\n  \
   out[0] = total;\n}}\n"
     );
-    Kernel { name: "spec_crafty", class: "bitboard population counts", source }
+    Kernel {
+        name: "spec_crafty",
+        class: "bitboard population counts",
+        source,
+    }
 }
 
 /// Token scanning: classify a byte stream and count token runs (parser's
@@ -234,7 +266,11 @@ fn spec_parser(n: i64) -> Kernel {
     }} else {{ inword = 0; }}\n    i = i + 1;\n  }}\n  \
   out[0] = tokens;\n  out[1] = alpha;\n  out[2] = {n} - alpha;\n  out[3] = tokens * 2 + alpha;\n}}\n"
     );
-    Kernel { name: "spec_parser", class: "token scanning", source }
+    Kernel {
+        name: "spec_parser",
+        class: "token scanning",
+        source,
+    }
 }
 
 /// Move-to-front transform (bzip2's second stage).
@@ -252,7 +288,11 @@ fn spec_bzip2(n: i64) -> Kernel {
     out[i] = idx;\n    sum = sum + idx;\n    i = i + 1;\n  }}\n  \
   out[0] = sum;\n}}\n"
     );
-    Kernel { name: "spec_bzip2", class: "move-to-front transform", source }
+    Kernel {
+        name: "spec_bzip2",
+        class: "move-to-front transform",
+        source,
+    }
 }
 
 /// Placement swap-cost evaluation (twolf's annealing inner loop).
@@ -268,7 +308,11 @@ fn spec_twolf(n: i64) -> Kernel {
     out[j] = cost;\n    if (cost < best) {{ best = cost; }}\n    j = j + 1;\n  }}\n  \
   out[0] = best;\n}}\n"
     );
-    Kernel { name: "spec_twolf", class: "placement swap cost", source }
+    Kernel {
+        name: "spec_twolf",
+        class: "placement swap cost",
+        source,
+    }
 }
 
 /// ADPCM step-size encoder (adpcm's rawcaudio shape).
@@ -295,7 +339,11 @@ output out[{n}];\nfunc main() {{\n  {fill}\
     if (stepidx < 0) {{ stepidx = 0; }}\n    if (stepidx > 7) {{ stepidx = 7; }}\n    \
     out[i] = code + sign;\n    i = i + 1;\n  }}\n  out[0] = pred & 2047;\n}}\n"
     );
-    Kernel { name: "mb_adpcm", class: "ADPCM encode", source }
+    Kernel {
+        name: "mb_adpcm",
+        class: "ADPCM encode",
+        source,
+    }
 }
 
 /// 5-tap low-pass filter + decimation (epic's pyramid stage).
@@ -312,7 +360,11 @@ fn mb_epic(n: i64) -> Kernel {
     if (c + 2 < {n}) {{ acc = acc + data[c + 2]; }}\n    \
     out[i] = (acc >> 4) & 1048575;\n    i = i + 1;\n  }}\n}}\n"
     );
-    Kernel { name: "mb_epic", class: "image pyramid filter", source }
+    Kernel {
+        name: "mb_epic",
+        class: "image pyramid filter",
+        source,
+    }
 }
 
 /// Threshold quantizer (g721's quan() scan).
@@ -326,7 +378,11 @@ output out[{n}];\nfunc main() {{\n  {fill}\
     while (k < 8) {{\n      if (v >= thresh[k]) {{ q = k + 1; }}\n      k = k + 1;\n    }}\n    \
     out[i] = q;\n    hist = hist + q;\n    i = i + 1;\n  }}\n  out[0] = hist;\n}}\n"
     );
-    Kernel { name: "mb_g721", class: "threshold quantizer", source }
+    Kernel {
+        name: "mb_g721",
+        class: "threshold quantizer",
+        source,
+    }
 }
 
 /// Autocorrelation lags (gsm's LPC analysis front end).
@@ -340,7 +396,11 @@ fn mb_gsm(n: i64) -> Kernel {
       acc = acc + a * b;\n      i = i + 1;\n    }}\n    \
     out[lag] = acc & 1048575;\n    lag = lag + 1;\n  }}\n}}\n"
     );
-    Kernel { name: "mb_gsm", class: "LPC autocorrelation", source }
+    Kernel {
+        name: "mb_gsm",
+        class: "LPC autocorrelation",
+        source,
+    }
 }
 
 /// Quantization + zigzag reorder over 8×8 blocks (jpeg's cjpeg shape).
@@ -353,7 +413,11 @@ array qshift[8] = [3, 4, 4, 5, 5, 6, 6, 7];\noutput out[{n}];\nfunc main() {{\n 
       var src = blk + zig[k];\n      var q = data[src] >> qshift[k];\n      \
       out[blk + k] = q;\n      k = k + 1;\n    }}\n    blk = blk + 8;\n  }}\n}}\n"
     );
-    Kernel { name: "mb_jpeg", class: "quantize + zigzag", source }
+    Kernel {
+        name: "mb_jpeg",
+        class: "quantize + zigzag",
+        source,
+    }
 }
 
 /// Butterfly IDCT-lite over rows of 8 (mpeg2dec's idctcol shape).
@@ -372,7 +436,11 @@ fn mb_mpeg2(n: i64) -> Kernel {
     out[blk + 6] = (d0 - d2) >> 1;\n    out[blk + 7] = (d1 - d3) >> 1;\n    \
     blk = blk + 8;\n  }}\n}}\n"
     );
-    Kernel { name: "mb_mpeg2", class: "IDCT butterflies", source }
+    Kernel {
+        name: "mb_mpeg2",
+        class: "IDCT butterflies",
+        source,
+    }
 }
 
 /// Polynomial rolling hash with a mixing pass (pegwit's arithmetic shape).
@@ -387,7 +455,11 @@ fn mb_pegwit(n: i64) -> Kernel {
     mix = (mix ^ out[j]) * 2654435761;\n    mix = (mix >> 8) & 16777215;\n    \
     j = j + 1;\n  }}\n  out[0] = mix & 65535;\n}}\n"
     );
-    Kernel { name: "mb_pegwit", class: "modular rolling hash", source }
+    Kernel {
+        name: "mb_pegwit",
+        class: "modular rolling hash",
+        source,
+    }
 }
 
 #[cfg(test)]

@@ -28,11 +28,29 @@ fn every_kernel_runs_with_reference_trace() {
         let reference = interpret(&c.vir, 50_000_000);
         assert!(reference.halted, "{}: reference did not halt", k.name);
         let prot = run_program(&c.protected.program, 200_000_000);
-        assert_eq!(prot.status, Status::Halted, "{}: protected did not halt", k.name);
-        assert_eq!(prot.trace, reference.trace, "{}: protected trace diverges", k.name);
+        assert_eq!(
+            prot.status,
+            Status::Halted,
+            "{}: protected did not halt",
+            k.name
+        );
+        assert_eq!(
+            prot.trace, reference.trace,
+            "{}: protected trace diverges",
+            k.name
+        );
         let base = run_program(&c.baseline.program, 200_000_000);
-        assert_eq!(base.status, Status::Halted, "{}: baseline did not halt", k.name);
-        assert_eq!(base.trace, reference.trace, "{}: baseline trace diverges", k.name);
+        assert_eq!(
+            base.status,
+            Status::Halted,
+            "{}: baseline did not halt",
+            k.name
+        );
+        assert_eq!(
+            base.trace, reference.trace,
+            "{}: baseline trace diverges",
+            k.name
+        );
     }
 }
 
@@ -47,7 +65,7 @@ fn sampled_campaign_finds_no_sdc_in_protected_kernels() {
     };
     for k in kernels(Scale::Tiny).into_iter().take(3) {
         let c = compile(&k.source, &CompileOptions::default()).expect("compiles");
-        let rep = run_campaign(&c.protected.program, &cfg);
+        let rep = run_campaign(&c.protected.program, &cfg).expect("golden run halts");
         assert!(rep.total > 0, "{}: empty campaign", k.name);
         assert!(
             rep.fault_tolerant(),
@@ -68,11 +86,14 @@ fn sampled_campaign_finds_sdc_in_baseline() {
     let mut found_sdc = false;
     for k in kernels(Scale::Tiny).into_iter().take(3) {
         let c = compile(&k.source, &CompileOptions::default()).expect("compiles");
-        let rep = run_campaign(&c.baseline.program, &cfg);
+        let rep = run_campaign(&c.baseline.program, &cfg).expect("golden run halts");
         if rep.sdc > 0 {
             found_sdc = true;
             break;
         }
     }
-    assert!(found_sdc, "baseline kernels should exhibit SDC under faults");
+    assert!(
+        found_sdc,
+        "baseline kernels should exhibit SDC under faults"
+    );
 }

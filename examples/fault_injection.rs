@@ -15,23 +15,23 @@ fn main() {
     let stride: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
 
     let ks = kernels(Scale::Tiny);
-    let kernel = ks
-        .iter()
-        .find(|k| k.name == name)
-        .unwrap_or_else(|| {
-            eprintln!("unknown kernel {name}; available:");
-            for k in &ks {
-                eprintln!("  {} — {}", k.name, k.class);
-            }
-            std::process::exit(1);
-        });
+    let kernel = ks.iter().find(|k| k.name == name).unwrap_or_else(|| {
+        eprintln!("unknown kernel {name}; available:");
+        for k in &ks {
+            eprintln!("  {} — {}", k.name, k.class);
+        }
+        std::process::exit(1);
+    });
 
     println!("kernel: {} ({})", kernel.name, kernel.class);
     let c = compile(&kernel.source, &CompileOptions::default()).expect("compiles");
-    let cfg = CampaignConfig { stride, ..CampaignConfig::default() };
+    let cfg = CampaignConfig {
+        stride,
+        ..CampaignConfig::default()
+    };
 
     // Corollary 3 first: the fault-free run never signals a fault.
-    let golden = golden_run(&c.protected.program, &cfg);
+    let golden = golden_run(&c.protected.program, &cfg).expect("golden run halts in budget");
     println!(
         "golden run: {} steps, {} observable writes, status {} (no false positives ✓)",
         golden.steps,
@@ -41,18 +41,30 @@ fn main() {
 
     // Theorem 4: every injected fault is masked or detected.
     println!("injecting at every {stride}-th step, every register and queue slot…");
-    let rep = run_campaign(&c.protected.program, &cfg);
+    let rep = run_campaign(&c.protected.program, &cfg).expect("golden run halts");
     println!("protected binary:");
     println!("  injections : {}", rep.total);
-    println!("  masked     : {} ({:.1}%)", rep.masked, pct(rep.masked, rep.total));
-    println!("  detected   : {} ({:.1}%)", rep.detected, pct(rep.detected, rep.total));
+    println!(
+        "  masked     : {} ({:.1}%)",
+        rep.masked,
+        pct(rep.masked, rep.total)
+    );
+    println!(
+        "  detected   : {} ({:.1}%)",
+        rep.detected,
+        pct(rep.detected, rep.total)
+    );
     println!("  SDC        : {}", rep.sdc);
     println!("  violations : {}", rep.other_violations);
-    assert!(rep.fault_tolerant(), "Theorem 4 violated: {:?}", rep.violations);
+    assert!(
+        rep.fault_tolerant(),
+        "Theorem 4 violated: {:?}",
+        rep.violations
+    );
     println!("Theorem 4 holds on this kernel's entire sampled fault space ✓");
 
     // Contrast: the unprotected baseline under the identical campaign.
-    let rep_base = run_campaign(&c.baseline.program, &cfg);
+    let rep_base = run_campaign(&c.baseline.program, &cfg).expect("golden run halts");
     println!("unprotected baseline:");
     println!("  injections : {}", rep_base.total);
     println!("  masked     : {}", rep_base.masked);

@@ -61,7 +61,10 @@ fn main() {
     let r1 = run_program(&ok_prog, 10_000);
     let r2 = run_program(&bad_prog, 10_000);
     assert_eq!(r1.trace, r2.trace);
-    println!("fault-free: both versions write {:?} — testing can't tell them apart", r1.trace);
+    println!(
+        "fault-free: both versions write {:?} — testing can't tell them apart",
+        r1.trace
+    );
 
     // ...but the checker can.
     let mut ok_arena = ok.arena;
@@ -74,8 +77,8 @@ fn main() {
     // And the rejection is justified: exhaustive injection finds silent
     // data corruption in the miscompiled version only.
     let cfg = CampaignConfig::default();
-    let rep_ok = run_campaign(&ok_prog, &cfg);
-    let rep_bad = run_campaign(&bad_prog, &cfg);
+    let rep_ok = run_campaign(&ok_prog, &cfg).expect("golden run halts");
+    let rep_bad = run_campaign(&bad_prog, &cfg).expect("golden run halts");
     println!(
         "campaign (correct):     {} injections, {} masked, {} detected, {} SDC",
         rep_ok.total, rep_ok.masked, rep_ok.detected, rep_ok.sdc

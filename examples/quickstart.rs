@@ -48,7 +48,10 @@ fn main() {
     let program = Arc::new(asm.program);
     let mut m = Machine::boot(Arc::clone(&program));
     let r = run(&mut m, 10_000);
-    println!("fault-free run: {:?} after {} steps, trace = {:?}", r.status, r.steps, r.trace);
+    println!(
+        "fault-free run: {:?} after {} steps, trace = {:?}",
+        r.status, r.steps, r.trace
+    );
     assert_eq!(r.trace, vec![(4096, 5)]);
 
     // 4. Now corrupt the green value register right after it is loaded —
@@ -62,7 +65,14 @@ fn main() {
         "faulty run:     {:?} after {} steps, trace = {:?}",
         r.status, r.steps, r.trace
     );
-    assert_eq!(r.status, Status::Fault, "the hardware must detect the fault");
-    assert!(r.trace.is_empty(), "nothing corrupt may reach the output device");
+    assert_eq!(
+        r.status,
+        Status::Fault,
+        "the hardware must detect the fault"
+    );
+    assert!(
+        r.trace.is_empty(),
+        "nothing corrupt may reach the output device"
+    );
     println!("the stB comparison caught the corrupted value before it became observable ✓");
 }

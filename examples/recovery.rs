@@ -12,7 +12,9 @@
 //! ```
 
 use talft::compiler::{compile, CompileOptions};
-use talft::faultsim::{run_with_recovery, PlannedFault};
+use talft::faultsim::{
+    run_supervised, run_with_recovery, PlannedFault, SupervisorConfig, SupervisorOutcome,
+};
 use talft::isa::{Color, Reg};
 use talft::machine::{run_program, FaultSite};
 use talft::suite::{kernels, Scale};
@@ -61,4 +63,28 @@ fn main() {
         r.logical_trace.len()
     );
     println!("restart soundness is exactly Theorem 4's prefix guarantee.");
+
+    // The supervisor adds operational policy: an attempt that overruns a
+    // too-small step budget restarts with an escalated one, and the
+    // three-way outcome separates a clean run from a rescued one.
+    let sup = run_supervised(
+        &c.protected.program,
+        &storm,
+        &SupervisorConfig {
+            max_restarts: 8,
+            base_step_budget: golden.steps / 2, // deliberately too small
+            escalation_percent: 100,
+            ..SupervisorConfig::default()
+        },
+    );
+    assert_eq!(sup.outcome, SupervisorOutcome::Degraded);
+    assert_eq!(sup.logical_trace, golden.trace);
+    println!(
+        "supervisor: {:?} after {} restarts (budget escalation {} -> {} steps), \
+         logical output still exact ✓",
+        sup.outcome,
+        sup.restarts,
+        sup.attempts.first().map_or(0, |a| a.budget),
+        sup.attempts.last().map_or(0, |a| a.budget),
+    );
 }

@@ -23,12 +23,11 @@ fn check_and_run(name: &str, patch_fptr: bool) -> Vec<(i64, i64)> {
             }
         }
     }
-    check_program(&asm.program, &mut asm.arena)
-        .unwrap_or_else(|e| panic!("{name} rejected: {e}"));
+    check_program(&asm.program, &mut asm.arena).unwrap_or_else(|e| panic!("{name} rejected: {e}"));
     let p = Arc::new(asm.program);
     let r = run_program(&p, 1_000_000);
     assert_eq!(r.status, Status::Halted, "{name}");
-    let rep = run_campaign(&p, &CampaignConfig::default());
+    let rep = run_campaign(&p, &CampaignConfig::default()).expect("golden run halts");
     assert!(rep.fault_tolerant(), "{name}: {:?}", rep.violations);
     r.trace
 }

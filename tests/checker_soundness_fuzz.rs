@@ -16,9 +16,9 @@
 //! this reproduction*; a rejected-but-harmless mutant is just the type
 //! system's conservativity, which the paper accepts by design.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
+
+use talft_testutil::SplitMix64;
 
 use talft::compiler::{compile, CompileOptions};
 use talft::core::check_program;
@@ -26,12 +26,12 @@ use talft::faultsim::{golden_run, run_campaign_against, CampaignConfig};
 use talft::isa::{CVal, Gpr, Instr, OpSrc, Program};
 use talft::machine::Status;
 
-fn mutate(program: &Program, rng: &mut StdRng) -> Option<Program> {
+fn mutate(program: &Program, rng: &mut SplitMix64) -> Option<Program> {
     let mut p = program.clone();
-    let idx = rng.gen_range(0..p.instrs.len());
+    let idx = rng.index(p.instrs.len());
     let instr = &mut p.instrs[idx];
-    let flip_gpr = |g: &Gpr, rng: &mut StdRng| Gpr((g.0 + rng.gen_range(1..4)) % 16);
-    match rng.gen_range(0..4) {
+    let flip_gpr = |g: &Gpr, rng: &mut SplitMix64| Gpr((g.0 + rng.range_u64(1, 4) as u16) % 16);
+    match rng.below(4) {
         // register substitution (wrong-operand bugs)
         0 => match instr {
             Instr::Op { rs, .. } => *rs = flip_gpr(rs, rng),
@@ -49,13 +49,19 @@ fn mutate(program: &Program, rng: &mut StdRng) -> Option<Program> {
             | Instr::Bz { color, .. }
             | Instr::Jmp { color, .. } => *color = color.other(),
             Instr::Mov { v, .. } => v.color = v.color.other(),
-            Instr::Op { src2: OpSrc::Imm(v), .. } => v.color = v.color.other(),
+            Instr::Op {
+                src2: OpSrc::Imm(v),
+                ..
+            } => v.color = v.color.other(),
             _ => return None,
         },
         // immediate perturbation (wrong-constant bugs)
         2 => match instr {
             Instr::Mov { v, .. } => *v = CVal::new(v.color, v.val.wrapping_add(1)),
-            Instr::Op { src2: OpSrc::Imm(v), .. } => {
+            Instr::Op {
+                src2: OpSrc::Imm(v),
+                ..
+            } => {
                 *v = CVal::new(v.color, v.val.wrapping_add(1));
             }
             _ => return None,
@@ -79,8 +85,12 @@ fn accepted_mutants_are_never_sdc_vulnerable() {
         "output out[1]; func main() { var i = 0; var s = 0; \
          while (i < 6) { if (i & 1 == 1) { s = s + i; } i = i + 1; } out[0] = s; }",
     ];
-    let mut rng = StdRng::seed_from_u64(0xF417_70CE);
-    let cfg = CampaignConfig { stride: 17, mutations_per_site: 2, ..Default::default() };
+    let mut rng = SplitMix64::new(0xF417_70CE);
+    let cfg = CampaignConfig {
+        stride: 17,
+        mutations_per_site: 2,
+        ..Default::default()
+    };
 
     let mut accepted = 0u32;
     let mut rejected = 0u32;
@@ -94,14 +104,15 @@ fn accepted_mutants_are_never_sdc_vulnerable() {
             };
             // re-seed a fresh arena by recompiling (the arena matches the
             // original program; mutations don't add expressions)
-            let mut arena_owner =
-                compile(src, &CompileOptions::default()).expect("compiles");
+            let mut arena_owner = compile(src, &CompileOptions::default()).expect("compiles");
             let mutant = Arc::new(mutant);
             match check_program(&mutant, &mut arena_owner.protected.arena) {
                 Ok(_) => {
                     accepted += 1;
                     // Soundness: an accepted mutant must be fault tolerant.
-                    let golden = golden_run(&mutant, &cfg);
+                    let golden = golden_run(&mutant, &cfg).unwrap_or_else(|e| {
+                        panic!("checker accepted a mutant whose fault-free run diverges: {e}")
+                    });
                     if golden.status != Status::Halted {
                         // accepted programs must also run clean fault-free
                         // (No False Positives + Progress)
@@ -121,7 +132,12 @@ fn accepted_mutants_are_never_sdc_vulnerable() {
                 Err(_) => {
                     rejected += 1;
                     // Diagnostics: how many rejects correspond to real SDC?
-                    let golden = golden_run(&mutant, &cfg);
+                    // A diverging mutant (budget exhausted) counts as an
+                    // obviously-right rejection, like a crashing one.
+                    let Ok(golden) = golden_run(&mutant, &cfg) else {
+                        rejected_with_real_sdc += 1;
+                        continue;
+                    };
                     if golden.status == Status::Halted {
                         let rep = run_campaign_against(&mutant, &cfg, &golden);
                         if rep.sdc > 0 {
@@ -138,7 +154,10 @@ fn accepted_mutants_are_never_sdc_vulnerable() {
 
     // The mutation operators are designed to break typing most of the time;
     // sanity-check the fuzz actually exercised both paths.
-    assert!(rejected > 50, "mutation fuzz too weak: {rejected} rejections");
+    assert!(
+        rejected > 50,
+        "mutation fuzz too weak: {rejected} rejections"
+    );
     assert!(
         rejected_with_real_sdc > 0,
         "at least some rejections should correspond to demonstrable SDC"

@@ -36,7 +36,7 @@ main:
     assert_eq!(r.trace, vec![(4096, 5)]);
     // "a fault at any point in execution, to either blue or green values or
     // addresses, will be caught by the hardware"
-    let rep = run_campaign(&p, &CampaignConfig::default());
+    let rep = run_campaign(&p, &CampaignConfig::default()).expect("golden run halts");
     assert!(rep.fault_tolerant(), "{:?}", rep.violations);
 }
 
@@ -60,7 +60,8 @@ main:
 "#;
     let mut asm = assemble(src).expect("assembles");
     check_program(&asm.program, &mut asm.arena).expect("register reuse is well-typed");
-    let rep = run_campaign(&Arc::new(asm.program), &CampaignConfig::default());
+    let rep =
+        run_campaign(&Arc::new(asm.program), &CampaignConfig::default()).expect("golden run halts");
     assert!(rep.fault_tolerant(), "{:?}", rep.violations);
 }
 
@@ -86,8 +87,12 @@ main:
     let err = check_program(&asm.program, &mut asm.arena).expect_err("rejected");
     assert_eq!(err.addr, 4, "the blue store is the offender");
     // And dynamically: exactly the failure the paper describes.
-    let rep = run_campaign(&Arc::new(asm.program), &CampaignConfig::default());
-    assert!(rep.sdc > 0, "CSE'd code must exhibit silent data corruption");
+    let rep =
+        run_campaign(&Arc::new(asm.program), &CampaignConfig::default()).expect("golden run halts");
+    assert!(
+        rep.sdc > 0,
+        "CSE'd code must exhibit silent data corruption"
+    );
 }
 
 /// §2.2 control flow: "The following code illustrates a typical control-flow
@@ -121,7 +126,7 @@ target:
     let p = Arc::new(asm.program);
     let r = run_program(&p, 10_000);
     assert_eq!(r.status, Status::Halted);
-    let rep = run_campaign(&p, &CampaignConfig::default());
+    let rep = run_campaign(&p, &CampaignConfig::default()).expect("golden run halts");
     assert!(rep.fault_tolerant(), "{:?}", rep.violations);
 }
 

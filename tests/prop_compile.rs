@@ -1,15 +1,14 @@
-//! Property test: for *random* Wile programs, the compiler's protected
-//! output (a) always type-checks — the reliability transformation is
-//! correct by construction, exactly the paper's "debug compilers that
-//! intend to generate reliable code" use case — and (b) executes on the
-//! faulty machine with a trace identical to the VIR reference interpreter
-//! (and to the unprotected baseline).
-
-use proptest::prelude::*;
+//! Randomized (seeded, dependency-free) property test: for *random* Wile
+//! programs, the compiler's protected output (a) always type-checks — the
+//! reliability transformation is correct by construction, exactly the
+//! paper's "debug compilers that intend to generate reliable code" use case
+//! — and (b) executes on the faulty machine with a trace identical to the
+//! VIR reference interpreter (and to the unprotected baseline).
 
 use talft::compiler::{compile, vir::interpret, CompileOptions};
 use talft::core::check_program;
 use talft::machine::{run_program, Status};
+use talft_testutil::SplitMix64;
 
 /// A recipe for a random statement over a fixed variable pool v0..v4 and
 /// arrays a (size 8) and out (size 16).
@@ -32,40 +31,50 @@ enum ExprR {
     Cmp(u8, Box<ExprR>, Box<ExprR>),
 }
 
-fn expr_r() -> impl Strategy<Value = ExprR> {
-    let leaf = prop_oneof![
-        any::<i8>().prop_map(ExprR::Lit),
-        (0u8..5).prop_map(ExprR::Var),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| ExprR::ReadA(Box::new(e))),
-            ((0u8..8), inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| ExprR::Bin(op, Box::new(a), Box::new(b))),
-            ((0u8..6), inner.clone(), inner)
-                .prop_map(|(op, a, b)| ExprR::Cmp(op, Box::new(a), Box::new(b))),
-        ]
-    })
+fn expr_r(r: &mut SplitMix64, depth: u32) -> ExprR {
+    if depth == 0 || r.chance(2, 5) {
+        return if r.chance(1, 2) {
+            ExprR::Lit(r.range_i64(-128, 128) as i8)
+        } else {
+            ExprR::Var(r.below(5) as u8)
+        };
+    }
+    match r.below(3) {
+        0 => ExprR::ReadA(Box::new(expr_r(r, depth - 1))),
+        1 => ExprR::Bin(
+            r.below(8) as u8,
+            Box::new(expr_r(r, depth - 1)),
+            Box::new(expr_r(r, depth - 1)),
+        ),
+        _ => ExprR::Cmp(
+            r.below(6) as u8,
+            Box::new(expr_r(r, depth - 1)),
+            Box::new(expr_r(r, depth - 1)),
+        ),
+    }
 }
 
-fn stmt_r(depth: u32) -> BoxedStrategy<StmtR> {
-    let leaf = prop_oneof![
-        ((0u8..5), expr_r()).prop_map(|(v, e)| StmtR::Assign(v, e)),
-        (expr_r(), expr_r()).prop_map(|(i, v)| StmtR::StoreA(i, v)),
-        (expr_r(), expr_r()).prop_map(|(i, v)| StmtR::StoreOut(i, v)),
-    ];
-    if depth == 0 {
-        leaf.boxed()
+fn stmt_vec(r: &mut SplitMix64, depth: u32, lo: usize, hi: usize) -> Vec<StmtR> {
+    let n = lo + r.index(hi - lo);
+    (0..n).map(|_| stmt_r(r, depth)).collect()
+}
+
+fn stmt_r(r: &mut SplitMix64, depth: u32) -> StmtR {
+    let leaf = |r: &mut SplitMix64| match r.below(3) {
+        0 => StmtR::Assign(r.below(5) as u8, expr_r(r, 3)),
+        1 => StmtR::StoreA(expr_r(r, 3), expr_r(r, 3)),
+        _ => StmtR::StoreOut(expr_r(r, 3), expr_r(r, 3)),
+    };
+    if depth == 0 || r.chance(4, 6) {
+        leaf(r)
+    } else if r.chance(1, 2) {
+        StmtR::If(
+            expr_r(r, 3),
+            stmt_vec(r, depth - 1, 0, 3),
+            stmt_vec(r, depth - 1, 0, 3),
+        )
     } else {
-        prop_oneof![
-            4 => leaf,
-            1 => (expr_r(), proptest::collection::vec(stmt_r(depth - 1), 0..3),
-                  proptest::collection::vec(stmt_r(depth - 1), 0..3))
-                .prop_map(|(c, t, e)| StmtR::If(c, t, e)),
-            1 => ((2u8..6), proptest::collection::vec(stmt_r(depth - 1), 1..3))
-                .prop_map(|(trip, body)| StmtR::Loop(trip, body)),
-        ]
-        .boxed()
+        StmtR::Loop(2 + r.below(4) as u8, stmt_vec(r, depth - 1, 1, 3))
     }
 }
 
@@ -76,11 +85,21 @@ fn render_expr(e: &ExprR) -> String {
         ExprR::ReadA(i) => format!("a[{}]", render_expr(i)),
         ExprR::Bin(op, a, b) => {
             let ops = ["+", "-", "*", "&", "|", "^", "<<", ">>"];
-            format!("({} {} {})", render_expr(a), ops[*op as usize % 8], render_expr(b))
+            format!(
+                "({} {} {})",
+                render_expr(a),
+                ops[*op as usize % 8],
+                render_expr(b)
+            )
         }
         ExprR::Cmp(op, a, b) => {
             let ops = ["<", "<=", ">", ">=", "==", "!="];
-            format!("({} {} {})", render_expr(a), ops[*op as usize % 6], render_expr(b))
+            format!(
+                "({} {} {})",
+                render_expr(a),
+                ops[*op as usize % 6],
+                render_expr(b)
+            )
         }
     }
 }
@@ -93,10 +112,18 @@ fn render_stmts(stmts: &[StmtR], loop_counter: &mut u32, out: &mut String, inden
                 out.push_str(&format!("{pad}v{} = {};\n", v % 5, render_expr(e)));
             }
             StmtR::StoreA(i, v) => {
-                out.push_str(&format!("{pad}a[{}] = {};\n", render_expr(i), render_expr(v)));
+                out.push_str(&format!(
+                    "{pad}a[{}] = {};\n",
+                    render_expr(i),
+                    render_expr(v)
+                ));
             }
             StmtR::StoreOut(i, v) => {
-                out.push_str(&format!("{pad}out[{}] = {};\n", render_expr(i), render_expr(v)));
+                out.push_str(&format!(
+                    "{pad}out[{}] = {};\n",
+                    render_expr(i),
+                    render_expr(v)
+                ));
             }
             StmtR::If(c, t, e) => {
                 out.push_str(&format!("{pad}if ({}) {{\n", render_expr(c)));
@@ -129,26 +156,39 @@ fn render_program(stmts: &[StmtR]) -> String {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
-
-    #[test]
-    fn random_programs_check_and_agree(stmts in proptest::collection::vec(stmt_r(2), 1..8)) {
+#[test]
+fn random_programs_check_and_agree() {
+    let mut rng = SplitMix64::new(0xC0DE_2026);
+    for case in 0..48 {
+        let stmts = stmt_vec(&mut rng, 2, 1, 8);
         let src = render_program(&stmts);
         let mut c = match compile(&src, &CompileOptions::default()) {
             Ok(c) => c,
-            Err(e) => panic!("generated program failed to compile: {e}\n{src}"),
+            Err(e) => panic!("case {case}: generated program failed to compile: {e}\n{src}"),
         };
         // (a) the reliability transformation always yields well-typed code
-        check_program(&c.protected.program, &mut c.protected.arena)
-            .unwrap_or_else(|e| panic!("checker rejected compiled output: {e}\n{src}"));
+        check_program(&c.protected.program, &mut c.protected.arena).unwrap_or_else(|e| {
+            panic!("case {case}: checker rejected compiled output: {e}\n{src}")
+        });
         // (b) differential execution
         let reference = interpret(&c.vir, 2_000_000);
-        prop_assume!(reference.halted); // (budget exhaustion: skip, cannot happen with bounded loops)
+        if !reference.halted {
+            continue; // budget exhaustion: skip (cannot happen with bounded loops)
+        }
         let prot = run_program(&c.protected.program, 20_000_000);
-        prop_assert_eq!(prot.status, Status::Halted, "protected did not halt\n{}", src);
-        prop_assert_eq!(&prot.trace, &reference.trace, "protected trace diverged\n{}", src);
+        assert_eq!(
+            prot.status,
+            Status::Halted,
+            "case {case}: protected did not halt\n{src}"
+        );
+        assert_eq!(
+            prot.trace, reference.trace,
+            "case {case}: protected trace diverged\n{src}"
+        );
         let base = run_program(&c.baseline.program, 20_000_000);
-        prop_assert_eq!(&base.trace, &reference.trace, "baseline trace diverged\n{}", src);
+        assert_eq!(
+            base.trace, reference.trace,
+            "case {case}: baseline trace diverged\n{src}"
+        );
     }
 }

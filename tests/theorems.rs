@@ -19,7 +19,11 @@ use talft::machine::{step, Machine, Status};
 use talft::suite::{kernels, Scale};
 
 fn cfg() -> CampaignConfig {
-    CampaignConfig { stride: 41, mutations_per_site: 2, ..CampaignConfig::default() }
+    CampaignConfig {
+        stride: 41,
+        mutations_per_site: 2,
+        ..CampaignConfig::default()
+    }
 }
 
 /// Corollary 3 over the whole suite: the golden run of every well-typed
@@ -28,8 +32,13 @@ fn cfg() -> CampaignConfig {
 fn no_false_positives_across_suite() {
     for k in kernels(Scale::Tiny) {
         let c = compile(&k.source, &CompileOptions::default()).expect("compiles");
-        let g = golden_run(&c.protected.program, &cfg());
-        assert_eq!(g.status, Status::Halted, "{}: golden run did not halt", k.name);
+        let g = golden_run(&c.protected.program, &cfg()).expect("golden run in budget");
+        assert_eq!(
+            g.status,
+            Status::Halted,
+            "{}: golden run did not halt",
+            k.name
+        );
     }
 }
 
@@ -39,7 +48,7 @@ fn no_false_positives_across_suite() {
 fn fault_tolerance_across_suite_sampled() {
     for k in kernels(Scale::Tiny) {
         let c = compile(&k.source, &CompileOptions::default()).expect("compiles");
-        let rep = run_campaign(&c.protected.program, &cfg());
+        let rep = run_campaign(&c.protected.program, &cfg()).expect("golden run halts");
         assert!(rep.total > 0, "{}: empty campaign", k.name);
         assert!(
             rep.fault_tolerant(),
@@ -64,9 +73,8 @@ fn preservation_at_block_boundaries() {
             if m.ir().is_none() {
                 let pc = m.rval(Reg::Pc(Color::Green));
                 if prog.precond(pc).is_some() {
-                    check_state_at(&m, &prog, &mut c.protected.arena, pc).unwrap_or_else(|e| {
-                        panic!("{}: state typing fails at {pc}: {e}", k.name)
-                    });
+                    check_state_at(&m, &prog, &mut c.protected.arena, pc)
+                        .unwrap_or_else(|e| panic!("{}: state typing fails at {pc}: {e}", k.name));
                     checked += 1;
                 }
             }
@@ -84,8 +92,11 @@ fn baseline_contrast_shows_sdc() {
     let mut total_sdc = 0u64;
     for k in kernels(Scale::Tiny).into_iter().take(5) {
         let c = compile(&k.source, &CompileOptions::default()).expect("compiles");
-        let rep = run_campaign(&c.baseline.program, &cfg());
+        let rep = run_campaign(&c.baseline.program, &cfg()).expect("golden run halts");
         total_sdc += rep.sdc;
     }
-    assert!(total_sdc > 0, "unprotected kernels must exhibit SDC somewhere");
+    assert!(
+        total_sdc > 0,
+        "unprotected kernels must exhibit SDC somewhere"
+    );
 }
