@@ -8,7 +8,7 @@
 //! bug — the `k = 1` row of the same table must stay at zero.
 //!
 //! Usage: `cargo run --release -p talft-bench --bin multifault
-//!          [-- --k N] [--samples N] [--seed N] [--stride N]`
+//!          [-- --k N] [--samples N] [--seed N] [--stride N] [--threads N]`
 
 use talft_bench::{multifault_row, render_multifault};
 use talft_faultsim::CampaignConfig;
@@ -34,10 +34,12 @@ fn main() {
     let samples = arg("--samples").unwrap_or(4096) as usize;
     let seed = arg("--seed").unwrap_or(0x7A1F_F00D);
     let stride = arg("--stride").unwrap_or(17);
+    let threads = arg("--threads").map_or(1, |v| (v as usize).max(1));
     let cfg = CampaignConfig {
         stride,
         pair_samples: samples,
         seed,
+        threads,
         ..CampaignConfig::default()
     };
     println!("# k-fault boundary campaign (sampled; seed {seed:#x}, {samples} plans/kernel)");

@@ -12,6 +12,7 @@
 //!                     boundary outside the single-upset model — SDC there
 //!                     is reported but is not a Theorem 4 violation)
 //!   --seed=N          sampler seed for K>=2 campaigns
+//!   --threads=N       campaign worker threads (default 1)
 //!   --max-steps=N     step budget for the golden run
 //!   --baseline        operate on the unprotected baseline instead
 //!   --time            report Figure 10-style cycles for this program
@@ -43,6 +44,7 @@ struct Flags {
     campaign: Option<u64>,
     campaign_k: u32,
     seed: Option<u64>,
+    threads: Option<usize>,
     max_steps: Option<u64>,
     baseline: bool,
     time: bool,
@@ -53,7 +55,8 @@ fn main() -> ExitCode {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
         eprintln!(
             "usage: talftc <file.wile|file.talft> [--emit-asm] [--disasm] [--no-check] [--run] \
-             [--campaign[=N]] [--campaign-k=K] [--seed=N] [--max-steps=N] [--baseline] [--time]"
+             [--campaign[=N]] [--campaign-k=K] [--seed=N] [--threads=N] [--max-steps=N] \
+             [--baseline] [--time]"
         );
         return ExitCode::FAILURE;
     };
@@ -78,6 +81,9 @@ fn main() -> ExitCode {
         seed: args
             .iter()
             .find_map(|a| a.strip_prefix("--seed=").and_then(|n| n.parse().ok())),
+        threads: args
+            .iter()
+            .find_map(|a| a.strip_prefix("--threads=").and_then(|n| n.parse().ok())),
         max_steps: args
             .iter()
             .find_map(|a| a.strip_prefix("--max-steps=").and_then(|n| n.parse().ok())),
@@ -156,6 +162,9 @@ fn main() -> ExitCode {
         };
         if let Some(seed) = flags.seed {
             cfg.seed = seed;
+        }
+        if let Some(threads) = flags.threads {
+            cfg.threads = threads.max(1);
         }
         if let Some(max_steps) = flags.max_steps {
             cfg.max_steps = max_steps;

@@ -9,11 +9,15 @@
 //!   binaries (protected must show zero SDC; baseline must not).
 //! * **E6 / ablation** — [`width_sweep`]: the Figure 10 ratio as a function
 //!   of issue width.
+//! * **E14 / mutation oracle** — [`mutation_summary`]: per-operator
+//!   mutation scores of the checker against the adversarial catalog, with
+//!   the `k = 1` campaign as ground truth.
 
 #![warn(missing_docs)]
 
 use talft_compiler::{compile, vir::interpret, CompileOptions, Compiled};
 use talft_faultsim::{run_campaign, run_multi_campaign, CampaignConfig, CampaignReport};
+use talft_oracle::{run_oracle, MutantOutcome, MutationOp, OpScore, OracleConfig};
 use talft_sim::{simulate, BlockVisit, MachineModel};
 use talft_suite::{Kernel, Scale};
 
@@ -239,6 +243,114 @@ pub fn render_multifault(rows: &[MultifaultRow]) -> String {
         .expect("write to string");
     }
     s
+}
+
+/// E14: aggregated result of the mutation-oracle sweep over a kernel set.
+#[derive(Debug, Clone, Default)]
+pub struct MutationSummary {
+    /// Per-operator tallies, in catalog order.
+    pub per_op: Vec<(MutationOp, OpScore)>,
+    /// Surviving (equivalent) mutants: `(kernel, outcome)`.
+    pub equivalents: Vec<(&'static str, MutantOutcome)>,
+    /// Checker soundness gaps: `(kernel, outcome)` — must stay empty.
+    pub campaign_only: Vec<(&'static str, MutantOutcome)>,
+}
+
+impl MutationSummary {
+    /// Total mutants across all operators.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.per_op.iter().map(|(_, s)| s.total).sum()
+    }
+
+    /// Overall checker mutation score (1.0 when no mutants).
+    #[must_use]
+    pub fn score(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        let killed: u64 = self.per_op.iter().map(|(_, s)| s.killed_by_checker).sum();
+        killed as f64 / total as f64
+    }
+}
+
+/// Run the E14 mutation oracle over each kernel's protected binary and
+/// aggregate per operator.
+pub fn mutation_summary(kernels: &[Kernel], cfg: &OracleConfig) -> Result<MutationSummary, String> {
+    let mut agg: std::collections::BTreeMap<MutationOp, OpScore> =
+        std::collections::BTreeMap::new();
+    let mut summary = MutationSummary::default();
+    for kernel in kernels {
+        let mut c = compile(&kernel.source, &CompileOptions::default())
+            .map_err(|e| format!("{}: {e}", kernel.name))?;
+        for o in run_oracle(&c.protected.program, &mut c.protected.arena, cfg) {
+            agg.entry(o.op).or_default().absorb(&o.verdict);
+            if o.verdict.killed_by_campaign_only() {
+                summary.campaign_only.push((kernel.name, o));
+            } else if !o.verdict.killed_by_checker() {
+                summary.equivalents.push((kernel.name, o));
+            }
+        }
+    }
+    // catalog order, not BTreeMap order, so the table reads like the docs
+    summary.per_op = MutationOp::ALL
+        .iter()
+        .filter_map(|op| agg.get(op).map(|s| (*op, *s)))
+        .collect();
+    Ok(summary)
+}
+
+/// Render the E14 table as markdown, plus the equivalent-mutant appendix
+/// (every survivor is listed — an undocumented survivor is a red flag).
+#[must_use]
+pub fn render_mutation(s: &MutationSummary) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "| operator | principle | mutants | killed by checker | campaign-only | equivalent | score |"
+    )
+    .expect("write to string");
+    writeln!(out, "|---|---|---:|---:|---:|---:|---:|").expect("write to string");
+    for (op, sc) in &s.per_op {
+        writeln!(
+            out,
+            "| {} | {} | {} | {} | **{}** | {} | {:.1}% |",
+            op.name(),
+            op.principle(),
+            sc.total,
+            sc.killed_by_checker,
+            sc.killed_by_campaign_only,
+            sc.equivalent,
+            100.0 * sc.score(),
+        )
+        .expect("write to string");
+    }
+    writeln!(
+        out,
+        "| **overall** | | **{}** | | **{}** | {} | **{:.1}%** |",
+        s.total(),
+        s.campaign_only.len(),
+        s.equivalents.len(),
+        100.0 * s.score(),
+    )
+    .expect("write to string");
+    if !s.equivalents.is_empty() {
+        writeln!(out, "\nEquivalent (surviving) mutants:").expect("write to string");
+        for (kernel, o) in &s.equivalents {
+            writeln!(
+                out,
+                "- `{}` @ {} on `{}`: {}",
+                o.op.name(),
+                o.addr,
+                kernel,
+                o.detail
+            )
+            .expect("write to string");
+        }
+    }
+    out
 }
 
 /// E6: geomean overhead as a function of issue width.

@@ -445,6 +445,92 @@ done:
         assert_eq!(rep.replay_mismatches, 0);
     }
 
+    /// A restart budget of zero means the first failing attempt is final:
+    /// one attempt in the log, `GaveUp`, no retry.
+    #[test]
+    fn restart_budget_zero_gives_up_immediately() {
+        let p = protected();
+        let cfg = SupervisorConfig {
+            max_restarts: 0,
+            base_step_budget: 100_000,
+            ..SupervisorConfig::default()
+        };
+        let fault = PlannedFault {
+            attempt: 0,
+            at_step: 2,
+            site: FaultSite::Reg(Reg::Pc(Color::Green)),
+            value: 999_999,
+        };
+        let rep = run_supervised(&p, &[fault], &cfg);
+        assert_eq!(rep.outcome, SupervisorOutcome::GaveUp);
+        assert_eq!(rep.restarts, 0);
+        assert_eq!(rep.attempts.len(), 1, "no second attempt may be made");
+        assert_eq!(rep.attempts[0].status, Status::Fault);
+        // …but a clean program under the same zero budget still completes.
+        let clean = run_supervised(&p, &[], &cfg);
+        assert_eq!(clean.outcome, SupervisorOutcome::Completed);
+        assert_eq!(clean.logical_trace, golden(&p));
+    }
+
+    /// Escalation arithmetic must saturate, not wrap: enormous budgets and
+    /// percentages pin at `u64::MAX` and stay monotone in the attempt index.
+    #[test]
+    fn step_budget_escalation_saturates() {
+        let cfg = SupervisorConfig {
+            base_step_budget: u64::MAX,
+            escalation_percent: u64::MAX,
+            ..SupervisorConfig::default()
+        };
+        assert_eq!(cfg.budget_for_attempt(0), u64::MAX);
+        assert_eq!(cfg.budget_for_attempt(1), u64::MAX);
+        assert_eq!(cfg.budget_for_attempt(u32::MAX), u64::MAX);
+        // near the edge: base × percent overflows; the saturating multiply
+        // caps the bonus, so the budget never *wraps* below the base and
+        // stays monotone (it plateaus rather than pinning at MAX because of
+        // the final /100)
+        let near = SupervisorConfig {
+            base_step_budget: u64::MAX / 2,
+            escalation_percent: 300,
+            ..SupervisorConfig::default()
+        };
+        let budgets: Vec<u64> = (0..5).map(|i| near.budget_for_attempt(i)).collect();
+        assert!(budgets.windows(2).all(|w| w[0] <= w[1]), "monotone");
+        assert!(
+            budgets.iter().all(|&b| b >= near.base_step_budget),
+            "never wraps below the base"
+        );
+        assert_eq!(
+            budgets[3], budgets[4],
+            "plateau once the multiply saturates"
+        );
+        // sanity on the documented formula where nothing saturates
+        let plain = SupervisorConfig {
+            base_step_budget: 1_000,
+            escalation_percent: 50,
+            ..SupervisorConfig::default()
+        };
+        assert_eq!(plain.budget_for_attempt(0), 1_000);
+        assert_eq!(plain.budget_for_attempt(1), 1_500);
+        assert_eq!(plain.budget_for_attempt(4), 3_000);
+    }
+
+    /// An empty campaign plan yields an empty storm, and an empty storm is
+    /// a clean supervised run: first attempt completes, zero strikes.
+    #[test]
+    fn storm_on_empty_plan_is_a_clean_run() {
+        let empty = FaultPlan::new(vec![]);
+        assert_eq!(empty.order(), 0);
+        let storm = storm_from_plan(&empty, 7);
+        assert!(storm.is_empty());
+        let p = protected();
+        let rep = run_supervised(&p, &storm, &SupervisorConfig::default());
+        assert_eq!(rep.outcome, SupervisorOutcome::Completed);
+        assert_eq!(rep.restarts, 0);
+        assert!(rep.attempts.iter().all(|a| a.strikes == 0));
+        assert_eq!(rep.logical_trace, golden(&p));
+        assert_eq!(rep.replay_mismatches, 0);
+    }
+
     /// Under k=2 storms (outside the single-upset model) the supervisor's
     /// replay mismatches must *track* campaign SDC: a mismatch can only
     /// happen when the campaign classifies that same plan as SDC, and plans

@@ -1,0 +1,56 @@
+//! Differential smoke test over a subset of the suite: the checker must
+//! kill the overwhelming majority of catalog mutants, and — the E14 hard
+//! gate — **no** mutant may be killed by the campaign alone. The full
+//! 18-kernel sweep lives in the `mutation` bench bin; this test keeps the
+//! same invariants enforced under plain `cargo test`.
+
+use talft_compiler::{compile, CompileOptions};
+use talft_faultsim::CampaignConfig;
+use talft_oracle::{run_oracle, score_by_op, MutantOutcome, OracleConfig};
+use talft_suite::{kernels, Scale};
+
+#[test]
+fn checker_kills_catalog_mutants_and_never_trails_the_campaign() {
+    let cfg = OracleConfig {
+        campaign: CampaignConfig {
+            stride: 23,
+            mutations_per_site: 1,
+            ..CampaignConfig::default()
+        },
+        max_mutants_per_op: 4,
+    };
+    let mut outcomes: Vec<(&'static str, MutantOutcome)> = Vec::new();
+    for kernel in kernels(Scale::Tiny).iter().take(3) {
+        let mut c = compile(&kernel.source, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+        for o in run_oracle(&c.protected.program, &mut c.protected.arena, &cfg) {
+            outcomes.push((kernel.name, o));
+        }
+    }
+    assert!(
+        outcomes.len() >= 30,
+        "too few mutants generated: {}",
+        outcomes.len()
+    );
+
+    // Hard gate: a checker-accepted mutant with demonstrable k=1 SDC (or a
+    // broken fault-free run) is a soundness hole in this reproduction.
+    let gaps: Vec<String> = outcomes
+        .iter()
+        .filter(|(_, o)| o.verdict.killed_by_campaign_only())
+        .map(|(k, o)| format!("{k} @{} {}: {:?}", o.addr, o.op.name(), o.verdict))
+        .collect();
+    assert!(gaps.is_empty(), "CHECKER SOUNDNESS GAP(S):\n{gaps:#?}");
+
+    // Mutation score: the catalog models protection bugs, so the checker
+    // should reject nearly everything (survivors are documented-equivalent).
+    let flat: Vec<MutantOutcome> = outcomes.iter().map(|(_, o)| o.clone()).collect();
+    let per_op = score_by_op(&flat);
+    let total: u64 = per_op.values().map(|s| s.total).sum();
+    let killed: u64 = per_op.values().map(|s| s.killed_by_checker).sum();
+    let score = killed as f64 / total as f64;
+    assert!(
+        score >= 0.85,
+        "mutation score {score:.3} too low on the smoke subset ({killed}/{total})"
+    );
+}

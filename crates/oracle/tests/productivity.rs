@@ -1,0 +1,49 @@
+//! Satellite guard: every mutation operator must be *productive* — produce
+//! at least one mutant differing from its input — on at least one suite
+//! kernel. Without this, an operator whose pattern match silently stops
+//! firing (say, after a compiler scheduling change) would rot into a no-op
+//! and the E14 mutation score would quietly measure a smaller catalog.
+
+use std::collections::BTreeMap;
+
+use talft_compiler::{compile, CompileOptions};
+use talft_oracle::MutationOp;
+use talft_suite::{kernels, Scale};
+
+#[test]
+fn every_operator_is_productive_on_some_kernel() {
+    let mut hits: BTreeMap<MutationOp, &'static str> = BTreeMap::new();
+    for kernel in kernels(Scale::Tiny) {
+        if hits.len() == MutationOp::ALL.len() {
+            break;
+        }
+        let mut c = compile(&kernel.source, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+        for op in MutationOp::ALL {
+            if hits.contains_key(&op) {
+                continue;
+            }
+            let mutants = op.apply(&c.protected.program, &mut c.protected.arena);
+            // `apply` already discards identity rewrites, so nonempty means
+            // "differs from input".
+            if !mutants.is_empty() {
+                assert!(
+                    mutants.iter().all(|m| m.program != *c.protected.program),
+                    "{}: operator {} returned an identity mutant",
+                    kernel.name,
+                    op.name()
+                );
+                hits.insert(op, kernel.name);
+            }
+        }
+    }
+    let missing: Vec<&str> = MutationOp::ALL
+        .iter()
+        .filter(|op| !hits.contains_key(op))
+        .map(|op| op.name())
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "operators unproductive on every suite kernel: {missing:?}"
+    );
+}

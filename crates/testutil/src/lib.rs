@@ -8,6 +8,9 @@
 
 #![warn(missing_docs)]
 
+pub mod shrink;
+pub mod wile;
+
 use std::time::Instant;
 
 /// SplitMix64 — a tiny, high-quality, splittable PRNG (Steele et al.,

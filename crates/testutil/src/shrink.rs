@@ -1,0 +1,91 @@
+//! Generic greedy test-case minimization.
+//!
+//! When a randomized test fails, the raw counterexample is usually huge; a
+//! useful failure report needs the *smallest* input that still fails. This
+//! module provides the dependency-free core of a shrinker: a greedy loop
+//! that repeatedly replaces the current counterexample with the first
+//! still-failing candidate its caller proposes, until no candidate fails
+//! (a local minimum) or a check budget runs out. Determinism is inherited
+//! from the caller: with a seeded candidate order and a deterministic
+//! failure predicate, the minimum is reproducible from the seed alone.
+
+/// Greedily minimize a failing input.
+///
+/// * `candidates(&cur)` proposes strictly "smaller" variants of `cur`, in
+///   preference order (try the most aggressive reductions first).
+/// * `still_fails(&x)` re-runs the failing property.
+/// * `max_checks` bounds the total number of `still_fails` calls so a slow
+///   property cannot hang the failure path (the current best is returned
+///   when the budget runs out).
+///
+/// Returns the smallest still-failing input found. The initial input is
+/// assumed to fail; it is returned unchanged if nothing smaller fails.
+pub fn minimize<T, C, F>(initial: T, mut candidates: C, mut still_fails: F, max_checks: usize) -> T
+where
+    C: FnMut(&T) -> Vec<T>,
+    F: FnMut(&T) -> bool,
+{
+    let mut cur = initial;
+    let mut checks = 0usize;
+    loop {
+        let mut progressed = false;
+        for cand in candidates(&cur) {
+            if checks >= max_checks {
+                return cur;
+            }
+            checks += 1;
+            if still_fails(&cand) {
+                cur = cand;
+                progressed = true;
+                break; // restart candidate generation from the new, smaller input
+            }
+        }
+        if !progressed {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Property: "fails" iff the vec still contains a 7. Minimal failing
+    /// input under drop-one-element shrinking is `[7]`.
+    #[test]
+    fn minimizes_to_single_element() {
+        let initial = vec![1, 7, 3, 9, 7, 2];
+        let min = minimize(
+            initial,
+            |v: &Vec<i32>| {
+                (0..v.len())
+                    .map(|i| {
+                        let mut w = v.clone();
+                        w.remove(i);
+                        w
+                    })
+                    .collect()
+            },
+            |v| v.contains(&7),
+            1000,
+        );
+        assert_eq!(min, vec![7]);
+    }
+
+    #[test]
+    fn budget_zero_returns_initial() {
+        let min = minimize(
+            vec![1, 2, 3],
+            |v: &Vec<i32>| vec![v[1..].to_vec()],
+            |_| true,
+            0,
+        );
+        assert_eq!(min, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn returns_initial_when_nothing_smaller_fails() {
+        let min = minimize(42i64, |&x| vec![x / 2, x - 1], |&x| x == 42, 100);
+        assert_eq!(min, 42);
+    }
+}

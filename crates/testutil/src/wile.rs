@@ -1,0 +1,311 @@
+//! Seed-reproducible random Wile program generation with integrated
+//! shrinking — the generative side of the property tests and the mutation
+//! oracle.
+//!
+//! Programs are built from a structured recipe ([`StmtR`]/[`ExprR`]) over a
+//! fixed variable pool `v0..v4`, an input array `a[8]`, and an output
+//! window `out[16]`, then rendered to concrete Wile source. Keeping the
+//! recipe (not the source string) as the generator's value lets
+//! [`shrink_candidates`] propose structurally smaller programs — drop a
+//! statement, splice a branch body in place of its `if`, unroll a loop to
+//! its body, collapse an expression to a literal — which
+//! [`crate::shrink::minimize`] then drives to a local minimum.
+//!
+//! Everything is deterministic from the [`crate::SplitMix64`] seed; no
+//! external crates (the repo builds hermetically).
+
+use crate::SplitMix64;
+
+/// A recipe for one random statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmtR {
+    /// `vN = e;`
+    Assign(u8, ExprR),
+    /// `a[i] = v;`
+    StoreA(ExprR, ExprR),
+    /// `out[i] = v;`
+    StoreOut(ExprR, ExprR),
+    /// `if (c) { then } else { else }`
+    If(ExprR, Vec<StmtR>, Vec<StmtR>),
+    /// Bounded loop: `var lN = 0; while (lN < trip) { body; lN = lN + 1; }`.
+    Loop(u8, Vec<StmtR>),
+}
+
+/// A recipe for one random expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprR {
+    /// Small integer literal.
+    Lit(i8),
+    /// Pool variable `vN` (mod 5).
+    Var(u8),
+    /// `a[i]` read.
+    ReadA(Box<ExprR>),
+    /// Binary arithmetic/bitwise op (index mod 8 into `+ - * & | ^ << >>`).
+    Bin(u8, Box<ExprR>, Box<ExprR>),
+    /// Comparison (index mod 6 into `< <= > >= == !=`).
+    Cmp(u8, Box<ExprR>, Box<ExprR>),
+}
+
+/// Generate a random expression of at most `depth` levels.
+pub fn random_expr(r: &mut SplitMix64, depth: u32) -> ExprR {
+    if depth == 0 || r.chance(2, 5) {
+        return if r.chance(1, 2) {
+            ExprR::Lit(r.range_i64(-128, 128) as i8)
+        } else {
+            ExprR::Var(r.below(5) as u8)
+        };
+    }
+    match r.below(3) {
+        0 => ExprR::ReadA(Box::new(random_expr(r, depth - 1))),
+        1 => ExprR::Bin(
+            r.below(8) as u8,
+            Box::new(random_expr(r, depth - 1)),
+            Box::new(random_expr(r, depth - 1)),
+        ),
+        _ => ExprR::Cmp(
+            r.below(6) as u8,
+            Box::new(random_expr(r, depth - 1)),
+            Box::new(random_expr(r, depth - 1)),
+        ),
+    }
+}
+
+/// Generate between `lo` and `hi` (exclusive) random statements.
+pub fn random_stmts(r: &mut SplitMix64, depth: u32, lo: usize, hi: usize) -> Vec<StmtR> {
+    let n = lo + r.index(hi - lo);
+    (0..n).map(|_| random_stmt(r, depth)).collect()
+}
+
+/// Generate one random statement of at most `depth` nesting levels.
+pub fn random_stmt(r: &mut SplitMix64, depth: u32) -> StmtR {
+    let leaf = |r: &mut SplitMix64| match r.below(3) {
+        0 => StmtR::Assign(r.below(5) as u8, random_expr(r, 3)),
+        1 => StmtR::StoreA(random_expr(r, 3), random_expr(r, 3)),
+        _ => StmtR::StoreOut(random_expr(r, 3), random_expr(r, 3)),
+    };
+    if depth == 0 || r.chance(4, 6) {
+        leaf(r)
+    } else if r.chance(1, 2) {
+        StmtR::If(
+            random_expr(r, 3),
+            random_stmts(r, depth - 1, 0, 3),
+            random_stmts(r, depth - 1, 0, 3),
+        )
+    } else {
+        StmtR::Loop(2 + r.below(4) as u8, random_stmts(r, depth - 1, 1, 3))
+    }
+}
+
+fn render_expr(e: &ExprR) -> String {
+    match e {
+        ExprR::Lit(n) => format!("({n})"),
+        ExprR::Var(v) => format!("v{}", v % 5),
+        ExprR::ReadA(i) => format!("a[{}]", render_expr(i)),
+        ExprR::Bin(op, a, b) => {
+            let ops = ["+", "-", "*", "&", "|", "^", "<<", ">>"];
+            format!(
+                "({} {} {})",
+                render_expr(a),
+                ops[*op as usize % 8],
+                render_expr(b)
+            )
+        }
+        ExprR::Cmp(op, a, b) => {
+            let ops = ["<", "<=", ">", ">=", "==", "!="];
+            format!(
+                "({} {} {})",
+                render_expr(a),
+                ops[*op as usize % 6],
+                render_expr(b)
+            )
+        }
+    }
+}
+
+fn render_stmts(stmts: &[StmtR], loop_counter: &mut u32, out: &mut String, indent: usize) {
+    let pad = "  ".repeat(indent);
+    for s in stmts {
+        match s {
+            StmtR::Assign(v, e) => {
+                out.push_str(&format!("{pad}v{} = {};\n", v % 5, render_expr(e)));
+            }
+            StmtR::StoreA(i, v) => {
+                out.push_str(&format!(
+                    "{pad}a[{}] = {};\n",
+                    render_expr(i),
+                    render_expr(v)
+                ));
+            }
+            StmtR::StoreOut(i, v) => {
+                out.push_str(&format!(
+                    "{pad}out[{}] = {};\n",
+                    render_expr(i),
+                    render_expr(v)
+                ));
+            }
+            StmtR::If(c, t, e) => {
+                out.push_str(&format!("{pad}if ({}) {{\n", render_expr(c)));
+                render_stmts(t, loop_counter, out, indent + 1);
+                out.push_str(&format!("{pad}}} else {{\n"));
+                render_stmts(e, loop_counter, out, indent + 1);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            StmtR::Loop(trip, body) => {
+                let l = *loop_counter;
+                *loop_counter += 1;
+                out.push_str(&format!("{pad}var l{l} = 0;\n"));
+                out.push_str(&format!("{pad}while (l{l} < {trip}) {{\n"));
+                render_stmts(body, loop_counter, out, indent + 1);
+                out.push_str(&format!("{}l{l} = l{l} + 1;\n", "  ".repeat(indent + 1)));
+                out.push_str(&format!("{pad}}}\n"));
+            }
+        }
+    }
+}
+
+/// Render a statement recipe as a complete, compilable Wile program.
+#[must_use]
+pub fn render_program(stmts: &[StmtR]) -> String {
+    let mut body = String::new();
+    let mut lc = 0;
+    render_stmts(stmts, &mut lc, &mut body, 1);
+    format!(
+        "array a[8] = [3, 1, 4, 1, 5, 9, 2, 6];\noutput out[16];\nfunc main() {{\n  \
+         var v0 = 1; var v1 = 2; var v2 = 3; var v3 = 4; var v4 = 5;\n{body}  \
+         out[15] = v0 + v1 + v2 + v3 + v4;\n}}\n"
+    )
+}
+
+fn is_trivial(e: &ExprR) -> bool {
+    matches!(e, ExprR::Lit(_) | ExprR::Var(_))
+}
+
+/// Structurally smaller variants of `stmts`, most aggressive first: drop a
+/// statement, replace an `if`/loop with one of its bodies, shrink nested
+/// bodies recursively, collapse non-trivial expressions to `(1)`.
+#[must_use]
+pub fn shrink_candidates(stmts: &[StmtR]) -> Vec<Vec<StmtR>> {
+    let mut out = Vec::new();
+    // Drop one statement entirely.
+    for i in 0..stmts.len() {
+        let mut v = stmts.to_vec();
+        v.remove(i);
+        out.push(v);
+    }
+    // Structural simplification in place.
+    for i in 0..stmts.len() {
+        let splice = |replacement: &[StmtR]| {
+            let mut v = stmts.to_vec();
+            v.splice(i..=i, replacement.iter().cloned());
+            v
+        };
+        let replace = |s: StmtR| {
+            let mut v = stmts.to_vec();
+            v[i] = s;
+            v
+        };
+        match &stmts[i] {
+            StmtR::If(c, t, e) => {
+                out.push(splice(t));
+                out.push(splice(e));
+                for tc in shrink_candidates(t) {
+                    out.push(replace(StmtR::If(c.clone(), tc, e.clone())));
+                }
+                for ec in shrink_candidates(e) {
+                    out.push(replace(StmtR::If(c.clone(), t.clone(), ec)));
+                }
+                if !is_trivial(c) {
+                    out.push(replace(StmtR::If(ExprR::Lit(1), t.clone(), e.clone())));
+                }
+            }
+            StmtR::Loop(trip, body) => {
+                out.push(splice(body));
+                for bc in shrink_candidates(body) {
+                    out.push(replace(StmtR::Loop(*trip, bc)));
+                }
+                if *trip > 2 {
+                    out.push(replace(StmtR::Loop(2, body.clone())));
+                }
+            }
+            StmtR::Assign(v, e) if !is_trivial(e) => {
+                out.push(replace(StmtR::Assign(*v, ExprR::Lit(1))));
+            }
+            StmtR::StoreA(idx, val) if !is_trivial(idx) || !is_trivial(val) => {
+                out.push(replace(StmtR::StoreA(ExprR::Lit(0), ExprR::Lit(1))));
+            }
+            StmtR::StoreOut(idx, val) if !is_trivial(idx) || !is_trivial(val) => {
+                out.push(replace(StmtR::StoreOut(ExprR::Lit(0), ExprR::Lit(1))));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = random_stmts(&mut SplitMix64::new(11), 2, 1, 8);
+        let b = random_stmts(&mut SplitMix64::new(11), 2, 1, 8);
+        assert_eq!(a, b);
+        assert_eq!(render_program(&a), render_program(&b));
+    }
+
+    #[test]
+    fn rendered_programs_have_the_fixed_frame() {
+        let stmts = random_stmts(&mut SplitMix64::new(5), 2, 1, 8);
+        let src = render_program(&stmts);
+        assert!(src.starts_with("array a[8]"));
+        assert!(src.contains("func main()"));
+        assert!(src.contains("out[15]"));
+    }
+
+    #[test]
+    fn shrink_candidates_are_structurally_smaller_or_simpler() {
+        let stmts = vec![
+            StmtR::Loop(3, vec![StmtR::Assign(0, ExprR::Var(1))]),
+            StmtR::If(
+                ExprR::Cmp(0, Box::new(ExprR::Var(0)), Box::new(ExprR::Lit(2))),
+                vec![StmtR::StoreOut(ExprR::Lit(0), ExprR::Var(0))],
+                vec![],
+            ),
+        ];
+        let cands = shrink_candidates(&stmts);
+        assert!(!cands.is_empty());
+        // every candidate differs from the original
+        assert!(cands.iter().all(|c| *c != stmts));
+        // drop-one candidates exist for both statements
+        assert!(cands.iter().any(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn shrinking_reaches_a_small_fixpoint() {
+        // Property: program "fails" while it still contains a StoreOut.
+        let has_store_out = |stmts: &Vec<StmtR>| {
+            fn walk(s: &[StmtR]) -> bool {
+                s.iter().any(|st| match st {
+                    StmtR::StoreOut(..) => true,
+                    StmtR::If(_, t, e) => walk(t) || walk(e),
+                    StmtR::Loop(_, b) => walk(b),
+                    _ => false,
+                })
+            }
+            walk(stmts)
+        };
+        let initial = random_stmts(&mut SplitMix64::new(0xBEEF), 2, 6, 8);
+        if !has_store_out(&initial) {
+            return; // seed produced no store — nothing to shrink
+        }
+        let min = crate::shrink::minimize(
+            initial,
+            |s| shrink_candidates(s),
+            |s| has_store_out(s),
+            5_000,
+        );
+        assert!(has_store_out(&min));
+        assert_eq!(min.len(), 1, "minimal failing program is one statement");
+    }
+}

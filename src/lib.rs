@@ -19,7 +19,9 @@
 //! * [`sim`] — the in-order timing model behind Figure 10;
 //! * [`faultsim`] — exhaustive fault-injection campaigns validating
 //!   Theorems 1–4;
-//! * [`suite`] — the SPEC/MediaBench-class benchmark kernels.
+//! * [`suite`] — the SPEC/MediaBench-class benchmark kernels;
+//! * [`oracle`] — adversarial mutation testing of the checker itself
+//!   (differential against the fault campaigns; experiment E14).
 //!
 //! # Quickstart
 //!
@@ -58,5 +60,6 @@ pub use talft_faultsim as faultsim;
 pub use talft_isa as isa;
 pub use talft_logic as logic;
 pub use talft_machine as machine;
+pub use talft_oracle as oracle;
 pub use talft_sim as sim;
 pub use talft_suite as suite;

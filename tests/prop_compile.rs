@@ -4,191 +4,75 @@
 //! paper's "debug compilers that intend to generate reliable code" use case
 //! — and (b) executes on the faulty machine with a trace identical to the
 //! VIR reference interpreter (and to the unprotected baseline).
+//!
+//! Program generation lives in `talft_testutil::wile` (shared with the
+//! checker-soundness fuzz and the mutation oracle). On failure, the
+//! integrated shrinker minimizes the statement recipe before panicking, so
+//! the report carries the *smallest* failing program plus the seed to
+//! reproduce it.
 
 use talft::compiler::{compile, vir::interpret, CompileOptions};
 use talft::core::check_program;
 use talft::machine::{run_program, Status};
+use talft_testutil::shrink::minimize;
+use talft_testutil::wile::{random_stmts, render_program, shrink_candidates, StmtR};
 use talft_testutil::SplitMix64;
 
-/// A recipe for a random statement over a fixed variable pool v0..v4 and
-/// arrays a (size 8) and out (size 16).
-#[derive(Debug, Clone)]
-enum StmtR {
-    Assign(u8, ExprR),
-    StoreA(ExprR, ExprR),
-    StoreOut(ExprR, ExprR),
-    If(ExprR, Vec<StmtR>, Vec<StmtR>),
-    /// Bounded loop: `while (lN < trip) { body; lN = lN + 1; }`.
-    Loop(u8, Vec<StmtR>),
-}
+const SEED: u64 = 0xC0DE_2026;
 
-#[derive(Debug, Clone)]
-enum ExprR {
-    Lit(i8),
-    Var(u8),
-    ReadA(Box<ExprR>),
-    Bin(u8, Box<ExprR>, Box<ExprR>),
-    Cmp(u8, Box<ExprR>, Box<ExprR>),
-}
-
-fn expr_r(r: &mut SplitMix64, depth: u32) -> ExprR {
-    if depth == 0 || r.chance(2, 5) {
-        return if r.chance(1, 2) {
-            ExprR::Lit(r.range_i64(-128, 128) as i8)
-        } else {
-            ExprR::Var(r.below(5) as u8)
-        };
-    }
-    match r.below(3) {
-        0 => ExprR::ReadA(Box::new(expr_r(r, depth - 1))),
-        1 => ExprR::Bin(
-            r.below(8) as u8,
-            Box::new(expr_r(r, depth - 1)),
-            Box::new(expr_r(r, depth - 1)),
-        ),
-        _ => ExprR::Cmp(
-            r.below(6) as u8,
-            Box::new(expr_r(r, depth - 1)),
-            Box::new(expr_r(r, depth - 1)),
-        ),
-    }
-}
-
-fn stmt_vec(r: &mut SplitMix64, depth: u32, lo: usize, hi: usize) -> Vec<StmtR> {
-    let n = lo + r.index(hi - lo);
-    (0..n).map(|_| stmt_r(r, depth)).collect()
-}
-
-fn stmt_r(r: &mut SplitMix64, depth: u32) -> StmtR {
-    let leaf = |r: &mut SplitMix64| match r.below(3) {
-        0 => StmtR::Assign(r.below(5) as u8, expr_r(r, 3)),
-        1 => StmtR::StoreA(expr_r(r, 3), expr_r(r, 3)),
-        _ => StmtR::StoreOut(expr_r(r, 3), expr_r(r, 3)),
+/// Run the full property on one program; `Some(description)` on failure,
+/// `None` if it holds (or is vacuous — reference budget exhausted).
+fn property_failure(stmts: &[StmtR]) -> Option<String> {
+    let src = render_program(stmts);
+    let mut c = match compile(&src, &CompileOptions::default()) {
+        Ok(c) => c,
+        Err(e) => return Some(format!("generated program failed to compile: {e}")),
     };
-    if depth == 0 || r.chance(4, 6) {
-        leaf(r)
-    } else if r.chance(1, 2) {
-        StmtR::If(
-            expr_r(r, 3),
-            stmt_vec(r, depth - 1, 0, 3),
-            stmt_vec(r, depth - 1, 0, 3),
-        )
-    } else {
-        StmtR::Loop(2 + r.below(4) as u8, stmt_vec(r, depth - 1, 1, 3))
+    // (a) the reliability transformation always yields well-typed code
+    if let Err(e) = check_program(&c.protected.program, &mut c.protected.arena) {
+        return Some(format!("checker rejected compiled output: {e}"));
     }
-}
-
-fn render_expr(e: &ExprR) -> String {
-    match e {
-        ExprR::Lit(n) => format!("({n})"),
-        ExprR::Var(v) => format!("v{}", v % 5),
-        ExprR::ReadA(i) => format!("a[{}]", render_expr(i)),
-        ExprR::Bin(op, a, b) => {
-            let ops = ["+", "-", "*", "&", "|", "^", "<<", ">>"];
-            format!(
-                "({} {} {})",
-                render_expr(a),
-                ops[*op as usize % 8],
-                render_expr(b)
-            )
-        }
-        ExprR::Cmp(op, a, b) => {
-            let ops = ["<", "<=", ">", ">=", "==", "!="];
-            format!(
-                "({} {} {})",
-                render_expr(a),
-                ops[*op as usize % 6],
-                render_expr(b)
-            )
-        }
+    // (b) differential execution
+    let reference = interpret(&c.vir, 2_000_000);
+    if !reference.halted {
+        return None; // budget exhaustion: vacuous (cannot happen with bounded loops)
     }
-}
-
-fn render_stmts(stmts: &[StmtR], loop_counter: &mut u32, out: &mut String, indent: usize) {
-    let pad = "  ".repeat(indent);
-    for s in stmts {
-        match s {
-            StmtR::Assign(v, e) => {
-                out.push_str(&format!("{pad}v{} = {};\n", v % 5, render_expr(e)));
-            }
-            StmtR::StoreA(i, v) => {
-                out.push_str(&format!(
-                    "{pad}a[{}] = {};\n",
-                    render_expr(i),
-                    render_expr(v)
-                ));
-            }
-            StmtR::StoreOut(i, v) => {
-                out.push_str(&format!(
-                    "{pad}out[{}] = {};\n",
-                    render_expr(i),
-                    render_expr(v)
-                ));
-            }
-            StmtR::If(c, t, e) => {
-                out.push_str(&format!("{pad}if ({}) {{\n", render_expr(c)));
-                render_stmts(t, loop_counter, out, indent + 1);
-                out.push_str(&format!("{pad}}} else {{\n"));
-                render_stmts(e, loop_counter, out, indent + 1);
-                out.push_str(&format!("{pad}}}\n"));
-            }
-            StmtR::Loop(trip, body) => {
-                let l = *loop_counter;
-                *loop_counter += 1;
-                out.push_str(&format!("{pad}var l{l} = 0;\n"));
-                out.push_str(&format!("{pad}while (l{l} < {trip}) {{\n"));
-                render_stmts(body, loop_counter, out, indent + 1);
-                out.push_str(&format!("{}l{l} = l{l} + 1;\n", "  ".repeat(indent + 1)));
-                out.push_str(&format!("{pad}}}\n"));
-            }
-        }
+    let prot = run_program(&c.protected.program, 20_000_000);
+    if prot.status != Status::Halted {
+        return Some(format!("protected did not halt ({:?})", prot.status));
     }
-}
-
-fn render_program(stmts: &[StmtR]) -> String {
-    let mut body = String::new();
-    let mut lc = 0;
-    render_stmts(stmts, &mut lc, &mut body, 1);
-    format!(
-        "array a[8] = [3, 1, 4, 1, 5, 9, 2, 6];\noutput out[16];\nfunc main() {{\n  \
-         var v0 = 1; var v1 = 2; var v2 = 3; var v3 = 4; var v4 = 5;\n{body}  \
-         out[15] = v0 + v1 + v2 + v3 + v4;\n}}\n"
-    )
+    if prot.trace != reference.trace {
+        return Some("protected trace diverged from the VIR reference".into());
+    }
+    let base = run_program(&c.baseline.program, 20_000_000);
+    if base.trace != reference.trace {
+        return Some("baseline trace diverged from the VIR reference".into());
+    }
+    None
 }
 
 #[test]
 fn random_programs_check_and_agree() {
-    let mut rng = SplitMix64::new(0xC0DE_2026);
+    let mut rng = SplitMix64::new(SEED);
     for case in 0..48 {
-        let stmts = stmt_vec(&mut rng, 2, 1, 8);
-        let src = render_program(&stmts);
-        let mut c = match compile(&src, &CompileOptions::default()) {
-            Ok(c) => c,
-            Err(e) => panic!("case {case}: generated program failed to compile: {e}\n{src}"),
+        let stmts = random_stmts(&mut rng, 2, 1, 8);
+        let Some(why) = property_failure(&stmts) else {
+            continue;
         };
-        // (a) the reliability transformation always yields well-typed code
-        check_program(&c.protected.program, &mut c.protected.arena).unwrap_or_else(|e| {
-            panic!("case {case}: checker rejected compiled output: {e}\n{src}")
-        });
-        // (b) differential execution
-        let reference = interpret(&c.vir, 2_000_000);
-        if !reference.halted {
-            continue; // budget exhaustion: skip (cannot happen with bounded loops)
-        }
-        let prot = run_program(&c.protected.program, 20_000_000);
-        assert_eq!(
-            prot.status,
-            Status::Halted,
-            "case {case}: protected did not halt\n{src}"
+        // Shrink to the smallest recipe that still fails (any failure mode
+        // counts — a shrunk input may fail for a simpler reason, which is
+        // exactly what we want on the operator's screen).
+        let minimal = minimize(
+            stmts,
+            |s| shrink_candidates(s),
+            |s| property_failure(s).is_some(),
+            2_000,
         );
-        assert_eq!(
-            prot.trace, reference.trace,
-            "case {case}: protected trace diverged\n{src}"
-        );
-        let base = run_program(&c.baseline.program, 20_000_000);
-        assert_eq!(
-            base.trace, reference.trace,
-            "case {case}: baseline trace diverged\n{src}"
+        let minimal_why = property_failure(&minimal).unwrap_or_else(|| why.clone());
+        panic!(
+            "case {case} (seed {SEED:#x}): {minimal_why}\n\
+             minimal failing program:\n{}",
+            render_program(&minimal)
         );
     }
 }
