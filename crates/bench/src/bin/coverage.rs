@@ -5,22 +5,20 @@
 //! real SDC under the identical campaign.
 //!
 //! Usage: `cargo run --release -p talft-bench --bin coverage
-//!          [-- --stride N] [--stop-on-violation]`
+//!          [-- --stride N] [--stop-on-violation] [--json <path>]`
 //!
 //! `--stop-on-violation` short-circuits each campaign at its first
 //! Theorem 4 violation (go/no-go mode; counts then cover only the
 //! injections performed). `TALFT_STRIDE_SCALE` multiplies the stride.
 
+use talft_bench::report::{self, coverage_json, Report};
 use talft_bench::{coverage_row, render_coverage};
 use talft_faultsim::CampaignConfig;
+use talft_obs::Json;
 use talft_suite::{kernels, Scale};
 
 fn main() {
-    let stride: u64 = std::env::args()
-        .skip_while(|a| a != "--stride")
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(11);
+    let stride: u64 = report::arg("--stride").unwrap_or(11);
     let stop = std::env::args().any(|a| a == "--stop-on-violation");
     let cfg = CampaignConfig {
         stride,
@@ -46,6 +44,13 @@ fn main() {
     }
     print!("{}", render_coverage(&rows));
     println!();
+    report::emit(|| {
+        Report::new("talft.coverage.v1")
+            .field("stride", Json::U64(stride))
+            .field("fault_tolerant", Json::Bool(all_ft))
+            .field("rows", coverage_json(&rows))
+            .build()
+    });
     if all_ft {
         println!("RESULT: all protected binaries fault-tolerant (0 SDC) — Theorem 4 holds.");
     } else {

@@ -3,17 +3,20 @@
 //! per benchmark, on the 6-wide in-order model.
 //!
 //! Paper's result: 1.34x geomean (ordered), 1.30x (without ordering).
-//! Usage: `cargo run --release -p talft-bench --bin fig10 [--scale full|small|tiny]`
+//! Usage: `cargo run --release -p talft-bench --bin fig10
+//!          [--scale full|small|tiny] [--json <path>]`
 
+use talft_bench::report::{self, fig10_json, Report};
 use talft_bench::{fig10_rows, render_fig10};
+use talft_obs::Json;
 use talft_sim::MachineModel;
 use talft_suite::Scale;
 
 fn main() {
-    let scale = match std::env::args().nth(2).as_deref() {
-        Some("tiny") => Scale::Tiny,
-        Some("small") => Scale::Small,
-        _ => Scale::Full,
+    let (scale, scale_name) = match report::arg_str("--scale").as_deref() {
+        Some("tiny") => (Scale::Tiny, "tiny"),
+        Some("small") => (Scale::Small, "small"),
+        _ => (Scale::Full, "full"),
     };
     let model = MachineModel::default();
     println!("# Figure 10 — Performance normalized to unprotected version");
@@ -27,7 +30,16 @@ fn main() {
         model.branch_penalty
     );
     match fig10_rows(scale, &model) {
-        Ok(rows) => print!("{}", render_fig10(&rows)),
+        Ok(rows) => {
+            print!("{}", render_fig10(&rows));
+            report::emit(|| {
+                Report::new("talft.fig10.v1")
+                    .field("scale", Json::str(scale_name))
+                    .field("width", Json::U64(u64::from(model.width)))
+                    .field("data", fig10_json(&rows))
+                    .build()
+            });
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

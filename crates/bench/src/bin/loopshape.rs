@@ -3,10 +3,12 @@
 //! scheduling window the duplicated stream hides in — so it probes how
 //! sensitive the headline overhead is to front-end code shape.
 //!
-//! Usage: `cargo run --release -p talft-bench --bin loopshape`
+//! Usage: `cargo run --release -p talft-bench --bin loopshape [--json <path>]`
 
+use talft_bench::report::{self, sweep_row_json, Report};
 use talft_bench::{geomean, reference_visits, Fig10Row};
 use talft_compiler::{compile, CompileOptions};
+use talft_obs::Json;
 use talft_sim::{simulate, MachineModel};
 use talft_suite::{kernels, Scale};
 
@@ -15,6 +17,7 @@ fn main() {
     println!("# Loop-shape ablation: geomean TAL-FT overhead");
     println!("| loop form | geomean | baseline cyc (sum) | TAL-FT cyc (sum) |");
     println!("|---|---:|---:|---:|");
+    let mut json_rows = Vec::new();
     for (label, invert) in [("top-test", false), ("inverted", true)] {
         let mut ratios = Vec::new();
         let mut base_sum = 0u64;
@@ -43,9 +46,13 @@ fn main() {
             prot_sum += row.talft_cycles;
             ratios.push(row.ratio_ordered());
         }
-        println!(
-            "| {label} | {:.3}x | {base_sum} | {prot_sum} |",
-            geomean(&ratios)
-        );
+        let g = geomean(&ratios);
+        println!("| {label} | {g:.3}x | {base_sum} | {prot_sum} |");
+        json_rows.push(sweep_row_json(label, g, base_sum, prot_sum));
     }
+    report::emit(|| {
+        Report::new("talft.loopshape.v1")
+            .field("rows", Json::Array(json_rows))
+            .build()
+    });
 }

@@ -8,26 +8,14 @@
 //! bug — the `k = 1` row of the same table must stay at zero.
 //!
 //! Usage: `cargo run --release -p talft-bench --bin multifault
-//!          [-- --k N] [--samples N] [--seed N] [--stride N] [--threads N]`
+//!          [-- --k N] [--samples N] [--seed N] [--stride N] [--threads N]
+//!          [--json <path>]`
 
+use talft_bench::report::{self, arg, multifault_json, Report};
 use talft_bench::{multifault_row, render_multifault};
 use talft_faultsim::CampaignConfig;
+use talft_obs::Json;
 use talft_suite::{kernels, Scale};
-
-/// `--name N` or `--name=N`.
-fn arg(name: &str) -> Option<u64> {
-    let args: Vec<String> = std::env::args().collect();
-    let spaced = args
-        .iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned());
-    spaced
-        .or_else(|| {
-            args.iter()
-                .find_map(|a| a.strip_prefix(name)?.strip_prefix('=').map(str::to_owned))
-        })
-        .and_then(|s| s.parse().ok())
-}
 
 fn main() {
     let k = arg("--k").map_or(2, |v| u32::try_from(v).unwrap_or(2));
@@ -80,6 +68,18 @@ fn main() {
     } else {
         kn_det as f64 / kn_exposed as f64
     };
+    report::emit(|| {
+        Report::new("talft.multifault.v1")
+            .field("k", Json::U64(u64::from(k)))
+            .field("seed", Json::U64(seed))
+            .field("stride", Json::U64(stride))
+            .field("samples", Json::U64(samples as u64))
+            .field("k1_violations", Json::U64(k1_sdc + k1_other))
+            .field("kn_sdc", Json::U64(kn_sdc))
+            .field("kn_detection_coverage", Json::F64(cov))
+            .field("rows", multifault_json(&rows))
+            .build()
+    });
     if k1_sdc + k1_other > 0 {
         println!("RESULT: THEOREM 4 VIOLATION AT k=1 — see above.");
         std::process::exit(2);

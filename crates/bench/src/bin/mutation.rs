@@ -14,31 +14,18 @@
 //!
 //! Usage: `cargo run --release -p talft-bench --bin mutation
 //!          [-- --kernels N] [--cap N] [--stride N] [--seed N]
-//!          [--mutations N] [--threads N]`
+//!          [--mutations N] [--threads N] [--json <path>]`
 //!
 //! `--kernels N` limits the sweep to the first N suite kernels (CI smoke);
 //! `--cap N` bounds mutants per operator per kernel (0 = exhaustive).
 //! `TALFT_STRIDE_SCALE` scales the campaign stride as everywhere else.
 
+use talft_bench::report::{self, arg, mutation_json, Report};
 use talft_bench::{mutation_summary, render_mutation};
 use talft_faultsim::CampaignConfig;
+use talft_obs::Json;
 use talft_oracle::OracleConfig;
 use talft_suite::{kernels, Scale};
-
-/// `--name N` or `--name=N`.
-fn arg(name: &str) -> Option<u64> {
-    let args: Vec<String> = std::env::args().collect();
-    let spaced = args
-        .iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned());
-    spaced
-        .or_else(|| {
-            args.iter()
-                .find_map(|a| a.strip_prefix(name)?.strip_prefix('=').map(str::to_owned))
-        })
-        .and_then(|s| s.parse().ok())
-}
 
 fn main() {
     let cap = arg("--cap").unwrap_or(0) as usize;
@@ -80,6 +67,15 @@ fn main() {
     };
     print!("{}", render_mutation(&summary));
     println!();
+    report::emit(|| {
+        Report::new("talft.mutation.v1")
+            .field("kernels", Json::U64(ks.len() as u64))
+            .field("cap", Json::U64(cap as u64))
+            .field("seed", Json::U64(seed))
+            .field("stride", Json::U64(cfg.campaign.effective_stride()))
+            .field("data", mutation_json(&summary))
+            .build()
+    });
     if !summary.campaign_only.is_empty() {
         for (kernel, o) in &summary.campaign_only {
             eprintln!(

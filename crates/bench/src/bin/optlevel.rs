@@ -4,10 +4,12 @@
 //! optimized identically, so this probes whether the headline overhead is
 //! an artifact of sloppy input code.
 //!
-//! Usage: `cargo run --release -p talft-bench --bin optlevel`
+//! Usage: `cargo run --release -p talft-bench --bin optlevel [--json <path>]`
 
+use talft_bench::report::{self, sweep_row_json, Report};
 use talft_bench::{geomean, reference_visits, Fig10Row};
 use talft_compiler::{compile, CompileOptions};
+use talft_obs::Json;
 use talft_sim::{simulate, MachineModel};
 use talft_suite::{kernels, Scale};
 
@@ -16,6 +18,7 @@ fn main() {
     println!("# Optimization-level ablation: geomean TAL-FT overhead");
     println!("| pipeline | geomean | baseline cyc (sum) | TAL-FT cyc (sum) |");
     println!("|---|---:|---:|---:|");
+    let mut json_rows = Vec::new();
     for (label, optimize) in [("-O0 (as lowered)", false), ("-O1 (fold+prop+dce)", true)] {
         let mut ratios = Vec::new();
         let mut base_sum = 0u64;
@@ -44,9 +47,13 @@ fn main() {
             prot_sum += row.talft_cycles;
             ratios.push(row.ratio_ordered());
         }
-        println!(
-            "| {label} | {:.3}x | {base_sum} | {prot_sum} |",
-            geomean(&ratios)
-        );
+        let g = geomean(&ratios);
+        println!("| {label} | {g:.3}x | {base_sum} | {prot_sum} |");
+        json_rows.push(sweep_row_json(label, g, base_sum, prot_sum));
     }
+    report::emit(|| {
+        Report::new("talft.optlevel.v1")
+            .field("rows", Json::Array(json_rows))
+            .build()
+    });
 }

@@ -3,11 +3,13 @@
 //! transformation, store-queue high-water mark (hardware store-buffer
 //! sizing), and mean/max fault-detection latency.
 //!
-//! Usage: `cargo run --release -p talft-bench --bin stats`
+//! Usage: `cargo run --release -p talft-bench --bin stats [--json <path>]`
 
+use talft_bench::report::{self, Report};
 use talft_compiler::{compile, CompileOptions};
 use talft_faultsim::{run_campaign, CampaignConfig};
 use talft_machine::{run, Machine};
+use talft_obs::Json;
 use talft_suite::{kernels, Scale};
 
 fn main() {
@@ -21,6 +23,7 @@ fn main() {
         mutations_per_site: 2,
         ..Default::default()
     };
+    let mut json_rows = Vec::new();
     for k in kernels(Scale::Tiny) {
         let c = match compile(&k.source, &CompileOptions::default()) {
             Ok(c) => c,
@@ -51,5 +54,25 @@ fn main() {
             rep.detection_latency.mean(),
             rep.detection_latency.max,
         );
+        json_rows.push(Json::obj([
+            ("name", Json::str(k.name)),
+            ("base_instrs", Json::U64(base_n as u64)),
+            ("prot_instrs", Json::U64(prot_n as u64)),
+            ("growth", Json::F64(prot_n as f64 / base_n as f64)),
+            ("dyn_steps", Json::U64(r.steps)),
+            ("max_queue", Json::U64(m.max_queue_depth() as u64)),
+            (
+                "detection_latency",
+                Json::obj([
+                    ("mean", Json::F64(rep.detection_latency.mean())),
+                    ("max", Json::U64(rep.detection_latency.max)),
+                ]),
+            ),
+        ]));
     }
+    report::emit(|| {
+        Report::new("talft.stats.v1")
+            .field("rows", Json::Array(json_rows))
+            .build()
+    });
 }

@@ -16,6 +16,11 @@
 //!   --max-steps=N     step budget for the golden run
 //!   --baseline        operate on the unprotected baseline instead
 //!   --time            report Figure 10-style cycles for this program
+//!   --profile         enable instrumentation and print the metric table
+//!                     (checker passes, solver queries, campaign verdicts)
+//!                     to stderr at exit
+//!   --json=PATH       with --profile: also write the metric snapshot as
+//!                     JSON (schema talft.profile.v1) to PATH
 //! ```
 //!
 //! Exit codes: 2 = type error, 3 = Theorem 4 violation found by a k=1
@@ -48,15 +53,41 @@ struct Flags {
     max_steps: Option<u64>,
     baseline: bool,
     time: bool,
+    profile: bool,
 }
 
 fn main() -> ExitCode {
+    let code = real_main();
+    if talft_obs::enabled() {
+        let snap = talft_obs::snapshot();
+        eprint!("{}", snap.render_text());
+        if let Some(path) =
+            std::env::args().find_map(|a| a.strip_prefix("--json=").map(str::to_owned))
+        {
+            let json = talft_obs::Json::Object(vec![
+                (
+                    "schema".to_owned(),
+                    talft_obs::Json::str("talft.profile.v1"),
+                ),
+                ("obs".to_owned(), snap.to_json()),
+            ]);
+            if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+                eprintln!("talftc: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("talftc: wrote {path}");
+        }
+    }
+    code
+}
+
+fn real_main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(path) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
         eprintln!(
             "usage: talftc <file.wile|file.talft> [--emit-asm] [--disasm] [--no-check] [--run] \
              [--campaign[=N]] [--campaign-k=K] [--seed=N] [--threads=N] [--max-steps=N] \
-             [--baseline] [--time]"
+             [--baseline] [--time] [--profile] [--json=PATH]"
         );
         return ExitCode::FAILURE;
     };
@@ -89,7 +120,11 @@ fn main() -> ExitCode {
             .find_map(|a| a.strip_prefix("--max-steps=").and_then(|n| n.parse().ok())),
         baseline: args.iter().any(|a| a == "--baseline"),
         time: args.iter().any(|a| a == "--time"),
+        profile: args.iter().any(|a| a == "--profile"),
     };
+    if flags.profile {
+        talft_obs::set_enabled(true);
+    }
 
     let src = match std::fs::read_to_string(&path) {
         Ok(s) => s,

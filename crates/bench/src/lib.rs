@@ -15,6 +15,8 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
+
 use talft_compiler::{compile, vir::interpret, CompileOptions, Compiled};
 use talft_faultsim::{run_campaign, run_multi_campaign, CampaignConfig, CampaignReport};
 use talft_oracle::{run_oracle, MutantOutcome, MutationOp, OpScore, OracleConfig};

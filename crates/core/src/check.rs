@@ -10,11 +10,22 @@
 
 use talft_isa::{Color, Program};
 use talft_logic::ExprArena;
+use talft_obs::{LazyCounter, LazyHistogram, LazyMaxGauge};
 
 use crate::compat::{check_transfer, DEntry};
 use crate::ctx::Ctx;
 use crate::error::TypeError;
 use crate::rules::{check_instr, Outcome};
+
+static CHECK_NS: LazyHistogram = LazyHistogram::new("checker.check_program.ns");
+static VALIDATE_NS: LazyHistogram = LazyHistogram::new("checker.pass.validate.ns");
+static BLOCK_NS: LazyHistogram = LazyHistogram::new("checker.pass.block.ns");
+static BLOCKS: LazyCounter = LazyCounter::new("checker.blocks");
+static INSTRS: LazyCounter = LazyCounter::new("checker.instrs");
+static ACCEPTS: LazyCounter = LazyCounter::new("checker.accepts");
+static REJECTS: LazyCounter = LazyCounter::new("checker.rejections");
+static EXPR_DEPTH: LazyMaxGauge = LazyMaxGauge::new("logic.expr.depth.max");
+static ARENA_NODES: LazyMaxGauge = LazyMaxGauge::new("logic.expr.arena.nodes");
 
 /// Statistics from a successful check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,9 +38,28 @@ pub struct CheckReport {
 
 /// Type-check a whole program (`Σ ⊢ C` plus structural validation).
 pub fn check_program(program: &Program, arena: &mut ExprArena) -> Result<CheckReport, TypeError> {
-    program
-        .validate(arena)
-        .map_err(|e| TypeError::at(0, format!("structural error: {e}")))?;
+    let _span = CHECK_NS.span();
+    let result = check_program_inner(program, arena);
+    if talft_obs::enabled() {
+        match &result {
+            Ok(_) => ACCEPTS.inc(),
+            Err(_) => REJECTS.inc(),
+        }
+        // O(arena) but only while profiling: record how deep the static
+        // expressions grew and how large the hash-consing arena got.
+        EXPR_DEPTH.record(u64::from(arena.max_depth()));
+        ARENA_NODES.record(arena.len() as u64);
+    }
+    result
+}
+
+fn check_program_inner(program: &Program, arena: &mut ExprArena) -> Result<CheckReport, TypeError> {
+    {
+        let _vspan = VALIDATE_NS.span();
+        program
+            .validate(arena)
+            .map_err(|e| TypeError::at(0, format!("structural error: {e}")))?;
+    }
 
     let mut covered = vec![false; program.code_len()];
     let mut blocks = 0usize;
@@ -37,6 +67,7 @@ pub fn check_program(program: &Program, arena: &mut ExprArena) -> Result<CheckRe
 
     for (&start, pre) in &program.preconds {
         blocks += 1;
+        let _bspan = BLOCK_NS.span();
         let mut ctx = Ctx::from_code_ty(arena, pre);
         let mut addr = start;
         loop {
@@ -81,6 +112,8 @@ pub fn check_program(program: &Program, arena: &mut ExprArena) -> Result<CheckRe
         ));
     }
 
+    BLOCKS.add(blocks as u64);
+    INSTRS.add(instrs as u64);
     Ok(CheckReport { blocks, instrs })
 }
 

@@ -17,10 +17,13 @@
 use talft_isa::ty::ValTy;
 use talft_isa::{BasicTy, Color, Program, Reg, RegTy};
 use talft_logic::{norm_mem, ExprArena, ExprId, Facts};
+use talft_obs::LazyHistogram;
 
 use crate::ctx::{prove_fact, Ctx};
 use crate::matching::{goals_for_target, subst_reg_ty, GoalSet};
 use crate::subty::reg_subtype;
+
+static TRANSFER_NS: LazyHistogram = LazyHistogram::new("checker.pass.transfer.ns");
 
 /// What `d` holds when control arrives at the target.
 #[derive(Debug, Clone)]
@@ -45,6 +48,7 @@ pub fn check_transfer(
     er_blue: ExprId,
     d_entry: &DEntry,
 ) -> Result<(), String> {
+    let _span = TRANSFER_NS.span();
     let target = program
         .precond(target_addr)
         .ok_or_else(|| format!("transfer to unannotated address {target_addr}"))?;

@@ -13,11 +13,62 @@
 use talft_isa::ty::ValTy;
 use talft_isa::{BasicTy, CVal, Color, Gpr, Instr, OpSrc, Program, Reg, RegTy};
 use talft_logic::{BinOp, ExprArena, ExprId};
+use talft_obs::LazyCounter;
 
 use crate::compat::{check_transfer, DEntry};
 use crate::ctx::Ctx;
 use crate::error::TypeError;
 use crate::subty::{as_ref, basic_subtype, basic_ty_of_const};
+
+static R_OP: LazyCounter = LazyCounter::new("checker.rule.op");
+static R_MOV: LazyCounter = LazyCounter::new("checker.rule.mov");
+static R_LDG: LazyCounter = LazyCounter::new("checker.rule.ldG");
+static R_LDB: LazyCounter = LazyCounter::new("checker.rule.ldB");
+static R_STG: LazyCounter = LazyCounter::new("checker.rule.stG");
+static R_STB: LazyCounter = LazyCounter::new("checker.rule.stB");
+static R_JMPG: LazyCounter = LazyCounter::new("checker.rule.jmpG");
+static R_JMPB: LazyCounter = LazyCounter::new("checker.rule.jmpB");
+static R_BZG: LazyCounter = LazyCounter::new("checker.rule.bzG");
+static R_BZB: LazyCounter = LazyCounter::new("checker.rule.bzB");
+static R_HALT: LazyCounter = LazyCounter::new("checker.rule.halt");
+
+/// Count which Figure 7 rule fired (one counter per instruction form).
+fn note_rule(instr: &Instr) {
+    let counter = match instr {
+        Instr::Op { .. } => &R_OP,
+        Instr::Mov { .. } => &R_MOV,
+        Instr::Ld {
+            color: Color::Green,
+            ..
+        } => &R_LDG,
+        Instr::Ld {
+            color: Color::Blue, ..
+        } => &R_LDB,
+        Instr::St {
+            color: Color::Green,
+            ..
+        } => &R_STG,
+        Instr::St {
+            color: Color::Blue, ..
+        } => &R_STB,
+        Instr::Jmp {
+            color: Color::Green,
+            ..
+        } => &R_JMPG,
+        Instr::Jmp {
+            color: Color::Blue, ..
+        } => &R_JMPB,
+        Instr::Bz {
+            color: Color::Green,
+            ..
+        } => &R_BZG,
+        Instr::Bz {
+            color: Color::Blue, ..
+        } => &R_BZB,
+        Instr::Halt => &R_HALT,
+    };
+    counter.inc();
+}
 
 /// Result of typing one instruction: fall through or stop (`RT = T'` vs
 /// `RT = void`).
@@ -37,6 +88,9 @@ pub fn check_instr(
     addr: i64,
     instr: &Instr,
 ) -> Result<Outcome, TypeError> {
+    if talft_obs::enabled() {
+        note_rule(instr);
+    }
     let fail = |msg: String| TypeError::at(addr, msg).with_instr(instr.to_string());
     match *instr {
         Instr::Op { op, rd, rs, src2 } => {

@@ -59,6 +59,32 @@ use std::sync::{Arc, OnceLock};
 
 use talft_isa::Program;
 use talft_machine::{inject, sim_some_color, step, FaultSite, Machine, OobLoadPolicy, Status};
+use talft_obs::{LazyCounter, LazyHistogram};
+
+static GOLDEN_NS: LazyHistogram = LazyHistogram::new("campaign.golden.ns");
+static CAMPAIGN_NS: LazyHistogram = LazyHistogram::new("campaign.run.ns");
+static PLANS: LazyCounter = LazyCounter::new("campaign.plans");
+static WORKER_RATE: LazyHistogram = LazyHistogram::new("campaign.worker.plans_per_sec");
+static V_MASKED: LazyCounter = LazyCounter::new("campaign.verdict.masked");
+static V_DETECTED: LazyCounter = LazyCounter::new("campaign.verdict.detected");
+static V_SDC: LazyCounter = LazyCounter::new("campaign.verdict.sdc");
+static V_STUCK: LazyCounter = LazyCounter::new("campaign.verdict.stuck");
+static V_OVERRUN: LazyCounter = LazyCounter::new("campaign.verdict.overrun");
+static V_DISSIMILAR: LazyCounter = LazyCounter::new("campaign.verdict.dissimilar_state");
+static V_ENGINE_ERROR: LazyCounter = LazyCounter::new("campaign.verdict.engine_error");
+
+/// Count one classified continuation under its verdict's counter.
+fn note_verdict(v: Verdict) {
+    match v {
+        Verdict::Masked => V_MASKED.inc(),
+        Verdict::Detected => V_DETECTED.inc(),
+        Verdict::Sdc => V_SDC.inc(),
+        Verdict::Stuck => V_STUCK.inc(),
+        Verdict::Overrun => V_OVERRUN.inc(),
+        Verdict::DissimilarState => V_DISSIMILAR.inc(),
+        Verdict::EngineError => V_ENGINE_ERROR.inc(),
+    }
+}
 
 /// Campaign configuration.
 #[derive(Debug, Clone)]
@@ -381,6 +407,7 @@ pub struct Golden {
 /// campaign baseline. A run that ends `Fault` or `Stuck` is returned `Ok`
 /// (callers checking Corollary 3 inspect [`Golden::status`] themselves).
 pub fn golden_run(program: &Arc<Program>, cfg: &CampaignConfig) -> Result<Golden, GoldenError> {
+    let _span = GOLDEN_NS.span();
     let mut m = Machine::boot(Arc::clone(program)).with_oob_policy(cfg.oob);
     while m.status().is_running() && m.steps() < cfg.max_steps {
         step(&mut m);
@@ -467,6 +494,7 @@ pub fn run_plan_campaign(
     golden: &Golden,
     plans: &[FaultPlan],
 ) -> CampaignReport {
+    let _span = CAMPAIGN_NS.span();
     let mut order: Vec<usize> = (0..plans.len()).collect();
     order.sort_by_key(|&i| plans[i].first_step());
     let threads = cfg.threads.max(1).min(plans.len().max(1));
@@ -488,6 +516,8 @@ pub fn run_plan_campaign(
             let stop = &stop;
             handles.push(scope.spawn(move || {
                 let mut rep = CampaignReport::default();
+                let worker_start = talft_obs::enabled().then(std::time::Instant::now);
+                let mut executed = 0u64;
                 let mut frontier = Machine::boot(Arc::clone(program)).with_oob_policy(cfg.oob);
                 for &i in idxs {
                     if cfg.stop_on_first_violation && stop.load(Ordering::Relaxed) {
@@ -507,6 +537,11 @@ pub fn run_plan_campaign(
                         Ok(r) => r,
                         Err(_) => (Verdict::EngineError, first, 0),
                     };
+                    executed += 1;
+                    if talft_obs::enabled() {
+                        PLANS.inc();
+                        note_verdict(verdict);
+                    }
                     if verdict == Verdict::Detected {
                         rep.detection_latency
                             .record(end_steps.saturating_sub(first));
@@ -528,6 +563,13 @@ pub fn run_plan_campaign(
                     });
                     if cfg.stop_on_first_violation && verdict.is_violation() {
                         stop.store(true, Ordering::Relaxed);
+                    }
+                }
+                if let Some(start) = worker_start {
+                    let secs = start.elapsed().as_secs_f64();
+                    if secs > 0.0 {
+                        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                        WORKER_RATE.record((executed as f64 / secs) as u64);
                     }
                 }
                 rep

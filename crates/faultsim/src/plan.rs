@@ -157,7 +157,7 @@ const CANDIDATES_PER_STEP: usize = 2;
 ///
 /// Two strata families, split roughly half/half of `cfg.pair_samples`:
 ///
-/// * **uniform**: the run is cut into [`TIME_BINS`] time bins; per ordered
+/// * **uniform**: the run is cut into `TIME_BINS` (8) time bins; per ordered
 ///   bin pair `(i ≤ j)` an equal quota of `(strike₁, strike₂)` pairs is
 ///   drawn from per-bin reservoirs of uniformly sampled `(step, site,
 ///   value)` candidates — coverage of the whole quadratic space;

@@ -29,8 +29,13 @@ use std::sync::Arc;
 
 use talft_isa::Program;
 use talft_machine::{inject, step, FaultSite, Machine, OobLoadPolicy, Status};
+use talft_obs::LazyCounter;
 
 use crate::FaultPlan;
+
+static SUPERVISED_RUNS: LazyCounter = LazyCounter::new("recovery.supervised_runs");
+static RESTARTS: LazyCounter = LazyCounter::new("recovery.restarts");
+static REPLAY_MISMATCHES: LazyCounter = LazyCounter::new("recovery.replay_mismatches");
 
 /// A fault plan for one logical execution: inject `value` at `site` when
 /// the (per-attempt) step counter reaches `at_step` of attempt `attempt`.
@@ -153,6 +158,20 @@ pub struct SupervisorReport {
 /// pair by pair) and only then appends new outputs.
 #[must_use]
 pub fn run_supervised(
+    program: &Arc<Program>,
+    faults: &[PlannedFault],
+    cfg: &SupervisorConfig,
+) -> SupervisorReport {
+    let report = run_supervised_inner(program, faults, cfg);
+    if talft_obs::enabled() {
+        SUPERVISED_RUNS.inc();
+        RESTARTS.add(u64::from(report.restarts));
+        REPLAY_MISMATCHES.add(report.replay_mismatches);
+    }
+    report
+}
+
+fn run_supervised_inner(
     program: &Arc<Program>,
     faults: &[PlannedFault],
     cfg: &SupervisorConfig,

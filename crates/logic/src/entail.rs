@@ -18,9 +18,37 @@
 //! checked program.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use talft_obs::LazyCounter;
 
 use crate::expr::{BinOp, ExprArena, ExprId, ExprNode};
 use crate::norm::{norm_int, Monomial, Poly};
+
+/// Solver-query metrics (DESIGN.md §Observability). Zero-cost while
+/// `talft_obs` is disabled; `perfreport` and `talftc --profile` read them.
+static Q_EQ: LazyCounter = LazyCounter::new("logic.query.eq");
+static Q_NEQ: LazyCounter = LazyCounter::new("logic.query.neq");
+static Q_GE: LazyCounter = LazyCounter::new("logic.query.ge");
+static FM_RUNS: LazyCounter = LazyCounter::new("logic.fm.runs");
+static FM_GIVEUPS: LazyCounter = LazyCounter::new("logic.fm.giveups");
+static Q_REPEATS: LazyCounter = LazyCounter::new("logic.query.repeat_candidates");
+
+/// Count equality queries whose `(e1, e2)` id pair was seen before — an
+/// estimate of how much a memoizing query cache would save. A fixed-size
+/// direct-mapped table of packed id pairs: collisions overwrite, so the
+/// count is a lower bound, which is the honest direction for a
+/// "candidates" metric.
+fn note_query_pair(e1: ExprId, e2: ExprId) {
+    const SLOTS: usize = 4096;
+    static SEEN: [AtomicU64; SLOTS] = [const { AtomicU64::new(0) }; SLOTS];
+    // Pack both ids, +1 so the empty slot value 0 is never a valid key.
+    let key = (u64::from(e1.0) + 1) << 32 | u64::from(e2.0 + 1);
+    let slot = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 52) as usize % SLOTS;
+    if SEEN[slot].swap(key, Ordering::Relaxed) == key {
+        Q_REPEATS.inc();
+    }
+}
 
 /// Caps keeping Fourier–Motzkin elimination cheap; exceeding them makes the
 /// prover give up (sound: "unknown" is treated as "not proved").
@@ -160,6 +188,10 @@ impl Facts {
 
     /// Prove `e1 = e2` (the judgment `Δ ⊢ E1 = E2`, sound/incomplete).
     pub fn prove_eq(&self, arena: &mut ExprArena, e1: ExprId, e2: ExprId) -> bool {
+        if talft_obs::enabled() {
+            Q_EQ.inc();
+            note_query_pair(e1, e2);
+        }
         if e1 == e2 {
             return true;
         }
@@ -183,6 +215,7 @@ impl Facts {
 
     /// Prove `e1 ≠ e2`.
     pub fn prove_neq(&self, arena: &mut ExprArena, e1: ExprId, e2: ExprId) -> bool {
+        Q_NEQ.inc();
         let p1 = norm_int(arena, self, e1);
         let p2 = norm_int(arena, self, e2);
         self.poly_nonzero_with(arena, &p1.sub(&p2))
@@ -190,18 +223,24 @@ impl Facts {
 
     /// Prove `e ≠ 0`.
     pub fn prove_neq_zero(&self, arena: &mut ExprArena, e: ExprId) -> bool {
+        Q_NEQ.inc();
         let p = norm_int(arena, self, e);
         self.poly_nonzero_with(arena, &p)
     }
 
     /// Prove `e = 0`.
     pub fn prove_eq_zero(&self, arena: &mut ExprArena, e: ExprId) -> bool {
+        if talft_obs::enabled() {
+            Q_EQ.inc();
+            note_query_pair(e, ExprId(u32::MAX));
+        }
         let p = norm_int(arena, self, e);
         self.poly_provably_zero(&p)
     }
 
     /// Prove `e ≥ 0`.
     pub fn prove_ge0(&self, arena: &mut ExprArena, e: ExprId) -> bool {
+        Q_GE.inc();
         let p = norm_int(arena, self, e);
         if let Some(c) = p.as_constant() {
             return c >= 0;
@@ -430,6 +469,7 @@ impl LinCon {
 /// Fourier–Motzkin refutation: true iff the constraint set is unsatisfiable
 /// over ℚ (hence over ℤ).
 fn fm_refute(mut cons: Vec<LinCon>) -> bool {
+    FM_RUNS.inc();
     cons.retain(|c| !c.is_trivial());
     if cons.iter().any(LinCon::is_contradiction) {
         return true;
@@ -443,6 +483,7 @@ fn fm_refute(mut cons: Vec<LinCon>) -> bool {
         }
     }
     if vars.len() > FM_MAX_VARS {
+        FM_GIVEUPS.inc();
         return false;
     }
     for _ in 0..vars.len() {
@@ -501,6 +542,7 @@ fn fm_refute(mut cons: Vec<LinCon>) -> bool {
                     }
                 }
                 if rest.len() > FM_MAX_CONSTRAINTS {
+                    FM_GIVEUPS.inc();
                     return false;
                 }
             }

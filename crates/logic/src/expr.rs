@@ -237,6 +237,31 @@ impl ExprArena {
         self.nodes.is_empty()
     }
 
+    /// Maximum syntax-tree depth over every interned expression (leaves have
+    /// depth 1; an empty arena has depth 0). A single forward pass suffices
+    /// because [`ExprArena::intern`] appends children before parents.
+    #[must_use]
+    pub fn max_depth(&self) -> u32 {
+        let mut depth = vec![0u32; self.nodes.len()];
+        let mut max = 0;
+        for (i, node) in self.nodes.iter().enumerate() {
+            let d = match *node {
+                ExprNode::Var(_) | ExprNode::Int(_) | ExprNode::Emp => 1,
+                ExprNode::Bin(_, a, b) | ExprNode::Sel(a, b) => {
+                    1 + depth[a.0 as usize].max(depth[b.0 as usize])
+                }
+                ExprNode::Upd(m, a, v) => {
+                    1 + depth[m.0 as usize]
+                        .max(depth[a.0 as usize])
+                        .max(depth[v.0 as usize])
+                }
+            };
+            depth[i] = d;
+            max = max.max(d);
+        }
+        max
+    }
+
     // ---- convenience constructors ----------------------------------------
 
     /// `x` by name.
@@ -595,6 +620,21 @@ mod tests {
         let u = a.upd(m, one, x);
         let s = a.sel(u, one);
         assert_eq!(a.display(s), "(sel (upd emp 1 x) 1)");
+    }
+
+    #[test]
+    fn max_depth_forward_pass() {
+        let mut a = ExprArena::new();
+        assert_eq!(a.max_depth(), 0);
+        let x = a.var("x");
+        assert_eq!(a.max_depth(), 1);
+        let one = a.int(1);
+        let e = a.add(x, one); // depth 2
+        let _ = a.mul(e, e); // depth 3
+        assert_eq!(a.max_depth(), 3);
+        let emp = a.emp();
+        let _ = a.upd(emp, x, e); // 1 + max(1, 1, 2) = 3
+        assert_eq!(a.max_depth(), 3);
     }
 
     #[test]

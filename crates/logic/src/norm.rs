@@ -206,7 +206,7 @@ pub struct MemNf {
 
 /// Normalize an integer-kinded expression to a polynomial.
 ///
-/// Sound w.r.t. [`crate::eval`] for every environment satisfying `facts`.
+/// Sound w.r.t. [`crate::eval()`] for every environment satisfying `facts`.
 pub fn norm_int(arena: &mut ExprArena, facts: &Facts, e: ExprId) -> Poly {
     match arena.node(e) {
         ExprNode::Var(_) => facts.resolve_atom(e),

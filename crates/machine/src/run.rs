@@ -4,9 +4,14 @@
 use std::sync::Arc;
 
 use talft_isa::Program;
+use talft_obs::{LazyCounter, LazyMaxGauge};
 
 use crate::state::{Machine, OobLoadPolicy, Output, Status};
 use crate::step::step;
+
+static STEPS: LazyCounter = LazyCounter::new("machine.steps");
+static RUNS: LazyCounter = LazyCounter::new("machine.runs");
+static QUEUE_HWM: LazyMaxGauge = LazyMaxGauge::new("machine.queue.hwm");
 
 /// Result of running a machine to termination (or budget exhaustion).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +37,13 @@ pub fn run(m: &mut Machine, max_steps: u64) -> RunResult {
     let start = m.steps();
     while m.status().is_running() && m.steps() - start < max_steps {
         step(m);
+    }
+    // Recorded once per run, not per step, to keep the interpreter loop
+    // uninstrumented (overhead policy, DESIGN.md §Observability).
+    if talft_obs::enabled() {
+        RUNS.inc();
+        STEPS.add(m.steps() - start);
+        QUEUE_HWM.record(m.max_queue_depth() as u64);
     }
     RunResult {
         status: m.status(),

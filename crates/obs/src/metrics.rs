@@ -1,0 +1,459 @@
+//! Metric primitives: monotonic counters, max-gauges, fixed-bucket
+//! histograms, and scoped span timers.
+//!
+//! Every primitive is lock-free (a handful of `Relaxed` atomics) and safe to
+//! share across campaign worker threads. All recording paths are gated on
+//! the global [`enabled`] flag, so a disabled metric costs
+//! one relaxed atomic load and a predictable branch — the "zero-cost when
+//! disabled" half of the overhead policy (DESIGN.md §Observability).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::enabled;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            v: AtomicU64::new(0),
+        }
+    }
+
+    /// Add `n` events (no-op while instrumentation is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.v.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (test/report sectioning; not used on hot paths).
+    pub fn reset(&self) {
+        self.v.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A high-water-mark gauge: keeps the maximum recorded value.
+#[derive(Debug, Default)]
+pub struct MaxGauge {
+    v: AtomicU64,
+}
+
+impl MaxGauge {
+    /// A fresh gauge at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            v: AtomicU64::new(0),
+        }
+    }
+
+    /// Record an observation; the gauge keeps the maximum.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if enabled() {
+            self.v.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current maximum.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.v.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of log₂ buckets in a [`Histogram`]; bucket `k` counts values in
+/// `[2ᵏ, 2ᵏ⁺¹)` (values of 0 land in bucket 0), so 40 buckets cover
+/// nanosecond spans up to ~18 minutes without saturating.
+pub const HIST_BUCKETS: usize = 40;
+
+/// A fixed-bucket log₂ latency/value histogram with sum, count, and max.
+///
+/// The same shape as the campaign engine's detection-latency histogram, but
+/// atomic so worker threads can record concurrently without merging.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    #[must_use]
+    pub const fn new() -> Self {
+        // AtomicU64 is not Copy; an inline-const block repeats the initializer.
+        Self {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation (no-op while instrumentation is disabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.record_always(v);
+    }
+
+    /// Record regardless of the global flag (for guards that already
+    /// checked it when the span opened).
+    #[inline]
+    pub(crate) fn record_always(&self, v: u64) {
+        let k = (63 - v.max(1).leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[k].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / c as f64
+        }
+    }
+
+    /// Non-empty `(bucket_lo, count)` pairs, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(k, c)| (1u64 << k, c.load(Ordering::Relaxed)))
+            .filter(|&(_, c)| c > 0)
+    }
+
+    /// Reset all buckets and aggregates to zero.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Open a span over this histogram: the guard records the elapsed
+    /// nanoseconds on drop. When instrumentation is disabled the guard is
+    /// inert and no clock is read.
+    #[must_use]
+    pub fn span(&self) -> SpanGuard<'_> {
+        SpanGuard {
+            hist: self,
+            start: enabled().then(Instant::now),
+        }
+    }
+}
+
+/// RAII timer returned by [`Histogram::span`]; records elapsed nanoseconds
+/// into its histogram when dropped.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    hist: &'a Histogram,
+    start: Option<Instant>,
+}
+
+impl SpanGuard<'_> {
+    /// Abandon the span without recording (e.g. an error path whose timing
+    /// would pollute the distribution).
+    pub fn cancel(mut self) {
+        self.start = None;
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.hist.record_always(ns);
+        }
+    }
+}
+
+/// A named counter resolved against the global registry on first use and
+/// cached, so hot paths pay one `OnceLock` load instead of a map lookup.
+///
+/// ```
+/// static INSTRS: talft_obs::LazyCounter = talft_obs::LazyCounter::new("demo.instrs");
+/// talft_obs::set_enabled(true);
+/// INSTRS.inc();
+/// assert!(INSTRS.get() >= 1);
+/// ```
+#[derive(Debug)]
+pub struct LazyCounter {
+    name: &'static str,
+    cell: OnceLock<&'static Counter>,
+}
+
+impl LazyCounter {
+    /// Declare a counter under `name` (registered on first use).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    #[inline]
+    fn get_metric(&self) -> &'static Counter {
+        self.cell
+            .get_or_init(|| crate::registry::counter(self.name))
+    }
+
+    /// Add `n` events (no-op while disabled; the registry is not touched
+    /// until the first enabled use).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.get_metric().add(n);
+        }
+    }
+
+    /// Record one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 if never used while enabled).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.get().map_or(0, |c| c.get())
+    }
+}
+
+/// A named max-gauge with the same lazy-registration scheme as
+/// [`LazyCounter`].
+#[derive(Debug)]
+pub struct LazyMaxGauge {
+    name: &'static str,
+    cell: OnceLock<&'static MaxGauge>,
+}
+
+impl LazyMaxGauge {
+    /// Declare a gauge under `name`.
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Record an observation; the gauge keeps the maximum.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if enabled() {
+            self.cell
+                .get_or_init(|| crate::registry::max_gauge(self.name))
+                .record(v);
+        }
+    }
+
+    /// Current maximum (0 if never used while enabled).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.get().map_or(0, |g| g.get())
+    }
+}
+
+/// A named histogram with the same lazy-registration scheme as
+/// [`LazyCounter`].
+#[derive(Debug)]
+pub struct LazyHistogram {
+    name: &'static str,
+    cell: OnceLock<&'static Histogram>,
+}
+
+impl LazyHistogram {
+    /// Declare a histogram under `name`.
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    #[inline]
+    fn get_metric(&self) -> &'static Histogram {
+        self.cell
+            .get_or_init(|| crate::registry::histogram(self.name))
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if enabled() {
+            self.get_metric().record_always(v);
+        }
+    }
+
+    /// Open a span; elapsed nanoseconds are recorded on drop. Inert (no
+    /// clock read, no registration) while instrumentation is disabled.
+    #[must_use]
+    pub fn span(&self) -> SpanGuard<'static> {
+        if enabled() {
+            self.get_metric().span()
+        } else {
+            SpanGuard {
+                hist: never_hist(),
+                start: None,
+            }
+        }
+    }
+
+    /// The underlying histogram, if it has been touched while enabled.
+    #[must_use]
+    pub fn try_get(&self) -> Option<&'static Histogram> {
+        self.cell.get().copied()
+    }
+}
+
+/// Shared inert histogram backing disabled [`LazyHistogram::span`] guards.
+fn never_hist() -> &'static Histogram {
+    static NEVER: Histogram = Histogram::new();
+    &NEVER
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_enabled_guard;
+
+    #[test]
+    fn counter_respects_enable_flag() {
+        let _g = test_enabled_guard();
+        let c = Counter::new();
+        crate::set_enabled(false);
+        c.inc();
+        assert_eq!(c.get(), 0);
+        crate::set_enabled(true);
+        c.add(3);
+        assert_eq!(c.get(), 3);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_keeps_max() {
+        let _g = test_enabled_guard();
+        crate::set_enabled(true);
+        let g = MaxGauge::new();
+        g.record(5);
+        g.record(2);
+        g.record(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn histogram_buckets_sum_mean_max() {
+        let _g = test_enabled_guard();
+        crate::set_enabled(true);
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 15);
+        assert_eq!(h.max(), 9);
+        assert!((h.mean() - 3.0).abs() < 1e-9);
+        // 0 and 1 → bucket 1; 2 and 3 → bucket 2; 9 → bucket 8.
+        let buckets: Vec<(u64, u64)> = h.buckets().collect();
+        assert_eq!(buckets, vec![(1, 2), (2, 2), (8, 1)]);
+    }
+
+    #[test]
+    fn span_records_elapsed_ns() {
+        let _g = test_enabled_guard();
+        crate::set_enabled(true);
+        let h = Histogram::new();
+        {
+            let _span = h.span();
+            std::hint::black_box(0u64);
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.max() > 0, "a span must record a nonzero latency");
+    }
+
+    #[test]
+    fn cancelled_span_records_nothing() {
+        let _g = test_enabled_guard();
+        crate::set_enabled(true);
+        let h = Histogram::new();
+        h.span().cancel();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn disabled_span_reads_no_clock() {
+        let _g = test_enabled_guard();
+        crate::set_enabled(false);
+        let h = Histogram::new();
+        {
+            let _span = h.span();
+        }
+        assert_eq!(h.count(), 0);
+    }
+}

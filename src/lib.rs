@@ -21,7 +21,9 @@
 //!   Theorems 1–4;
 //! * [`suite`] — the SPEC/MediaBench-class benchmark kernels;
 //! * [`oracle`] — adversarial mutation testing of the checker itself
-//!   (differential against the fault campaigns; experiment E14).
+//!   (differential against the fault campaigns; experiment E14);
+//! * [`obs`] — dependency-free, zero-cost-when-disabled metrics/tracing
+//!   threaded through the checker, machine, and campaign engine (E15).
 //!
 //! # Quickstart
 //!
@@ -60,6 +62,7 @@ pub use talft_faultsim as faultsim;
 pub use talft_isa as isa;
 pub use talft_logic as logic;
 pub use talft_machine as machine;
+pub use talft_obs as obs;
 pub use talft_oracle as oracle;
 pub use talft_sim as sim;
 pub use talft_suite as suite;

@@ -13,6 +13,16 @@ fn load(name: &str) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
 }
 
+// `CampaignConfig::default()` sizes its thread pool from
+// `available_parallelism`; pin to 1 so these tiny campaigns behave
+// identically on any machine (DESIGN.md §Observability).
+fn cfg() -> CampaignConfig {
+    CampaignConfig {
+        threads: 1,
+        ..CampaignConfig::default()
+    }
+}
+
 fn check_and_run(name: &str, patch_fptr: bool) -> Vec<(i64, i64)> {
     let mut asm = assemble(&load(name)).unwrap_or_else(|e| panic!("{name}: {e}"));
     if patch_fptr {
@@ -27,7 +37,7 @@ fn check_and_run(name: &str, patch_fptr: bool) -> Vec<(i64, i64)> {
     let p = Arc::new(asm.program);
     let r = run_program(&p, 1_000_000);
     assert_eq!(r.status, Status::Halted, "{name}");
-    let rep = run_campaign(&p, &CampaignConfig::default()).expect("golden run halts");
+    let rep = run_campaign(&p, &cfg()).expect("golden run halts");
     assert!(rep.fault_tolerant(), "{name}: {:?}", rep.violations);
     r.trace
 }

@@ -8,6 +8,16 @@ use talft::faultsim::{run_campaign, CampaignConfig};
 use talft::isa::assemble;
 use talft::machine::{run_program, Status};
 
+// `CampaignConfig::default()` sizes its thread pool from
+// `available_parallelism`; pin to 1 so these tiny campaigns behave
+// identically on any machine (DESIGN.md §Observability).
+fn cfg() -> CampaignConfig {
+    CampaignConfig {
+        threads: 1,
+        ..CampaignConfig::default()
+    }
+}
+
 /// §2.2: "consider the following straight-line sequence […] These six
 /// instructions have the effect of storing 5 into memory address 256."
 /// (We place the output window at 4096 — address 256 would collide with
@@ -36,7 +46,7 @@ main:
     assert_eq!(r.trace, vec![(4096, 5)]);
     // "a fault at any point in execution, to either blue or green values or
     // addresses, will be caught by the hardware"
-    let rep = run_campaign(&p, &CampaignConfig::default()).expect("golden run halts");
+    let rep = run_campaign(&p, &cfg()).expect("golden run halts");
     assert!(rep.fault_tolerant(), "{:?}", rep.violations);
 }
 
@@ -60,8 +70,7 @@ main:
 "#;
     let mut asm = assemble(src).expect("assembles");
     check_program(&asm.program, &mut asm.arena).expect("register reuse is well-typed");
-    let rep =
-        run_campaign(&Arc::new(asm.program), &CampaignConfig::default()).expect("golden run halts");
+    let rep = run_campaign(&Arc::new(asm.program), &cfg()).expect("golden run halts");
     assert!(rep.fault_tolerant(), "{:?}", rep.violations);
 }
 
@@ -87,8 +96,7 @@ main:
     let err = check_program(&asm.program, &mut asm.arena).expect_err("rejected");
     assert_eq!(err.addr, 4, "the blue store is the offender");
     // And dynamically: exactly the failure the paper describes.
-    let rep =
-        run_campaign(&Arc::new(asm.program), &CampaignConfig::default()).expect("golden run halts");
+    let rep = run_campaign(&Arc::new(asm.program), &cfg()).expect("golden run halts");
     assert!(
         rep.sdc > 0,
         "CSE'd code must exhibit silent data corruption"
@@ -126,7 +134,7 @@ target:
     let p = Arc::new(asm.program);
     let r = run_program(&p, 10_000);
     assert_eq!(r.status, Status::Halted);
-    let rep = run_campaign(&p, &CampaignConfig::default()).expect("golden run halts");
+    let rep = run_campaign(&p, &cfg()).expect("golden run halts");
     assert!(rep.fault_tolerant(), "{:?}", rep.violations);
 }
 
