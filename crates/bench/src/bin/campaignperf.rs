@@ -1,0 +1,303 @@
+//! **campaignperf** — the E16 engine differential: the checkpointed
+//! copy-on-write work-stealing campaign engine timed head-to-head against
+//! the pre-checkpoint reference engine on the same plan sets, plus the
+//! entailment-cache hit rate over the suite checker workload.
+//!
+//! Two phases, each preceded by a registry reset so its numbers are
+//! attributable:
+//!
+//! 1. **checker** — compile every Tiny-scale kernel and `check_program` its
+//!    protected binary with the entailment cache enabled; report
+//!    `logic.cache.hit` / `logic.cache.miss` and the derived hit rate;
+//! 2. **campaign** — per kernel, build the k=1 plan set once, then run
+//!    [`run_plan_campaign_reference`] and [`run_plan_campaign`] on it with
+//!    the same pinned thread count. The two reports must be bit-identical
+//!    and SDC must be zero (Theorem 4); the row records both engines'
+//!    wall time and plans/sec.
+//!
+//! Usage: `cargo run --release -p talft-bench --bin campaignperf
+//!          [--json <path>] [--check <path>] [--threads N] [--stride N]
+//!          [--checkpoint-stride N]`
+//!
+//! `--json` defaults to `BENCH_campaign.json`; `--threads` defaults to 4
+//! (pinned, not `available_parallelism`, so rows are comparable across
+//! machines); `--stride` (campaign time stride) defaults to 3;
+//! `--checkpoint-stride` defaults to 0 (engine auto). `--check <path>`
+//! parses an existing report with the dep-free [`talft_obs::Json`] parser
+//! and gates on the *count* invariants — nonzero checkpoint reuse, nonzero
+//! cache hits, zero SDC — never on timings, which vary by machine.
+
+use std::time::Instant;
+
+use talft_bench::report::{self, campaign_json, Report};
+use talft_compiler::{compile, CompileOptions};
+use talft_core::check_program;
+use talft_faultsim::{
+    golden_run, run_plan_campaign, run_plan_campaign_reference, single_fault_plans, CampaignConfig,
+};
+use talft_obs::Json;
+use talft_suite::{kernels, Scale};
+
+/// Required top-level keys of a `talft.campaignperf.v1` document.
+const REQUIRED: &[&str] = &[
+    "schema",
+    "threads",
+    "stride",
+    "checkpoint_stride",
+    "cache",
+    "rows",
+    "totals",
+    "checkpoints",
+];
+
+fn main() {
+    if let Some(path) = report::arg_str("--check") {
+        check_existing(&path);
+        return;
+    }
+    let threads = usize::try_from(report::arg("--threads").unwrap_or(4)).unwrap_or(4);
+    let stride = report::arg("--stride").unwrap_or(3);
+    let checkpoint_stride = report::arg("--checkpoint-stride").unwrap_or(0);
+    let path = report::json_path().unwrap_or_else(|| "BENCH_campaign.json".into());
+
+    talft_obs::set_enabled(true);
+    talft_logic::set_entail_cache(true);
+    let ks = kernels(Scale::Tiny);
+
+    // Phase 1: checker with the entailment cache on. Compile outside the
+    // measured region; check inside.
+    let mut compiled = Vec::new();
+    for k in &ks {
+        match compile(&k.source, &CompileOptions::default()) {
+            Ok(c) => compiled.push((k.name, c)),
+            Err(e) => {
+                eprintln!("error: {}: {e}", k.name);
+                std::process::exit(1);
+            }
+        }
+    }
+    talft_obs::reset_all();
+    for (name, c) in &mut compiled {
+        if let Err(e) = check_program(&c.protected.program, &mut c.protected.arena) {
+            eprintln!("error: {name} failed the checker: {e}");
+            std::process::exit(1);
+        }
+    }
+    let checker = talft_obs::snapshot();
+    let cache_hits = counter(&checker, "logic.cache.hit");
+    let cache_misses = counter(&checker, "logic.cache.miss");
+    let hit_rate = rate(cache_hits, cache_misses);
+
+    // Phase 2: campaign differential, threads pinned.
+    let cfg = CampaignConfig {
+        stride,
+        mutations_per_site: 2,
+        threads,
+        checkpoint_stride,
+        ..CampaignConfig::default()
+    };
+    talft_obs::reset_all();
+    let mut rows = Vec::new();
+    let (mut tot_plans, mut tot_ref_ns, mut tot_eng_ns) = (0u64, 0u64, 0u64);
+    for (name, c) in &compiled {
+        let golden = match golden_run(&c.protected.program, &cfg) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("error: {name}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let plans = single_fault_plans(&c.protected.program, &cfg, &golden);
+        let t0 = Instant::now();
+        let ref_rep = run_plan_campaign_reference(&c.protected.program, &cfg, &golden, &plans);
+        let ref_ns = ns(t0.elapsed());
+        let t0 = Instant::now();
+        let eng_rep = run_plan_campaign(&c.protected.program, &cfg, &golden, &plans);
+        let eng_ns = ns(t0.elapsed());
+        if eng_rep != ref_rep {
+            eprintln!("error: {name}: engine report diverged from the reference engine");
+            std::process::exit(1);
+        }
+        if eng_rep.sdc != 0 {
+            eprintln!("error: {name}: SDC on a protected binary (Theorem 4 violated)");
+            std::process::exit(1);
+        }
+        let plans_n = plans.len() as u64;
+        tot_plans += plans_n;
+        tot_ref_ns += ref_ns;
+        tot_eng_ns += eng_ns;
+        eprintln!(
+            "{name:>10}: {plans_n:>6} plans  reference {:>10.0} plans/s  engine {:>10.0} plans/s  ({:.2}x)",
+            per_sec(plans_n, ref_ns),
+            per_sec(plans_n, eng_ns),
+            ratio(ref_ns, eng_ns),
+        );
+        rows.push(Json::obj([
+            ("name", Json::str(*name)),
+            ("plans", Json::U64(plans_n)),
+            ("reference_ns", Json::U64(ref_ns)),
+            ("engine_ns", Json::U64(eng_ns)),
+            (
+                "reference_plans_per_sec",
+                Json::F64(per_sec(plans_n, ref_ns)),
+            ),
+            ("engine_plans_per_sec", Json::F64(per_sec(plans_n, eng_ns))),
+            ("speedup", Json::F64(ratio(ref_ns, eng_ns))),
+            ("sdc", Json::U64(eng_rep.sdc)),
+            ("report", campaign_json(&eng_rep)),
+        ]));
+    }
+    let campaign = talft_obs::snapshot();
+
+    let json = Report::new("talft.campaignperf.v1")
+        .field("threads", Json::U64(threads as u64))
+        .field("stride", Json::U64(stride))
+        .field("checkpoint_stride", Json::U64(checkpoint_stride))
+        .field("kernels", Json::U64(ks.len() as u64))
+        .field(
+            "cache",
+            Json::obj([
+                ("hits", Json::U64(cache_hits)),
+                ("misses", Json::U64(cache_misses)),
+                ("hit_rate", Json::F64(hit_rate)),
+            ]),
+        )
+        .field("rows", Json::Array(rows))
+        .field(
+            "totals",
+            Json::obj([
+                ("plans", Json::U64(tot_plans)),
+                ("reference_ns", Json::U64(tot_ref_ns)),
+                ("engine_ns", Json::U64(tot_eng_ns)),
+                (
+                    "reference_plans_per_sec",
+                    Json::F64(per_sec(tot_plans, tot_ref_ns)),
+                ),
+                (
+                    "engine_plans_per_sec",
+                    Json::F64(per_sec(tot_plans, tot_eng_ns)),
+                ),
+                ("speedup", Json::F64(ratio(tot_ref_ns, tot_eng_ns))),
+            ]),
+        )
+        .field(
+            "checkpoints",
+            Json::obj([
+                (
+                    "seeks",
+                    Json::U64(counter(&campaign, "campaign.checkpoint.seeks")),
+                ),
+                (
+                    "steps_saved",
+                    Json::U64(counter(&campaign, "campaign.checkpoint.steps_saved")),
+                ),
+                (
+                    "converged_early",
+                    Json::U64(counter(&campaign, "campaign.converged_early")),
+                ),
+                (
+                    "converged_steps_saved",
+                    Json::U64(counter(&campaign, "campaign.converged.steps_saved")),
+                ),
+            ]),
+        )
+        .build();
+    report::write_json(&json, &path);
+
+    eprintln!(
+        "totals: {tot_plans} plans, speedup {:.2}x, cache hit rate {:.1}%",
+        ratio(tot_ref_ns, tot_eng_ns),
+        hit_rate * 100.0
+    );
+}
+
+fn counter(snap: &talft_obs::Snapshot, name: &str) -> u64 {
+    snap.counters.get(name).copied().unwrap_or(0)
+}
+
+fn ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn per_sec(n: u64, nanos: u64) -> f64 {
+    if nanos == 0 {
+        0.0
+    } else {
+        n as f64 * 1e9 / nanos as f64
+    }
+}
+
+fn ratio(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    }
+}
+
+/// Validate an existing report: parse, check the schema contract, then gate
+/// on the machine-independent count invariants. Exit 0 on success.
+fn check_existing(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("campaignperf: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let json = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("campaignperf: {path} is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    for key in REQUIRED {
+        if json.get(key).is_none() {
+            eprintln!("campaignperf: {path} is missing required key {key:?}");
+            std::process::exit(1);
+        }
+    }
+    if json.get("schema").and_then(Json::as_str) != Some("talft.campaignperf.v1") {
+        eprintln!("campaignperf: {path} has an unexpected schema tag");
+        std::process::exit(1);
+    }
+    let fail = |msg: &str| -> ! {
+        eprintln!("campaignperf: {path}: {msg}");
+        std::process::exit(1);
+    };
+    let u64_at = |j: &Json, outer: &str, key: &str| -> u64 {
+        match j.get(outer).and_then(|o| o.get(key)).and_then(Json::as_u64) {
+            Some(v) => v,
+            None => fail(&format!("missing {outer}.{key}")),
+        }
+    };
+    // Count invariants — machine-independent, unlike the timings.
+    if u64_at(&json, "checkpoints", "seeks") == 0 {
+        fail("checkpoint ring was never used (checkpoints.seeks == 0)");
+    }
+    if u64_at(&json, "cache", "hits") == 0 {
+        fail("entailment cache recorded zero hits");
+    }
+    let Some(Json::Array(rows)) = json.get("rows") else {
+        fail("rows is not an array");
+    };
+    if rows.is_empty() {
+        fail("rows is empty");
+    }
+    for row in rows {
+        let name = row.get("name").and_then(Json::as_str).unwrap_or("?");
+        if row.get("sdc").and_then(Json::as_u64) != Some(0) {
+            fail(&format!("kernel {name} reports SDC on a protected binary"));
+        }
+    }
+    println!("campaignperf: {path} OK (schema talft.campaignperf.v1)");
+}

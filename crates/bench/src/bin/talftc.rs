@@ -13,12 +13,17 @@
 //!                     is reported but is not a Theorem 4 violation)
 //!   --seed=N          sampler seed for K>=2 campaigns
 //!   --threads=N       campaign worker threads (default 1)
+//!   --checkpoint-stride=N
+//!                     golden checkpoint interval in steps for the campaign
+//!                     engine (default 0 = auto); performance knob only —
+//!                     reports are stride-invariant
 //!   --max-steps=N     step budget for the golden run
 //!   --baseline        operate on the unprotected baseline instead
 //!   --time            report Figure 10-style cycles for this program
 //!   --profile         enable instrumentation and print the metric table
 //!                     (checker passes, solver queries, campaign verdicts)
-//!                     to stderr at exit
+//!                     to stderr at exit, plus the entailment-cache hit
+//!                     rate after checking and campaign plans/sec
 //!   --json=PATH       with --profile: also write the metric snapshot as
 //!                     JSON (schema talft.profile.v1) to PATH
 //! ```
@@ -50,6 +55,7 @@ struct Flags {
     campaign_k: u32,
     seed: Option<u64>,
     threads: Option<usize>,
+    checkpoint_stride: Option<u64>,
     max_steps: Option<u64>,
     baseline: bool,
     time: bool,
@@ -86,8 +92,9 @@ fn real_main() -> ExitCode {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
         eprintln!(
             "usage: talftc <file.wile|file.talft> [--emit-asm] [--disasm] [--no-check] [--run] \
-             [--campaign[=N]] [--campaign-k=K] [--seed=N] [--threads=N] [--max-steps=N] \
-             [--baseline] [--time] [--profile] [--json=PATH]"
+             [--campaign[=N]] [--campaign-k=K] [--seed=N] [--threads=N] \
+             [--checkpoint-stride=N] [--max-steps=N] [--baseline] [--time] [--profile] \
+             [--json=PATH]"
         );
         return ExitCode::FAILURE;
     };
@@ -115,6 +122,10 @@ fn real_main() -> ExitCode {
         threads: args
             .iter()
             .find_map(|a| a.strip_prefix("--threads=").and_then(|n| n.parse().ok())),
+        checkpoint_stride: args.iter().find_map(|a| {
+            a.strip_prefix("--checkpoint-stride=")
+                .and_then(|n| n.parse().ok())
+        }),
         max_steps: args
             .iter()
             .find_map(|a| a.strip_prefix("--max-steps=").and_then(|n| n.parse().ok())),
@@ -178,6 +189,16 @@ fn real_main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+        if flags.profile {
+            let (hits, misses) = arena.entail_cache_stats();
+            let total = hits + misses;
+            if total > 0 {
+                eprintln!(
+                    "talftc: entailment cache: {hits} hits / {misses} misses ({:.1}% hit rate)",
+                    100.0 * hits as f64 / total as f64
+                );
+            }
+        }
     }
     if flags.run {
         let r = run_program(&program, 500_000_000);
@@ -204,7 +225,11 @@ fn real_main() -> ExitCode {
         if let Some(max_steps) = flags.max_steps {
             cfg.max_steps = max_steps;
         }
+        if let Some(cp) = flags.checkpoint_stride {
+            cfg.checkpoint_stride = cp;
+        }
         let k = flags.campaign_k.max(1);
+        let t0 = std::time::Instant::now();
         let rep = match run_multi_campaign(&program, &cfg, k) {
             Ok(rep) => rep,
             Err(e) => {
@@ -212,6 +237,17 @@ fn real_main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        if flags.profile {
+            let secs = t0.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                eprintln!(
+                    "talftc: campaign throughput: {:.0} plans/sec ({} plans in {:.3}s)",
+                    rep.total as f64 / secs,
+                    rep.total,
+                    secs
+                );
+            }
+        }
         eprintln!(
             "talftc: campaign (k={k}): {} injections — {} masked, {} detected, {} SDC, \
              {} other, {} engine errors ({:.1}% detection coverage)",

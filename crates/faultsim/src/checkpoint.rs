@@ -1,0 +1,182 @@
+//! Golden checkpoint ring: bounded machine snapshots captured along the
+//! fault-free run so campaign workers *seek* to a plan's first-strike step
+//! instead of re-stepping the prefix from step 0, and so faulty runs that
+//! have **converged** back onto the golden state can stop simulating early
+//! (determinism implies the remainder replays the golden run).
+//!
+//! Snapshots are cheap: [`Machine`] memory and trace are copy-on-write, so
+//! a snapshot holds `Arc` references and only the golden run's next write to
+//! a shared component pays for a fork.
+//!
+//! The ring is bounded by **adaptive thinning**: snapshots are taken every
+//! `stride` steps, and when the capacity is reached every other snapshot is
+//! dropped and the stride doubles. Invariant: `snaps[i].steps() == i * stride`
+//! (capacity is even, so thinning preserves it exactly), which makes both
+//! [`CheckpointRing::seek`] and [`CheckpointRing::at_step`] O(1).
+
+use talft_machine::Machine;
+
+/// Default snapshot interval when [`crate::CampaignConfig::checkpoint_stride`]
+/// is 0 (auto).
+pub(crate) const DEFAULT_STRIDE: u64 = 16;
+
+/// Maximum snapshots retained (must be even — thinning halves it exactly).
+pub(crate) const CAPACITY: usize = 512;
+
+/// A bounded ring of golden-run snapshots at regular step intervals.
+#[derive(Debug, Clone)]
+pub struct CheckpointRing {
+    stride: u64,
+    cap: usize,
+    snaps: Vec<Machine>,
+}
+
+impl CheckpointRing {
+    pub(crate) fn new(stride: u64, cap: usize) -> Self {
+        debug_assert!(
+            cap >= 2 && cap.is_multiple_of(2),
+            "thinning needs an even cap"
+        );
+        Self {
+            stride: stride.max(1),
+            cap: cap.max(2),
+            snaps: Vec::new(),
+        }
+    }
+
+    /// Current snapshot interval in steps (doubles on each thinning).
+    #[must_use]
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Number of retained snapshots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// Whether no snapshot has been captured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.snaps.is_empty()
+    }
+
+    /// Record `m` if its step count falls on the current stride grid.
+    /// Callers offer every state of a monotone run; the ring keeps the grid
+    /// points and thins itself when full.
+    pub(crate) fn offer(&mut self, m: &Machine) {
+        if !m.steps().is_multiple_of(self.stride) {
+            return;
+        }
+        if self.snaps.len() == self.cap {
+            self.thin();
+            if !m.steps().is_multiple_of(self.stride) {
+                return;
+            }
+        }
+        debug_assert_eq!(m.steps(), self.snaps.len() as u64 * self.stride);
+        self.snaps.push(m.clone());
+    }
+
+    /// Drop every other snapshot and double the stride. Keeping the even
+    /// indices preserves the `snaps[i].steps() == i * stride` invariant.
+    fn thin(&mut self) {
+        let mut i = 0usize;
+        self.snaps.retain(|_| {
+            let keep = i.is_multiple_of(2);
+            i += 1;
+            keep
+        });
+        self.stride *= 2;
+    }
+
+    /// The latest snapshot at or before `step` (None only when empty).
+    #[must_use]
+    pub fn seek(&self, step: u64) -> Option<&Machine> {
+        if self.snaps.is_empty() {
+            return None;
+        }
+        let i = usize::try_from(step / self.stride)
+            .unwrap_or(usize::MAX)
+            .min(self.snaps.len() - 1);
+        Some(&self.snaps[i])
+    }
+
+    /// The snapshot taken exactly at `step`, if one exists.
+    #[must_use]
+    pub fn at_step(&self, step: u64) -> Option<&Machine> {
+        if !step.is_multiple_of(self.stride) {
+            return None;
+        }
+        usize::try_from(step / self.stride)
+            .ok()
+            .and_then(|i| self.snaps.get(i))
+            .filter(|m| m.steps() == step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use talft_machine::step;
+
+    fn boot() -> Machine {
+        let src = "\n.code\nmain:\n  .pre { forall m:mem; mem: m; }\n  mov r1, G @main\n  \
+                   mov r2, B @main\n  jmpG r1\n  jmpB r2\n";
+        let p = Arc::new(talft_isa::assemble(src).expect("assembles").program);
+        Machine::boot(p)
+    }
+
+    #[test]
+    fn captures_on_the_stride_grid() {
+        let mut ring = CheckpointRing::new(4, 8);
+        let mut m = boot();
+        for _ in 0..20 {
+            ring.offer(&m);
+            step(&mut m);
+        }
+        assert_eq!(ring.stride(), 4);
+        assert_eq!(ring.len(), 5); // steps 0, 4, 8, 12, 16
+        assert_eq!(ring.at_step(8).map(Machine::steps), Some(8));
+        assert!(ring.at_step(9).is_none());
+        assert_eq!(ring.seek(11).map(Machine::steps), Some(8));
+        assert_eq!(ring.seek(0).map(Machine::steps), Some(0));
+        // Past the last snapshot: seek clamps to the newest.
+        assert_eq!(ring.seek(1000).map(Machine::steps), Some(16));
+    }
+
+    #[test]
+    fn thinning_doubles_the_stride_and_keeps_the_grid() {
+        let mut ring = CheckpointRing::new(1, 4);
+        let mut m = boot();
+        for _ in 0..=40 {
+            ring.offer(&m);
+            step(&mut m);
+        }
+        // 41 offered states into capacity 4: stride grows past 8.
+        assert!(ring.stride() >= 8);
+        assert!(ring.len() <= 4);
+        for (i, s) in (0..ring.len()).map(|i| (i, &ring)) {
+            let snap = s.at_step(i as u64 * s.stride()).expect("grid point");
+            assert_eq!(snap.steps(), i as u64 * s.stride());
+        }
+        // Every retained snapshot is the golden state at its step: replaying
+        // from a snapshot matches replaying from boot.
+        let target = ring.stride();
+        let mut fresh = boot();
+        while fresh.steps() < target {
+            step(&mut fresh);
+        }
+        assert!(ring.at_step(target).expect("kept").execution_eq(&fresh));
+    }
+
+    #[test]
+    fn empty_ring_seeks_nothing() {
+        let ring = CheckpointRing::new(4, 8);
+        assert!(ring.is_empty());
+        assert!(ring.seek(0).is_none());
+        assert!(ring.at_step(0).is_none());
+    }
+}

@@ -170,6 +170,9 @@ pub struct ExprArena {
     dedup: HashMap<ExprNode, ExprId>,
     var_names: Vec<String>,
     var_dedup: HashMap<String, VarId>,
+    /// Memoized entailment verdicts (ids are arena-relative, so the cache
+    /// must live and die with the arena; see `entail::EntailCache`).
+    pub(crate) entail_cache: crate::entail::EntailCache,
 }
 
 impl ExprArena {
@@ -235,6 +238,15 @@ impl ExprArena {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// `(hits, misses)` of this arena's entailment query cache. Unlike the
+    /// process-global `logic.cache.*` counters these are always recorded
+    /// (they cost nothing extra on the exclusive `&mut` query path), so
+    /// tests can assert cache behavior without enabling `talft_obs`.
+    #[must_use]
+    pub fn entail_cache_stats(&self) -> (u64, u64) {
+        self.entail_cache.stats()
     }
 
     /// Maximum syntax-tree depth over every interned expression (leaves have

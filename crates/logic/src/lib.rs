@@ -40,7 +40,7 @@ pub mod expr;
 pub mod norm;
 pub mod subst;
 
-pub use entail::Facts;
+pub use entail::{entail_cache_enabled, set_entail_cache, Facts};
 pub use eval::{eval, eval_int, eval_mem, Env, EvalError, MemVal, Value};
 pub use expr::{BinOp, ExprArena, ExprId, ExprNode, Kind, KindCtx, KindError, VarId};
 pub use norm::{norm_int, norm_mem, reify_memnf, reify_poly, MemNf, Poly};

@@ -76,21 +76,47 @@ pub type Output = (i64, i64);
 /// (protected, immutable) code memory inside the [`Program`]; `M` is value
 /// memory; `Q` is the store queue with **front = newest** (`stG` pushes the
 /// front, `stB` pops the back, `find` scans front-to-back as in the paper).
+///
+/// Value memory and the output trace — the only unbounded components — are
+/// **copy-on-write**: `Clone` shares them behind an `Arc`, and the first
+/// write after a clone forks a private copy (`Arc::make_mut`). Campaign
+/// engines clone a frontier machine once per fault plan, so a clone costs
+/// O(registers + queue), not O(memory footprint).
 #[derive(Debug, Clone)]
 pub struct Machine {
     program: Arc<Program>,
     gprs: Vec<CVal>,
     d: CVal,
     pc: [CVal; 2], // indexed by color
-    mem: BTreeMap<i64, i64>,
+    mem: Arc<BTreeMap<i64, i64>>,
     queue: VecDeque<(i64, i64)>,
     ir: Option<Instr>,
     status: Status,
     /// Observable trace: every pair committed to memory, in order.
-    trace: Vec<Output>,
+    trace: Arc<Vec<Output>>,
+    /// Commutative XOR hash over `(addr, val)` memory entries, maintained
+    /// incrementally by [`Machine::mem_write`]. Equal memories always have
+    /// equal hashes, so a hash mismatch proves inequality in O(1) — the
+    /// fast-fail path of [`Machine::execution_eq`]. (Hash equality still
+    /// falls through to a deep comparison; collisions cost time, never
+    /// soundness.)
+    mem_hash: u64,
     steps: u64,
     max_queue_depth: usize,
     pub(crate) oob_policy: OobLoadPolicy,
+}
+
+/// Mix one `(addr, val)` memory entry into a 64-bit contribution
+/// (SplitMix64-style finalizer). Entry contributions combine by XOR, which
+/// makes the whole-memory hash order-independent and incrementally
+/// updatable on overwrite.
+fn mem_entry_hash(addr: i64, val: i64) -> u64 {
+    let mut z = (addr as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(val as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Machine {
@@ -100,7 +126,10 @@ impl Machine {
     #[must_use]
     pub fn boot(program: Arc<Program>) -> Self {
         let entry = program.entry;
-        let mem = program.initial_memory();
+        let mem = Arc::new(program.initial_memory());
+        let mem_hash = mem
+            .iter()
+            .fold(0u64, |h, (&a, &v)| h ^ mem_entry_hash(a, v));
         let n = program.num_gprs;
         Self {
             program,
@@ -111,7 +140,8 @@ impl Machine {
             queue: VecDeque::new(),
             ir: None,
             status: Status::Running,
-            trace: Vec::new(),
+            trace: Arc::new(Vec::new()),
+            mem_hash,
             steps: 0,
             max_queue_depth: 0,
             oob_policy: OobLoadPolicy::default(),
@@ -169,7 +199,7 @@ impl Machine {
     }
 
     pub(crate) fn emit(&mut self, out: Output) {
-        self.trace.push(out);
+        Arc::make_mut(&mut self.trace).push(out);
     }
 
     /// The pending instruction register (`ir`): `None` means the next step
@@ -248,7 +278,11 @@ impl Machine {
     /// with no domain check — committed pairs have passed the dual-color
     /// comparison).
     pub(crate) fn mem_write(&mut self, addr: i64, val: i64) {
-        self.mem.insert(addr, val);
+        let old = Arc::make_mut(&mut self.mem).insert(addr, val);
+        if let Some(o) = old {
+            self.mem_hash ^= mem_entry_hash(addr, o);
+        }
+        self.mem_hash ^= mem_entry_hash(addr, val);
     }
 
     /// The whole value memory (for similarity checks and harnesses).
@@ -283,6 +317,92 @@ impl Machine {
     #[must_use]
     pub fn queue_find(&self, addr: i64) -> Option<(i64, i64)> {
         self.queue.iter().copied().find(|&(a, _)| a == addr)
+    }
+
+    // ---- whole-state comparison --------------------------------------------
+
+    /// Whether this machine and `other` still share the same copy-on-write
+    /// value memory (no write has forked them since the clone). Harness
+    /// observability hook; not part of the machine semantics.
+    #[must_use]
+    pub fn memory_shared_with(&self, other: &Machine) -> bool {
+        Arc::ptr_eq(&self.mem, &other.mem)
+    }
+
+    /// Full execution-state equality: two machines agree on every component
+    /// that influences future execution (registers, pcs, `d`, memory, queue,
+    /// `ir`, status, step count, trace, OOB policy). Because stepping is
+    /// deterministic, `a.execution_eq(&b)` implies the two runs are
+    /// indistinguishable from here on — the soundness basis for the campaign
+    /// engine's convergence early-exit against golden checkpoints.
+    ///
+    /// The queue high-water statistic ([`Machine::max_queue_depth`]) is
+    /// excluded: it never feeds back into execution. Comparison is ordered
+    /// cheap-to-expensive: scalars, then the O(1) incremental memory hash
+    /// (a mismatch proves the memories differ without walking them), then
+    /// registers and queue, with the deep memory/trace comparisons last and
+    /// behind `Arc` pointer fast paths.
+    #[must_use]
+    pub fn execution_eq(&self, other: &Machine) -> bool {
+        self.steps == other.steps
+            && self.status == other.status
+            && self.oob_policy == other.oob_policy
+            && self.ir == other.ir
+            && self.pc == other.pc
+            && self.d == other.d
+            && self.mem_hash == other.mem_hash
+            && self.queue.len() == other.queue.len()
+            && self.trace.len() == other.trace.len()
+            && self.gprs == other.gprs
+            && self.queue == other.queue
+            && (Arc::ptr_eq(&self.trace, &other.trace) || self.trace == other.trace)
+            && (Arc::ptr_eq(&self.mem, &other.mem) || self.mem == other.mem)
+    }
+
+    /// Execution equality *modulo GPRs* for trace-verified continuations:
+    /// compares every non-GPR component and returns the bitmask of GPR
+    /// indices where the two machines differ (`None` when any non-GPR
+    /// component differs).
+    ///
+    /// # Precondition (caller-guaranteed, not checked)
+    ///
+    /// Both machines run the **same program** and `self`'s committed outputs
+    /// have been verified equal to the golden trace that `other` is a
+    /// prefix-state of. Under that precondition, equal trace *lengths* imply
+    /// equal traces, and — because the only memory write in the semantics is
+    /// the `stB-mem` commit, which always emits the written pair — equal
+    /// traces imply equal memories. That is what lets this comparison skip
+    /// the O(|M|) and O(|trace|) deep walks that [`Machine::execution_eq`]
+    /// must do; the incremental memory hash is still compared as a
+    /// belt-and-suspenders guard. Register files wider than 64 GPRs cannot
+    /// be masked: they compare for full equality and report `Some(0)` or
+    /// `None`.
+    #[must_use]
+    pub fn diverged_gprs_trace_verified(&self, other: &Machine) -> Option<u64> {
+        let non_gpr_eq = Arc::ptr_eq(&self.program, &other.program)
+            && self.steps == other.steps
+            && self.status == other.status
+            && self.oob_policy == other.oob_policy
+            && self.ir == other.ir
+            && self.pc == other.pc
+            && self.d == other.d
+            && self.mem_hash == other.mem_hash
+            && self.trace.len() == other.trace.len()
+            && self.queue == other.queue;
+        if !non_gpr_eq {
+            return None;
+        }
+        if self.gprs.len() > 64 {
+            return (self.gprs == other.gprs).then_some(0);
+        }
+        Some(
+            self.gprs
+                .iter()
+                .zip(&other.gprs)
+                .enumerate()
+                .filter(|(_, (a, b))| a != b)
+                .fold(0u64, |m, (i, _)| m | (1 << i)),
+        )
     }
 }
 
@@ -337,6 +457,74 @@ mod tests {
         m.queue_mut().push_front((100, 2)); // newer
         assert_eq!(m.queue_find(100), Some((100, 2)));
         assert_eq!(m.queue_find(42), None);
+    }
+
+    #[test]
+    fn clone_shares_memory_until_first_write() {
+        let mut m = Machine::boot(tiny());
+        let snap = m.clone();
+        assert!(m.memory_shared_with(&snap), "clone must not deep-copy M");
+        m.mem_write(4096, 7);
+        assert!(!m.memory_shared_with(&snap), "first write forks the Arc");
+        assert_eq!(m.mem(4096), Some(7));
+        assert_eq!(snap.mem(4096), None, "the snapshot is unaffected");
+    }
+
+    #[test]
+    fn clone_shares_trace_until_first_emit() {
+        let mut m = Machine::boot(tiny());
+        m.emit((1, 2));
+        let snap = m.clone();
+        m.emit((3, 4));
+        assert_eq!(snap.trace(), &[(1, 2)]);
+        assert_eq!(m.trace(), &[(1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn execution_eq_covers_semantic_state_only() {
+        let mut m = Machine::boot(tiny());
+        let mut n = m.clone();
+        assert!(m.execution_eq(&n));
+        // The high-water statistic is not semantic state.
+        n.queue_mut().push_front((1, 1));
+        n.note_queue_depth();
+        n.queue_mut().pop_front();
+        assert!(m.execution_eq(&n));
+        // Every semantic component breaks equality.
+        n.set_reg(Reg::r(0), CVal::blue(1));
+        assert!(!m.execution_eq(&n));
+        n.set_reg(Reg::r(0), CVal::green(0));
+        assert!(m.execution_eq(&n));
+        n.mem_write(4096, 1);
+        assert!(!m.execution_eq(&n));
+        m.mem_write(4096, 1);
+        assert!(m.execution_eq(&m.clone()));
+        m.bump_steps();
+        assert!(!m.execution_eq(&n));
+    }
+
+    #[test]
+    fn mem_hash_tracks_content_not_history() {
+        let mut a = Machine::boot(tiny());
+        let mut b = Machine::boot(tiny());
+        assert_eq!(a.mem_hash, b.mem_hash);
+        // Different write orders, same final content ⇒ same hash.
+        a.mem_write(10, 1);
+        a.mem_write(20, 2);
+        b.mem_write(20, 2);
+        b.mem_write(10, 1);
+        assert_eq!(a.mem_hash, b.mem_hash);
+        // Overwrites retract the old entry's contribution.
+        a.mem_write(10, 99);
+        assert_ne!(a.mem_hash, b.mem_hash);
+        a.mem_write(10, 1);
+        assert_eq!(a.mem_hash, b.mem_hash);
+        // And the hash always agrees with a from-scratch fold.
+        let scratch = a
+            .memory()
+            .iter()
+            .fold(0u64, |h, (&ad, &v)| h ^ mem_entry_hash(ad, v));
+        assert_eq!(a.mem_hash, scratch);
     }
 
     #[test]

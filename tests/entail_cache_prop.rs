@@ -1,0 +1,85 @@
+//! Entailment-cache transparency over whole compiled programs (E16
+//! satellite): the memoizing cache in `talft_logic::entail` must be
+//! *semantically invisible* — for any well-typed program the checker reaches
+//! the same verdict with the cache forced on and forced off.
+//!
+//! The in-crate unit tests (`talft_logic` `cache_tests`) cover the cache's
+//! mechanics — hit/miss accounting, generation invalidation, sentinel keys —
+//! on hand-built queries. This test drives the *real* query distribution:
+//! fixed kernels plus generatively fuzzed Wile sources from
+//! `talft_testutil::wile`, compiled through the full reliability
+//! transformation, then checked twice. Any divergence (accept vs reject, or
+//! a different error) is a cache unsoundness, not a conservativity issue.
+//!
+//! The runs are serialized within this test (cached first, then uncached)
+//! and the process-global switch is flipped with `set_entail_cache`, which
+//! overrides `TALFT_ENTAIL_CACHE`; each check gets a fresh compile so the
+//! two runs never share an arena.
+
+use talft::compiler::{compile, CompileOptions};
+use talft::core::check_program;
+use talft::logic::set_entail_cache;
+use talft_testutil::wile::{random_stmts, render_program};
+use talft_testutil::SplitMix64;
+
+const GEN_SEED: u64 = 0xCAC4_E5EE;
+
+/// Check a source once with the cache forced to `on`, returning the verdict
+/// as `Ok(())`/`Err(message)` so verdicts compare structurally, plus the
+/// arena's (hits, misses). Straight-line programs may legitimately record
+/// zero queries (syntactic fast paths answer before the cache is consulted),
+/// so wiring is asserted over the whole corpus, not per source.
+fn check_with_cache(src: &str, on: bool) -> (Result<(), String>, (u64, u64)) {
+    set_entail_cache(on);
+    let mut c = compile(src, &CompileOptions::default()).expect("fuzzed source compiles");
+    let result = check_program(&c.protected.program, &mut c.protected.arena)
+        .map(|_| ())
+        .map_err(|e| e.to_string());
+    let stats = c.protected.arena.entail_cache_stats();
+    if !on {
+        assert_eq!(stats, (0, 0), "cache-off check must not touch the cache");
+    }
+    (result, stats)
+}
+
+#[test]
+fn checker_verdicts_are_cache_invariant() {
+    let fixed = [
+        "output out[2]; func main() { var a = 6; var b = 7; out[0] = a * b; out[1] = a + b; }"
+            .to_string(),
+        "array t[4] = [9, 2, 7, 4]; output out[4]; func main() { var i = 0; \
+         while (i < 4) { out[i] = t[i] + i; i = i + 1; } }"
+            .to_string(),
+        "output out[1]; func main() { var i = 0; var s = 0; \
+         while (i < 6) { if (i & 1 == 1) { s = s + i; } i = i + 1; } out[0] = s; }"
+            .to_string(),
+    ];
+    let generated: Vec<String> = (0..8)
+        .map(|k| {
+            let mut r = SplitMix64::new(GEN_SEED + k);
+            render_program(&random_stmts(&mut r, 2, 2, 6))
+        })
+        .collect();
+
+    let prev = talft::logic::entail_cache_enabled();
+    let (mut total_hits, mut total_misses) = (0u64, 0u64);
+    for (i, src) in fixed.iter().chain(&generated).enumerate() {
+        let (cached, (hits, misses)) = check_with_cache(src, true);
+        let (uncached, _) = check_with_cache(src, false);
+        total_hits += hits;
+        total_misses += misses;
+        assert_eq!(
+            cached, uncached,
+            "source {i}: cache changed the checker verdict\n--- source ---\n{src}"
+        );
+        // Compiler output is always well typed (the repo's core invariant) —
+        // so this doubles as a compile-soundness spot check under both modes.
+        assert_eq!(cached, Ok(()), "source {i}: compiled program must check");
+    }
+    assert!(
+        total_hits + total_misses > 0,
+        "no source exercised the cache — the cache is not wired into the checker"
+    );
+    assert!(total_hits > 0, "the corpus must produce at least one hit");
+    set_entail_cache(prev);
+}
