@@ -1,0 +1,208 @@
+//! Cross-validation of the static zap classifier against the dynamic k=1
+//! injection grid — the machine-checked static analogue of Theorem 4.
+//!
+//! Every dynamic plan `(at_step, site)` maps to a static cell via the
+//! golden pc trace (`pc_by_step[at_step]` is the address of the in-flight
+//! instruction). If the campaign scores a plan **SDC** while the static
+//! analysis classified its cell `Detected` or `Benign` (or failed to map
+//! it at all), the analysis is unsound — a hard failure surfaced as a
+//! [`Mismatch`].
+
+use talft_faultsim::{FaultGrid, GridOutcome, Verdict};
+use talft_isa::Reg;
+use talft_machine::FaultSite;
+
+use crate::zap::{ZapClass, ZapReport};
+
+/// A dynamic SDC the static analysis claimed was safe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Golden step of the injection.
+    pub at_step: u64,
+    /// Static code address the step maps to.
+    pub addr: i64,
+    /// The zapped site.
+    pub site: FaultSite,
+    /// The corrupt value written.
+    pub value: i64,
+    /// The (wrong) static claim; `None` if the cell was never classified.
+    pub class: Option<ZapClass>,
+}
+
+/// Outcome of cross-validating one program's grid against its report.
+#[derive(Debug, Clone, Default)]
+pub struct DiffSummary {
+    /// Plans examined (including skipped ones).
+    pub plans: usize,
+    /// Plans whose cell was classified and compared.
+    pub checked: usize,
+    /// Plans skipped: strike at the final (halted) state — nothing
+    /// executes after it, so no static cell corresponds.
+    pub skipped_final: usize,
+    /// Plans whose queue-slot index did not map to a static slot
+    /// (dynamic depth disagreed with the static depth at that address).
+    pub skipped_depth: usize,
+    /// Plans whose address had no static classification at all.
+    pub unmapped: usize,
+    /// Dynamic SDCs on statically-safe cells: soundness violations.
+    pub mismatches: Vec<Mismatch>,
+    /// Dynamic SDCs on cells the analysis *did* flag vulnerable.
+    pub predicted_sdc: usize,
+}
+
+impl DiffSummary {
+    /// True when no dynamic SDC contradicts a static safety claim.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Look up the static class for one dynamic outcome.
+fn classify(report: &ZapReport, addr: i64, o: &GridOutcome, queue_len: usize) -> Option<ZapClass> {
+    match o.site {
+        FaultSite::Reg(Reg::Gpr(g)) => report.gpr.get(&(addr, g.0)).copied(),
+        FaultSite::Reg(Reg::Dst) => report.dst.get(&addr).copied(),
+        FaultSite::Reg(Reg::Pc(_)) => report.pc.get(&addr).copied(),
+        // Dynamic queue sites index from the front (newest); static slots
+        // from the back (oldest), so site i maps to slot len - 1 - i.
+        FaultSite::QueueAddr(i) | FaultSite::QueueVal(i) => {
+            let slot = queue_len.checked_sub(1 + i)?;
+            report.queue.get(&(addr, slot)).copied()
+        }
+    }
+}
+
+/// Compare every grid outcome against the static report.
+#[must_use]
+pub fn cross_validate(report: &ZapReport, grid: &FaultGrid) -> DiffSummary {
+    let mut s = DiffSummary {
+        plans: grid.outcomes.len(),
+        ..DiffSummary::default()
+    };
+    for o in &grid.outcomes {
+        if o.at_step >= grid.golden_steps {
+            // The machine has already halted; the strike has no cell.
+            s.skipped_final += 1;
+            continue;
+        }
+        let addr = grid.pc_by_step[o.at_step as usize];
+        let queue_len = grid.queue_len_by_step[o.at_step as usize];
+        let class = classify(report, addr, o, queue_len);
+        match class {
+            Some(c) => {
+                s.checked += 1;
+                match (c, o.verdict) {
+                    (ZapClass::Vulnerable, Verdict::Sdc) => s.predicted_sdc += 1,
+                    (ZapClass::Detected | ZapClass::Benign, Verdict::Sdc) => {
+                        s.mismatches.push(Mismatch {
+                            at_step: o.at_step,
+                            addr,
+                            site: o.site,
+                            value: o.value,
+                            class: Some(c),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            None => {
+                let is_queue = matches!(o.site, FaultSite::QueueAddr(_) | FaultSite::QueueVal(_));
+                if is_queue {
+                    s.skipped_depth += 1;
+                } else {
+                    s.unmapped += 1;
+                }
+                // An SDC the analysis never even saw is still a soundness
+                // failure: the cell map must cover every executed state.
+                if o.verdict == Verdict::Sdc {
+                    s.mismatches.push(Mismatch {
+                        at_step: o.at_step,
+                        addr,
+                        site: o.site,
+                        value: o.value,
+                        class: None,
+                    });
+                }
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zap::analyze_zaps;
+    use std::sync::Arc;
+    use talft_faultsim::{single_fault_grid, CampaignConfig};
+    use talft_isa::assemble;
+
+    #[test]
+    fn protected_store_grid_validates_exhaustively() {
+        let src = r#"
+.data
+region out at 4096 len 1 : int output
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r1, G 5
+  mov r2, G 4096
+  stG r2, r1
+  mov r3, B 5
+  mov r4, B 4096
+  stB r4, r3
+  halt
+"#;
+        let asm = assemble(src).expect("assembles");
+        let program = Arc::new(asm.program);
+        let report = analyze_zaps(&program);
+        let cfg = CampaignConfig {
+            stride: 1,
+            mutations_per_site: 2,
+            ..CampaignConfig::default()
+        };
+        let grid = single_fault_grid(&program, &cfg).expect("golden halts");
+        assert_eq!(grid.count(Verdict::Sdc), 0, "Theorem 4 on the dynamic side");
+        let s = cross_validate(&report, &grid);
+        assert!(s.holds());
+        assert!(s.checked > 0);
+        assert_eq!(s.unmapped, 0, "every executed cell is classified");
+        assert_eq!(s.skipped_depth, 0, "static depths match the golden run");
+    }
+
+    #[test]
+    fn unprotected_store_sdc_lands_on_vulnerable_cells() {
+        let src = r#"
+.data
+region out at 4096 len 1 : int output
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r1, G 5
+  mov r2, G 4096
+  stG r2, r1
+  stB r2, r1
+  halt
+"#;
+        let asm = assemble(src).expect("assembles");
+        let program = Arc::new(asm.program);
+        let report = analyze_zaps(&program);
+        let cfg = CampaignConfig {
+            stride: 1,
+            mutations_per_site: 3,
+            ..CampaignConfig::default()
+        };
+        let grid = single_fault_grid(&program, &cfg).expect("golden halts");
+        let s = cross_validate(&report, &grid);
+        assert!(
+            s.holds(),
+            "even on broken code, every SDC must land on a vulnerable cell: {:?}",
+            s.mismatches
+        );
+        assert!(
+            grid.count(Verdict::Sdc) == 0 || s.predicted_sdc > 0,
+            "observed SDCs were predicted"
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Backward may-liveness of general-purpose registers over the [`Cfg`].
+//!
+//! Register sets are `u64` bitmasks (bit `i` = `r{i}`), so the analysis
+//! bails out (`None`) on programs with more than 64 GPRs — the zap
+//! classifier then refuses to claim anything. At instructions whose blue
+//! target could not be resolved, *everything* is conservatively live.
+
+use talft_isa::{Instr, Program};
+
+use crate::cfg::Cfg;
+
+/// Per-instruction live-register masks.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Registers live on entry to each instruction (index `addr - 1`).
+    pub live_in: Vec<u64>,
+    /// Registers live on exit.
+    pub live_out: Vec<u64>,
+}
+
+#[inline]
+fn ix(addr: i64) -> usize {
+    (addr - 1) as usize
+}
+
+fn uses_mask(i: &Instr) -> u64 {
+    i.uses().iter().fold(0, |m, g| m | (1u64 << g.0))
+}
+
+fn def_mask(i: &Instr) -> u64 {
+    i.def().map_or(0, |g| 1u64 << g.0)
+}
+
+/// Run backward liveness to a fixpoint. `None` when `num_gprs > 64`.
+#[must_use]
+pub fn liveness(program: &Program, cfg: &Cfg) -> Option<Liveness> {
+    if program.num_gprs > 64 {
+        return None;
+    }
+    let all = if program.num_gprs == 64 {
+        u64::MAX
+    } else {
+        (1u64 << program.num_gprs) - 1
+    };
+    let n = cfg.n;
+    let mut live_in = vec![0u64; n];
+    let mut live_out = vec![0u64; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for a in (1..=n as i64).rev() {
+            let i = &program.instrs[ix(a)];
+            let mut out = if cfg.unknown_target[ix(a)] { all } else { 0 };
+            for &s in &cfg.succs[ix(a)] {
+                out |= live_in[ix(s)];
+            }
+            let inn = uses_mask(i) | (out & !def_mask(i));
+            if out != live_out[ix(a)] || inn != live_in[ix(a)] {
+                live_out[ix(a)] = out;
+                live_in[ix(a)] = inn;
+                changed = true;
+            }
+        }
+    }
+    Some(Liveness { live_in, live_out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use talft_isa::assemble;
+
+    #[test]
+    fn store_operands_stay_live_until_consumed() {
+        let src = r#"
+.data
+region out at 4096 len 1 : int output
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r1, G 5
+  mov r2, G 4096
+  stG r2, r1
+  mov r3, B 5
+  mov r4, B 4096
+  stB r4, r3
+  halt
+"#;
+        let asm = assemble(src).expect("assembles");
+        let cfg = Cfg::build(&asm.program);
+        let live = liveness(&asm.program, &cfg).expect("few registers");
+        // r1 is live from its def (addr 1) through the stG at addr 3.
+        assert_ne!(live.live_in[1] & (1 << 1), 0, "r1 live entering addr 2");
+        assert_ne!(live.live_in[2] & (1 << 1), 0, "r1 live entering stG");
+        // ...and dead right after the store consumed it.
+        assert_eq!(live.live_out[2] & (1 << 1), 0, "r1 dead after stG");
+        // Nothing is live entering halt.
+        assert_eq!(live.live_in[6], 0);
+    }
+}

@@ -1,0 +1,577 @@
+//! Static zap-vulnerability classification: the per-cell analogue of the
+//! k=1 injection campaign.
+//!
+//! A **cell** is a (code address, fault site) pair: zap register `r` (or
+//! `d`, or a pc, or a store-queue slot) in a machine state about to fetch
+//! or execute the instruction at that address. Each cell is classified:
+//!
+//! * [`ZapClass::Detected`] — some path routes the corruption into a
+//!   dual-compare (`stB`, `jmpB`, `bzB`, a `d`-guard, the fetch pc check),
+//!   so the machine faults before corrupt data can escape; the corruption
+//!   may also die or be masked first.
+//! * [`ZapClass::Benign`] — the corruption provably dies (overwritten or
+//!   never consumed) without meeting any compare: at worst a dissimilar
+//!   final state, never a wrong output.
+//! * [`ZapClass::Vulnerable`] — some path lets the corruption reach
+//!   *both* sides of a compare (or the analysis had to bail), so a wrong
+//!   output can be committed: potential silent data corruption.
+//!
+//! The soundness argument mirrors Theorem 4: outputs happen only at `stB`
+//! commits and control transfers only at `jmpB`/`bzB` commits, all of
+//! which compare a green value against a blue one. A single zap that
+//! taints only one side either trips the compare (detected) or — because
+//! the compare passed — held the golden value all along, which is why the
+//! may-taint transfer *sanitizes* compared registers on pass edges.
+//! `Detected`/`Benign` cells therefore admit no SDC, which is exactly what
+//! [`cross_validate`](crate::diff::cross_validate) checks against the
+//! dynamic [`FaultGrid`](talft_faultsim::FaultGrid).
+//!
+//! Special sites need no fixpoint:
+//!
+//! * **pc zaps** are detected by the very next fetch (`pcG` vs `pcB`),
+//!   healed by a committed transfer (both pcs overwritten), or masked by
+//!   `halt` — never silent. Classified `Detected` everywhere.
+//! * **`d` zaps**: every consumer of `d` guards it (`jmpG`/`bzG`/untaken
+//!   `bz` require `d = 0`; `jmpB`/taken `bzB` require `rd = d`), so the
+//!   zap faults at the first consumer — `Detected` when a `jmp`/`bz` is
+//!   reachable, `Benign` otherwise.
+
+use std::collections::BTreeMap;
+
+use talft_isa::{Color, Gpr, Instr, OpSrc, Program};
+
+use crate::cfg::Cfg;
+use crate::live::{liveness, Liveness};
+
+/// Static verdict for one (address, site) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZapClass {
+    /// Routed into a dual-compare: the machine faults (or masks) — no SDC.
+    Detected,
+    /// Provably dies without consequence — no SDC.
+    Benign,
+    /// May corrupt both sides of a compare: SDC possible.
+    Vulnerable,
+}
+
+impl std::fmt::Display for ZapClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZapClass::Detected => write!(f, "detected"),
+            ZapClass::Benign => write!(f, "benign"),
+            ZapClass::Vulnerable => write!(f, "vulnerable"),
+        }
+    }
+}
+
+/// Static coverage over every reachable cell of a program.
+#[derive(Debug, Clone, Default)]
+pub struct ZapReport {
+    /// GPR cells, keyed `(addr, register index)`.
+    pub gpr: BTreeMap<(i64, u16), ZapClass>,
+    /// Store-queue slot cells, keyed `(addr, slot index from the back)`
+    /// (slot 0 = oldest = next to be popped by `stB`).
+    pub queue: BTreeMap<(i64, usize), ZapClass>,
+    /// pc cells (one per address; green and blue are symmetric).
+    pub pc: BTreeMap<i64, ZapClass>,
+    /// `d` (destination latch) cells.
+    pub dst: BTreeMap<i64, ZapClass>,
+    /// Set when the analyzer refused to classify (then all maps are empty).
+    pub bailed: Option<String>,
+}
+
+impl ZapReport {
+    fn classes(&self) -> impl Iterator<Item = ZapClass> + '_ {
+        self.gpr
+            .values()
+            .chain(self.queue.values())
+            .chain(self.pc.values())
+            .chain(self.dst.values())
+            .copied()
+    }
+
+    /// Cell counts as `(detected, benign, vulnerable)`.
+    #[must_use]
+    pub fn tally(&self) -> (usize, usize, usize) {
+        let mut t = (0, 0, 0);
+        for c in self.classes() {
+            match c {
+                ZapClass::Detected => t.0 += 1,
+                ZapClass::Benign => t.1 += 1,
+                ZapClass::Vulnerable => t.2 += 1,
+            }
+        }
+        t
+    }
+
+    /// Total classified cells.
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.classes().count()
+    }
+
+    /// Fraction of cells provably safe (detected or benign); the static
+    /// analogue of campaign fault coverage. 1.0 for an empty report.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        let (d, b, v) = self.tally();
+        let total = d + b + v;
+        if total == 0 {
+            1.0
+        } else {
+            (d + b) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of cells classified `Detected`.
+    #[must_use]
+    pub fn detected_fraction(&self) -> f64 {
+        let (d, b, v) = self.tally();
+        let total = d + b + v;
+        if total == 0 {
+            0.0
+        } else {
+            d as f64 / total as f64
+        }
+    }
+}
+
+/// The taint state: which locations *may* differ from the golden run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Taint {
+    /// GPR bitmask (bit `i` = `r{i}`).
+    regs: u64,
+    /// `d` may differ from golden.
+    d: bool,
+    /// Queue slots, bit 0 = back/oldest (the next `stB` pop).
+    queue: u64,
+}
+
+impl Taint {
+    fn any(self) -> bool {
+        self.regs != 0 || self.d || self.queue != 0
+    }
+
+    fn join(self, o: Taint) -> Taint {
+        Taint {
+            regs: self.regs | o.regs,
+            d: self.d || o.d,
+            queue: self.queue | o.queue,
+        }
+    }
+
+    fn tr(self, g: Gpr) -> bool {
+        self.regs & (1u64 << g.0) != 0
+    }
+
+    fn set(&mut self, g: Gpr, tainted: bool) {
+        if tainted {
+            self.regs |= 1u64 << g.0;
+        } else {
+            self.regs &= !(1u64 << g.0);
+        }
+    }
+
+    fn clear(&mut self, g: Gpr) {
+        self.set(g, false);
+    }
+}
+
+#[inline]
+fn ix(addr: i64) -> usize {
+    (addr - 1) as usize
+}
+
+/// Build the CFG and liveness, then classify every reachable cell.
+#[must_use]
+pub fn analyze_zaps(program: &Program) -> ZapReport {
+    let cfg = Cfg::build(program);
+    let Some(live) = liveness(program, &cfg) else {
+        return ZapReport {
+            bailed: Some(format!(
+                "{} GPRs exceed the 64-bit taint mask",
+                program.num_gprs
+            )),
+            ..ZapReport::default()
+        };
+    };
+    analyze_zaps_with(program, &cfg, &live)
+}
+
+/// Classify every reachable cell against a prebuilt CFG and liveness.
+#[must_use]
+pub fn analyze_zaps_with(program: &Program, cfg: &Cfg, live: &Liveness) -> ZapReport {
+    let mut report = ZapReport::default();
+    if program.num_gprs > 64 {
+        report.bailed = Some(format!(
+            "{} GPRs exceed the 64-bit taint mask",
+            program.num_gprs
+        ));
+        return report;
+    }
+    // Recorded depth conflicts mean the static queue indexing may disagree
+    // with some dynamic path; refuse to place tainted pushes.
+    let pessimistic_queue = !cfg.depth_conflicts.is_empty();
+    let reaches_check = reaches_check(program, cfg);
+    for a in 1..=cfg.n as i64 {
+        if !cfg.reachable[ix(a)] {
+            continue;
+        }
+        report.pc.insert(a, ZapClass::Detected);
+        report.dst.insert(
+            a,
+            if reaches_check[ix(a)] {
+                ZapClass::Detected
+            } else {
+                ZapClass::Benign
+            },
+        );
+        for g in 0..program.num_gprs {
+            let class = if live.live_in[ix(a)] & (1u64 << g) == 0 {
+                // Dead registers are never read again: at worst a
+                // dissimilar (non-output) final state.
+                ZapClass::Benign
+            } else {
+                run_seed(
+                    program,
+                    cfg,
+                    pessimistic_queue,
+                    a,
+                    Taint {
+                        regs: 1u64 << g,
+                        ..Taint::default()
+                    },
+                )
+            };
+            report.gpr.insert((a, g), class);
+        }
+        if let Some(depth) = cfg.depth_in[ix(a)] {
+            for slot in 0..depth {
+                let class = if slot >= 64 {
+                    ZapClass::Vulnerable
+                } else {
+                    run_seed(
+                        program,
+                        cfg,
+                        pessimistic_queue,
+                        a,
+                        Taint {
+                            queue: 1u64 << slot,
+                            ..Taint::default()
+                        },
+                    )
+                };
+                report.queue.insert((a, slot), class);
+            }
+        }
+    }
+    report
+}
+
+/// Per-address: can execution starting here reach any `jmp`/`bz` (all of
+/// which guard `d`)?
+fn reaches_check(program: &Program, cfg: &Cfg) -> Vec<bool> {
+    let mut rc: Vec<bool> = program
+        .instrs
+        .iter()
+        .map(|i| matches!(i, Instr::Jmp { .. } | Instr::Bz { .. }))
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for a in (1..=cfg.n as i64).rev() {
+            if !rc[ix(a)] && cfg.succs[ix(a)].iter().any(|&s| rc[ix(s)]) {
+                rc[ix(a)] = true;
+                changed = true;
+            }
+        }
+    }
+    rc
+}
+
+/// Propagate one seeded taint to a fixpoint; classify the cell.
+fn run_seed(
+    program: &Program,
+    cfg: &Cfg,
+    pessimistic_queue: bool,
+    at: i64,
+    seed: Taint,
+) -> ZapClass {
+    let mut state: Vec<Option<Taint>> = vec![None; cfg.n];
+    state[ix(at)] = Some(seed);
+    let mut work = vec![at];
+    let mut checked = false;
+    while let Some(a) = work.pop() {
+        let t = state[ix(a)].expect("worklist entries have state");
+        match transfer(program, cfg, a, t, pessimistic_queue, &mut checked) {
+            Err(Vulnerable) => return ZapClass::Vulnerable,
+            Ok(edges) => {
+                for (s, ts) in edges {
+                    if !ts.any() {
+                        continue;
+                    }
+                    let merged = match state[ix(s)] {
+                        None => ts,
+                        Some(cur) => cur.join(ts),
+                    };
+                    if state[ix(s)] != Some(merged) {
+                        state[ix(s)] = Some(merged);
+                        work.push(s);
+                    }
+                }
+            }
+        }
+    }
+    if checked {
+        ZapClass::Detected
+    } else {
+        ZapClass::Benign
+    }
+}
+
+/// Marker error: the taint may reach both sides of a compare.
+struct Vulnerable;
+
+/// One instruction's taint transfer. Sets `checked` whenever a tainted
+/// value flows into a dual-compare (a dynamic instance may fault there);
+/// pass edges sanitize compared values (the compare passing proves they
+/// held golden values).
+fn transfer(
+    program: &Program,
+    cfg: &Cfg,
+    a: i64,
+    t: Taint,
+    pessimistic_queue: bool,
+    checked: &mut bool,
+) -> Result<Vec<(i64, Taint)>, Vulnerable> {
+    let fall = |t: Taint| -> Vec<(i64, Taint)> {
+        if program.is_code_addr(a + 1) {
+            vec![(a + 1, t)]
+        } else {
+            Vec::new()
+        }
+    };
+    // Follow a committed blue transfer; with an unresolved target the
+    // analysis cannot continue — surviving taint means "anything may
+    // happen", so bail.
+    let goto_blue = |out: Taint| -> Result<Vec<(i64, Taint)>, Vulnerable> {
+        match cfg.blue_target[ix(a)] {
+            Some(tgt) if program.is_code_addr(tgt) => Ok(vec![(tgt, out)]),
+            _ if out.any() => Err(Vulnerable),
+            _ => Ok(Vec::new()),
+        }
+    };
+    match program.instrs[ix(a)] {
+        Instr::Op { rd, rs, src2, .. } => {
+            let taint = t.tr(rs)
+                || match src2 {
+                    OpSrc::Reg(rt) => t.tr(rt),
+                    OpSrc::Imm(_) => false,
+                };
+            let mut o = t;
+            o.set(rd, taint);
+            Ok(fall(o))
+        }
+        Instr::Mov { rd, .. } => {
+            let mut o = t;
+            o.clear(rd);
+            Ok(fall(o))
+        }
+        Instr::Ld {
+            color: Color::Green,
+            rd,
+            rs,
+        } => {
+            // ldG snoops the queue by address: any tainted slot may alias.
+            let mut o = t;
+            o.set(rd, t.tr(rs) || t.queue != 0);
+            Ok(fall(o))
+        }
+        Instr::Ld {
+            color: Color::Blue,
+            rd,
+            rs,
+        } => {
+            let mut o = t;
+            o.set(rd, t.tr(rs));
+            Ok(fall(o))
+        }
+        Instr::St {
+            color: Color::Green,
+            rd,
+            rs,
+        } => {
+            let mut o = t;
+            if t.tr(rd) || t.tr(rs) {
+                // Place the tainted pair at the front of the queue, i.e.
+                // at bit `depth` counting from the back.
+                match cfg.depth_in[ix(a)] {
+                    Some(depth) if depth < 64 && !pessimistic_queue => o.queue |= 1u64 << depth,
+                    _ => return Err(Vulnerable),
+                }
+            }
+            Ok(fall(o))
+        }
+        Instr::St {
+            color: Color::Blue,
+            rd,
+            rs,
+        } => {
+            let slot = t.queue & 1 != 0;
+            let regs = t.tr(rd) || t.tr(rs);
+            if slot && regs {
+                // Queue entry and compare registers both corrupt: the
+                // compare can pass on a non-golden pair — SDC.
+                return Err(Vulnerable);
+            }
+            if slot || regs {
+                *checked = true;
+            }
+            let mut o = t;
+            o.queue >>= 1;
+            o.clear(rd);
+            o.clear(rs);
+            Ok(fall(o))
+        }
+        Instr::Jmp {
+            color: Color::Green,
+            rd,
+        } => {
+            if t.d {
+                // jmpG requires d = 0; a corrupt d faults here.
+                *checked = true;
+            }
+            let mut o = t;
+            o.d = t.tr(rd);
+            Ok(fall(o))
+        }
+        Instr::Jmp {
+            color: Color::Blue,
+            rd,
+        } => {
+            if t.d && t.tr(rd) {
+                return Err(Vulnerable);
+            }
+            if t.d || t.tr(rd) {
+                *checked = true;
+            }
+            let mut o = t;
+            o.d = false;
+            o.clear(rd);
+            goto_blue(o)
+        }
+        Instr::Bz {
+            color: Color::Green,
+            rz,
+            rd,
+        } => {
+            if t.d {
+                // Both arms of bzG require d = 0.
+                *checked = true;
+            }
+            let mut o = t;
+            // A corrupt rz flips whether d latches; a corrupt rd latches
+            // a wrong target. Either way d may now differ from golden.
+            o.d = t.tr(rz) || t.tr(rd);
+            Ok(fall(o))
+        }
+        Instr::Bz {
+            color: Color::Blue,
+            rz,
+            rd,
+        } => {
+            if t.d && (t.tr(rz) || t.tr(rd)) {
+                // d plus a blue operand corrupt: a wrong-target commit or
+                // a silent wrong-direction fall-through becomes possible.
+                return Err(Vulnerable);
+            }
+            if t.d || t.tr(rz) || t.tr(rd) {
+                *checked = true;
+            }
+            // One-sided taint cannot flip the branch direction (the d
+            // guard catches it), so both CFG edges correspond to golden
+            // directions. Untaken keeps operand taint; taken compares
+            // rd = d and rz = 0, proving them golden.
+            let mut untaken = t;
+            untaken.d = false;
+            let mut taken = t;
+            taken.d = false;
+            taken.clear(rz);
+            taken.clear(rd);
+            let mut edges = fall(untaken);
+            edges.extend(goto_blue(taken)?);
+            Ok(edges)
+        }
+        Instr::Halt => Ok(Vec::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use talft_isa::assemble;
+
+    const STORE: &str = r#"
+.data
+region out at 4096 len 1 : int output
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r1, G 5
+  mov r2, G 4096
+  stG r2, r1
+  mov r3, B 5
+  mov r4, B 4096
+  stB r4, r3
+  halt
+"#;
+
+    #[test]
+    fn protected_store_has_no_vulnerable_cells() {
+        let asm = assemble(STORE).expect("assembles");
+        let report = analyze_zaps(&asm.program);
+        assert!(report.bailed.is_none());
+        let (d, b, v) = report.tally();
+        assert_eq!(v, 0, "duplicated store is single-fault safe");
+        assert!(d > 0 && b > 0);
+        // r1 feeds the green store side: zapping it right after its def
+        // is caught by the stB compare.
+        assert_eq!(report.gpr.get(&(2, 1)), Some(&ZapClass::Detected));
+        // The queued pair between stG and stB is guarded by the pop.
+        assert_eq!(report.queue.get(&(4, 0)), Some(&ZapClass::Detected));
+        // pc zaps always hit the fetch comparison.
+        assert!(report.pc.values().all(|&c| c == ZapClass::Detected));
+    }
+
+    #[test]
+    fn unduplicated_store_is_vulnerable() {
+        // One register feeds *both* sides of the store pair: a single zap
+        // of r1 between stG and stB corrupts both compare sides at once.
+        let src = r#"
+.data
+region out at 4096 len 1 : int output
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r1, G 5
+  mov r2, G 4096
+  stG r2, r1
+  stB r2, r1
+  halt
+"#;
+        let asm = assemble(src).expect("assembles");
+        let report = analyze_zaps(&asm.program);
+        // Zapping r1 *before* the stG poisons the queued pair and the
+        // register the stB will compare against it — both sides corrupt.
+        assert_eq!(
+            report.gpr.get(&(3, 1)),
+            Some(&ZapClass::Vulnerable),
+            "shared store operand defeats the dual compare"
+        );
+        // Zapping r1 *after* the push only corrupts the register side:
+        // the compare against the golden queued pair catches it.
+        assert_eq!(report.gpr.get(&(4, 1)), Some(&ZapClass::Detected));
+        let (_, _, v) = report.tally();
+        assert!(v > 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Suite-kernel differential: the static zap classifier cross-validated
+//! against exhaustive-grid k=1 campaigns, and lint quietness on compiled
+//! (checker-accepted) protected output.
+
+use std::sync::Arc;
+
+use talft_analysis::{analyze_zaps, cross_validate, error_count, lint_program};
+use talft_compiler::{compile, CompileOptions};
+use talft_faultsim::{single_fault_grid, CampaignConfig, Verdict};
+use talft_suite::{kernels, Scale};
+
+fn grid_cfg(stride: u64) -> CampaignConfig {
+    CampaignConfig {
+        stride,
+        mutations_per_site: 1,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn protected_kernels_are_lint_clean() {
+    for k in kernels(Scale::Tiny) {
+        let c = compile(&k.source, &CompileOptions::default()).expect("compiles");
+        let diags = lint_program(&c.protected.program);
+        let errs: Vec<_> = diags
+            .iter()
+            .filter(|d| d.severity == talft_core::Severity::Error)
+            .collect();
+        assert!(
+            errs.is_empty(),
+            "{}: checker-accepted output must be lint-clean, got {errs:?}",
+            k.name
+        );
+    }
+}
+
+#[test]
+fn static_verdicts_hold_against_sampled_grids() {
+    // A strided grid over a few kernels; the exhaustive sweep is the
+    // `lint` bench bin.
+    for k in kernels(Scale::Tiny).into_iter().take(3) {
+        let c = compile(&k.source, &CompileOptions::default()).expect("compiles");
+        let program = Arc::new(c.protected.program.as_ref().clone());
+        let report = analyze_zaps(&program);
+        assert!(report.bailed.is_none(), "{}: {:?}", k.name, report.bailed);
+        let grid = single_fault_grid(&program, &grid_cfg(41)).expect("golden halts");
+        assert_eq!(
+            grid.count(Verdict::Sdc),
+            0,
+            "{}: protected kernels admit no SDC",
+            k.name
+        );
+        let s = cross_validate(&report, &grid);
+        assert!(s.holds(), "{}: {:?}", k.name, s.mismatches);
+        assert!(s.checked > 0, "{}: nothing compared", k.name);
+        assert_eq!(
+            s.unmapped, 0,
+            "{}: executed cells must be classified",
+            k.name
+        );
+    }
+}
+
+#[test]
+fn baseline_sdc_lands_on_vulnerable_cells() {
+    // The unprotected baseline *does* show SDC; every one must land on a
+    // cell the static analysis flagged vulnerable (soundness both ways).
+    let k = &kernels(Scale::Tiny)[0];
+    let c = compile(&k.source, &CompileOptions::default()).expect("compiles");
+    let program = Arc::new(c.baseline.program.as_ref().clone());
+    let report = analyze_zaps(&program);
+    let (_, _, vulnerable) = report.tally();
+    assert!(
+        vulnerable > 0,
+        "{}: an unduplicated program has vulnerable cells",
+        k.name
+    );
+    let grid = single_fault_grid(&program, &grid_cfg(17)).expect("golden halts");
+    let s = cross_validate(&report, &grid);
+    assert!(s.holds(), "{}: {:?}", k.name, s.mismatches);
+    if grid.count(Verdict::Sdc) > 0 {
+        assert!(s.predicted_sdc > 0, "{}: SDCs were predicted", k.name);
+    }
+}
+
+#[test]
+fn error_count_counts_only_errors() {
+    let k = &kernels(Scale::Tiny)[0];
+    let c = compile(&k.source, &CompileOptions::default()).expect("compiles");
+    let diags = lint_program(&c.protected.program);
+    assert_eq!(
+        error_count(&diags),
+        diags
+            .iter()
+            .filter(|d| d.severity == talft_core::Severity::Error)
+            .count()
+    );
+}

@@ -1,0 +1,235 @@
+//! Positive + negative `.talft` fixtures for every `TF0xx` lint code.
+
+use talft_analysis::lint_program;
+use talft_core::{Diagnostic, Severity};
+use talft_isa::assemble;
+
+/// The canonical clean program: duplicated store pair, halts.
+const CLEAN: &str = r#"
+.data
+region out at 4096 len 1 : int output
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r1, G 5
+  mov r2, G 4096
+  stG r2, r1
+  mov r3, B 5
+  mov r4, B 4096
+  stB r4, r3
+  halt
+"#;
+
+/// Clean cross-block jump: latch then commit to an annotated label.
+const CLEAN_JUMP: &str = r#"
+.data
+region out at 4096 len 1 : int output
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r5, G @fin
+  mov r6, B @fin
+  jmpG r5
+  jmpB r6
+fin:
+  .pre { forall m:mem; mem: m; }
+  halt
+"#;
+
+fn lints(src: &str) -> Vec<Diagnostic> {
+    let asm = assemble(src).expect("fixture assembles");
+    lint_program(&asm.program)
+}
+
+fn has(diags: &[Diagnostic], code: &str) -> bool {
+    diags.iter().any(|d| d.code == code)
+}
+
+fn find<'d>(diags: &'d [Diagnostic], code: &str) -> &'d Diagnostic {
+    diags
+        .iter()
+        .find(|d| d.code == code)
+        .unwrap_or_else(|| panic!("expected {code} in {diags:?}"))
+}
+
+#[test]
+fn clean_programs_are_lint_free() {
+    assert!(lints(CLEAN).is_empty(), "{:?}", lints(CLEAN));
+    assert!(lints(CLEAN_JUMP).is_empty(), "{:?}", lints(CLEAN_JUMP));
+}
+
+#[test]
+fn tf001_flags_color_mixing() {
+    let src = r#"
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r1, G 1
+  add r2, r1, B 2
+  halt
+"#;
+    let diags = lints(src);
+    let d = find(&diags, "TF001");
+    assert_eq!(d.severity, Severity::Error);
+    let span = d.span.as_ref().expect("span");
+    assert_eq!(span.addr, 2);
+    assert_eq!(span.block_pos().as_deref(), Some("main+1"));
+    assert!(d.render().starts_with("error[TF001]"));
+    assert!(d.render().contains("--> main+1"));
+}
+
+#[test]
+fn tf001_quiet_on_matching_colors() {
+    assert!(!has(&lints(CLEAN), "TF001"));
+}
+
+#[test]
+fn tf002_flags_unpaired_store_commit() {
+    let src = r#"
+.data
+region out at 4096 len 1 : int output
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r1, B 5
+  mov r2, B 4096
+  stB r2, r1
+  halt
+"#;
+    let diags = lints(src);
+    let d = find(&diags, "TF002");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("empty store queue"));
+    assert_eq!(d.span.as_ref().map(|s| s.addr), Some(3));
+}
+
+#[test]
+fn tf002_quiet_on_balanced_pairs() {
+    assert!(!has(&lints(CLEAN), "TF002"));
+}
+
+#[test]
+fn tf003_flags_commit_without_latch() {
+    let src = r#"
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r1, B @fin
+  jmpB r1
+fin:
+  .pre { forall m:mem; mem: m; }
+  halt
+"#;
+    let diags = lints(src);
+    let d = find(&diags, "TF003");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("d is provably 0"));
+    assert_eq!(d.span.as_ref().map(|s| s.addr), Some(2));
+}
+
+#[test]
+fn tf003_quiet_when_green_latches_first() {
+    assert!(!has(&lints(CLEAN_JUMP), "TF003"));
+}
+
+#[test]
+fn tf004_warns_on_dead_definition() {
+    let src = r#"
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r1, G 1
+  halt
+"#;
+    let diags = lints(src);
+    let d = find(&diags, "TF004");
+    assert_eq!(d.severity, Severity::Warning, "dead defs never reject");
+    assert!(d.message.contains("never read"));
+}
+
+#[test]
+fn tf004_quiet_when_both_halves_consumed() {
+    assert!(!has(&lints(CLEAN), "TF004"));
+}
+
+#[test]
+fn tf005_flags_fall_off_code_end() {
+    let src = r#"
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r1, G 1
+  mov r2, G 2
+"#;
+    let diags = lints(src);
+    let d = find(&diags, "TF005");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("past the end"));
+}
+
+#[test]
+fn tf005_flags_blue_transfer_to_unannotated_address() {
+    let src = r#"
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r1, G 3
+  mov r2, B 3
+  jmpG r1
+  jmpB r2
+  halt
+"#;
+    let diags = lints(src);
+    let d = diags
+        .iter()
+        .find(|d| d.code == "TF005" && d.message.contains("annotation"))
+        .expect("unannotated-target lint");
+    assert_eq!(d.severity, Severity::Error);
+}
+
+#[test]
+fn tf005_quiet_on_proper_layout() {
+    assert!(!has(&lints(CLEAN), "TF005"));
+    assert!(!has(&lints(CLEAN_JUMP), "TF005"));
+}
+
+#[test]
+fn tf006_warns_on_unresolvable_target() {
+    let src = r#"
+.data
+region out at 4096 len 1 : int output
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r2, B 4096
+  ldB r1, r2
+  jmpB r1
+"#;
+    let diags = lints(src);
+    let d = find(&diags, "TF006");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("cannot statically resolve"));
+}
+
+#[test]
+fn tf006_quiet_on_constant_targets() {
+    assert!(!has(&lints(CLEAN_JUMP), "TF006"));
+}
+
+#[test]
+fn diagnostics_emit_stable_json() {
+    let src = r#"
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r1, G 1
+  add r2, r1, B 2
+  halt
+"#;
+    let diags = lints(src);
+    let j = find(&diags, "TF001").to_json();
+    assert_eq!(j.get("code").and_then(|v| v.as_str()), Some("TF001"));
+    assert_eq!(j.get("severity").and_then(|v| v.as_str()), Some("error"));
+    assert_eq!(j.get("addr").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(j.get("label").and_then(|v| v.as_str()), Some("main"));
+}

@@ -1,8 +1,10 @@
 //! E14 / **mutation-score table**: the adversarial oracle over every suite
 //! kernel. Each of the 12 catalog operators (talft-oracle) is applied at
 //! every applicable site of every protected binary; every mutant runs
-//! through the checker and — if accepted — a k=1 fault campaign as ground
-//! truth. Two hard gates:
+//! through the checker, then the `TF0xx` lint engine (talft-analysis), and
+//! — if accepted by both — a k=1 fault campaign as ground truth. The
+//! *killed by lint* column counts checker-accepted mutants an
+//! error-severity lint rejected statically. Two hard gates:
 //!
 //! * any *killed-by-campaign-only* mutant (checker accepted, campaign found
 //!   SDC or a broken fault-free run) is a checker soundness gap → exit 2;
@@ -57,7 +59,9 @@ fn main() {
         },
         cfg.campaign.effective_stride(),
     );
-    println!("# checker vs. k=1 campaign differential; campaign-only kills are soundness gaps");
+    println!(
+        "# checker + lint vs. k=1 campaign differential; campaign-only kills are soundness gaps"
+    );
     let summary = match mutation_summary(&ks, &cfg) {
         Ok(s) => s,
         Err(e) => {

@@ -5,6 +5,11 @@
 //!
 //!   --emit-asm        print the (protected) program as .talft text
 //!   --disasm          print a bare disassembly
+//!   --lint            run the TF0xx lint engine (talft-analysis) before
+//!                     type checking and print rustc-style diagnostics;
+//!                     error-severity lints exit 4. With --lint,
+//!                     --json=PATH writes the diagnostics as JSON
+//!                     (schema talft.lint.v1) instead of the profile
 //!   --no-check        skip type checking
 //!   --run             execute and print the observable trace
 //!   --campaign[=N]    run a fault campaign (stride N, default 11)
@@ -28,9 +33,18 @@
 //!                     JSON (schema talft.profile.v1) to PATH
 //! ```
 //!
-//! Exit codes: 2 = type error, 3 = Theorem 4 violation found by a k=1
-//! campaign (or engine error in any campaign), 1 = other errors, incl. a
-//! golden run that exhausts `--max-steps`.
+//! Exit codes (each failure class is distinct and stable):
+//!
+//! ```text
+//!   0  success
+//!   1  usage / I/O / other errors (incl. a golden run that exhausts
+//!      --max-steps)
+//!   2  parse, assembly, or compile error
+//!   3  type error (talft_core::check_program rejected the program)
+//!   4  error-severity lint fired under --lint
+//!   5  Theorem 4 violation found by a k=1 campaign, or engine error in
+//!      any campaign
+//! ```
 //!
 //! Wile inputs go through the full reliability-transforming compiler;
 //! `.talft` inputs are assembled directly.
@@ -49,6 +63,7 @@ use talft_sim::{simulate, MachineModel};
 struct Flags {
     emit_asm: bool,
     disasm: bool,
+    lint: bool,
     check: bool,
     run: bool,
     campaign: Option<u64>,
@@ -67,8 +82,11 @@ fn main() -> ExitCode {
     if talft_obs::enabled() {
         let snap = talft_obs::snapshot();
         eprint!("{}", snap.render_text());
-        if let Some(path) =
-            std::env::args().find_map(|a| a.strip_prefix("--json=").map(str::to_owned))
+        // Under --lint the --json destination carries the lint report
+        // (written in real_main), not the profile snapshot.
+        if let Some(path) = std::env::args()
+            .find_map(|a| a.strip_prefix("--json=").map(str::to_owned))
+            .filter(|_| !std::env::args().any(|a| a == "--lint"))
         {
             let json = talft_obs::Json::Object(vec![
                 (
@@ -91,8 +109,8 @@ fn real_main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(path) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
         eprintln!(
-            "usage: talftc <file.wile|file.talft> [--emit-asm] [--disasm] [--no-check] [--run] \
-             [--campaign[=N]] [--campaign-k=K] [--seed=N] [--threads=N] \
+            "usage: talftc <file.wile|file.talft> [--emit-asm] [--disasm] [--lint] [--no-check] \
+             [--run] [--campaign[=N]] [--campaign-k=K] [--seed=N] [--threads=N] \
              [--checkpoint-stride=N] [--max-steps=N] [--baseline] [--time] [--profile] \
              [--json=PATH]"
         );
@@ -101,6 +119,7 @@ fn real_main() -> ExitCode {
     let flags = Flags {
         emit_asm: args.iter().any(|a| a == "--emit-asm"),
         disasm: args.iter().any(|a| a == "--disasm"),
+        lint: args.iter().any(|a| a == "--lint"),
         check: !args.iter().any(|a| a == "--no-check"),
         run: args.iter().any(|a| a == "--run"),
         campaign: args.iter().find_map(|a| {
@@ -145,12 +164,16 @@ fn real_main() -> ExitCode {
         }
     };
 
+    let mut line_table: Option<Vec<u32>> = None;
     let (program, mut arena): (Arc<Program>, ExprArena) = if path.ends_with(".talft") {
         match assemble(&src) {
-            Ok(a) => (Arc::new(a.program), a.arena),
+            Ok(a) => {
+                line_table = Some(a.lines);
+                (Arc::new(a.program), a.arena)
+            }
             Err(e) => {
                 eprintln!("talftc: assembly error: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(2);
             }
         }
     } else {
@@ -159,7 +182,7 @@ fn real_main() -> ExitCode {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("talftc: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(2);
             }
         };
         if flags.time {
@@ -178,6 +201,11 @@ fn real_main() -> ExitCode {
     if flags.disasm {
         print!("{}", talft_isa::disassemble(&program));
     }
+    if flags.lint {
+        if let Some(code) = run_lint(&path, &program, line_table.as_deref()) {
+            return code;
+        }
+    }
     if flags.check {
         match check_program(&program, &mut arena) {
             Ok(rep) => eprintln!(
@@ -186,7 +214,7 @@ fn real_main() -> ExitCode {
             ),
             Err(e) => {
                 eprintln!("talftc: TYPE ERROR: {e}");
-                return ExitCode::from(2);
+                return ExitCode::from(3);
             }
         }
         if flags.profile {
@@ -233,6 +261,8 @@ fn real_main() -> ExitCode {
         let rep = match run_multi_campaign(&program, &cfg, k) {
             Ok(rep) => rep,
             Err(e) => {
+                // Setup failure (e.g. the golden run exhausted --max-steps),
+                // not a campaign verdict — class 1, like other I/O errors.
                 eprintln!("talftc: campaign aborted: {e}");
                 return ExitCode::FAILURE;
             }
@@ -272,7 +302,7 @@ fn real_main() -> ExitCode {
             }
             if rep.within_fault_model() || rep.engine_errors > 0 {
                 eprintln!("talftc: THEOREM 4 VIOLATION (single-upset model)");
-                return ExitCode::from(3);
+                return ExitCode::from(5);
             }
             eprintln!(
                 "talftc: k={k} is outside the single-upset model — boundary measurement, \
@@ -281,6 +311,46 @@ fn real_main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Run the TF0xx lints and print rustc-style diagnostics. Returns the exit
+/// code (4) when an error-severity lint fired, `None` when lint passes.
+/// With `--json=PATH` the diagnostics are also mirrored as a
+/// `talft.lint.v1` report.
+fn run_lint(path: &str, program: &Arc<Program>, lines: Option<&[u32]>) -> Option<ExitCode> {
+    let mut diags = talft_analysis::lint_program(program);
+    if let Some(lines) = lines {
+        diags = diags
+            .into_iter()
+            .map(|d| d.with_line_table(lines))
+            .collect();
+    }
+    for d in &diags {
+        eprintln!("{}", d.render());
+    }
+    let errors = talft_analysis::error_count(&diags);
+    let warnings = diags.len() - errors;
+    eprintln!("talftc: lint: {errors} error(s), {warnings} warning(s)");
+    if let Some(json_path) =
+        std::env::args().find_map(|a| a.strip_prefix("--json=").map(str::to_owned))
+    {
+        let json = talft_obs::Json::Object(vec![
+            ("schema".to_owned(), talft_obs::Json::str("talft.lint.v1")),
+            ("file".to_owned(), talft_obs::Json::str(path)),
+            ("errors".to_owned(), talft_obs::Json::U64(errors as u64)),
+            ("warnings".to_owned(), talft_obs::Json::U64(warnings as u64)),
+            (
+                "diagnostics".to_owned(),
+                talft_obs::Json::Array(diags.iter().map(talft_core::Diagnostic::to_json).collect()),
+            ),
+        ]);
+        if let Err(e) = std::fs::write(&json_path, format!("{json}\n")) {
+            eprintln!("talftc: cannot write {json_path}: {e}");
+            return Some(ExitCode::FAILURE);
+        }
+        eprintln!("talftc: wrote {json_path}");
+    }
+    (errors > 0).then(|| ExitCode::from(4))
 }
 
 fn report_timing(c: &talft_compiler::Compiled) {

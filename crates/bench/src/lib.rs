@@ -265,14 +265,19 @@ impl MutationSummary {
         self.per_op.iter().map(|(_, s)| s.total).sum()
     }
 
-    /// Overall checker mutation score (1.0 when no mutants).
+    /// Overall static mutation score — fraction of mutants killed by the
+    /// checker or by an error-severity lint (1.0 when no mutants).
     #[must_use]
     pub fn score(&self) -> f64 {
         let total = self.total();
         if total == 0 {
             return 1.0;
         }
-        let killed: u64 = self.per_op.iter().map(|(_, s)| s.killed_by_checker).sum();
+        let killed: u64 = self
+            .per_op
+            .iter()
+            .map(|(_, s)| s.killed_by_checker + s.killed_by_lint)
+            .sum();
         killed as f64 / total as f64
     }
 }
@@ -290,7 +295,7 @@ pub fn mutation_summary(kernels: &[Kernel], cfg: &OracleConfig) -> Result<Mutati
             agg.entry(o.op).or_default().absorb(&o.verdict);
             if o.verdict.killed_by_campaign_only() {
                 summary.campaign_only.push((kernel.name, o));
-            } else if !o.verdict.killed_by_checker() {
+            } else if !o.verdict.killed_by_checker() && !o.verdict.killed_by_lint() {
                 summary.equivalents.push((kernel.name, o));
             }
         }
@@ -311,18 +316,19 @@ pub fn render_mutation(s: &MutationSummary) -> String {
     let mut out = String::new();
     writeln!(
         out,
-        "| operator | principle | mutants | killed by checker | campaign-only | equivalent | score |"
+        "| operator | principle | mutants | killed by checker | killed by lint | campaign-only | equivalent | score |"
     )
     .expect("write to string");
-    writeln!(out, "|---|---|---:|---:|---:|---:|---:|").expect("write to string");
+    writeln!(out, "|---|---|---:|---:|---:|---:|---:|---:|").expect("write to string");
     for (op, sc) in &s.per_op {
         writeln!(
             out,
-            "| {} | {} | {} | {} | **{}** | {} | {:.1}% |",
+            "| {} | {} | {} | {} | {} | **{}** | {} | {:.1}% |",
             op.name(),
             op.principle(),
             sc.total,
             sc.killed_by_checker,
+            sc.killed_by_lint,
             sc.killed_by_campaign_only,
             sc.equivalent,
             100.0 * sc.score(),
@@ -331,7 +337,7 @@ pub fn render_mutation(s: &MutationSummary) -> String {
     }
     writeln!(
         out,
-        "| **overall** | | **{}** | | **{}** | {} | **{:.1}%** |",
+        "| **overall** | | **{}** | | | **{}** | {} | **{:.1}%** |",
         s.total(),
         s.campaign_only.len(),
         s.equivalents.len(),

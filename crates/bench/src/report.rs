@@ -204,6 +204,7 @@ pub fn mutation_json(s: &MutationSummary) -> Json {
                             ("principle", Json::str(op.principle())),
                             ("total", Json::U64(sc.total)),
                             ("killed_by_checker", Json::U64(sc.killed_by_checker)),
+                            ("killed_by_lint", Json::U64(sc.killed_by_lint)),
                             (
                                 "killed_by_campaign_only",
                                 Json::U64(sc.killed_by_campaign_only),
@@ -217,6 +218,10 @@ pub fn mutation_json(s: &MutationSummary) -> Json {
         ),
         ("total", Json::U64(s.total())),
         ("score", Json::F64(s.score())),
+        (
+            "killed_by_lint",
+            Json::U64(s.per_op.iter().map(|(_, sc)| sc.killed_by_lint).sum()),
+        ),
         ("campaign_only", Json::U64(s.campaign_only.len() as u64)),
         ("equivalents", Json::U64(s.equivalents.len() as u64)),
     ])

@@ -1,0 +1,141 @@
+//! `talftc` exit-status contract: each failure class gets a distinct,
+//! documented exit code (see the bin's module docs). These are asserted
+//! end-to-end by running the real binary, since downstream scripts and the
+//! CI smoke jobs branch on them.
+//!
+//! ```text
+//!   0 success / 1 usage / 2 parse-assembly-compile / 3 type error /
+//!   4 lint error / 5 Theorem 4 violation
+//! ```
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn talftc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_talftc"))
+        .args(args)
+        .output()
+        .expect("talftc runs")
+}
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("talftc-cli-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("write fixture");
+    path
+}
+
+/// A well-typed Wile program (the compiler protects it).
+const OK_WILE: &str = "output out[8];\nfunc main() {\n  var i = 0;\n  \
+                       while (i < 8) { out[i] = i * 3 + 1; i = i + 1; }\n}\n";
+
+/// Unpaired blue store: assembles, but is both a lint error (TF002) and a
+/// type error.
+const UNPAIRED_TALFT: &str = r#"
+.data
+region out at 4096 len 1 : int output
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r1, B 5
+  mov r2, B 4096
+  stB r2, r1
+  halt
+"#;
+
+#[test]
+fn exit_0_on_well_typed_program() {
+    let p = write_temp("ok.wile", OK_WILE);
+    let out = talftc(&[p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn exit_1_on_usage_error() {
+    let out = talftc(&["--run"]); // no input file
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}
+
+#[test]
+fn exit_1_on_exhausted_golden_budget() {
+    // A campaign whose fault-free run cannot finish is a setup failure
+    // (class 1), not a campaign verdict.
+    let p = write_temp("budget.wile", OK_WILE);
+    let out = talftc(&[p.to_str().unwrap(), "--campaign=5", "--max-steps=50"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("campaign aborted"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn exit_2_on_assembly_error() {
+    let p = write_temp("garbage.talft", ".code\nmain:\n  frobnicate r1\n");
+    let out = talftc(&[p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn exit_2_on_compile_error() {
+    let p = write_temp("garbage.wile", "func main( { oops");
+    let out = talftc(&[p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn exit_3_on_type_error() {
+    let p = write_temp("unpaired.talft", UNPAIRED_TALFT);
+    let out = talftc(&[p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("TYPE ERROR"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn exit_4_on_lint_error_and_writes_lint_json() {
+    let p = write_temp("unpaired-lint.talft", UNPAIRED_TALFT);
+    let json = std::env::temp_dir().join(format!("talftc-cli-{}-lint.json", std::process::id()));
+    let out = talftc(&[
+        p.to_str().unwrap(),
+        "--lint",
+        "--no-check",
+        &format!("--json={}", json.display()),
+    ]);
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error[TF002]"), "{stderr}");
+    let doc = std::fs::read_to_string(&json).expect("lint json written");
+    assert!(doc.contains("\"talft.lint.v1\""), "{doc}");
+    assert!(doc.contains("\"TF002\""), "{doc}");
+}
+
+#[test]
+fn lint_is_quiet_on_protected_output() {
+    let p = write_temp("ok-lint.wile", OK_WILE);
+    let out = talftc(&[p.to_str().unwrap(), "--lint"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("lint: 0 error(s)"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn exit_5_on_theorem_4_violation() {
+    // The unprotected baseline shows SDC under a k=1 campaign — the
+    // single-upset model — which talftc reports as a Theorem 4 violation.
+    let p = write_temp("baseline.wile", OK_WILE);
+    let out = talftc(&[
+        p.to_str().unwrap(),
+        "--baseline",
+        "--no-check",
+        "--campaign=1",
+    ]);
+    assert_eq!(out.status.code(), Some(5), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("THEOREM 4 VIOLATION"),
+        "{out:?}"
+    );
+}

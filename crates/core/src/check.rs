@@ -39,7 +39,7 @@ pub struct CheckReport {
 /// Type-check a whole program (`Σ ⊢ C` plus structural validation).
 pub fn check_program(program: &Program, arena: &mut ExprArena) -> Result<CheckReport, TypeError> {
     let _span = CHECK_NS.span();
-    let result = check_program_inner(program, arena);
+    let result = check_program_inner(program, arena).map_err(|e| e.located(program));
     if talft_obs::enabled() {
         match &result {
             Ok(_) => ACCEPTS.inc(),

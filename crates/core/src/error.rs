@@ -1,6 +1,19 @@
-//! Type-checking errors.
+//! Type-checking errors and the shared diagnostic form.
+//!
+//! Checker rejections ([`TypeError`]) and the static-analysis lints
+//! (`talft-analysis`) render through one [`Diagnostic`] struct: a stable
+//! `TF0xx` code, a severity, a [`Span`] (block label + instruction offset,
+//! plus the `.talft` source line when known), and free-form notes. The
+//! checker's code is `TF000`; lint codes start at `TF001` (the table lives
+//! in DESIGN.md §10).
 
 use std::fmt;
+
+use talft_isa::{Program, Span};
+use talft_obs::Json;
+
+/// Diagnostic code of every checker rejection.
+pub const CHECKER_CODE: &str = "TF000";
 
 /// A type error, located at a code address.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -11,6 +24,8 @@ pub struct TypeError {
     pub instr: Option<String>,
     /// What went wrong (references paper rule names where applicable).
     pub reason: String,
+    /// Resolved source span (label + offset + line), when available.
+    pub span: Option<Span>,
 }
 
 impl TypeError {
@@ -21,6 +36,7 @@ impl TypeError {
             addr,
             instr: None,
             reason: reason.into(),
+            span: None,
         }
     }
 
@@ -30,18 +46,186 @@ impl TypeError {
         self.instr = Some(instr.into());
         self
     }
+
+    /// Resolve and attach the span (`label+offset`) from the program's
+    /// label table. Leaves whole-program errors (`addr == 0`) untouched.
+    #[must_use]
+    pub fn located(mut self, program: &Program) -> Self {
+        if self.addr != 0 && self.span.is_none() {
+            self.span = Some(Span::locate(program, self.addr));
+        }
+        self
+    }
+
+    /// The shared diagnostic form (code [`CHECKER_CODE`], severity error).
+    #[must_use]
+    pub fn to_diagnostic(&self) -> Diagnostic {
+        let mut d = Diagnostic::error(CHECKER_CODE, self.reason.clone());
+        d.span = self.span.clone().or_else(|| {
+            (self.addr != 0).then_some(Span {
+                addr: self.addr,
+                label: None,
+                offset: 0,
+                line: None,
+            })
+        });
+        if let Some(i) = &self.instr {
+            d = d.note(format!("in `{i}`"));
+        }
+        d
+    }
 }
 
 impl fmt::Display for TypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &self.instr {
-            Some(i) => write!(f, "at {}: `{}`: {}", self.addr, i, self.reason),
-            None => write!(f, "at {}: {}", self.addr, self.reason),
+        match (self.span.as_ref().and_then(Span::block_pos), &self.instr) {
+            (Some(pos), Some(i)) => {
+                write!(f, "at {} ({pos}): `{}`: {}", self.addr, i, self.reason)
+            }
+            (Some(pos), None) => write!(f, "at {} ({pos}): {}", self.addr, self.reason),
+            (None, Some(i)) => write!(f, "at {}: `{}`: {}", self.addr, i, self.reason),
+            (None, None) => write!(f, "at {}: {}", self.addr, self.reason),
         }
     }
 }
 
 impl std::error::Error for TypeError {}
+
+/// Diagnostic severity. Only [`Severity::Error`] diagnostics reject a
+/// program (lint "kills" in the mutation oracle, nonzero `talftc --lint`
+/// exits); warnings are advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// The program violates a fault-tolerance obligation.
+    Error,
+    /// Suspicious but not provably unsafe.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// One rustc-style diagnostic: stable code, severity, message, span, notes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code (`TF000` = checker, `TF001`.. = lints).
+    pub code: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Primary message.
+    pub message: String,
+    /// Location, when one exists.
+    pub span: Option<Span>,
+    /// Secondary notes (rendered as `= note: ...` lines).
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// An error-severity diagnostic.
+    #[must_use]
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            span: None,
+            notes: Vec::new(),
+        }
+    }
+
+    /// A warning-severity diagnostic.
+    #[must_use]
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            severity: Severity::Warning,
+            ..Self::error(code, message)
+        }
+    }
+
+    /// Attach a span resolved against `program` at `addr`.
+    #[must_use]
+    pub fn at(mut self, program: &Program, addr: i64) -> Self {
+        self.span = Some(Span::locate(program, addr));
+        self
+    }
+
+    /// Add a note line.
+    #[must_use]
+    pub fn note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Fill source lines from an assembler line table (no-op without span).
+    #[must_use]
+    pub fn with_line_table(mut self, lines: &[u32]) -> Self {
+        if let Some(s) = self.span.take() {
+            self.span = Some(s.with_line_table(lines));
+        }
+        self
+    }
+
+    /// The multi-line rustc-style rendering:
+    ///
+    /// ```text
+    /// error[TF001]: blue instruction consumes a green operand
+    ///   --> main+3 (addr 4, line 12)
+    ///   = note: r1 was defined green at main+1
+    /// ```
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!("{}[{}]: {}\n", self.severity, self.code, self.message);
+        if let Some(s) = &self.span {
+            out.push_str(&format!("  --> {s}\n"));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  = note: {n}\n"));
+        }
+        out
+    }
+
+    /// Machine-readable form (stable keys: `code`, `severity`, `message`,
+    /// `addr`, `label`, `offset`, `line`, `notes`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("code".to_owned(), Json::str(self.code)),
+            ("severity".to_owned(), Json::str(self.severity.to_string())),
+            ("message".to_owned(), Json::str(self.message.clone())),
+        ];
+        if let Some(s) = &self.span {
+            fields.push(("addr".to_owned(), Json::I64(s.addr)));
+            if let Some(l) = &s.label {
+                fields.push(("label".to_owned(), Json::str(l.clone())));
+                fields.push(("offset".to_owned(), Json::U64(s.offset as u64)));
+            }
+            if let Some(line) = s.line {
+                fields.push(("line".to_owned(), Json::U64(u64::from(line))));
+            }
+        }
+        fields.push((
+            "notes".to_owned(),
+            Json::Array(self.notes.iter().map(|n| Json::str(n.clone())).collect()),
+        ));
+        Json::Object(fields)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if let Some(s) = &self.span {
+            write!(f, " at {s}")?;
+        }
+        Ok(())
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -54,5 +238,32 @@ mod tests {
         assert!(s.contains("at 7"));
         assert!(s.contains("add r1, r2, r3"));
         assert!(s.contains("colors differ"));
+    }
+
+    #[test]
+    fn diagnostic_renders_rustc_style() {
+        let d = Diagnostic::error("TF001", "blue instruction consumes a green operand")
+            .note("r1 was defined green");
+        let r = d.render();
+        assert!(r.starts_with("error[TF001]: blue instruction"));
+        assert!(r.contains("= note: r1 was defined green"));
+    }
+
+    #[test]
+    fn diagnostic_json_has_stable_keys() {
+        let d = Diagnostic::warning("TF004", "dead duplication");
+        let j = d.to_json();
+        assert_eq!(j.get("code").and_then(|v| v.as_str()), Some("TF004"));
+        assert_eq!(j.get("severity").and_then(|v| v.as_str()), Some("warning"));
+        assert!(j.get("notes").is_some());
+    }
+
+    #[test]
+    fn type_error_converts_to_diagnostic() {
+        let e = TypeError::at(3, "queue mismatch").with_instr("stB r1, r2");
+        let d = e.to_diagnostic();
+        assert_eq!(d.code, CHECKER_CODE);
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.notes.iter().any(|n| n.contains("stB r1, r2")));
     }
 }

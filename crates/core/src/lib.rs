@@ -56,7 +56,7 @@ pub mod subty;
 pub use check::{check_program, CheckReport};
 pub use compat::{check_transfer, prove_mem_eq, DEntry};
 pub use ctx::Ctx;
-pub use error::TypeError;
+pub use error::{Diagnostic, Severity, TypeError, CHECKER_CODE};
 pub use rules::{check_instr, Outcome};
 pub use state_check::check_boot_state;
 pub use subty::{basic_subtype, reg_subtype, val_subtype};

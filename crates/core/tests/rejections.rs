@@ -280,3 +280,21 @@ fn wrong_conditional_annotation_rejected() {
         e.reason
     );
 }
+
+// ---- diagnostics -----------------------------------------------------------
+
+#[test]
+fn rejections_carry_block_spans() {
+    // Errors inside a labeled block resolve to `label+offset`, so the CLI
+    // can print `main+1` instead of a bare address.
+    let e = reject(&format!(
+        "\n.code\nmain:\n  {PRE}\n  mov r1, G 1\n  add r2, r1, B 1\n  halt\n"
+    ));
+    let span = e.span.clone().expect("checker errors are located");
+    assert_eq!(span.addr, 2);
+    assert_eq!(span.block_pos().as_deref(), Some("main+1"));
+    assert!(e.to_string().contains("(main+1)"), "{e}");
+    let d = e.to_diagnostic();
+    assert_eq!(d.code, talft_core::CHECKER_CODE);
+    assert!(d.render().contains("--> main+1"), "{}", d.render());
+}

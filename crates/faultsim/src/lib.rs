@@ -44,10 +44,12 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod grid;
 pub mod plan;
 pub mod recovery;
 
 pub use checkpoint::CheckpointRing;
+pub use grid::{single_fault_grid, single_fault_grid_against, FaultGrid, GridOutcome};
 pub use plan::{multi_fault_plans, single_fault_plans, FaultPlan, Strike};
 pub use recovery::{
     run_supervised, run_with_recovery, storm_from_plan, AttemptRecord, PlannedFault,
@@ -995,7 +997,7 @@ fn convergence_verdict(m: &Machine, cp: &Machine, golden: &Golden) -> Option<Ver
 /// `CONVERGENCE_CHECK_EVERY`-ish steps (rounded to the ring grid), trading
 /// at most that many extra simulated steps per converged run for an
 /// order-of-magnitude fewer state comparisons on runs that never converge.
-fn execute_plan(
+pub(crate) fn execute_plan(
     m: &mut Machine,
     plan: &FaultPlan,
     golden: &Golden,

@@ -54,16 +54,23 @@ pub struct Assembled {
     pub program: Program,
     /// Arena holding every static expression referenced by the program.
     pub arena: ExprArena,
+    /// 1-based source line of each instruction (`lines[addr - 1]`), for
+    /// span-bearing diagnostics ([`crate::span::Span::with_line_table`]).
+    pub lines: Vec<u32>,
 }
 
 /// Assemble `.talft` source text.
 pub fn assemble(src: &str) -> Result<Assembled, AsmError> {
     let mut arena = ExprArena::new();
-    let program = Assembler::new(src, &mut arena)?.run()?;
+    let (program, lines) = Assembler::new(src, &mut arena)?.run()?;
     program
         .validate(&arena)
         .map_err(|e| AsmError::new(0, format!("invalid program: {e}")))?;
-    Ok(Assembled { program, arena })
+    Ok(Assembled {
+        program,
+        arena,
+        lines,
+    })
 }
 
 /// An assembly error with a 1-based source line.
@@ -325,7 +332,7 @@ impl<'a> Assembler<'a> {
         Ok(Self { arena, items })
     }
 
-    fn run(mut self) -> Result<Program, AsmError> {
+    fn run(mut self) -> Result<(Program, Vec<u32>), AsmError> {
         // Phase 1: assign code addresses to labels.
         let mut labels: BTreeMap<String, i64> = BTreeMap::new();
         let mut addr: i64 = 1;
@@ -348,6 +355,7 @@ impl<'a> Assembler<'a> {
         let mut entry_label: Option<(usize, String)> = None;
         let mut pending_pre: Option<(usize, Vec<Tok>)> = None;
         let mut current_addr: i64 = 1;
+        let mut lines: Vec<u32> = Vec::new();
 
         let items = std::mem::take(&mut self.items);
         for item in items {
@@ -381,6 +389,7 @@ impl<'a> Assembler<'a> {
                     }
                     let instr = self.parse_instr(line, &toks, &labels)?;
                     program.instrs.push(instr);
+                    lines.push(u32::try_from(line).unwrap_or(u32::MAX));
                     current_addr += 1;
                 }
             }
@@ -400,7 +409,7 @@ impl<'a> Assembler<'a> {
                 .get("main")
                 .ok_or_else(|| AsmError::new(0, "no .entry directive and no main label"))?,
         };
-        Ok(program)
+        Ok((program, lines))
     }
 
     fn parse_region(

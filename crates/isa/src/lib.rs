@@ -22,6 +22,7 @@ pub mod instr;
 pub mod print;
 pub mod program;
 pub mod reg;
+pub mod span;
 pub mod ty;
 
 pub use asm::{assemble, AsmError, Assembled};
@@ -30,4 +31,5 @@ pub use instr::{Instr, OpSrc};
 pub use print::{disassemble, print_program};
 pub use program::{Program, ProgramError, Region, DATA_BASE};
 pub use reg::{Gpr, Reg};
+pub use span::Span;
 pub use ty::{BasicTy, CodeTy, FactAnn, RegFileTy, RegTy, ResultTy, ValTy, ZapTag};

@@ -1,0 +1,136 @@
+//! Source spans for diagnostics.
+//!
+//! A [`Span`] names a code location three ways at once: the absolute code
+//! address (what the machine and checker use), the enclosing block label
+//! plus instruction offset (what a human reads — `main+3`), and, when the
+//! program came from a `.talft` source file, the 1-based source line. The
+//! assembler records a per-instruction line table in
+//! [`crate::asm::Assembled::lines`]; compiled programs have no source text,
+//! so their spans carry label + offset only.
+
+use std::fmt;
+
+use crate::program::Program;
+
+/// A resolved source location for one code address.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Absolute code address (1-based; 0 = whole program).
+    pub addr: i64,
+    /// Nearest label at or before `addr`, when one exists.
+    pub label: Option<String>,
+    /// Instruction offset from that label (0 = the labeled instruction).
+    pub offset: usize,
+    /// 1-based source line in the `.talft` file, when known.
+    pub line: Option<u32>,
+}
+
+impl Span {
+    /// Resolve the span for a code address against a program's label table.
+    ///
+    /// The label is the nearest one at or before `addr` (blocks are runs of
+    /// instructions following a label), so the rendering is `label+offset`.
+    /// Addresses before the first label, or outside code memory, get an
+    /// address-only span.
+    #[must_use]
+    pub fn locate(program: &Program, addr: i64) -> Self {
+        let mut best: Option<(&str, i64)> = None;
+        if program.is_code_addr(addr) {
+            for (name, &a) in &program.labels {
+                if a <= addr && best.is_none_or(|(_, b)| a > b) {
+                    best = Some((name.as_str(), a));
+                }
+            }
+        }
+        Span {
+            addr,
+            label: best.map(|(n, _)| n.to_owned()),
+            offset: best.map_or(0, |(_, a)| usize::try_from(addr - a).unwrap_or(0)),
+            line: None,
+        }
+    }
+
+    /// Attach a source line from an assembler line table (`lines[addr-1]`).
+    #[must_use]
+    pub fn with_line_table(mut self, lines: &[u32]) -> Self {
+        if self.addr >= 1 {
+            if let Some(&l) = lines.get(usize::try_from(self.addr - 1).unwrap_or(usize::MAX)) {
+                self.line = Some(l);
+            }
+        }
+        self
+    }
+
+    /// The `label+offset` rendering when a label is known (`main+3`).
+    #[must_use]
+    pub fn block_pos(&self) -> Option<String> {
+        self.label.as_ref().map(|l| {
+            if self.offset == 0 {
+                l.clone()
+            } else {
+                format!("{l}+{}", self.offset)
+            }
+        })
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.block_pos() {
+            Some(pos) => write!(f, "{pos} (addr {})", self.addr)?,
+            None => write!(f, "addr {}", self.addr)?,
+        }
+        if let Some(line) = self.line {
+            write!(f, ", line {line}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    const TWO_BLOCKS: &str = r#"
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r1, G 1
+  mov r2, B 1
+next:
+  .pre { forall m:mem; mem: m; }
+  halt
+"#;
+
+    #[test]
+    fn locates_label_and_offset() {
+        let asm = assemble(TWO_BLOCKS).expect("assembles");
+        let s = Span::locate(&asm.program, 2);
+        assert_eq!(s.label.as_deref(), Some("main"));
+        assert_eq!(s.offset, 1);
+        assert_eq!(s.block_pos().as_deref(), Some("main+1"));
+        let s = Span::locate(&asm.program, 3);
+        assert_eq!(s.block_pos().as_deref(), Some("next"));
+        assert_eq!(s.offset, 0);
+    }
+
+    #[test]
+    fn line_table_maps_addresses_to_source_lines() {
+        let asm = assemble(TWO_BLOCKS).expect("assembles");
+        assert_eq!(asm.lines.len(), asm.program.code_len());
+        let s = Span::locate(&asm.program, 1).with_line_table(&asm.lines);
+        // `mov r1, G 1` is on line 5 of the source (1-based, leading newline).
+        assert_eq!(s.line, Some(5));
+        assert!(s.to_string().contains("main (addr 1)"));
+        assert!(s.to_string().contains("line 5"));
+    }
+
+    #[test]
+    fn out_of_range_address_is_address_only() {
+        let asm = assemble(TWO_BLOCKS).expect("assembles");
+        let s = Span::locate(&asm.program, 99);
+        assert_eq!(s.label, None);
+        assert_eq!(s.to_string(), "addr 99");
+    }
+}

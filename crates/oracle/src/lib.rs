@@ -11,7 +11,11 @@
 //!
 //! * **killed by the checker** — the mutant is rejected; the type system
 //!   caught the broken protection. The mutation *score* is the fraction of
-//!   mutants landing here.
+//!   mutants killed statically (checker or lint).
+//! * **killed by the lint engine** — the checker accepted, but a `TF0xx`
+//!   error-severity lint (`talft_analysis::lint_program`) flagged the
+//!   mutant. Still a static kill, tallied separately so E14 can report how
+//!   much of the catalog the lightweight lints cover on their own.
 //! * **killed by the campaign only** — the checker accepted a mutant that a
 //!   single-upset campaign then drives to silent data corruption (or that
 //!   cannot even complete its fault-free run). This is a checker soundness
@@ -44,6 +48,12 @@ pub enum MutantVerdict {
         /// The type error, verbatim.
         reason: String,
     },
+    /// The checker accepted, but an error-severity `TF0xx` lint fired —
+    /// a static kill by the second line of defense.
+    KilledByLint {
+        /// The first error diagnostic, verbatim.
+        reason: String,
+    },
     /// The checker accepted, but the campaign (or the fault-free run
     /// itself) demonstrates the protection is broken — a soundness gap.
     KilledByCampaignOnly {
@@ -62,6 +72,12 @@ impl MutantVerdict {
     #[must_use]
     pub fn killed_by_checker(&self) -> bool {
         matches!(self, MutantVerdict::KilledByChecker { .. })
+    }
+
+    /// Did the lint engine kill this mutant?
+    #[must_use]
+    pub fn killed_by_lint(&self) -> bool {
+        matches!(self, MutantVerdict::KilledByLint { .. })
     }
 
     /// Is this the hard-failure class?
@@ -96,8 +112,9 @@ pub struct OracleConfig {
     pub max_mutants_per_op: usize,
 }
 
-/// Classify a single mutant program: checker first, campaign as ground
-/// truth for whatever the checker accepts.
+/// Classify a single mutant program: checker first, then the `TF0xx`
+/// lints, then the campaign as ground truth for whatever survives both
+/// static passes.
 #[must_use]
 pub fn classify(mutant: &Program, arena: &mut ExprArena, cfg: &CampaignConfig) -> MutantVerdict {
     match check_program(mutant, arena) {
@@ -105,6 +122,14 @@ pub fn classify(mutant: &Program, arena: &mut ExprArena, cfg: &CampaignConfig) -
             reason: e.to_string(),
         },
         Ok(_) => {
+            if let Some(d) = talft_analysis::lint_program(mutant)
+                .into_iter()
+                .find(|d| d.severity == talft_core::Severity::Error)
+            {
+                return MutantVerdict::KilledByLint {
+                    reason: d.to_string(),
+                };
+            }
             let prog = Arc::new(mutant.clone());
             let golden = match golden_run(&prog, cfg) {
                 Ok(g) => g,
@@ -183,6 +208,8 @@ pub struct OpScore {
     pub total: u64,
     /// Rejected by `check_program`.
     pub killed_by_checker: u64,
+    /// Accepted by the checker, killed by an error-severity lint.
+    pub killed_by_lint: u64,
     /// Accepted but campaign-killed (soundness gap — must stay 0).
     pub killed_by_campaign_only: u64,
     /// Accepted and campaign-clean.
@@ -190,13 +217,14 @@ pub struct OpScore {
 }
 
 impl OpScore {
-    /// Checker mutation score for this operator (1.0 when no mutants).
+    /// Static mutation score for this operator — fraction of mutants
+    /// killed by checker or lint (1.0 when no mutants).
     #[must_use]
     pub fn score(&self) -> f64 {
         if self.total == 0 {
             return 1.0;
         }
-        self.killed_by_checker as f64 / self.total as f64
+        (self.killed_by_checker + self.killed_by_lint) as f64 / self.total as f64
     }
 
     /// Fold one outcome in.
@@ -204,6 +232,7 @@ impl OpScore {
         self.total += 1;
         match v {
             MutantVerdict::KilledByChecker { .. } => self.killed_by_checker += 1,
+            MutantVerdict::KilledByLint { .. } => self.killed_by_lint += 1,
             MutantVerdict::KilledByCampaignOnly { .. } => self.killed_by_campaign_only += 1,
             MutantVerdict::Equivalent { .. } => self.equivalent += 1,
         }
@@ -213,6 +242,7 @@ impl OpScore {
     pub fn merge(&mut self, other: &OpScore) {
         self.total += other.total;
         self.killed_by_checker += other.killed_by_checker;
+        self.killed_by_lint += other.killed_by_lint;
         self.killed_by_campaign_only += other.killed_by_campaign_only;
         self.equivalent += other.equivalent;
     }
