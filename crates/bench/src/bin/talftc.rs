@@ -18,6 +18,19 @@
 //!                     is reported but is not a Theorem 4 violation)
 //!   --seed=N          sampler seed for K>=2 campaigns
 //!   --threads=N       campaign worker threads (default 1)
+//!   --shards=N        split the campaign grid into N deterministic shards
+//!                     (run through the checkpoint/merge layer; the merged
+//!                     report is bit-identical to a whole-grid run)
+//!   --shard=I         run only shard I of N (cross-process distribution);
+//!                     the merged summary prints once all N shard reports
+//!                     are on disk
+//!   --resume          resume an interrupted shard from its durable
+//!                     checkpoint (and skip shards whose reports exist)
+//!   --checkpoint-dir=D
+//!                     where shard reports + checkpoints live
+//!                     (default `<input>.shards`)
+//!   --checkpoint-every=M
+//!                     plans between durable checkpoints (default 256)
 //!   --checkpoint-stride=N
 //!                     golden checkpoint interval in steps for the campaign
 //!                     engine (default 0 = auto); performance knob only —
@@ -37,28 +50,40 @@
 //!
 //! ```text
 //!   0  success
-//!   1  usage / I/O / other errors (incl. a golden run that exhausts
-//!      --max-steps)
+//!   1  usage / I/O / other errors
 //!   2  parse, assembly, or compile error
 //!   3  type error (talft_core::check_program rejected the program)
 //!   4  error-severity lint fired under --lint
 //!   5  Theorem 4 violation found by a k=1 campaign, or engine error in
 //!      any campaign
+//!   6  campaign interrupted — SIGTERM/SIGINT mid-shard (progress is
+//!      checkpointed; re-run with --resume) or the golden run exhausted
+//!      --max-steps (raise the budget and re-run)
 //! ```
 //!
 //! Wile inputs go through the full reliability-transforming compiler;
 //! `.talft` inputs are assembled directly.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use talft_compiler::{compile, CompileOptions};
 use talft_core::check_program;
-use talft_faultsim::{run_multi_campaign, CampaignConfig};
+use talft_faultsim::{
+    golden_run_retrying, grid_fingerprint, merge_shard_reports, multi_fault_plans,
+    run_multi_campaign, run_shard_campaign, CampaignConfig, CampaignReport, GoldenError,
+    ShardControl, ShardOutcome, ShardPart, ShardSpec,
+};
 use talft_isa::{assemble, print_program, Program};
 use talft_logic::ExprArena;
 use talft_machine::run_program;
 use talft_sim::{simulate, MachineModel};
+
+/// Exit code 6: the campaign was interrupted (signal or step budget) and
+/// can be continued, as opposed to having failed.
+const EXIT_INTERRUPTED: u8 = 6;
 
 struct Flags {
     emit_asm: bool,
@@ -72,10 +97,40 @@ struct Flags {
     threads: Option<usize>,
     checkpoint_stride: Option<u64>,
     max_steps: Option<u64>,
+    shards: Option<u32>,
+    shard: Option<u32>,
+    resume: bool,
+    checkpoint_dir: Option<String>,
+    checkpoint_every: Option<usize>,
     baseline: bool,
     time: bool,
     profile: bool,
 }
+
+/// Set by the SIGTERM/SIGINT handler; polled at shard chunk boundaries so
+/// an interrupted campaign exits through a durable checkpoint (code 6)
+/// instead of losing its progress.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_interrupt_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let handler: extern "C" fn(i32) = on_signal;
+    // SAFETY: installing an async-signal-safe handler (a single atomic
+    // store) for SIGINT (2) and SIGTERM (15).
+    unsafe {
+        signal(2, handler as usize);
+        signal(15, handler as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_interrupt_handlers() {}
 
 fn main() -> ExitCode {
     let code = real_main();
@@ -111,7 +166,8 @@ fn real_main() -> ExitCode {
         eprintln!(
             "usage: talftc <file.wile|file.talft> [--emit-asm] [--disasm] [--lint] [--no-check] \
              [--run] [--campaign[=N]] [--campaign-k=K] [--seed=N] [--threads=N] \
-             [--checkpoint-stride=N] [--max-steps=N] [--baseline] [--time] [--profile] \
+             [--checkpoint-stride=N] [--max-steps=N] [--shards=N] [--shard=I] [--resume] \
+             [--checkpoint-dir=D] [--checkpoint-every=M] [--baseline] [--time] [--profile] \
              [--json=PATH]"
         );
         return ExitCode::FAILURE;
@@ -148,6 +204,20 @@ fn real_main() -> ExitCode {
         max_steps: args
             .iter()
             .find_map(|a| a.strip_prefix("--max-steps=").and_then(|n| n.parse().ok())),
+        shards: args
+            .iter()
+            .find_map(|a| a.strip_prefix("--shards=").and_then(|n| n.parse().ok())),
+        shard: args
+            .iter()
+            .find_map(|a| a.strip_prefix("--shard=").and_then(|n| n.parse().ok())),
+        resume: args.iter().any(|a| a == "--resume"),
+        checkpoint_dir: args
+            .iter()
+            .find_map(|a| a.strip_prefix("--checkpoint-dir=").map(str::to_owned)),
+        checkpoint_every: args.iter().find_map(|a| {
+            a.strip_prefix("--checkpoint-every=")
+                .and_then(|n| n.parse().ok())
+        }),
         baseline: args.iter().any(|a| a == "--baseline"),
         time: args.iter().any(|a| a == "--time"),
         profile: args.iter().any(|a| a == "--profile"),
@@ -257,12 +327,22 @@ fn real_main() -> ExitCode {
             cfg.checkpoint_stride = cp;
         }
         let k = flags.campaign_k.max(1);
+        if flags.shards.is_some() || flags.shard.is_some() {
+            return run_sharded(&program, &cfg, k, &flags, &path);
+        }
         let t0 = std::time::Instant::now();
         let rep = match run_multi_campaign(&program, &cfg, k) {
             Ok(rep) => rep,
+            Err(e @ GoldenError::BudgetExhausted { .. }) => {
+                // Not a verdict and not an error in the program: the run
+                // was cut short by the step budget. Distinct exit class so
+                // callers can tell "interrupted, raise --max-steps and
+                // retry" from a real failure.
+                eprintln!("talftc: campaign interrupted: {e}");
+                eprintln!("talftc: raise --max-steps and re-run");
+                return ExitCode::from(EXIT_INTERRUPTED);
+            }
             Err(e) => {
-                // Setup failure (e.g. the golden run exhausted --max-steps),
-                // not a campaign verdict — class 1, like other I/O errors.
                 eprintln!("talftc: campaign aborted: {e}");
                 return ExitCode::FAILURE;
             }
@@ -278,39 +358,255 @@ fn real_main() -> ExitCode {
                 );
             }
         }
-        eprintln!(
-            "talftc: campaign (k={k}): {} injections — {} masked, {} detected, {} SDC, \
-             {} other, {} engine errors ({:.1}% detection coverage)",
-            rep.total,
-            rep.masked,
-            rep.detected,
-            rep.sdc,
-            rep.other_violations,
-            rep.engine_errors,
-            100.0 * rep.coverage(),
-        );
-        if !rep.fault_tolerant() {
-            eprintln!("talftc: faults escaped; first counterexamples:");
-            for v in rep.violations.iter().take(5) {
-                eprintln!(
-                    "  {:?} at step {} ← {} (+{} strikes)",
-                    v.site,
-                    v.at_step,
-                    v.value,
-                    v.followups.len()
-                );
-            }
-            if rep.within_fault_model() || rep.engine_errors > 0 {
-                eprintln!("talftc: THEOREM 4 VIOLATION (single-upset model)");
-                return ExitCode::from(5);
-            }
-            eprintln!(
-                "talftc: k={k} is outside the single-upset model — boundary measurement, \
-                 not a Theorem 4 violation"
-            );
-        }
+        return summarize_campaign(&rep, k);
     }
     ExitCode::SUCCESS
+}
+
+/// Print the campaign summary and map the report onto the exit-code
+/// contract (0 tolerant / 5 Theorem 4 violation). Shared by the whole-grid
+/// and sharded paths so their output is comparable line for line.
+fn summarize_campaign(rep: &CampaignReport, k: u32) -> ExitCode {
+    eprintln!(
+        "talftc: campaign (k={k}): {} injections — {} masked, {} detected, {} SDC, \
+         {} other, {} engine errors ({:.1}% detection coverage)",
+        rep.total,
+        rep.masked,
+        rep.detected,
+        rep.sdc,
+        rep.other_violations,
+        rep.engine_errors,
+        100.0 * rep.coverage(),
+    );
+    if !rep.fault_tolerant() {
+        eprintln!("talftc: faults escaped; first counterexamples:");
+        for v in rep.violations.iter().take(5) {
+            eprintln!(
+                "  {:?} at step {} ← {} (+{} strikes)",
+                v.site,
+                v.at_step,
+                v.value,
+                v.followups.len()
+            );
+        }
+        if rep.within_fault_model() || rep.engine_errors > 0 {
+            eprintln!("talftc: THEOREM 4 VIOLATION (single-upset model)");
+            return ExitCode::from(5);
+        }
+        eprintln!(
+            "talftc: k={k} is outside the single-upset model — boundary measurement, \
+             not a Theorem 4 violation"
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `--shards` campaign path: run the grid through the faultsim
+/// checkpoint/shard/merge layer. Each shard leaves a durable
+/// `talft.shard-report.v1` in the checkpoint dir; SIGTERM/SIGINT lands in
+/// a checkpoint and exit 6; once all N shard reports exist they merge into
+/// a report bit-identical to the whole-grid run and the usual summary and
+/// exit-code contract apply.
+fn run_sharded(
+    program: &Arc<Program>,
+    cfg: &CampaignConfig,
+    k: u32,
+    flags: &Flags,
+    input: &str,
+) -> ExitCode {
+    let count = flags.shards.unwrap_or(1).max(1);
+    let dir = PathBuf::from(
+        flags
+            .checkpoint_dir
+            .clone()
+            .unwrap_or_else(|| format!("{input}.shards")),
+    );
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("talftc: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let every = flags.checkpoint_every.unwrap_or(256);
+    let indices: Vec<u32> = match flags.shard {
+        Some(i) if i < count => vec![i],
+        Some(i) => {
+            eprintln!("talftc: --shard={i} out of range for --shards={count}");
+            return ExitCode::FAILURE;
+        }
+        None => (0..count).collect(),
+    };
+    install_interrupt_handlers();
+    let golden = match golden_run_retrying(program, cfg) {
+        Ok(g) => g,
+        Err(e @ GoldenError::BudgetExhausted { .. }) => {
+            eprintln!("talftc: campaign interrupted: {e}");
+            eprintln!("talftc: raise --max-steps and re-run");
+            return ExitCode::from(EXIT_INTERRUPTED);
+        }
+        Err(e) => {
+            eprintln!("talftc: campaign aborted: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let plans = multi_fault_plans(program, cfg, &golden, k);
+    let fingerprint = grid_fingerprint(&golden, &plans);
+    for &i in &indices {
+        let spec = ShardSpec::new(i, count).expect("index checked above");
+        let part_path = dir.join(format!("shard-{i}.json"));
+        if flags.resume && part_path.exists() {
+            match load_part(&part_path, spec, fingerprint) {
+                Ok(_) => {
+                    eprintln!("talftc: shard {spec} already complete — skipping");
+                    continue;
+                }
+                Err(e) => {
+                    eprintln!("talftc: {e}");
+                    eprintln!(
+                        "talftc: stale shard report (different grid?); delete {} and re-run",
+                        dir.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let cp_path = dir.join(format!("checkpoint-{i}.json"));
+        let resume_cp = if flags.resume && cp_path.exists() {
+            match talft_faultsim::CampaignCheckpoint::load(&cp_path) {
+                Ok(cp) => Some(cp),
+                Err(e) => {
+                    eprintln!("talftc: cannot resume shard {spec}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            None
+        };
+        if let Some(cp) = &resume_cp {
+            eprintln!(
+                "talftc: resuming shard {spec} from checkpoint ({}/{} plans done)",
+                cp.done, cp.shard_plans
+            );
+        }
+        let mut save_error: Option<std::io::Error> = None;
+        let outcome = run_shard_campaign(
+            program,
+            cfg,
+            &golden,
+            &plans,
+            spec,
+            every,
+            resume_cp.as_ref(),
+            |cp| {
+                if let Err(e) = cp.save(&cp_path) {
+                    save_error = Some(e);
+                    return ShardControl::Stop;
+                }
+                if INTERRUPTED.load(Ordering::SeqCst) {
+                    ShardControl::Stop
+                } else {
+                    ShardControl::Continue
+                }
+            },
+        );
+        match outcome {
+            Err(e) => {
+                eprintln!("talftc: shard {spec}: {e}");
+                return ExitCode::FAILURE;
+            }
+            Ok(ShardOutcome::Interrupted(cp)) => {
+                if let Some(e) = save_error {
+                    eprintln!("talftc: cannot write checkpoint {}: {e}", cp_path.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "talftc: campaign interrupted at {}/{} plans of shard {spec}; \
+                     checkpoint saved — re-run with --resume to continue",
+                    cp.done, cp.shard_plans
+                );
+                return ExitCode::from(EXIT_INTERRUPTED);
+            }
+            Ok(ShardOutcome::Complete(report)) => {
+                let part = ShardPart {
+                    spec,
+                    fingerprint,
+                    plans: spec.range(plans.len()).len() as u64,
+                    report,
+                };
+                let text = format!("{}\n", part.to_json());
+                if let Err(e) = talft_faultsim::shard::atomic_write(&part_path, &text) {
+                    eprintln!("talftc: cannot write {}: {e}", part_path.display());
+                    return ExitCode::FAILURE;
+                }
+                let _ = std::fs::remove_file(&cp_path);
+                eprintln!("talftc: shard {spec} complete ({} plans)", part.plans);
+            }
+        }
+    }
+    // Merge once the whole partition is on disk (this process may have run
+    // only one shard of a cross-process campaign).
+    let mut parts = Vec::with_capacity(count as usize);
+    for i in 0..count {
+        let path = dir.join(format!("shard-{i}.json"));
+        if !path.exists() {
+            eprintln!(
+                "talftc: {}/{count} shard report(s) present in {} — run the remaining \
+                 shards to merge",
+                parts.len(),
+                dir.display()
+            );
+            return ExitCode::SUCCESS;
+        }
+        let spec = ShardSpec::new(i, count).expect("i < count");
+        match load_part(&path, spec, fingerprint) {
+            Ok(p) => parts.push(p),
+            Err(e) => {
+                eprintln!("talftc: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match merge_shard_reports(&parts) {
+        Ok(merged) => {
+            eprintln!("talftc: merged {count} shard(s) — verified complete partition");
+            summarize_campaign(&merged, k)
+        }
+        Err(e) => {
+            eprintln!("talftc: shard merge failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Load a `talft.shard-report.v1` file and validate it belongs to this
+/// grid (spec + fingerprint + complete coverage of its slice).
+fn load_part(
+    path: &std::path::Path,
+    spec: ShardSpec,
+    fingerprint: u64,
+) -> Result<ShardPart, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let json = talft_obs::Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let part = ShardPart::from_json(&json).map_err(|e| format!("{}: {e}", path.display()))?;
+    if part.spec != spec {
+        return Err(format!("{}: wrong shard {}", path.display(), part.spec));
+    }
+    if part.fingerprint != fingerprint {
+        return Err(format!(
+            "{}: fingerprint {:016x} does not match this grid ({:016x})",
+            path.display(),
+            part.fingerprint,
+            fingerprint
+        ));
+    }
+    if part.report.total != part.plans {
+        return Err(format!(
+            "{}: report covers {} of {} plans",
+            path.display(),
+            part.report.total,
+            part.plans
+        ));
+    }
+    Ok(part)
 }
 
 /// Run the TF0xx lints and print rustc-style diagnostics. Returns the exit

@@ -5,8 +5,13 @@
 //!
 //! ```text
 //!   0 success / 1 usage / 2 parse-assembly-compile / 3 type error /
-//!   4 lint error / 5 Theorem 4 violation
+//!   4 lint error / 5 Theorem 4 violation / 6 campaign interrupted
 //! ```
+//!
+//! The `--shards` tests additionally assert the cross-process sharded
+//! campaign contract: shard reports merge to the same summary line as a
+//! plain whole-grid run, and an interrupted shard (SIGTERM mid-grid)
+//! exits 6 with a durable checkpoint that `--resume` continues from.
 
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -56,16 +61,16 @@ fn exit_1_on_usage_error() {
 }
 
 #[test]
-fn exit_1_on_exhausted_golden_budget() {
-    // A campaign whose fault-free run cannot finish is a setup failure
-    // (class 1), not a campaign verdict.
+fn exit_6_on_exhausted_golden_budget() {
+    // A campaign whose fault-free run cannot finish inside --max-steps was
+    // *interrupted*, not failed: distinct class 6 with a clear remedy, so
+    // callers don't conflate it with usage/I/O errors (class 1).
     let p = write_temp("budget.wile", OK_WILE);
     let out = talftc(&[p.to_str().unwrap(), "--campaign=5", "--max-steps=50"]);
-    assert_eq!(out.status.code(), Some(1), "{out:?}");
-    assert!(
-        String::from_utf8_lossy(&out.stderr).contains("campaign aborted"),
-        "{out:?}"
-    );
+    assert_eq!(out.status.code(), Some(6), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("campaign interrupted"), "{out:?}");
+    assert!(stderr.contains("raise --max-steps"), "{out:?}");
 }
 
 #[test]
@@ -120,6 +125,161 @@ fn lint_is_quiet_on_protected_output() {
         String::from_utf8_lossy(&out.stderr).contains("lint: 0 error(s)"),
         "{out:?}"
     );
+}
+
+/// The stderr line beginning `talftc: campaign (k=` — the verdict summary
+/// both the plain and sharded paths must agree on byte for byte.
+fn summary_line(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr)
+        .lines()
+        .find(|l| l.starts_with("talftc: campaign (k="))
+        .unwrap_or_else(|| panic!("no campaign summary in {out:?}"))
+        .to_owned()
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("talftc-cli-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn sharded_campaign_merges_to_the_plain_summary() {
+    let p = write_temp("shards.wile", OK_WILE);
+    let plain = talftc(&[
+        p.to_str().unwrap(),
+        "--no-check",
+        "--campaign=31",
+        "--threads=2",
+    ]);
+    assert_eq!(plain.status.code(), Some(0), "{plain:?}");
+    let dir = fresh_dir("shards-dir");
+    let sharded = talftc(&[
+        p.to_str().unwrap(),
+        "--no-check",
+        "--campaign=31",
+        "--threads=2",
+        "--shards=3",
+        &format!("--checkpoint-dir={}", dir.display()),
+    ]);
+    assert_eq!(sharded.status.code(), Some(0), "{sharded:?}");
+    assert_eq!(
+        summary_line(&sharded),
+        summary_line(&plain),
+        "sharded merge diverged from the whole-grid campaign"
+    );
+    assert!(
+        String::from_utf8_lossy(&sharded.stderr).contains("merged 3 shard(s)"),
+        "{sharded:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cross_process_shards_merge_once_all_reports_exist() {
+    let p = write_temp("xproc.wile", OK_WILE);
+    let dir = fresh_dir("xproc-dir");
+    let dir_flag = format!("--checkpoint-dir={}", dir.display());
+    let base = [
+        p.to_str().unwrap(),
+        "--no-check",
+        "--campaign=31",
+        "--shards=2",
+    ];
+    // Shard 0 in one process: no merge yet, exit 0 with a progress note.
+    let first = talftc(&[base[0], base[1], base[2], base[3], "--shard=0", &dir_flag]);
+    assert_eq!(first.status.code(), Some(0), "{first:?}");
+    let stderr = String::from_utf8_lossy(&first.stderr);
+    assert!(stderr.contains("1/2 shard report(s)"), "{first:?}");
+    assert!(!stderr.contains("campaign (k="), "must not summarize early");
+    assert!(dir.join("shard-0.json").exists());
+    // Shard 1 in a second process: the partition is complete, so it merges
+    // and prints the same summary as a plain whole-grid run.
+    let second = talftc(&[base[0], base[1], base[2], base[3], "--shard=1", &dir_flag]);
+    assert_eq!(second.status.code(), Some(0), "{second:?}");
+    let plain = talftc(&[p.to_str().unwrap(), "--no-check", "--campaign=31"]);
+    assert_eq!(summary_line(&second), summary_line(&plain));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exit_6_on_sigterm_with_resumable_checkpoint() {
+    use std::process::Stdio;
+    let p = write_temp("interrupt.wile", OK_WILE);
+    let dir = fresh_dir("interrupt-dir");
+    let dir_flag = format!("--checkpoint-dir={}", dir.display());
+    // stride 1 → a grid of thousands of plans; checkpoints every plan so a
+    // checkpoint is durable almost immediately.
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_talftc"))
+        .args([
+            p.to_str().unwrap(),
+            "--no-check",
+            "--campaign=1",
+            "--shards=1",
+            "--checkpoint-every=1",
+            &dir_flag,
+        ])
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("talftc spawns");
+    let cp = dir.join("checkpoint-0.json");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    let mut sent_sigterm = false;
+    loop {
+        if cp.exists() {
+            let ok = std::process::Command::new("kill")
+                .args(["-TERM", &child.id().to_string()])
+                .status()
+                .expect("kill runs")
+                .success();
+            assert!(ok, "SIGTERM delivery failed");
+            sent_sigterm = true;
+            break;
+        }
+        if child.try_wait().expect("try_wait").is_some() {
+            break; // finished before the first checkpoint — nothing to interrupt
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no checkpoint within 120s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let out = child.wait_with_output().expect("talftc exits");
+    assert!(
+        sent_sigterm,
+        "grid too small to interrupt — test fixture broken"
+    );
+    assert_eq!(out.status.code(), Some(6), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("campaign interrupted"), "{stderr}");
+    assert!(stderr.contains("--resume"), "{stderr}");
+    assert!(
+        cp.exists(),
+        "interrupt must leave a durable checkpoint behind"
+    );
+    // Resume: picks up from the checkpoint and completes with the same
+    // summary as an uninterrupted whole-grid run.
+    let resumed = talftc(&[
+        p.to_str().unwrap(),
+        "--no-check",
+        "--campaign=1",
+        "--shards=1",
+        "--resume",
+        &dir_flag,
+    ]);
+    assert_eq!(resumed.status.code(), Some(0), "{resumed:?}");
+    assert!(
+        String::from_utf8_lossy(&resumed.stderr).contains("resuming shard 0/1"),
+        "{resumed:?}"
+    );
+    let plain = talftc(&[p.to_str().unwrap(), "--no-check", "--campaign=1"]);
+    assert_eq!(
+        summary_line(&resumed),
+        summary_line(&plain),
+        "kill + --resume changed the campaign verdict"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -47,6 +47,8 @@ pub mod checkpoint;
 pub mod grid;
 pub mod plan;
 pub mod recovery;
+pub mod shard;
+pub mod wire;
 
 pub use checkpoint::CheckpointRing;
 pub use grid::{single_fault_grid, single_fault_grid_against, FaultGrid, GridOutcome};
@@ -54,6 +56,11 @@ pub use plan::{multi_fault_plans, single_fault_plans, FaultPlan, Strike};
 pub use recovery::{
     run_supervised, run_with_recovery, storm_from_plan, AttemptRecord, PlannedFault,
     RecoveryResult, SupervisorConfig, SupervisorOutcome, SupervisorReport,
+};
+pub use shard::{
+    grid_fingerprint, merge_shard_reports, merge_surviving_shards, run_shard_campaign,
+    run_sharded_campaign, shard_plans, CampaignCheckpoint, MergeError, ShardControl, ShardError,
+    ShardOutcome, ShardPart, ShardSpec, DEFAULT_CHECKPOINT_EVERY,
 };
 
 use std::fmt;
@@ -80,6 +87,86 @@ static V_STUCK: LazyCounter = LazyCounter::new("campaign.verdict.stuck");
 static V_OVERRUN: LazyCounter = LazyCounter::new("campaign.verdict.overrun");
 static V_DISSIMILAR: LazyCounter = LazyCounter::new("campaign.verdict.dissimilar_state");
 static V_ENGINE_ERROR: LazyCounter = LazyCounter::new("campaign.verdict.engine_error");
+static RETRY_ATTEMPTS: LazyCounter = LazyCounter::new("faultsim.retry.attempts");
+static RETRY_RECOVERED: LazyCounter = LazyCounter::new("faultsim.retry.recovered");
+static RETRY_EXHAUSTED: LazyCounter = LazyCounter::new("faultsim.retry.exhausted");
+static RETRY_GOLDEN: LazyCounter = LazyCounter::new("faultsim.retry.golden");
+
+/// Counterexamples a [`CampaignReport`] retains before counting overflow in
+/// [`CampaignReport::violations_truncated`]. Shared by the engine, the
+/// shard merge, and external validators — cap-exact accounting is what makes
+/// the in-order shard merge equal the whole-grid report bit for bit.
+pub const VIOLATIONS_KEPT: usize = 32;
+
+/// Capped exponential backoff for *transient* engine failures — harness
+/// panics isolated by `catch_unwind` and golden-runner panics. Jitterless
+/// and deterministic by design: retries only change *when* an attempt runs,
+/// never which verdict a deterministic failure converges to, so reports stay
+/// bit-identical at every thread count and retry budget. Permanent errors
+/// ([`GoldenError::BudgetExhausted`]) are never retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail fast, the old behavior).
+    pub max_retries: u32,
+    /// Delay before the first retry, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Ceiling on the backoff delay, in milliseconds.
+    pub max_delay_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            base_delay_ms: 1,
+            max_delay_ms: 50,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Deterministic backoff before retry `attempt` (0-based):
+    /// `min(base · 2^attempt, max)`. No jitter — campaign reproducibility
+    /// outranks thundering-herd concerns on an in-process engine.
+    #[must_use]
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let mult = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        self.base_delay_ms
+            .saturating_mul(mult)
+            .min(self.max_delay_ms)
+    }
+}
+
+/// Run `f` under `catch_unwind`, retrying panics per `policy`. `None` when
+/// every attempt panicked — the caller records the terminal failure
+/// (`EngineError` verdict / [`GoldenError::Panicked`]).
+fn run_isolated<T>(policy: RetryPolicy, f: impl Fn() -> T) -> Option<T> {
+    let mut attempt = 0u32;
+    loop {
+        match catch_unwind(AssertUnwindSafe(&f)) {
+            Ok(v) => {
+                if attempt > 0 {
+                    RETRY_RECOVERED.inc();
+                }
+                return Some(v);
+            }
+            Err(_) => {
+                if attempt >= policy.max_retries {
+                    if policy.max_retries > 0 {
+                        RETRY_EXHAUSTED.inc();
+                    }
+                    return None;
+                }
+                RETRY_ATTEMPTS.inc();
+                let delay = policy.delay_ms(attempt);
+                if delay > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(delay));
+                }
+                attempt += 1;
+            }
+        }
+    }
+}
 
 /// Slot of a verdict in a worker-local tally array (flushed to the shared
 /// counters once per worker by [`note_verdicts`]).
@@ -144,6 +231,8 @@ pub struct CampaignConfig {
     /// every other snapshot and doubles the stride, so this is a floor, not
     /// an exact interval, on long runs.
     pub checkpoint_stride: u64,
+    /// Backoff policy for transient failures (harness/golden panics).
+    pub retry: RetryPolicy,
 }
 
 impl Default for CampaignConfig {
@@ -159,6 +248,7 @@ impl Default for CampaignConfig {
             pair_window: 24,
             stop_on_first_violation: false,
             checkpoint_stride: 0,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -197,6 +287,11 @@ pub enum GoldenError {
         /// The configured budget.
         max_steps: u64,
     },
+    /// The golden runner panicked on every attempt (retries exhausted per
+    /// [`RetryPolicy`]). Unlike `BudgetExhausted` — a deterministic property
+    /// of the program — this is a harness failure, so it *was* retried
+    /// before being surfaced.
+    Panicked,
 }
 
 impl fmt::Display for GoldenError {
@@ -206,6 +301,10 @@ impl fmt::Display for GoldenError {
                 f,
                 "golden run still running after {steps} steps (budget {max_steps}); \
                  raise max_steps — a truncated reference would misclassify injections"
+            ),
+            GoldenError::Panicked => write!(
+                f,
+                "golden run panicked on every attempt; no reference trace to campaign against"
             ),
         }
     }
@@ -392,7 +491,7 @@ impl CampaignReport {
     }
 
     fn keep(&mut self, inj: Injection) {
-        if self.violations.len() < 32 {
+        if self.violations.len() < VIOLATIONS_KEPT {
             self.violations.push(inj);
         } else {
             self.violations_truncated += 1;
@@ -536,6 +635,29 @@ pub fn golden_run(program: &Arc<Program>, cfg: &CampaignConfig) -> Result<Golden
         checkpoints,
         reg_liveness,
     })
+}
+
+/// [`golden_run`] hardened with the config's [`RetryPolicy`]: a panicking
+/// golden runner is retried with capped exponential backoff before the run
+/// is declared [`GoldenError::Panicked`]. [`GoldenError::BudgetExhausted`]
+/// is permanent (a deterministic property of program + budget) and returns
+/// immediately without retry.
+///
+/// # Errors
+///
+/// [`GoldenError::BudgetExhausted`] verbatim from the first attempt;
+/// [`GoldenError::Panicked`] once retries are exhausted.
+pub fn golden_run_retrying(
+    program: &Arc<Program>,
+    cfg: &CampaignConfig,
+) -> Result<Golden, GoldenError> {
+    match run_isolated(cfg.retry, || golden_run(program, cfg)) {
+        Some(result) => result,
+        None => {
+            RETRY_GOLDEN.inc();
+            Err(GoldenError::Panicked)
+        }
+    }
 }
 
 /// Run the full exhaustive single-fault campaign (the `k = 1`
@@ -738,14 +860,18 @@ pub fn run_plan_campaign(
                         let first = plan.first_step();
                         advance_frontier(&mut frontier, first, program, cfg, golden);
                         let fr = frontier.as_ref().expect("advance_frontier populates");
-                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        // Transient panics are retried with deterministic
+                        // backoff (satellite: `faultsim.retry.*`); each
+                        // attempt re-clones the pristine frontier, and a
+                        // deterministic panic converges to the same
+                        // `EngineError` at every retry budget — reports stay
+                        // bit-identical.
+                        let outcome = run_isolated(cfg.retry, || {
                             let mut faulty = fr.clone();
                             execute_plan(&mut faulty, plan, golden, Some(&golden.checkpoints))
-                        }));
-                        let (verdict, end_steps, applied) = match outcome {
-                            Ok(r) => r,
-                            Err(_) => (Verdict::EngineError, first, 0),
-                        };
+                        });
+                        let (verdict, end_steps, applied) =
+                            outcome.unwrap_or((Verdict::EngineError, first, 0));
                         executed += 1;
                         verdict_tally[verdict_slot(verdict)] += 1;
                         let latency =
@@ -884,14 +1010,12 @@ pub fn run_plan_campaign_reference(
                     while frontier.steps() < first && frontier.status().is_running() {
                         step(&mut frontier);
                     }
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let outcome = run_isolated(cfg.retry, || {
                         let mut faulty = frontier.clone();
                         execute_plan(&mut faulty, plan, golden, None)
-                    }));
-                    let (verdict, end_steps, applied) = match outcome {
-                        Ok(r) => r,
-                        Err(_) => (Verdict::EngineError, first, 0),
-                    };
+                    });
+                    let (verdict, end_steps, applied) =
+                        outcome.unwrap_or((Verdict::EngineError, first, 0));
                     if verdict == Verdict::Detected {
                         rep.detection_latency
                             .record(end_steps.saturating_sub(first));
@@ -1174,6 +1298,67 @@ main:
         );
         assert!(err.to_string().contains("budget 100"));
         assert_eq!(run_campaign(&p, &cfg).expect_err("propagates"), err);
+        // Budget exhaustion is permanent: the retrying wrapper surfaces it
+        // verbatim instead of burning retries on a deterministic outcome.
+        assert_eq!(golden_run_retrying(&p, &cfg).expect_err("permanent"), err);
+    }
+
+    /// Satellite (a): capped exponential backoff is deterministic and the
+    /// retry helper recovers flaky failures / gives up on persistent ones.
+    #[test]
+    fn retry_policy_backoff_recovery_and_exhaustion() {
+        let pol = RetryPolicy {
+            max_retries: 3,
+            base_delay_ms: 4,
+            max_delay_ms: 10,
+        };
+        assert_eq!(pol.delay_ms(0), 4);
+        assert_eq!(pol.delay_ms(1), 8);
+        assert_eq!(pol.delay_ms(2), 10, "capped");
+        assert_eq!(pol.delay_ms(63), 10);
+        assert_eq!(
+            pol.delay_ms(64),
+            10,
+            "shift overflow saturates, stays capped"
+        );
+        let fast = RetryPolicy {
+            max_retries: 3,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+        };
+        // Flaky: panics twice, then succeeds — recovered on the third call.
+        let calls = std::sync::atomic::AtomicU32::new(0);
+        let got = run_isolated(fast, || {
+            if calls.fetch_add(1, Ordering::Relaxed) < 2 {
+                panic!("flaky");
+            }
+            42
+        });
+        assert_eq!(got, Some(42));
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        // Persistent: every attempt panics — None after 1 + max_retries calls.
+        let calls = std::sync::atomic::AtomicU32::new(0);
+        let got: Option<i32> = run_isolated(fast, || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            panic!("always");
+        });
+        assert_eq!(got, None);
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+        // Fail-fast policy: single attempt, like the pre-retry engine.
+        let calls = std::sync::atomic::AtomicU32::new(0);
+        let got: Option<i32> = run_isolated(
+            RetryPolicy {
+                max_retries: 0,
+                base_delay_ms: 0,
+                max_delay_ms: 0,
+            },
+            || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                panic!("once");
+            },
+        );
+        assert_eq!(got, None);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
     }
 
     #[test]
