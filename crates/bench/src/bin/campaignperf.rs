@@ -1,7 +1,8 @@
-//! **campaignperf** — the E16 engine differential: the checkpointed
-//! copy-on-write work-stealing campaign engine timed head-to-head against
-//! the pre-checkpoint reference engine on the same plan sets, plus the
-//! entailment-cache hit rate over the suite checker workload.
+//! **campaignperf** — the E16/E19 engine differential: the bit-parallel
+//! batched campaign engine timed three-way against the scalar checkpointed
+//! work-stealing engine and the pre-checkpoint reference engine on the same
+//! plan sets, plus the entailment-cache hit rate over the suite checker
+//! workload.
 //!
 //! Two phases, each preceded by a registry reset so its numbers are
 //! attributable:
@@ -10,10 +11,12 @@
 //!    protected binary with the entailment cache enabled; report
 //!    `logic.cache.hit` / `logic.cache.miss` and the derived hit rate;
 //! 2. **campaign** — per kernel, build the k=1 plan set once, then run
-//!    [`run_plan_campaign_reference`] and [`run_plan_campaign`] on it with
-//!    the same pinned thread count. The two reports must be bit-identical
-//!    and SDC must be zero (Theorem 4); the row records both engines'
-//!    wall time and plans/sec.
+//!    [`run_plan_campaign_reference`], [`run_plan_campaign_scalar`] and
+//!    [`run_plan_campaign_batched`] on it with the same pinned thread
+//!    count. All three reports must be bit-identical and SDC must be zero
+//!    (Theorem 4); the row records each engine's wall time and plans/sec,
+//!    and the document carries per-engine verdict totals so `--check` can
+//!    re-prove the agreement offline.
 //!
 //! Usage: `cargo run --release -p talft-bench --bin campaignperf
 //!          [--json <path>] [--check <path>] [--threads N] [--stride N]
@@ -25,7 +28,9 @@
 //! `--checkpoint-stride` defaults to 0 (engine auto). `--check <path>`
 //! parses an existing report with the dep-free [`talft_obs::Json`] parser
 //! and gates on the *count* invariants — nonzero checkpoint reuse, nonzero
-//! cache hits, zero SDC — never on timings, which vary by machine.
+//! cache hits, nonzero batched lanes, zero SDC, and field-by-field
+//! equality of the per-engine verdict totals — never on timings, which
+//! vary by machine.
 
 use std::time::Instant;
 
@@ -33,12 +38,13 @@ use talft_bench::report::{self, campaign_json, Report};
 use talft_compiler::{compile, CompileOptions};
 use talft_core::check_program;
 use talft_faultsim::{
-    golden_run, run_plan_campaign, run_plan_campaign_reference, single_fault_plans, CampaignConfig,
+    golden_run, run_plan_campaign_batched, run_plan_campaign_reference, run_plan_campaign_scalar,
+    single_fault_plans, CampaignConfig, CampaignReport,
 };
 use talft_obs::Json;
 use talft_suite::{kernels, Scale};
 
-/// Required top-level keys of a `talft.campaignperf.v1` document.
+/// Required top-level keys of a `talft.campaignperf.v2` document.
 const REQUIRED: &[&str] = &[
     "schema",
     "threads",
@@ -48,7 +54,56 @@ const REQUIRED: &[&str] = &[
     "rows",
     "totals",
     "checkpoints",
+    "batch",
 ];
+
+/// The verdict-count fields every engine must agree on, exactly. These are
+/// the u64 fields of [`campaign_json`]; timings are deliberately absent.
+const VERDICT_FIELDS: &[&str] = &[
+    "total",
+    "masked",
+    "detected",
+    "sdc",
+    "other_violations",
+    "engine_errors",
+    "incomplete_plans",
+];
+
+/// Summed verdict counts for one engine across every kernel.
+#[derive(Default)]
+struct VerdictTotals {
+    total: u64,
+    masked: u64,
+    detected: u64,
+    sdc: u64,
+    other_violations: u64,
+    engine_errors: u64,
+    incomplete_plans: u64,
+}
+
+impl VerdictTotals {
+    fn add(&mut self, r: &CampaignReport) {
+        self.total += r.total;
+        self.masked += r.masked;
+        self.detected += r.detected;
+        self.sdc += r.sdc;
+        self.other_violations += r.other_violations;
+        self.engine_errors += r.engine_errors;
+        self.incomplete_plans += r.incomplete_plans;
+    }
+
+    fn json(&self) -> Json {
+        Json::obj([
+            ("total", Json::U64(self.total)),
+            ("masked", Json::U64(self.masked)),
+            ("detected", Json::U64(self.detected)),
+            ("sdc", Json::U64(self.sdc)),
+            ("other_violations", Json::U64(self.other_violations)),
+            ("engine_errors", Json::U64(self.engine_errors)),
+            ("incomplete_plans", Json::U64(self.incomplete_plans)),
+        ])
+    }
+}
 
 fn main() {
     if let Some(path) = report::arg_str("--check") {
@@ -98,7 +153,12 @@ fn main() {
     };
     talft_obs::reset_all();
     let mut rows = Vec::new();
-    let (mut tot_plans, mut tot_ref_ns, mut tot_eng_ns) = (0u64, 0u64, 0u64);
+    let (mut tot_plans, mut tot_ref_ns, mut tot_eng_ns, mut tot_bat_ns) = (0u64, 0u64, 0u64, 0u64);
+    let (mut ref_tot, mut eng_tot, mut bat_tot) = (
+        VerdictTotals::default(),
+        VerdictTotals::default(),
+        VerdictTotals::default(),
+    );
     for (name, c) in &compiled {
         let golden = match golden_run(&c.protected.program, &cfg) {
             Ok(g) => g,
@@ -112,10 +172,17 @@ fn main() {
         let ref_rep = run_plan_campaign_reference(&c.protected.program, &cfg, &golden, &plans);
         let ref_ns = ns(t0.elapsed());
         let t0 = Instant::now();
-        let eng_rep = run_plan_campaign(&c.protected.program, &cfg, &golden, &plans);
+        let eng_rep = run_plan_campaign_scalar(&c.protected.program, &cfg, &golden, &plans);
         let eng_ns = ns(t0.elapsed());
+        let t0 = Instant::now();
+        let bat_rep = run_plan_campaign_batched(&c.protected.program, &cfg, &golden, &plans);
+        let bat_ns = ns(t0.elapsed());
         if eng_rep != ref_rep {
-            eprintln!("error: {name}: engine report diverged from the reference engine");
+            eprintln!("error: {name}: scalar engine report diverged from the reference engine");
+            std::process::exit(1);
+        }
+        if bat_rep != ref_rep {
+            eprintln!("error: {name}: batched engine report diverged from the reference engine");
             std::process::exit(1);
         }
         if eng_rep.sdc != 0 {
@@ -126,30 +193,38 @@ fn main() {
         tot_plans += plans_n;
         tot_ref_ns += ref_ns;
         tot_eng_ns += eng_ns;
+        tot_bat_ns += bat_ns;
+        ref_tot.add(&ref_rep);
+        eng_tot.add(&eng_rep);
+        bat_tot.add(&bat_rep);
         eprintln!(
-            "{name:>10}: {plans_n:>6} plans  reference {:>10.0} plans/s  engine {:>10.0} plans/s  ({:.2}x)",
+            "{name:>10}: {plans_n:>6} plans  reference {:>10.0} plans/s  scalar {:>10.0} plans/s  batched {:>10.0} plans/s  ({:.2}x)",
             per_sec(plans_n, ref_ns),
             per_sec(plans_n, eng_ns),
-            ratio(ref_ns, eng_ns),
+            per_sec(plans_n, bat_ns),
+            ratio(eng_ns, bat_ns),
         );
         rows.push(Json::obj([
             ("name", Json::str(*name)),
             ("plans", Json::U64(plans_n)),
             ("reference_ns", Json::U64(ref_ns)),
             ("engine_ns", Json::U64(eng_ns)),
+            ("batched_ns", Json::U64(bat_ns)),
             (
                 "reference_plans_per_sec",
                 Json::F64(per_sec(plans_n, ref_ns)),
             ),
             ("engine_plans_per_sec", Json::F64(per_sec(plans_n, eng_ns))),
+            ("batched_plans_per_sec", Json::F64(per_sec(plans_n, bat_ns))),
             ("speedup", Json::F64(ratio(ref_ns, eng_ns))),
+            ("batched_speedup", Json::F64(ratio(eng_ns, bat_ns))),
             ("sdc", Json::U64(eng_rep.sdc)),
             ("report", campaign_json(&eng_rep)),
         ]));
     }
     let campaign = talft_obs::snapshot();
 
-    let json = Report::new("talft.campaignperf.v1")
+    let json = Report::new("talft.campaignperf.v2")
         .field("threads", Json::U64(threads as u64))
         .field("stride", Json::U64(stride))
         .field("checkpoint_stride", Json::U64(checkpoint_stride))
@@ -169,6 +244,7 @@ fn main() {
                 ("plans", Json::U64(tot_plans)),
                 ("reference_ns", Json::U64(tot_ref_ns)),
                 ("engine_ns", Json::U64(tot_eng_ns)),
+                ("batched_ns", Json::U64(tot_bat_ns)),
                 (
                     "reference_plans_per_sec",
                     Json::F64(per_sec(tot_plans, tot_ref_ns)),
@@ -177,7 +253,20 @@ fn main() {
                     "engine_plans_per_sec",
                     Json::F64(per_sec(tot_plans, tot_eng_ns)),
                 ),
+                (
+                    "batched_plans_per_sec",
+                    Json::F64(per_sec(tot_plans, tot_bat_ns)),
+                ),
                 ("speedup", Json::F64(ratio(tot_ref_ns, tot_eng_ns))),
+                ("batched_speedup", Json::F64(ratio(tot_eng_ns, tot_bat_ns))),
+                (
+                    "verdicts",
+                    Json::obj([
+                        ("reference", ref_tot.json()),
+                        ("engine", eng_tot.json()),
+                        ("batched", bat_tot.json()),
+                    ]),
+                ),
             ]),
         )
         .field(
@@ -201,12 +290,31 @@ fn main() {
                 ),
             ]),
         )
+        .field(
+            "batch",
+            Json::obj([
+                (
+                    "lanes",
+                    Json::U64(counter(&campaign, "faultsim.batch.lanes")),
+                ),
+                (
+                    "demotions",
+                    Json::U64(counter(&campaign, "faultsim.batch.demotions")),
+                ),
+                (
+                    "scalar_routed",
+                    Json::U64(counter(&campaign, "faultsim.batch.scalar_routed")),
+                ),
+            ]),
+        )
         .build();
     report::write_json(&json, &path);
 
     eprintln!(
-        "totals: {tot_plans} plans, speedup {:.2}x, cache hit rate {:.1}%",
+        "totals: {tot_plans} plans, engine speedup {:.2}x, batched {:.2}x over engine, \
+         cache hit rate {:.1}%",
         ratio(tot_ref_ns, tot_eng_ns),
+        ratio(tot_eng_ns, tot_bat_ns),
         hit_rate * 100.0
     );
 }
@@ -266,7 +374,7 @@ fn check_existing(path: &str) {
             std::process::exit(1);
         }
     }
-    if json.get("schema").and_then(Json::as_str) != Some("talft.campaignperf.v1") {
+    if json.get("schema").and_then(Json::as_str) != Some("talft.campaignperf.v2") {
         eprintln!("campaignperf: {path} has an unexpected schema tag");
         std::process::exit(1);
     }
@@ -287,6 +395,9 @@ fn check_existing(path: &str) {
     if u64_at(&json, "cache", "hits") == 0 {
         fail("entailment cache recorded zero hits");
     }
+    if u64_at(&json, "batch", "lanes") == 0 {
+        fail("batched engine never packed a lane (batch.lanes == 0)");
+    }
     let Some(Json::Array(rows)) = json.get("rows") else {
         fail("rows is not an array");
     };
@@ -298,6 +409,42 @@ fn check_existing(path: &str) {
         if row.get("sdc").and_then(Json::as_u64) != Some(0) {
             fail(&format!("kernel {name} reports SDC on a protected binary"));
         }
+        if row.get("batched_ns").and_then(Json::as_u64).is_none() {
+            fail(&format!("kernel {name} is missing batched_ns"));
+        }
     }
-    println!("campaignperf: {path} OK (schema talft.campaignperf.v1)");
+    // The three-way differential, re-proved offline: every engine's summed
+    // verdict counts must agree field-by-field. Any divergence is a
+    // verdict-exactness regression, not a tuning matter — exit nonzero and
+    // name the field.
+    let Some(verdicts) = json.get("totals").and_then(|t| t.get("verdicts")) else {
+        fail("missing totals.verdicts");
+    };
+    for field in VERDICT_FIELDS {
+        let at = |engine: &str| -> u64 {
+            match verdicts
+                .get(engine)
+                .and_then(|e| e.get(field))
+                .and_then(Json::as_u64)
+            {
+                Some(v) => v,
+                None => fail(&format!("missing totals.verdicts.{engine}.{field}")),
+            }
+        };
+        let (r, e, b) = (at("reference"), at("engine"), at("batched"));
+        if e != r || b != r {
+            fail(&format!(
+                "engines disagree on {field}: reference={r} engine={e} batched={b}"
+            ));
+        }
+    }
+    if verdicts
+        .get("reference")
+        .and_then(|e| e.get("sdc"))
+        .and_then(Json::as_u64)
+        != Some(0)
+    {
+        fail("protected-suite totals report nonzero SDC");
+    }
+    println!("campaignperf: {path} OK (schema talft.campaignperf.v2, engines agree)");
 }

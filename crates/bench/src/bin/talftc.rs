@@ -35,6 +35,10 @@
 //!                     golden checkpoint interval in steps for the campaign
 //!                     engine (default 0 = auto); performance knob only —
 //!                     reports are stride-invariant
+//!   --no-batch        route campaigns through the scalar engine instead of
+//!                     the bit-parallel batched one (default on); A/B knob
+//!                     only — the engines are verdict-exact, reports are
+//!                     bit-identical either way
 //!   --max-steps=N     step budget for the golden run
 //!   --baseline        operate on the unprotected baseline instead
 //!   --time            report Figure 10-style cycles for this program
@@ -96,6 +100,7 @@ struct Flags {
     seed: Option<u64>,
     threads: Option<usize>,
     checkpoint_stride: Option<u64>,
+    batch: bool,
     max_steps: Option<u64>,
     shards: Option<u32>,
     shard: Option<u32>,
@@ -166,9 +171,9 @@ fn real_main() -> ExitCode {
         eprintln!(
             "usage: talftc <file.wile|file.talft> [--emit-asm] [--disasm] [--lint] [--no-check] \
              [--run] [--campaign[=N]] [--campaign-k=K] [--seed=N] [--threads=N] \
-             [--checkpoint-stride=N] [--max-steps=N] [--shards=N] [--shard=I] [--resume] \
-             [--checkpoint-dir=D] [--checkpoint-every=M] [--baseline] [--time] [--profile] \
-             [--json=PATH]"
+             [--checkpoint-stride=N] [--no-batch] [--max-steps=N] [--shards=N] [--shard=I] \
+             [--resume] [--checkpoint-dir=D] [--checkpoint-every=M] [--baseline] [--time] \
+             [--profile] [--json=PATH]"
         );
         return ExitCode::FAILURE;
     };
@@ -201,6 +206,7 @@ fn real_main() -> ExitCode {
             a.strip_prefix("--checkpoint-stride=")
                 .and_then(|n| n.parse().ok())
         }),
+        batch: !args.iter().any(|a| a == "--no-batch"),
         max_steps: args
             .iter()
             .find_map(|a| a.strip_prefix("--max-steps=").and_then(|n| n.parse().ok())),
@@ -326,6 +332,7 @@ fn real_main() -> ExitCode {
         if let Some(cp) = flags.checkpoint_stride {
             cfg.checkpoint_stride = cp;
         }
+        cfg.batch = flags.batch;
         let k = flags.campaign_k.max(1);
         if flags.shards.is_some() || flags.shard.is_some() {
             return run_sharded(&program, &cfg, k, &flags, &path);

@@ -1,0 +1,803 @@
+//! Bit-parallel batched campaign execution (DESIGN.md §12).
+//!
+//! The E16 scalar engine simulates one faulty machine per plan. But on a
+//! well-typed program almost every `k = 1` register fault is *masked*, and
+//! register faults share a shape while masked: after `reg-zap` the faulty
+//! state equals the golden state everywhere except some same-color GPR
+//! payloads ([`talft_machine::inject`] preserves the color tag, and an ALU
+//! result's color comes from `src2` — identical on both sides), and it
+//! stays that shape — executing golden's exact action sequence — until the
+//! divergence escapes the register file. The classic EDA bit-parallel
+//! trick therefore applies: step **one** shared golden replay and carry up
+//! to `LANES_PER_GROUP` fault lanes alongside it as a packed `Shadow`
+//! of exact per-GPR deltas, paying O(affected lanes) per step instead of
+//! one simulation per plan.
+//!
+//! Per step, `Shadow::advance` executes the replay's pending action
+//! symbolically against every affected lane:
+//!
+//! * **ALU traffic propagates in place** — a lane reading a diverged
+//!   operand recomputes the result with its own payloads (`BinOp::eval`
+//!   is total, so this needs no isolation); equal results *heal* the
+//!   destination, and a lane whose last delta heals is `Masked` on the
+//!   spot (it re-equals golden and deterministically replays the rest);
+//! * **blue compares detect instantly** — golden halted, so every blue
+//!   compare-and-commit it executed succeeded; a lane bringing a diverged
+//!   operand to `stB`/`jmpB`/taken-`bzB` provably faults: `Detected` at
+//!   `steps + 1`, no simulation;
+//! * **liveness settles the rest** — once none of a lane's diverged
+//!   registers is live ([`Golden::reg_liveness`]), the remaining run
+//!   replays golden verbatim and the verdict is decided by the colors of
+//!   the persisting registers (`Masked`/`DissimilarState`), the same case
+//!   split as the scalar engine's convergence exit. The settle scan is
+//!   event-driven (dirty lanes plus holders of just-died registers), so
+//!   wide groups cost O(events), not O(lanes), per step;
+//! * only a divergence the packed form cannot express **demotes**: a
+//!   diverged value entering the store queue (`stG`) or `d` (`jmpG`,
+//!   taken/skipped `bzG`), a load from a diverged address, or an `op`
+//!   writing a GPR ≥ 64. The lane's exact faulty state is reconstructed —
+//!   clone the replay (CoW), re-apply the packed payloads under golden's
+//!   color tags — and the scalar continuation (`resume_plan`) runs from
+//!   there. Demotion at the escape boundary is exact, never lossy.
+//!
+//! Plans that don't fit the packed shape route to the scalar path whole:
+//! multi-strike plans, non-GPR sites (`d`, the pcs, queue entries), GPR
+//! indices ≥ 64 or outside the register file, strikes past golden
+//! termination, and any campaign whose golden run did not halt (the scalar
+//! engine's convergence exit is only exact against a halted golden).
+//! Gated (`stop_on_first_violation`) campaigns never reach this module —
+//! [`run_plan_campaign`](crate::run_plan_campaign) dispatches them to the
+//! scalar engine.
+//!
+//! **Verdict exactness is the contract**: the report — counts, retained
+//! violations, latency histogram, incomplete-plan accounting — is
+//! bit-identical to [`run_plan_campaign_scalar`] and to
+//! [`run_plan_campaign_reference`](crate::run_plan_campaign_reference) at
+//! every thread count, and the batched-differential test layer
+//! (`tests/batch_differential.rs`, `tests/batch_demotion.rs`) re-proves it
+//! per release rather than assuming it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use talft_isa::{Color, Gpr, Instr, OpSrc, Program};
+use talft_machine::{step, FaultSite, Machine, Status};
+use talft_obs::{LazyCounter, LazyHistogram};
+
+use crate::{
+    advance_frontier, lead_injection, note_verdicts, resume_plan, run_isolated,
+    run_plan_campaign_scalar, verdict_slot, CampaignConfig, CampaignReport, FaultPlan, Golden,
+    Injection, Verdict, CAMPAIGN_NS, PLANS, WORKER_RATE,
+};
+
+static BATCH_LANES: LazyCounter = LazyCounter::new("faultsim.batch.lanes");
+static BATCH_DEMOTIONS: LazyCounter = LazyCounter::new("faultsim.batch.demotions");
+static BATCH_SCALAR_ROUTED: LazyCounter = LazyCounter::new("faultsim.batch.scalar_routed");
+static BATCH_RATE: LazyHistogram = LazyHistogram::new("faultsim.batch.plans_per_sec");
+
+/// Packed words per lockstep group. Wider groups amortize the shared
+/// replay's *tail walk* — the stretch past the last strike where straggler
+/// lanes (say, a struck loop counter reread every iteration) stay in
+/// flight — over proportionally more plans, at constant per-step cost
+/// (the settle scan is event-driven, not a full sweep).
+const LANE_WORDS: usize = 16;
+/// Lanes per lockstep group.
+const LANES_PER_GROUP: usize = 64 * LANE_WORDS;
+/// Positions a worker claims per fetch — one full lockstep group, so a
+/// claim over adjacent strike steps shares a single replay walk.
+const GROUP_CLAIM: usize = LANES_PER_GROUP;
+
+/// A packed set of lanes within one group.
+type LaneSet = [u64; LANE_WORDS];
+
+const EMPTY_SET: LaneSet = [0; LANE_WORDS];
+
+fn lane_set_any(s: &LaneSet) -> bool {
+    s.iter().any(|&w| w != 0)
+}
+
+/// A plan admitted to the packed representation: single strike, GPR site.
+struct Lane {
+    /// Position in the frozen sorted order (report identity).
+    pos: usize,
+    /// Index into `plans`.
+    idx: usize,
+    /// Strike step (`≤ golden.steps`).
+    at: u64,
+    /// Struck GPR index (< 64, < `num_gprs`).
+    gpr: u16,
+    /// Corrupted payload the strike writes.
+    value: i64,
+}
+
+/// One classified lane, in the same shape the scalar worker loop produces.
+struct Outcome {
+    pos: usize,
+    idx: usize,
+    verdict: Verdict,
+    end_steps: u64,
+    applied: usize,
+}
+
+/// Admit `plan` to the packed representation, returning its strike
+/// parameters. `None` routes the whole plan to the scalar path.
+fn lane_of(
+    plan: &FaultPlan,
+    pos: usize,
+    idx: usize,
+    golden: &Golden,
+    num_gprs: u16,
+) -> Option<Lane> {
+    if golden.status != Status::Halted || golden.reg_liveness.is_empty() {
+        return None;
+    }
+    let [strike] = plan.strikes.as_slice() else {
+        return None;
+    };
+    let FaultSite::Reg(talft_isa::Reg::Gpr(g)) = strike.site else {
+        return None;
+    };
+    if g.0 >= num_gprs || g.0 >= 64 || strike.at_step > golden.steps {
+        return None;
+    }
+    Some(Lane {
+        pos,
+        idx,
+        at: strike.at_step,
+        gpr: g.0,
+        value: strike.value,
+    })
+}
+
+/// The bit-parallel batched campaign engine. Same contract as
+/// [`run_plan_campaign_scalar`] — bit-identical reports at every thread
+/// count — at a fraction of the simulated steps: `k = 1` register faults
+/// ride one shared golden replay per worker as packed shadow deltas,
+/// classifying at their heal, blue-compare, or liveness-settle point, and
+/// only lanes whose divergence escapes the register file pay for a scalar
+/// continuation. Gated configs delegate to the scalar engine.
+#[must_use]
+pub fn run_plan_campaign_batched(
+    program: &Arc<Program>,
+    cfg: &CampaignConfig,
+    golden: &Golden,
+    plans: &[FaultPlan],
+) -> CampaignReport {
+    if cfg.stop_on_first_violation {
+        return run_plan_campaign_scalar(program, cfg, golden, plans);
+    }
+    let _span = CAMPAIGN_NS.span();
+    let num_gprs = program.num_gprs;
+    let mut order: Vec<usize> = (0..plans.len()).collect();
+    order.sort_by_key(|&i| plans[i].first_step());
+    let order = order; // frozen: positions in this order are the report order
+    let threads = cfg.threads.max(1).min(plans.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let mut report = CampaignReport {
+        fault_order: plans.iter().map(|p| p.order() as u32).max().unwrap_or(0),
+        ..CampaignReport::default()
+    };
+    let mut counts: Vec<CampaignReport> = Vec::new();
+    let mut violations: Vec<(usize, Injection)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let order = &order;
+            let cursor = &cursor;
+            handles.push(scope.spawn(move || {
+                let mut counts = CampaignReport::default();
+                let mut viols: Vec<(usize, Injection)> = Vec::new();
+                let worker_start = talft_obs::enabled().then(std::time::Instant::now);
+                let mut executed = 0u64;
+                let mut verdict_tally = [0u64; 7];
+                let (mut lanes_n, mut demotions, mut scalar_n) = (0u64, 0u64, 0u64);
+                let mut frontier: Option<Machine> = None;
+                // One shadow per worker: `untrack` leaves it empty at group
+                // end, so reuse avoids re-zeroing the payload plane.
+                let mut sh = Shadow::new();
+                let mut group: Vec<Lane> = Vec::with_capacity(GROUP_CLAIM);
+                let mut outcomes: Vec<Outcome> = Vec::with_capacity(GROUP_CLAIM);
+                loop {
+                    let lo = cursor.fetch_add(GROUP_CLAIM, Ordering::Relaxed);
+                    if lo >= order.len() {
+                        break;
+                    }
+                    let hi = (lo + GROUP_CLAIM).min(order.len());
+                    group.clear();
+                    outcomes.clear();
+                    let mut scalars: Vec<(usize, usize)> = Vec::new();
+                    for (pos, &idx) in order.iter().enumerate().take(hi).skip(lo) {
+                        match lane_of(&plans[idx], pos, idx, golden, num_gprs) {
+                            Some(lane) => group.push(lane),
+                            None => scalars.push((pos, idx)),
+                        }
+                    }
+                    lanes_n += group.len() as u64;
+                    scalar_n += scalars.len() as u64;
+                    run_lockstep(
+                        program,
+                        cfg,
+                        golden,
+                        plans,
+                        &group,
+                        &mut frontier,
+                        &mut sh,
+                        &mut outcomes,
+                        &mut demotions,
+                    );
+                    // Whole plans the packed shape cannot express run on the
+                    // scalar path, same frontier, ascending strike step.
+                    for (pos, idx) in scalars {
+                        let plan = &plans[idx];
+                        let first = plan.first_step();
+                        advance_frontier(&mut frontier, first, program, cfg, golden);
+                        let fr = frontier.as_ref().expect("advance_frontier populates");
+                        let outcome = run_isolated(cfg.retry, || {
+                            let mut faulty = fr.clone();
+                            crate::execute_plan(
+                                &mut faulty,
+                                plan,
+                                golden,
+                                Some(&golden.checkpoints),
+                            )
+                        });
+                        let (verdict, end_steps, applied) =
+                            outcome.unwrap_or((Verdict::EngineError, first, 0));
+                        outcomes.push(Outcome {
+                            pos,
+                            idx,
+                            verdict,
+                            end_steps,
+                            applied,
+                        });
+                    }
+                    for o in outcomes.drain(..) {
+                        let plan = &plans[o.idx];
+                        executed += 1;
+                        verdict_tally[verdict_slot(o.verdict)] += 1;
+                        if o.verdict == Verdict::Detected {
+                            counts
+                                .detection_latency
+                                .record(o.end_steps.saturating_sub(plan.first_step()));
+                        }
+                        if o.verdict != Verdict::EngineError && o.applied < plan.order() {
+                            counts.incomplete_plans += 1;
+                        }
+                        counts.absorb_counts(o.verdict);
+                        if o.verdict.is_violation() {
+                            viols.push((o.pos, lead_injection(plan, o.verdict)));
+                        }
+                    }
+                }
+                if let Some(start) = worker_start {
+                    PLANS.add(executed);
+                    note_verdicts(&verdict_tally);
+                    BATCH_LANES.add(lanes_n);
+                    BATCH_DEMOTIONS.add(demotions);
+                    BATCH_SCALAR_ROUTED.add(scalar_n);
+                    let secs = start.elapsed().as_secs_f64();
+                    if secs > 0.0 {
+                        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                        let rate = (executed as f64 / secs) as u64;
+                        WORKER_RATE.record(rate);
+                        BATCH_RATE.record(rate);
+                    }
+                }
+                (counts, viols)
+            }));
+        }
+        for h in handles {
+            match h.join() {
+                Ok((c, v)) => {
+                    counts.push(c);
+                    violations.extend(v);
+                }
+                Err(_) => report.engine_errors += 1,
+            }
+        }
+    });
+    for c in counts {
+        report.merge(c);
+    }
+    violations.sort_by_key(|(pos, _)| *pos);
+    for (_, inj) in violations {
+        report.keep(inj);
+    }
+    report
+}
+
+/// Packed divergence state for one lockstep group: the *exact* register
+/// deltas of up to `LANES_PER_GROUP` in-flight faulty machines against
+/// the shared golden replay. The invariant every transition preserves: a
+/// tracked lane's faulty machine equals the replay everywhere — pcs, `d`,
+/// `ir`, queue, memory, trace, status, step count — except the GPRs in
+/// `by_lane[l]`, which hold the `vals` payloads under golden's color tags
+/// (faults and ALU propagation never flip a color: `reg-zap` preserves the
+/// tag, and an `op` result's color comes from `src2`, identical on both
+/// sides).
+struct Shadow {
+    /// Bit `l` of `by_reg[g]`: lane `l` diverges from golden in GPR `g`.
+    by_reg: [LaneSet; 64],
+    /// Bit `g` of `by_lane[l]`: the same relation, transposed.
+    by_lane: [u64; LANES_PER_GROUP],
+    /// Faulty payload of lane `l` in GPR `g` at `l * 64 + g` (meaningful
+    /// where the `by_lane` bit is set).
+    vals: Vec<i64>,
+    /// Lanes with a nonempty divergence set.
+    tracking: LaneSet,
+    /// Lanes whose divergence set changed since the last settle scan —
+    /// the only lanes (beyond those holding a register that just went
+    /// dead) whose settle condition can newly hold.
+    dirty: LaneSet,
+    /// Live mask at the previous settle scan, for dead-transition
+    /// detection. `u64::MAX` conservatively marks every register as
+    /// possibly-just-died.
+    prev_live: u64,
+}
+
+impl Shadow {
+    fn new() -> Self {
+        Self {
+            by_reg: [EMPTY_SET; 64],
+            by_lane: [0; LANES_PER_GROUP],
+            vals: vec![0; LANES_PER_GROUP * 64],
+            tracking: EMPTY_SET,
+            dirty: EMPTY_SET,
+            prev_live: u64::MAX,
+        }
+    }
+
+    /// Start tracking lane `l`, diverged in GPR `g` with payload `v`.
+    fn track(&mut self, l: usize, g: u16, v: i64) {
+        let (w, b) = (l >> 6, 1u64 << (l & 63));
+        self.by_reg[g as usize][w] |= b;
+        self.by_lane[l] |= 1 << g;
+        self.vals[l * 64 + g as usize] = v;
+        self.tracking[w] |= b;
+        self.dirty[w] |= b;
+    }
+
+    /// Lanes diverged in `g` (registers outside the packed window cannot
+    /// diverge — strikes on them are never admitted).
+    fn diverged_in(&self, g: Gpr) -> LaneSet {
+        if g.0 < 64 {
+            self.by_reg[g.0 as usize]
+        } else {
+            EMPTY_SET
+        }
+    }
+
+    /// Lane `l`'s view of operand `g`, whose golden value is `golden_v`.
+    fn operand(&self, l: usize, g: Gpr, golden_v: i64) -> i64 {
+        if g.0 < 64 && self.by_lane[l] >> g.0 & 1 == 1 {
+            self.vals[l * 64 + g.0 as usize]
+        } else {
+            golden_v
+        }
+    }
+
+    /// Drop lane `l` from every index.
+    fn untrack(&mut self, l: usize) {
+        let (w, b) = (l >> 6, 1u64 << (l & 63));
+        let mut gs = self.by_lane[l];
+        while gs != 0 {
+            let g = gs.trailing_zeros() as usize;
+            gs &= gs - 1;
+            self.by_reg[g][w] &= !b;
+        }
+        self.by_lane[l] = 0;
+        self.tracking[w] &= !b;
+    }
+
+    /// Record the pending action's write of GPR `g` into lane `l`: healed
+    /// (both sides computed the same payload) or diverged with payload `v`.
+    /// A lane whose last divergence heals re-equals golden: deterministic
+    /// stepping replays golden's remainder, so it halts at `golden.steps`
+    /// with golden's trace and final state — `Masked`, exactly where the
+    /// scalar engine's convergence exit (`diff = 0`) or terminal
+    /// `sim_some_color` lands.
+    #[allow(clippy::too_many_arguments)]
+    fn write(
+        &mut self,
+        l: usize,
+        g: u16,
+        diverged: bool,
+        v: i64,
+        lanes: &[Lane],
+        golden: &Golden,
+        out: &mut Vec<Outcome>,
+    ) {
+        let gi = g as usize;
+        let (w, b) = (l >> 6, 1u64 << (l & 63));
+        self.dirty[w] |= b;
+        if diverged {
+            self.by_reg[gi][w] |= b;
+            self.by_lane[l] |= 1 << gi;
+            self.vals[l * 64 + gi] = v;
+        } else {
+            self.by_reg[gi][w] &= !b;
+            self.by_lane[l] &= !(1 << gi);
+            if self.by_lane[l] == 0 && self.tracking[w] & b != 0 {
+                self.tracking[w] &= !b;
+                out.push(Outcome {
+                    pos: lanes[l].pos,
+                    idx: lanes[l].idx,
+                    verdict: Verdict::Masked,
+                    end_steps: golden.steps,
+                    applied: 1,
+                });
+            }
+        }
+    }
+
+    /// Execute the replay's pending action symbolically against every
+    /// affected lane. Returns `(detect, demote)` lane masks:
+    ///
+    /// * `detect` — the faulty machine provably faults executing this
+    ///   action (golden halted, so its compare-and-commit succeeded; a
+    ///   diverged operand fails it): `Detected` one step from now, no
+    ///   simulation needed;
+    /// * `demote` — the action pushes the divergence somewhere the packed
+    ///   representation cannot express (store queue, `d`, a GPR ≥ 64, a
+    ///   load from a diverged address) — reconstruct and run scalar;
+    /// * everything else is propagated in place: ALU results diverge iff
+    ///   the faulty operands evaluate differently, writes of equal values
+    ///   heal, untouched lanes ride along for free.
+    fn advance(
+        &mut self,
+        replay: &Machine,
+        lanes: &[Lane],
+        golden: &Golden,
+        out: &mut Vec<Outcome>,
+    ) -> (LaneSet, LaneSet) {
+        let mut detect = EMPTY_SET;
+        let mut demote = EMPTY_SET;
+        let Some(ins) = replay.ir().copied() else {
+            // Fetch reads only the pcs, which never diverge while tracked.
+            return (detect, demote);
+        };
+        match ins {
+            Instr::Op { op, rd, rs, src2 } => {
+                let a_g = replay.rval(rs.into());
+                let (b_g, rt) = match src2 {
+                    OpSrc::Reg(rt) => (replay.rval(rt.into()), Some(rt)),
+                    OpSrc::Imm(v) => (v.val, None),
+                };
+                let mut readers = self.diverged_in(rs);
+                if let Some(rt) = rt {
+                    or_assign(&mut readers, &self.diverged_in(rt));
+                }
+                if rd.0 >= 64 {
+                    // Result lands outside the packed register window.
+                    or_assign(&mut demote, &readers);
+                } else {
+                    let r_g = op.eval(a_g, b_g);
+                    // Lanes reading a diverged operand recompute; lanes
+                    // diverged only in `rd` heal (clean operands produce
+                    // golden's result on both sides).
+                    or_assign(&mut readers, &self.by_reg[rd.0 as usize]);
+                    for (w, &rw) in readers.iter().enumerate() {
+                        let mut m = rw;
+                        while m != 0 {
+                            let l = w * 64 + m.trailing_zeros() as usize;
+                            m &= m - 1;
+                            let a_f = self.operand(l, rs, a_g);
+                            let b_f = match rt {
+                                Some(rt) => self.operand(l, rt, b_g),
+                                None => b_g,
+                            };
+                            let r_f = op.eval(a_f, b_f);
+                            self.write(l, rd.0, r_f != r_g, r_f, lanes, golden, out);
+                        }
+                    }
+                }
+            }
+            Instr::Mov { rd, .. } => {
+                // A colored constant overwrites both sides identically.
+                if rd.0 < 64 {
+                    let heals = self.by_reg[rd.0 as usize];
+                    for (w, &hw) in heals.iter().enumerate() {
+                        let mut m = hw;
+                        while m != 0 {
+                            let l = w * 64 + m.trailing_zeros() as usize;
+                            m &= m - 1;
+                            self.write(l, rd.0, false, 0, lanes, golden, out);
+                        }
+                    }
+                }
+            }
+            Instr::St {
+                color: Color::Green,
+                rd,
+                rs,
+            } => {
+                // A diverged address or payload enters the store queue —
+                // the divergence escapes the register file.
+                or_assign(&mut demote, &self.diverged_in(rd));
+                or_assign(&mut demote, &self.diverged_in(rs));
+            }
+            Instr::St {
+                color: Color::Blue,
+                rd,
+                rs,
+            } => {
+                // Golden's compare against the queued pair succeeded (it
+                // halted); a diverged operand therefore mismatches:
+                // `stB-mem-fail`, nothing committed, `Fault`.
+                or_assign(&mut detect, &self.diverged_in(rd));
+                or_assign(&mut detect, &self.diverged_in(rs));
+            }
+            Instr::Ld { rd, rs, .. } => {
+                // A diverged address reads other memory (or the queue, or
+                // trips the OOB policy) — demote. A clean address loads the
+                // same value on both sides, healing `rd`.
+                let bad_addr = self.diverged_in(rs);
+                or_assign(&mut demote, &bad_addr);
+                if rd.0 < 64 {
+                    let heals = self.by_reg[rd.0 as usize];
+                    for w in 0..LANE_WORDS {
+                        let mut m = heals[w] & !bad_addr[w];
+                        while m != 0 {
+                            let l = w * 64 + m.trailing_zeros() as usize;
+                            m &= m - 1;
+                            self.write(l, rd.0, false, 0, lanes, golden, out);
+                        }
+                    }
+                }
+            }
+            Instr::Jmp {
+                color: Color::Green,
+                rd,
+            } => {
+                // Golden saw `d = 0` and latches `reg(rd)`: the faulty side
+                // latches its diverged target into `d` — not a GPR delta.
+                or_assign(&mut demote, &self.diverged_in(rd));
+            }
+            Instr::Jmp {
+                color: Color::Blue,
+                rd,
+            } => {
+                // Golden committed (`d ≠ 0`, values equal); the diverged
+                // target fails the compare: `jmpB-fail`.
+                or_assign(&mut detect, &self.diverged_in(rd));
+            }
+            Instr::Bz { color, rz, rd } => {
+                let z_g = replay.rval(rz.into());
+                let zdiv = self.diverged_in(rz);
+                if z_g != 0 {
+                    // Golden falls through (with `d = 0` — it didn't
+                    // fault). A lane whose condition diverged to zero takes
+                    // the branch alone: bzG latches `d` (demote), bzB
+                    // requires `d ≠ 0` (`bzB-taken-fail`, detect). A
+                    // nonzero-but-diverged condition falls through with
+                    // golden, and `rd` is unread on both sides.
+                    for w in 0..LANE_WORDS {
+                        let mut m = zdiv[w];
+                        while m != 0 {
+                            let l = w * 64 + m.trailing_zeros() as usize;
+                            let b = m & m.wrapping_neg();
+                            m &= m - 1;
+                            if self.operand(l, rz, z_g) == 0 {
+                                match color {
+                                    Color::Green => demote[w] |= b,
+                                    Color::Blue => detect[w] |= b,
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    let sink = match color {
+                        // Golden latches `reg(rd)` into `d`. A diverged
+                        // condition (≠ 0, it differs from golden's 0) skips
+                        // the latch; a diverged target latches another
+                        // value — either way `d` diverges.
+                        Color::Green => &mut demote,
+                        // Golden commits the transfer. A diverged condition
+                        // falls through against `d ≠ 0`
+                        // (`bz-untaken-fail`); a diverged target fails the
+                        // compare (`bzB-taken-fail`).
+                        Color::Blue => &mut detect,
+                    };
+                    or_assign(sink, &zdiv);
+                    or_assign(sink, &self.diverged_in(rd));
+                }
+            }
+            Instr::Halt => {}
+        }
+        (detect, demote)
+    }
+}
+
+fn or_assign(dst: &mut LaneSet, src: &LaneSet) {
+    for w in 0..LANE_WORDS {
+        dst[w] |= src[w];
+    }
+}
+
+/// Classify a lane none of whose diverged registers golden ever reads
+/// again (`by_lane & live == 0`): the faulty run replays golden's
+/// remaining actions verbatim, halts at `golden.steps` with golden's
+/// trace, registers golden overwrites heal, and `persist` (the rest)
+/// survives to the final state. `Masked` if nothing survives or the
+/// survivors are all one color (`sim-val-zap` under that color's tag),
+/// `DissimilarState` otherwise — the identical case split, on the
+/// identical masks and colors, as the scalar engine's
+/// `convergence_verdict` and terminal `sim_some_color`.
+fn settled_verdict(persist: u64, replay: &Machine) -> Verdict {
+    let mut zap: Option<talft_isa::Color> = None;
+    let mut bits = persist;
+    while bits != 0 {
+        #[allow(clippy::cast_possible_truncation)]
+        let g = bits.trailing_zeros() as u16;
+        bits &= bits - 1;
+        let c = replay.reg(talft_isa::Reg::r(g)).color;
+        if zap.is_some_and(|z| z != c) {
+            return Verdict::DissimilarState;
+        }
+        zap = Some(c);
+    }
+    Verdict::Masked
+}
+
+/// Step the shared replay over a group of ≤ `LANES_PER_GROUP` lanes,
+/// carrying each as an exact packed register delta: classified `Masked` at
+/// its strike or settle point (O(1)), `Detected` at the blue compare its
+/// divergence provably fails, healed/propagated through ALU traffic in
+/// place — and demoted to the scalar continuation only when the divergence
+/// escapes the register file (store queue, `d`, a diverged load address).
+#[allow(clippy::too_many_arguments)]
+fn run_lockstep(
+    program: &Arc<Program>,
+    cfg: &CampaignConfig,
+    golden: &Golden,
+    plans: &[FaultPlan],
+    lanes: &[Lane],
+    frontier: &mut Option<Machine>,
+    sh: &mut Shadow,
+    out: &mut Vec<Outcome>,
+    demotions: &mut u64,
+) {
+    debug_assert!(lanes.len() <= LANES_PER_GROUP);
+    debug_assert!(!lane_set_any(&sh.tracking));
+    let mut i = 0usize;
+    while i < lanes.len() || lane_set_any(&sh.tracking) {
+        if !lane_set_any(&sh.tracking) {
+            // Nothing in flight: jump the replay to the next strike through
+            // the checkpoint ring instead of stepping across the gap.
+            advance_frontier(frontier, lanes[i].at, program, cfg, golden);
+        }
+        let replay = frontier.as_mut().expect("advance_frontier populates");
+        // Apply strikes due now — before the pending action executes,
+        // exactly where the scalar loop injects them. An equal payload is
+        // no divergence at all: the run *is* the golden run — Masked.
+        while i < lanes.len() && lanes[i].at <= replay.steps() {
+            let l = i;
+            let lane = &lanes[i];
+            i += 1;
+            if lane.value == replay.reg(talft_isa::Reg::r(lane.gpr)).val {
+                out.push(Outcome {
+                    pos: lane.pos,
+                    idx: lane.idx,
+                    verdict: Verdict::Masked,
+                    end_steps: golden.steps,
+                    applied: 1,
+                });
+            } else {
+                sh.track(l, lane.gpr, lane.value);
+            }
+        }
+        if lane_set_any(&sh.tracking) {
+            // Liveness settle: once none of a lane's diverged registers is
+            // read before overwrite in golden's future, its verdict is
+            // decided — see `settled_verdict`. This is also how strikes on
+            // dead registers classify in O(1) at admission, and how the
+            // stragglers classify when the replay halts (the final live
+            // mask is empty). The scan is event-driven: a lane's settle
+            // condition (`by_lane & live == 0`) can newly hold only if its
+            // divergence set changed (`dirty`, set by `track`/`write`) or a
+            // register it holds just left the live mask (`died`) — so only
+            // those candidates are checked, keeping wide groups O(events)
+            // per step rather than O(lanes).
+            let s = usize::try_from(replay.steps()).unwrap_or(usize::MAX);
+            let (live, deadwrite) = golden.reg_liveness.get(s).copied().unwrap_or((0, 0));
+            let mut cand = std::mem::replace(&mut sh.dirty, EMPTY_SET);
+            let mut died = sh.prev_live & !live;
+            sh.prev_live = live;
+            while died != 0 {
+                let g = died.trailing_zeros() as usize;
+                died &= died - 1;
+                or_assign(&mut cand, &sh.by_reg[g]);
+            }
+            for (w, &cw) in cand.iter().enumerate() {
+                let mut m = cw & sh.tracking[w];
+                while m != 0 {
+                    let l = w * 64 + m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if sh.by_lane[l] & live == 0 {
+                        out.push(Outcome {
+                            pos: lanes[l].pos,
+                            idx: lanes[l].idx,
+                            verdict: settled_verdict(sh.by_lane[l] & !deadwrite, replay),
+                            end_steps: golden.steps,
+                            applied: 1,
+                        });
+                        sh.untrack(l);
+                    }
+                }
+            }
+        }
+        if !lane_set_any(&sh.tracking) {
+            if i >= lanes.len() {
+                break;
+            }
+            continue;
+        }
+        // A tracked lane has a live diverged register, so golden still
+        // reads it — the replay cannot have halted.
+        debug_assert!(replay.status().is_running());
+        let (detect, demote) = sh.advance(replay, lanes, golden, out);
+        for (w, &dw) in detect.iter().enumerate() {
+            let mut hit = dw;
+            while hit != 0 {
+                let l = w * 64 + hit.trailing_zeros() as usize;
+                hit &= hit - 1;
+                // The faulting step still counts: the scalar run's fault
+                // lands at `steps() + 1`, with the trace a verified golden
+                // prefix.
+                out.push(Outcome {
+                    pos: lanes[l].pos,
+                    idx: lanes[l].idx,
+                    verdict: Verdict::Detected,
+                    end_steps: replay.steps() + 1,
+                    applied: 1,
+                });
+                sh.untrack(l);
+            }
+        }
+        for (w, &dw) in demote.iter().enumerate() {
+            let mut dm = dw;
+            while dm != 0 {
+                let l = w * 64 + dm.trailing_zeros() as usize;
+                dm &= dm - 1;
+                let lane = &lanes[l];
+                *demotions += 1;
+                // Reconstruct the exact faulty state the scalar run holds
+                // here — the replay plus this lane's packed deltas, golden's
+                // color tags intact — and run the scalar continuation.
+                let fr: &Machine = replay;
+                let sh_ref: &Shadow = &*sh;
+                let outcome = run_isolated(cfg.retry, || {
+                    let mut faulty = fr.clone();
+                    let mut gs = sh_ref.by_lane[l];
+                    while gs != 0 {
+                        #[allow(clippy::cast_possible_truncation)]
+                        let g = gs.trailing_zeros() as u16;
+                        gs &= gs - 1;
+                        let r = talft_isa::Reg::r(g);
+                        let cur = faulty.reg(r);
+                        faulty.set_reg(r, cur.with_val(sh_ref.vals[l * 64 + g as usize]));
+                    }
+                    resume_plan(
+                        &mut faulty,
+                        &plans[lane.idx],
+                        golden,
+                        Some(&golden.checkpoints),
+                        1,
+                        1,
+                    )
+                });
+                let (verdict, end_steps, applied) =
+                    outcome.unwrap_or((Verdict::EngineError, lane.at, 0));
+                out.push(Outcome {
+                    pos: lane.pos,
+                    idx: lane.idx,
+                    verdict,
+                    end_steps,
+                    applied,
+                });
+                sh.untrack(l);
+            }
+        }
+        step(replay);
+    }
+}

@@ -43,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod checkpoint;
 pub mod grid;
 pub mod plan;
@@ -50,6 +51,7 @@ pub mod recovery;
 pub mod shard;
 pub mod wire;
 
+pub use batch::run_plan_campaign_batched;
 pub use checkpoint::CheckpointRing;
 pub use grid::{single_fault_grid, single_fault_grid_against, FaultGrid, GridOutcome};
 pub use plan::{multi_fault_plans, single_fault_plans, FaultPlan, Strike};
@@ -69,7 +71,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use talft_isa::Program;
-use talft_machine::{inject, sim_some_color, step, FaultSite, Machine, OobLoadPolicy, Status};
+use talft_machine::{
+    action_gpr_masks, inject, sim_some_color, step, FaultSite, Machine, OobLoadPolicy, Status,
+};
 use talft_obs::{LazyCounter, LazyHistogram};
 
 static GOLDEN_NS: LazyHistogram = LazyHistogram::new("campaign.golden.ns");
@@ -233,6 +237,12 @@ pub struct CampaignConfig {
     pub checkpoint_stride: u64,
     /// Backoff policy for transient failures (harness/golden panics).
     pub retry: RetryPolicy,
+    /// Route plans through the bit-parallel batched engine
+    /// ([`run_plan_campaign_batched`]) when they qualify. Reports are
+    /// bit-identical either way (the batched-differential test matrix);
+    /// the knob exists for A/B measurement (`campaignperf`, `talftc
+    /// --no-batch`), not because the engines may disagree.
+    pub batch: bool,
 }
 
 impl Default for CampaignConfig {
@@ -249,6 +259,7 @@ impl Default for CampaignConfig {
             stop_on_first_violation: false,
             checkpoint_stride: 0,
             retry: RetryPolicy::default(),
+            batch: true,
         }
     }
 }
@@ -559,24 +570,6 @@ pub struct Golden {
     pub reg_liveness: Vec<(u64, u64)>,
 }
 
-/// GPR `(reads, writes)` bitmasks of the machine's pending action: the
-/// instruction in `ir`, or nothing for a fetch (fetches read only the pcs).
-fn action_gpr_masks(ir: Option<&talft_isa::Instr>) -> (u64, u64) {
-    match ir {
-        None => (0, 0),
-        Some(i) => {
-            let mut reads = 0u64;
-            for g in i.uses() {
-                if g.0 < 64 {
-                    reads |= 1 << g.0;
-                }
-            }
-            let writes = i.def().map_or(0, |g| if g.0 < 64 { 1 << g.0 } else { 0 });
-            (reads, writes)
-        }
-    }
-}
-
 /// Run the fault-free execution (also the Corollary 3 check: a well-typed
 /// program must end `Halted`, never `Fault`).
 ///
@@ -804,8 +797,33 @@ fn advance_frontier(
 /// are assembled in sorted-order position, and gated campaigns
 /// ([`CampaignConfig::stop_on_first_violation`]) reduce to the outcome
 /// prefix ending at the globally first violation.
+///
+/// With [`CampaignConfig::batch`] set (the default) this dispatches to the
+/// bit-parallel batched engine ([`run_plan_campaign_batched`]), which
+/// classifies most masked `k = 1` register faults in O(1) against one
+/// shared golden replay and demotes the rest to the scalar path below —
+/// reports are bit-identical either way. Gated campaigns always take the
+/// scalar path (the batched engine has no deterministic abort order).
 #[must_use]
 pub fn run_plan_campaign(
+    program: &Arc<Program>,
+    cfg: &CampaignConfig,
+    golden: &Golden,
+    plans: &[FaultPlan],
+) -> CampaignReport {
+    if cfg.batch && !cfg.stop_on_first_violation {
+        return run_plan_campaign_batched(program, cfg, golden, plans);
+    }
+    run_plan_campaign_scalar(program, cfg, golden, plans)
+}
+
+/// The E16 checkpointed work-stealing engine: one faulty machine simulated
+/// per plan, frontiers seeded from the golden [`CheckpointRing`], liveness-
+/// aware convergence early-exit. Public so the batched-differential tests
+/// and `campaignperf` can run it head-to-head against
+/// [`run_plan_campaign_batched`]; [`run_plan_campaign`] picks the engine.
+#[must_use]
+pub fn run_plan_campaign_scalar(
     program: &Arc<Program>,
     cfg: &CampaignConfig,
     golden: &Golden,
@@ -1127,9 +1145,24 @@ pub(crate) fn execute_plan(
     golden: &Golden,
     checkpoints: Option<&CheckpointRing>,
 ) -> (Verdict, u64, usize) {
+    resume_plan(m, plan, golden, checkpoints, 0, 0)
+}
+
+/// [`execute_plan`] with the first `next` strikes already applied (`applied`
+/// of them effective) — the continuation a batched lane demotes into. The
+/// machine must be the faulty state the scalar run would hold at this step:
+/// strikes `0..next` injected, every committed output equal to golden's
+/// prefix (the trace watermark is taken as verified). `execute_plan` is the
+/// `next = applied = 0` instantiation.
+pub(crate) fn resume_plan(
+    m: &mut Machine,
+    plan: &FaultPlan,
+    golden: &Golden,
+    checkpoints: Option<&CheckpointRing>,
+    mut next: usize,
+    mut applied: usize,
+) -> (Verdict, u64, usize) {
     let bound = golden.steps + plan.order() as u64;
-    let mut next = 0usize;
-    let mut applied = 0usize;
     // The pre-strike prefix replays the golden run deterministically; start
     // verification at the watermark instead of re-checking it.
     let mut verified = m.trace().len();

@@ -1,0 +1,256 @@
+//! Targeted lane-demotion tests for the batched engine: hand-built
+//! `.talft` fixtures that force each escape from the packed representation
+//! — memory divergence through a corrupted store, a control-flow split
+//! through a corrupted branch condition, and a store-queue depth delta
+//! through a skipped `stG` — and prove the demoted plan's verdict is
+//! exactly the scalar engine's. The `talft-machine` divergence accessors
+//! (`gpr_divergence_mask` / `queue_depth_delta` / `pc_diverged`) witness
+//! that each fixture really does escape the single-register shape the
+//! packed lanes can express.
+
+use std::sync::Arc;
+
+use talft_faultsim::{
+    golden_run, run_plan_campaign_batched, run_plan_campaign_scalar, CampaignConfig, FaultPlan,
+    Verdict,
+};
+use talft_isa::{assemble, Reg};
+use talft_machine::{inject, step, FaultSite, Machine};
+
+const PRE: &str = ".pre { forall m:mem; mem: m; }";
+
+fn arc(src: &str) -> Arc<talft_isa::Program> {
+    Arc::new(assemble(src).expect("fixture assembles").program)
+}
+
+fn cfg() -> CampaignConfig {
+    CampaignConfig {
+        threads: 1,
+        ..CampaignConfig::default()
+    }
+}
+
+/// Run one plan through both engines; assert bit-identical reports and
+/// return the (shared) verdict of its lead injection.
+fn agreed_verdict(program: &Arc<talft_isa::Program>, plan: FaultPlan) -> Verdict {
+    let golden = golden_run(program, &cfg()).expect("golden halts");
+    let plans = vec![plan];
+    let scalar = run_plan_campaign_scalar(program, &cfg(), &golden, &plans);
+    let batched = run_plan_campaign_batched(program, &cfg(), &golden, &plans);
+    assert_eq!(
+        batched, scalar,
+        "demoted plan's report diverged from the scalar engine"
+    );
+    assert_eq!(batched.total, 1);
+    if batched.masked == 1 {
+        Verdict::Masked
+    } else if batched.detected == 1 {
+        Verdict::Detected
+    } else {
+        batched.violations[0].verdict
+    }
+}
+
+/// Golden prefix at `at` steps, with `value` injected into `reg` — the
+/// faulty state a demoted lane reconstructs.
+fn faulty_at(program: &Arc<talft_isa::Program>, at: u64, reg: Reg, value: i64) -> Machine {
+    let mut m = Machine::boot(Arc::clone(program));
+    while m.steps() < at && m.status().is_running() {
+        step(&mut m);
+    }
+    assert!(inject(&mut m, FaultSite::Reg(reg), value));
+    m
+}
+
+/// Step both machines until `stop` says so or both halt; a side that halts
+/// early (e.g. golden taking the short branch arm) stays put while the
+/// other finishes.
+fn run_until(
+    golden: &mut Machine,
+    faulty: &mut Machine,
+    mut stop: impl FnMut(&Machine, &Machine) -> bool,
+) {
+    while (golden.status().is_running() || faulty.status().is_running()) && !stop(golden, faulty) {
+        if golden.status().is_running() {
+            step(golden);
+        }
+        if faulty.status().is_running() {
+            step(faulty);
+        }
+    }
+}
+
+/// Memory divergence: the unprotected same-register store pair commits a
+/// corrupted value to memory — SDC. The strike hits `r1` (the store value)
+/// while it is live; the lane must demote at the `stG` read and the
+/// demoted continuation must land on the scalar engine's `Sdc`.
+#[test]
+fn memory_divergence_demotes_to_sdc() {
+    let src = format!(
+        "\n.data\nregion out at 4096 len 1 : int output\n.code\nmain:\n  {PRE}\n  \
+         mov r1, G 5\n  mov r2, G 4096\n  stG r2, r1\n  stB r2, r1\n  halt\n"
+    );
+    let p = arc(&src);
+    // Strike after `mov r1` has executed (r1 = 5), before the stores read it.
+    let plan = FaultPlan::single(2, FaultSite::Reg(Reg::r(1)), 1234);
+    assert_eq!(agreed_verdict(&p, plan), Verdict::Sdc);
+    // Witness the escape shape: after both stores commit, the faulty run's
+    // *memory* differs from golden — beyond any packed GPR mask.
+    let mut golden = Machine::boot(Arc::clone(&p));
+    let mut faulty = faulty_at(&p, 2, Reg::r(1), 1234);
+    run_until(&mut golden, &mut faulty, |g, _| !g.status().is_running());
+    assert_ne!(
+        golden.memory(),
+        faulty.memory(),
+        "store committed the corruption"
+    );
+    assert_ne!(
+        golden.trace(),
+        faulty.trace(),
+        "the divergence is observable"
+    );
+}
+
+/// Protected store pair: the same live-register strike is *caught* by the
+/// `stB` comparison — the lane demotes identically but the continuation
+/// reaches `Detected`, never memory divergence.
+#[test]
+fn protected_store_demotes_to_detected() {
+    let src = format!(
+        "\n.data\nregion out at 4096 len 1 : int output\n.code\nmain:\n  {PRE}\n  \
+         mov r1, G 5\n  mov r2, G 4096\n  stG r2, r1\n  mov r3, B 5\n  mov r4, B 4096\n  \
+         stB r4, r3\n  halt\n"
+    );
+    let p = arc(&src);
+    let plan = FaultPlan::single(2, FaultSite::Reg(Reg::r(1)), 1234);
+    assert_eq!(agreed_verdict(&p, plan), Verdict::Detected);
+}
+
+/// Control-flow split: corrupting a live branch condition makes the faulty
+/// run take the other arm — `pc_diverged` fires, queue depths drift apart
+/// (the fallthrough arm pushes a store the taken arm never does), and the
+/// demoted continuation must match the scalar engine verdict-for-verdict.
+///
+/// Both `bz` halves read the *same* condition register so the corruption
+/// flips them coherently: the machine's `rval` is color-blind, and a
+/// coherent flip is exactly the shape where control forks *without*
+/// tripping `fetch-fail` — the worst case for a packed lane.
+#[test]
+fn control_flow_split_demotes_and_matches_scalar() {
+    // r1 = 0: the branch pair is taken, skipping the store pair entirely.
+    let src = format!(
+        "\n.data\nregion out at 4096 len 1 : int output\n.code\nmain:\n  {PRE}\n  \
+         mov r1, G 0\n  mov r3, G @done\n  mov r4, B @done\n  \
+         bzG r1, r3\n  bzB r1, r4\n  mov r5, G 7\n  mov r2, G 4096\n  stG r2, r5\n  \
+         stB r2, r5\n  halt\ndone:\n  {PRE}\n  halt\n"
+    );
+    let p = arc(&src);
+    let golden_rep = golden_run(&p, &cfg()).expect("golden halts");
+    // Corrupt r1 to nonzero right after its mov: both bz halves go untaken
+    // together while golden jumps — control forks cleanly and the faulty
+    // run commits a store golden never performs. The exact verdict is the
+    // scalar engine's business; the batched engine must only *agree*.
+    let at = 2; // after `mov r1` executed, before the branch pair reads it
+    let plan = FaultPlan::single(at, FaultSite::Reg(Reg::r(1)), 1);
+    let scalar = run_plan_campaign_scalar(&p, &cfg(), &golden_rep, std::slice::from_ref(&plan));
+    let batched = run_plan_campaign_batched(&p, &cfg(), &golden_rep, &[plan]);
+    assert_eq!(batched, scalar, "control split changed the verdict");
+    assert_eq!(batched.total, 1);
+    assert_eq!(
+        batched.masked, 0,
+        "a live branch-condition strike is not masked"
+    );
+    // Witness: the two runs really do fork control and drift queue depth.
+    let mut golden = Machine::boot(Arc::clone(&p));
+    let mut faulty = faulty_at(&p, at, Reg::r(1), 1);
+    let mut forked = false;
+    let mut depth_drift = false;
+    run_until(&mut golden, &mut faulty, |g, f| {
+        forked |= g.pc_diverged(f);
+        depth_drift |= g.queue_depth_delta(f) != 0;
+        forked && depth_drift
+    });
+    assert!(forked, "branch corruption must fork control flow");
+    assert!(
+        depth_drift,
+        "one arm pushes a store pair the other never does"
+    );
+}
+
+/// Queue-depth overflow mid-batch: strike the *address* register between
+/// `stG` and `stB` of a protected pair. The register is live (the `stB`
+/// reads it), so the lane demotes mid-flight with the corrupt entry
+/// conceptually in the queue; the blue store disagrees and the hardware
+/// detects. Both engines must report the identical `Detected`.
+#[test]
+fn queue_window_strike_demotes_to_detected() {
+    // Blue copies are materialized *before* the `stG` so that at the first
+    // nonempty-queue step both are already holding their final values —
+    // the strike lands inside the open store window, not before the movs.
+    let src = format!(
+        "\n.data\nregion out at 4096 len 1 : int output\n.code\nmain:\n  {PRE}\n  \
+         mov r1, G 5\n  mov r2, G 4096\n  mov r3, B 5\n  mov r4, B 4096\n  \
+         stG r2, r1\n  stB r4, r3\n  halt\n"
+    );
+    let p = arc(&src);
+    // After stG executes (queue holds one entry), corrupt r3 — the blue
+    // value the comparison will read.
+    let golden_rep = golden_run(&p, &cfg()).expect("golden halts");
+    let mut at = None;
+    {
+        let mut m = Machine::boot(Arc::clone(&p));
+        while m.status().is_running() {
+            if !m.queue().is_empty() {
+                at = Some(m.steps());
+                break;
+            }
+            step(&mut m);
+        }
+    }
+    let at = at.expect("fixture pushes a store pair");
+    for (reg, val) in [(Reg::r(3), 9), (Reg::r(4), 5000)] {
+        let plan = FaultPlan::single(at, FaultSite::Reg(reg), val);
+        let scalar = run_plan_campaign_scalar(&p, &cfg(), &golden_rep, std::slice::from_ref(&plan));
+        let batched = run_plan_campaign_batched(&p, &cfg(), &golden_rep, &[plan]);
+        assert_eq!(batched, scalar, "queue-window strike on {reg:?} diverged");
+        assert_eq!(batched.detected, 1, "stB must catch the {reg:?} corruption");
+    }
+}
+
+/// The demotion path is *exercised*, not skipped: with instrumentation on,
+/// a campaign over a program whose every register strike is live must
+/// count packed lanes and demotions.
+#[test]
+fn demotion_counters_advance() {
+    let src = format!(
+        "\n.data\nregion out at 4096 len 1 : int output\n.code\nmain:\n  {PRE}\n  \
+         mov r1, G 5\n  mov r2, G 4096\n  stG r2, r1\n  mov r3, B 5\n  mov r4, B 4096\n  \
+         stB r4, r3\n  halt\n"
+    );
+    let p = arc(&src);
+    let golden = golden_run(&p, &cfg()).expect("golden halts");
+    let plans = talft_faultsim::single_fault_plans(&p, &cfg(), &golden);
+    let prev = talft_obs::enabled();
+    talft_obs::set_enabled(true);
+    let before = talft_obs::snapshot();
+    let rep = run_plan_campaign_batched(&p, &cfg(), &golden, &plans);
+    let after = talft_obs::snapshot();
+    talft_obs::set_enabled(prev);
+    let delta = |name: &str| {
+        after.counters.get(name).copied().unwrap_or(0)
+            - before.counters.get(name).copied().unwrap_or(0)
+    };
+    assert!(rep.total > 0);
+    let lanes = delta("faultsim.batch.lanes");
+    let demotions = delta("faultsim.batch.demotions");
+    let routed = delta("faultsim.batch.scalar_routed");
+    assert!(lanes > 0, "no plan entered the packed representation");
+    assert!(demotions > 0, "no lane demoted on an all-live fixture");
+    assert!(routed > 0, "queue/pc/d sites must take the scalar route");
+    assert_eq!(
+        lanes + routed,
+        rep.total,
+        "every plan is either a lane or scalar-routed"
+    );
+    assert!(demotions <= lanes);
+}

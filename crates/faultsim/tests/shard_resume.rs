@@ -9,7 +9,10 @@
 //!   checkpoint round-tripped through its durable JSON form exactly as a
 //!   successor process would read it off disk — resumes and merges to the
 //!   same bit-identical report, at threads 1 and 8 and fault orders
-//!   `k ∈ {1, 2}`, even when the resumed run uses a *different* chunk size.
+//!   `k ∈ {1, 2}`, even when the resumed run uses a *different* chunk size;
+//! * all of the above holds with the bit-parallel batched engine on *and*
+//!   off (`CampaignConfig::batch`, ISSUE 7): whole grid, shard union, and
+//!   interrupt/resume land on one canonical report either way.
 
 use std::sync::Arc;
 
@@ -229,4 +232,71 @@ fn interrupted_shard_resumes_bit_identically() {
         "expected the mid-grid interruption path to actually fire \
          (got {interruptions} interruptions)"
     );
+}
+
+/// ISSUE 7 satellite: the shard layer consumes the batched engine
+/// unchanged. For a protected and an unprotected binary, the whole-grid
+/// report, the 4-way shard union, and an interrupted-then-resumed 2-way
+/// merge must all be bit-identical with `batch` on and off — one canonical
+/// report per binary, six ways of computing it.
+#[test]
+fn shard_paths_are_bit_identical_with_batching_on_and_off() {
+    let k = &kernels(Scale::Tiny)[0];
+    let c = compile(&k.source, &CompileOptions::default()).expect("compiles");
+    for (p, protected) in [(&c.protected.program, true), (&c.baseline.program, false)] {
+        let mut canonical: Option<CampaignReport> = None;
+        for batch in [true, false] {
+            let cfg = CampaignConfig {
+                stride: 127,
+                mutations_per_site: 1,
+                threads: 3,
+                batch,
+                ..CampaignConfig::default()
+            };
+            let golden = golden_run(p, &cfg).expect("golden halts");
+            let plans = single_fault_plans(p, &cfg, &golden);
+            assert!(plans.len() >= 16, "{}: grid too small", k.name);
+            let whole = run_plan_campaign(p, &cfg, &golden, &plans);
+            if protected {
+                assert_eq!(whole.sdc, 0, "{}: Theorem 4 violated", k.name);
+            }
+            match &canonical {
+                None => canonical = Some(whole.clone()),
+                Some(c0) => assert_eq!(
+                    &whole, c0,
+                    "{}: whole-grid report changed with batch={batch}",
+                    k.name
+                ),
+            }
+            let merged = merged_over_shards(p, &cfg, &golden, &plans, 4);
+            assert_eq!(
+                merged, whole,
+                "{}: shard union diverged with batch={batch}",
+                k.name
+            );
+            let (part0, _) = interrupted_then_resumed_part(
+                p,
+                &cfg,
+                &golden,
+                &plans,
+                ShardSpec::new(0, 2).expect("valid"),
+                3,
+                1,
+            );
+            let part1 = complete_part(
+                p,
+                &cfg,
+                &golden,
+                &plans,
+                ShardSpec::new(1, 2).expect("valid"),
+                3,
+            );
+            let resumed = merge_shard_reports(&[part0, part1]).expect("partition merges");
+            assert_eq!(
+                resumed, whole,
+                "{}: interrupt/resume diverged with batch={batch}",
+                k.name
+            );
+        }
+    }
 }

@@ -1,0 +1,152 @@
+//! Cheap divergence probes between two machines running the same program —
+//! the observability layer under the bit-parallel batched campaign engine
+//! (`talft-faultsim::batch`, DESIGN.md §12).
+//!
+//! A batched campaign lane stays in the packed representation only while its
+//! divergence from the shared golden replay is a *single same-color GPR
+//! value*. These accessors let the engine (and its demotion tests) witness
+//! exactly which component escaped: the GPR mask, a queue-depth delta (a
+//! `stG`/`stB` executed differently), or a pc/`ir` split (control flow
+//! forked). They are diagnostics over public machine state, not part of the
+//! operational semantics, and make no precondition on the two machines
+//! beyond sharing a program shape.
+
+use talft_isa::{Color, Instr, Reg};
+
+use crate::state::Machine;
+
+/// GPR `(reads, writes)` bitmasks of a machine's pending action: the
+/// instruction in `ir`, or nothing for a fetch (fetches read only the pcs).
+///
+/// `uses()` over-approximates the dynamic GPR reads of every operational
+/// rule for the instruction (including its failure rules), and `def()` is
+/// exactly the GPR written on the non-faulting rule — the contract the
+/// golden-run liveness scan and the batched engine's read-demotion check
+/// both rely on. Registers at index ≥ 64 cannot be represented and are
+/// dropped from the masks; callers gate on `num_gprs ≤ 64`.
+#[must_use]
+pub fn action_gpr_masks(ir: Option<&Instr>) -> (u64, u64) {
+    match ir {
+        None => (0, 0),
+        Some(i) => {
+            let mut reads = 0u64;
+            for g in i.uses() {
+                if g.0 < 64 {
+                    reads |= 1 << g.0;
+                }
+            }
+            let writes = i.def().map_or(0, |g| if g.0 < 64 { 1 << g.0 } else { 0 });
+            (reads, writes)
+        }
+    }
+}
+
+impl Machine {
+    /// Bitmask of GPR indices (< 64) where the two machines hold different
+    /// `CVal`s — value *or* color. Unlike
+    /// [`Machine::diverged_gprs_trace_verified`] this makes no claim about
+    /// the rest of the state; it is the raw register diff.
+    #[must_use]
+    pub fn gpr_divergence_mask(&self, other: &Machine) -> u64 {
+        let n = self.num_gprs().min(other.num_gprs()).min(64);
+        let mut mask = 0u64;
+        for i in 0..n {
+            if self.reg(Reg::r(i)) != other.reg(Reg::r(i)) {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
+    /// Signed difference in store-queue depth, `self − other`. A nonzero
+    /// delta means a `stG` or `stB` executed on one side but not the other —
+    /// the lane has escaped the single-register divergence shape.
+    #[must_use]
+    #[allow(clippy::cast_possible_wrap)]
+    pub fn queue_depth_delta(&self, other: &Machine) -> i64 {
+        self.queue().len() as i64 - other.queue().len() as i64
+    }
+
+    /// Whether control state has forked: either pc differs or the fetched
+    /// `ir` differs. Once this is true the two runs are no longer executing
+    /// the same action sequence.
+    #[must_use]
+    pub fn pc_diverged(&self, other: &Machine) -> bool {
+        self.reg(Reg::Pc(Color::Green)) != other.reg(Reg::Pc(Color::Green))
+            || self.reg(Reg::Pc(Color::Blue)) != other.reg(Reg::Pc(Color::Blue))
+            || self.ir() != other.ir()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use talft_isa::{assemble, CVal};
+
+    fn arc(src: &str) -> Arc<talft_isa::Program> {
+        Arc::new(assemble(src).expect("assembles").program)
+    }
+
+    const PROG: &str = "\n.data\nregion out at 4096 len 1 : int output\n.code\nmain:\n  .pre { forall m:mem; mem: m; }\n  mov r1, G 5\n  mov r2, G 4096\n  stG r2, r1\n  mov r3, B 5\n  mov r4, B 4096\n  stB r4, r3\n  halt\n";
+
+    #[test]
+    fn identical_machines_show_no_divergence() {
+        let m = Machine::boot(arc(PROG));
+        let n = m.clone();
+        assert_eq!(m.gpr_divergence_mask(&n), 0);
+        assert_eq!(m.queue_depth_delta(&n), 0);
+        assert!(!m.pc_diverged(&n));
+    }
+
+    #[test]
+    fn register_corruption_shows_in_gpr_mask_only() {
+        let m = Machine::boot(arc(PROG));
+        let mut n = m.clone();
+        n.set_reg(Reg::r(3), CVal::green(99));
+        assert_eq!(m.gpr_divergence_mask(&n), 1 << 3);
+        assert_eq!(m.queue_depth_delta(&n), 0);
+        assert!(!m.pc_diverged(&n));
+        // Color-only flips count as divergence too (sim_c is color-aware).
+        let mut c = m.clone();
+        let old = c.reg(Reg::r(5));
+        c.set_reg(Reg::r(5), CVal::blue(old.val));
+        assert_eq!(m.gpr_divergence_mask(&c), 1 << 5);
+    }
+
+    #[test]
+    fn queue_and_pc_divergence_are_detected() {
+        let p = arc(PROG);
+        let m = Machine::boot(Arc::clone(&p));
+        let mut n = m.clone();
+        // Step one side through the fetch+exec of `mov r1`: pc moves.
+        crate::step(&mut n);
+        assert!(m.pc_diverged(&n) || m.ir() != n.ir());
+        // Run one side up to the stG (queue push) and compare depths.
+        let mut q = Machine::boot(Arc::clone(&p));
+        for _ in 0..6 {
+            crate::step(&mut q);
+        }
+        assert!(q.queue_depth_delta(&m) > 0, "stG must have pushed");
+        assert_eq!(m.queue_depth_delta(&q), -q.queue_depth_delta(&m));
+    }
+
+    #[test]
+    fn action_masks_match_instruction_shape() {
+        // A fetch (ir = None) touches no GPRs.
+        assert_eq!(action_gpr_masks(None), (0, 0));
+        let p = arc(PROG);
+        let mut m = Machine::boot(p);
+        crate::step(&mut m); // fetch: ir = mov r1, G 5
+        let (reads, writes) = action_gpr_masks(m.ir());
+        assert_eq!(reads, 0, "mov reads no GPRs");
+        assert_eq!(writes, 1 << 1, "mov writes r1");
+        for _ in 0..4 {
+            crate::step(&mut m);
+        }
+        // ir = stG r2, r1: reads both, writes none.
+        let (reads, writes) = action_gpr_masks(m.ir());
+        assert_eq!(reads, (1 << 1) | (1 << 2));
+        assert_eq!(writes, 0);
+    }
+}

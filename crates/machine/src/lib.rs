@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod divergence;
 pub mod fault;
 pub mod run;
 pub mod sim;
@@ -24,6 +25,7 @@ pub mod state;
 pub mod step;
 
 pub use audit::{audit_pending, run_audited, AuditViolation};
+pub use divergence::action_gpr_masks;
 pub use fault::{colored_reg_sites, inject, mutations, read_site, sites, FaultSite};
 pub use run::{run, run_program, run_program_with_policy, RunResult};
 pub use sim::{sim_queue, sim_regs, sim_some_color, sim_state, sim_val};
