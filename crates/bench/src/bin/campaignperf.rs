@@ -16,7 +16,10 @@
 //!    count. All three reports must be bit-identical and SDC must be zero
 //!    (Theorem 4); the row records each engine's wall time and plans/sec,
 //!    and the document carries per-engine verdict totals so `--check` can
-//!    re-prove the agreement offline.
+//!    re-prove the agreement offline. The `batch` object breaks demotions
+//!    down by cause (the `faultsim.batch.demote.*` counters) and records
+//!    the multi-strike lane count, so the residual scalar work is
+//!    attributable from the report alone.
 //!
 //! Usage: `cargo run --release -p talft-bench --bin campaignperf
 //!          [--json <path>] [--check <path>] [--threads N] [--stride N]
@@ -28,9 +31,10 @@
 //! `--checkpoint-stride` defaults to 0 (engine auto). `--check <path>`
 //! parses an existing report with the dep-free [`talft_obs::Json`] parser
 //! and gates on the *count* invariants — nonzero checkpoint reuse, nonzero
-//! cache hits, nonzero batched lanes, zero SDC, and field-by-field
-//! equality of the per-engine verdict totals — never on timings, which
-//! vary by machine.
+//! cache hits, nonzero batched lanes, a per-cause demotion breakdown that
+//! sums to the demotion total, a demoted-lane fraction of at most 2%, zero
+//! SDC, and field-by-field equality of the per-engine verdict totals —
+//! never on timings, which vary by machine.
 
 use std::time::Instant;
 
@@ -44,7 +48,7 @@ use talft_faultsim::{
 use talft_obs::Json;
 use talft_suite::{kernels, Scale};
 
-/// Required top-level keys of a `talft.campaignperf.v2` document.
+/// Required top-level keys of a `talft.campaignperf.v3` document.
 const REQUIRED: &[&str] = &[
     "schema",
     "threads",
@@ -67,6 +71,17 @@ const VERDICT_FIELDS: &[&str] = &[
     "other_violations",
     "engine_errors",
     "incomplete_plans",
+];
+
+/// The demotion-cause counters, in taxonomy order; `--check` demands they
+/// sum exactly to `batch.demotions`.
+const DEMOTE_CAUSES: &[&str] = &[
+    "queue_addr",
+    "mem_commit",
+    "gpr_hi",
+    "load_addr",
+    "control_fork",
+    "terminal",
 ];
 
 /// Summed verdict counts for one engine across every kernel.
@@ -224,7 +239,7 @@ fn main() {
     }
     let campaign = talft_obs::snapshot();
 
-    let json = Report::new("talft.campaignperf.v2")
+    let json = Report::new("talft.campaignperf.v3")
         .field("threads", Json::U64(threads as u64))
         .field("stride", Json::U64(stride))
         .field("checkpoint_stride", Json::U64(checkpoint_stride))
@@ -298,12 +313,25 @@ fn main() {
                     Json::U64(counter(&campaign, "faultsim.batch.lanes")),
                 ),
                 (
+                    "multi_lanes",
+                    Json::U64(counter(&campaign, "faultsim.batch.multi_lanes")),
+                ),
+                (
                     "demotions",
                     Json::U64(counter(&campaign, "faultsim.batch.demotions")),
                 ),
                 (
                     "scalar_routed",
                     Json::U64(counter(&campaign, "faultsim.batch.scalar_routed")),
+                ),
+                (
+                    "demote",
+                    Json::obj(DEMOTE_CAUSES.iter().map(|c| {
+                        (
+                            *c,
+                            Json::U64(counter(&campaign, &format!("faultsim.batch.demote.{c}"))),
+                        )
+                    })),
                 ),
             ]),
         )
@@ -374,7 +402,7 @@ fn check_existing(path: &str) {
             std::process::exit(1);
         }
     }
-    if json.get("schema").and_then(Json::as_str) != Some("talft.campaignperf.v2") {
+    if json.get("schema").and_then(Json::as_str) != Some("talft.campaignperf.v3") {
         eprintln!("campaignperf: {path} has an unexpected schema tag");
         std::process::exit(1);
     }
@@ -397,6 +425,44 @@ fn check_existing(path: &str) {
     }
     if u64_at(&json, "batch", "lanes") == 0 {
         fail("batched engine never packed a lane (batch.lanes == 0)");
+    }
+    // The demotion-cause taxonomy is total, and the queue/`d` shadows keep
+    // the residual scalar work small: at most 2% of admitted lanes may
+    // demote. Both are count invariants — a regression here means shadow
+    // coverage shrank, not that the machine got slower.
+    let lanes = u64_at(&json, "batch", "lanes");
+    let demotions = u64_at(&json, "batch", "demotions");
+    let cause_sum: u64 = DEMOTE_CAUSES
+        .iter()
+        .map(|c| {
+            match json
+                .get("batch")
+                .and_then(|b| b.get("demote"))
+                .and_then(|d| d.get(c))
+                .and_then(Json::as_u64)
+            {
+                Some(v) => v,
+                None => fail(&format!("missing batch.demote.{c}")),
+            }
+        })
+        .sum();
+    if cause_sum != demotions {
+        fail(&format!(
+            "per-cause demotions sum to {cause_sum} but batch.demotions is {demotions}"
+        ));
+    }
+    if demotions * 50 > lanes {
+        fail(&format!(
+            "demoted-lane fraction {demotions}/{lanes} exceeds the 2% budget"
+        ));
+    }
+    if json
+        .get("batch")
+        .and_then(|b| b.get("multi_lanes"))
+        .and_then(Json::as_u64)
+        .is_none()
+    {
+        fail("missing batch.multi_lanes");
     }
     let Some(Json::Array(rows)) = json.get("rows") else {
         fail("rows is not an array");
@@ -446,5 +512,5 @@ fn check_existing(path: &str) {
     {
         fail("protected-suite totals report nonzero SDC");
     }
-    println!("campaignperf: {path} OK (schema talft.campaignperf.v2, engines agree)");
+    println!("campaignperf: {path} OK (schema talft.campaignperf.v3, engines agree)");
 }

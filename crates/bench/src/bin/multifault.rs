@@ -69,7 +69,7 @@ fn main() {
         kn_det as f64 / kn_exposed as f64
     };
     report::emit(|| {
-        Report::new("talft.multifault.v1")
+        Report::new("talft.multifault.v2")
             .field("k", Json::U64(u64::from(k)))
             .field("seed", Json::U64(seed))
             .field("stride", Json::U64(stride))

@@ -173,7 +173,7 @@ pub fn coverage_json(rows: &[CoverageRow]) -> Json {
     )
 }
 
-/// Multifault rows (`talft.multifault.v1` payload).
+/// Multifault rows (`talft.multifault.v2` payload).
 #[must_use]
 pub fn multifault_json(rows: &[MultifaultRow]) -> Json {
     Json::Array(
@@ -183,6 +183,9 @@ pub fn multifault_json(rows: &[MultifaultRow]) -> Json {
                     ("name", Json::str(r.name)),
                     ("k", Json::U64(u64::from(r.k))),
                     ("protected", campaign_json(&r.protected)),
+                    ("batched_secs", Json::F64(r.batched_secs)),
+                    ("scalar_secs", Json::F64(r.scalar_secs)),
+                    ("speedup", Json::F64(r.speedup())),
                 ])
             })
             .collect(),

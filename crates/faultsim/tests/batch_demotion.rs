@@ -1,23 +1,57 @@
-//! Targeted lane-demotion tests for the batched engine: hand-built
-//! `.talft` fixtures that force each escape from the packed representation
-//! — memory divergence through a corrupted store, a control-flow split
-//! through a corrupted branch condition, and a store-queue depth delta
-//! through a skipped `stG` — and prove the demoted plan's verdict is
-//! exactly the scalar engine's. The `talft-machine` divergence accessors
-//! (`gpr_divergence_mask` / `queue_depth_delta` / `pc_diverged`) witness
-//! that each fixture really does escape the single-register shape the
-//! packed lanes can express.
+//! Targeted lane-shadow and demotion tests for the batched engine:
+//! hand-built `.talft` fixtures that force each exit from the packed
+//! representation and prove the batched report is exactly the scalar
+//! engine's. Since the queue/`d` shadows landed (ISSUE 8) a corrupted
+//! value flowing into a blue compare is no longer a demotion — the lane
+//! resolves it *in place*: a failing compare on the lane while golden
+//! passes is an instant in-lane `Detected`, and only a compare the lane
+//! *passes with diverged state* (a corrupt commit, a coherent control
+//! fork) demotes, with the cause recorded on a
+//! `faultsim.batch.demote.*` counter. The `talft-machine` divergence
+//! accessors (`gpr_divergence_mask` / `queue_value_divergence_mask` /
+//! `d_diverged` / `pc_diverged`) witness that each fixture really does
+//! reach the claimed shape.
+//!
+//! All tests serialize on one lock: the demote/lane counters are
+//! process-global, and the `== 0` assertions below are only meaningful
+//! when no concurrent campaign is recording.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use talft_faultsim::{
     golden_run, run_plan_campaign_batched, run_plan_campaign_scalar, CampaignConfig, FaultPlan,
     Verdict,
 };
-use talft_isa::{assemble, Reg};
+use talft_isa::{assemble, Color, Reg};
 use talft_machine::{inject, step, FaultSite, Machine};
+use talft_obs::Snapshot;
 
 const PRE: &str = ".pre { forall m:mem; mem: m; }";
+
+/// Serializes every test in this file: obs counters are process-global,
+/// and several assertions below demand an *exact* delta.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn obs_lock() -> MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn delta(before: &Snapshot, after: &Snapshot, name: &str) -> u64 {
+    after.counters.get(name).copied().unwrap_or(0) - before.counters.get(name).copied().unwrap_or(0)
+}
+
+/// Run `body` with instrumentation on (under the file lock) and return its
+/// result plus the before/after counter snapshots.
+fn with_obs<R>(body: impl FnOnce() -> R) -> (R, Snapshot, Snapshot) {
+    let _g = obs_lock();
+    let prev = talft_obs::enabled();
+    talft_obs::set_enabled(true);
+    let before = talft_obs::snapshot();
+    let out = body();
+    let after = talft_obs::snapshot();
+    talft_obs::set_enabled(prev);
+    (out, before, after)
+}
 
 fn arc(src: &str) -> Arc<talft_isa::Program> {
     Arc::new(assemble(src).expect("fixture assembles").program)
@@ -39,7 +73,7 @@ fn agreed_verdict(program: &Arc<talft_isa::Program>, plan: FaultPlan) -> Verdict
     let batched = run_plan_campaign_batched(program, &cfg(), &golden, &plans);
     assert_eq!(
         batched, scalar,
-        "demoted plan's report diverged from the scalar engine"
+        "batched plan's report diverged from the scalar engine"
     );
     assert_eq!(batched.total, 1);
     if batched.masked == 1 {
@@ -82,8 +116,11 @@ fn run_until(
 
 /// Memory divergence: the unprotected same-register store pair commits a
 /// corrupted value to memory — SDC. The strike hits `r1` (the store value)
-/// while it is live; the lane must demote at the `stG` read and the
-/// demoted continuation must land on the scalar engine's `Sdc`.
+/// while it is live; the corruption enters the queue as a value shadow at
+/// the `stG`, and at the `stB` the lane *passes* the compare (both the
+/// register and the shadowed queue entry hold the same corrupt value) while
+/// committing a diverged word — the `mem_commit` demotion, whose
+/// continuation must land on the scalar engine's `Sdc`.
 #[test]
 fn memory_divergence_demotes_to_sdc() {
     let src = format!(
@@ -93,9 +130,15 @@ fn memory_divergence_demotes_to_sdc() {
     let p = arc(&src);
     // Strike after `mov r1` has executed (r1 = 5), before the stores read it.
     let plan = FaultPlan::single(2, FaultSite::Reg(Reg::r(1)), 1234);
-    assert_eq!(agreed_verdict(&p, plan), Verdict::Sdc);
+    let (verdict, before, after) = with_obs(|| agreed_verdict(&p, plan));
+    assert_eq!(verdict, Verdict::Sdc);
+    assert_eq!(
+        delta(&before, &after, "faultsim.batch.demote.mem_commit"),
+        1,
+        "a passed compare over a diverged commit is the mem_commit demotion"
+    );
     // Witness the escape shape: after both stores commit, the faulty run's
-    // *memory* differs from golden — beyond any packed GPR mask.
+    // *memory* differs from golden — beyond any packed shadow.
     let mut golden = Machine::boot(Arc::clone(&p));
     let mut faulty = faulty_at(&p, 2, Reg::r(1), 1234);
     run_until(&mut golden, &mut faulty, |g, _| !g.status().is_running());
@@ -111,11 +154,13 @@ fn memory_divergence_demotes_to_sdc() {
     );
 }
 
-/// Protected store pair: the same live-register strike is *caught* by the
-/// `stB` comparison — the lane demotes identically but the continuation
-/// reaches `Detected`, never memory divergence.
+/// Protected store pair: the same live-register strike flows through the
+/// queue shadow into the `stB` comparison, which *fails* on the lane (the
+/// clean blue copy disagrees with the shadowed green value) while golden
+/// passes — an instant in-lane `Detected`. No demotion: the lane never
+/// leaves the packed representation.
 #[test]
-fn protected_store_demotes_to_detected() {
+fn protected_store_detects_in_lane() {
     let src = format!(
         "\n.data\nregion out at 4096 len 1 : int output\n.code\nmain:\n  {PRE}\n  \
          mov r1, G 5\n  mov r2, G 4096\n  stG r2, r1\n  mov r3, B 5\n  mov r4, B 4096\n  \
@@ -123,18 +168,27 @@ fn protected_store_demotes_to_detected() {
     );
     let p = arc(&src);
     let plan = FaultPlan::single(2, FaultSite::Reg(Reg::r(1)), 1234);
-    assert_eq!(agreed_verdict(&p, plan), Verdict::Detected);
+    let (verdict, before, after) = with_obs(|| agreed_verdict(&p, plan));
+    assert_eq!(verdict, Verdict::Detected);
+    assert_eq!(delta(&before, &after, "faultsim.batch.lanes"), 1);
+    assert_eq!(
+        delta(&before, &after, "faultsim.batch.demotions"),
+        0,
+        "a failing blue compare resolves in-lane, not by demotion"
+    );
 }
 
 /// Control-flow split: corrupting a live branch condition makes the faulty
-/// run take the other arm — `pc_diverged` fires, queue depths drift apart
-/// (the fallthrough arm pushes a store the taken arm never does), and the
-/// demoted continuation must match the scalar engine verdict-for-verdict.
+/// run skip the latch golden performs at the `bzG` — the missing `d` rides
+/// as a `d`-latch shadow to the `bzB`, where golden commits a transfer the
+/// lane coherently refuses: control forks without a failing compare, the
+/// `control_fork` demotion. The demoted continuation must match the scalar
+/// engine verdict-for-verdict.
 ///
 /// Both `bz` halves read the *same* condition register so the corruption
 /// flips them coherently: the machine's `rval` is color-blind, and a
 /// coherent flip is exactly the shape where control forks *without*
-/// tripping `fetch-fail` — the worst case for a packed lane.
+/// tripping a detection rule — the worst case for a packed lane.
 #[test]
 fn control_flow_split_demotes_and_matches_scalar() {
     // r1 = 0: the branch pair is taken, skipping the store pair entirely.
@@ -152,24 +206,36 @@ fn control_flow_split_demotes_and_matches_scalar() {
     // scalar engine's business; the batched engine must only *agree*.
     let at = 2; // after `mov r1` executed, before the branch pair reads it
     let plan = FaultPlan::single(at, FaultSite::Reg(Reg::r(1)), 1);
-    let scalar = run_plan_campaign_scalar(&p, &cfg(), &golden_rep, std::slice::from_ref(&plan));
-    let batched = run_plan_campaign_batched(&p, &cfg(), &golden_rep, &[plan]);
+    let ((scalar, batched), before, after) = with_obs(|| {
+        let scalar = run_plan_campaign_scalar(&p, &cfg(), &golden_rep, std::slice::from_ref(&plan));
+        let batched = run_plan_campaign_batched(&p, &cfg(), &golden_rep, &[plan]);
+        (scalar, batched)
+    });
     assert_eq!(batched, scalar, "control split changed the verdict");
     assert_eq!(batched.total, 1);
     assert_eq!(
         batched.masked, 0,
         "a live branch-condition strike is not masked"
     );
-    // Witness: the two runs really do fork control and drift queue depth.
+    assert_eq!(
+        delta(&before, &after, "faultsim.batch.demote.control_fork"),
+        1,
+        "a coherent untaken-vs-taken fork is the control_fork demotion"
+    );
+    // Witness: the two runs really do split the `d` latch at the bzG, then
+    // fork control and drift queue depth.
     let mut golden = Machine::boot(Arc::clone(&p));
     let mut faulty = faulty_at(&p, at, Reg::r(1), 1);
+    let mut d_split = false;
     let mut forked = false;
     let mut depth_drift = false;
     run_until(&mut golden, &mut faulty, |g, f| {
+        d_split |= g.d_diverged(f);
         forked |= g.pc_diverged(f);
         depth_drift |= g.queue_depth_delta(f) != 0;
         forked && depth_drift
     });
+    assert!(d_split, "golden latches `d` at the bzG; the lane does not");
     assert!(forked, "branch corruption must fork control flow");
     assert!(
         depth_drift,
@@ -177,13 +243,13 @@ fn control_flow_split_demotes_and_matches_scalar() {
     );
 }
 
-/// Queue-depth overflow mid-batch: strike the *address* register between
-/// `stG` and `stB` of a protected pair. The register is live (the `stB`
-/// reads it), so the lane demotes mid-flight with the corrupt entry
-/// conceptually in the queue; the blue store disagrees and the hardware
-/// detects. Both engines must report the identical `Detected`.
+/// Strikes inside the open store window: corrupt the *blue* value or
+/// address register between `stG` and `stB` of a protected pair. The
+/// corrupt register rides the packed lane to the `stB`, whose comparison
+/// fails on the lane while golden passes — instant in-lane `Detected` for
+/// both shapes, no demotion.
 #[test]
-fn queue_window_strike_demotes_to_detected() {
+fn queue_window_strike_detects_in_lane() {
     // Blue copies are materialized *before* the `stG` so that at the first
     // nonempty-queue step both are already holding their final values —
     // the strike lands inside the open store window, not before the movs.
@@ -194,7 +260,7 @@ fn queue_window_strike_demotes_to_detected() {
     );
     let p = arc(&src);
     // After stG executes (queue holds one entry), corrupt r3 — the blue
-    // value the comparison will read.
+    // value the comparison will read — then r4, the blue address.
     let golden_rep = golden_run(&p, &cfg()).expect("golden halts");
     let mut at = None;
     {
@@ -208,18 +274,85 @@ fn queue_window_strike_demotes_to_detected() {
         }
     }
     let at = at.expect("fixture pushes a store pair");
-    for (reg, val) in [(Reg::r(3), 9), (Reg::r(4), 5000)] {
-        let plan = FaultPlan::single(at, FaultSite::Reg(reg), val);
-        let scalar = run_plan_campaign_scalar(&p, &cfg(), &golden_rep, std::slice::from_ref(&plan));
-        let batched = run_plan_campaign_batched(&p, &cfg(), &golden_rep, &[plan]);
-        assert_eq!(batched, scalar, "queue-window strike on {reg:?} diverged");
-        assert_eq!(batched.detected, 1, "stB must catch the {reg:?} corruption");
-    }
+    let ((), before, after) = with_obs(|| {
+        for (reg, val) in [(Reg::r(3), 9), (Reg::r(4), 5000)] {
+            let plan = FaultPlan::single(at, FaultSite::Reg(reg), val);
+            let scalar =
+                run_plan_campaign_scalar(&p, &cfg(), &golden_rep, std::slice::from_ref(&plan));
+            let batched = run_plan_campaign_batched(&p, &cfg(), &golden_rep, &[plan]);
+            assert_eq!(batched, scalar, "queue-window strike on {reg:?} diverged");
+            assert_eq!(batched.detected, 1, "stB must catch the {reg:?} corruption");
+        }
+    });
+    assert_eq!(delta(&before, &after, "faultsim.batch.lanes"), 2);
+    assert_eq!(
+        delta(&before, &after, "faultsim.batch.demotions"),
+        0,
+        "failing blue compares resolve in-lane"
+    );
 }
 
-/// The demotion path is *exercised*, not skipped: with instrumentation on,
-/// a campaign over a program whose every register strike is live must
-/// count packed lanes and demotions.
+/// A store pair spanning a block boundary: the `stG` closes one block and
+/// the `stB` opens the next, with the label's `.pre` carrying the `queue:`
+/// annotation hand-written `.talft` uses for exactly this shape. A value
+/// strike before the `stG` and a queue-value strike *inside the second
+/// block* both ride the queue shadow across the boundary to the `stB`,
+/// which detects them in-lane — the shadow's absolute-sequence indexing
+/// does not care where the blocks fall.
+#[test]
+fn queue_shadow_spans_block_boundary() {
+    let src = format!(
+        "\n.data\nregion out at 4096 len 1 : int output\n.code\nmain:\n  {PRE}\n  \
+         mov r1, G 5\n  mov r2, G 4096\n  mov r3, B 5\n  mov r4, B 4096\n  \
+         stG r2, r1\nflush:\n  .pre {{ forall m:mem; queue: [(4096, 5)]; mem: m; }}\n  \
+         stB r4, r3\n  halt\n"
+    );
+    let p = arc(&src);
+    let flush = p.label_addr("flush").expect("label assembles");
+    let pre = p.precond(flush).expect("flush block is annotated");
+    assert_eq!(pre.queue.len(), 1, "the annotation declares the open entry");
+    // Witness the span: walk golden to the first step where the queue is
+    // nonempty *and* control has crossed into the `flush` block.
+    let golden_rep = golden_run(&p, &cfg()).expect("golden halts");
+    let mut in_block2 = None;
+    {
+        let mut m = Machine::boot(Arc::clone(&p));
+        while m.status().is_running() {
+            if !m.queue().is_empty() && m.reg(Reg::Pc(Color::Green)).val >= flush {
+                in_block2 = Some(m.steps());
+                break;
+            }
+            step(&mut m);
+        }
+    }
+    let in_block2 = in_block2.expect("the store window spans the label");
+    let plans = vec![
+        // Green value corrupted before the stG: the shadow is created in
+        // block 1 and consumed in block 2.
+        FaultPlan::single(2, FaultSite::Reg(Reg::r(1)), 1234),
+        // Queue value corrupted after the boundary crossing.
+        FaultPlan::single(in_block2, FaultSite::QueueVal(0), -1),
+    ];
+    let ((scalar, batched), before, after) = with_obs(|| {
+        let scalar = run_plan_campaign_scalar(&p, &cfg(), &golden_rep, &plans);
+        let batched = run_plan_campaign_batched(&p, &cfg(), &golden_rep, &plans);
+        (scalar, batched)
+    });
+    assert_eq!(batched, scalar, "spanning shadow changed a verdict");
+    assert_eq!(batched.total, 2);
+    assert_eq!(batched.detected, 2, "the stB catches both corruptions");
+    assert_eq!(delta(&before, &after, "faultsim.batch.lanes"), 2);
+    assert_eq!(
+        delta(&before, &after, "faultsim.batch.demotions"),
+        0,
+        "both strikes resolve in-lane at the stB"
+    );
+}
+
+/// The demotion paths are *exercised*, not skipped: with instrumentation
+/// on, the full k=1 grid over a protected store pair must count packed
+/// lanes, per-cause demotions that sum to the demotion total, and scalar
+/// routes — and a k=2 sampled set must admit multi-strike lanes.
 #[test]
 fn demotion_counters_advance() {
     let src = format!(
@@ -230,27 +363,68 @@ fn demotion_counters_advance() {
     let p = arc(&src);
     let golden = golden_run(&p, &cfg()).expect("golden halts");
     let plans = talft_faultsim::single_fault_plans(&p, &cfg(), &golden);
-    let prev = talft_obs::enabled();
-    talft_obs::set_enabled(true);
-    let before = talft_obs::snapshot();
-    let rep = run_plan_campaign_batched(&p, &cfg(), &golden, &plans);
-    let after = talft_obs::snapshot();
-    talft_obs::set_enabled(prev);
-    let delta = |name: &str| {
-        after.counters.get(name).copied().unwrap_or(0)
-            - before.counters.get(name).copied().unwrap_or(0)
-    };
+    let (rep, before, after) = with_obs(|| run_plan_campaign_batched(&p, &cfg(), &golden, &plans));
+    let d = |name: &str| delta(&before, &after, name);
     assert!(rep.total > 0);
-    let lanes = delta("faultsim.batch.lanes");
-    let demotions = delta("faultsim.batch.demotions");
-    let routed = delta("faultsim.batch.scalar_routed");
+    let lanes = d("faultsim.batch.lanes");
+    let demotions = d("faultsim.batch.demotions");
+    let routed = d("faultsim.batch.scalar_routed");
     assert!(lanes > 0, "no plan entered the packed representation");
     assert!(demotions > 0, "no lane demoted on an all-live fixture");
-    assert!(routed > 0, "queue/pc/d sites must take the scalar route");
+    assert!(routed > 0, "pc sites must take the scalar route");
     assert_eq!(
         lanes + routed,
         rep.total,
         "every plan is either a lane or scalar-routed"
     );
     assert!(demotions <= lanes);
+    // The cause taxonomy is total: every demotion carries exactly one tag.
+    let causes = [
+        "faultsim.batch.demote.queue_addr",
+        "faultsim.batch.demote.mem_commit",
+        "faultsim.batch.demote.gpr_hi",
+        "faultsim.batch.demote.load_addr",
+        "faultsim.batch.demote.control_fork",
+        "faultsim.batch.demote.terminal",
+    ];
+    assert_eq!(
+        causes.iter().map(|c| d(c)).sum::<u64>(),
+        demotions,
+        "per-cause demotion counters must sum to the demotion total"
+    );
+    assert_eq!(
+        d("faultsim.batch.demote.queue_addr"),
+        0,
+        "retired: diverged stG addresses ride the address shadow, not a demotion"
+    );
+    assert!(
+        d("faultsim.batch.demote.terminal") > 0,
+        "a `d` shadow with no later jump/branch demotes at replay halt"
+    );
+    assert_eq!(
+        d("faultsim.batch.multi_lanes"),
+        0,
+        "a k=1 grid admits no multi-strike lanes"
+    );
+    // k=2: sampled pairs over packed sites ride the lanes as timed events.
+    let k2_cfg = CampaignConfig {
+        pair_samples: 64,
+        ..cfg()
+    };
+    let k2 = talft_faultsim::multi_fault_plans(&p, &k2_cfg, &golden, 2);
+    let ((scalar2, batched2), before2, after2) = with_obs(|| {
+        let scalar = run_plan_campaign_scalar(&p, &k2_cfg, &golden, &k2);
+        let batched = run_plan_campaign_batched(&p, &k2_cfg, &golden, &k2);
+        (scalar, batched)
+    });
+    assert_eq!(batched2, scalar2, "k=2 engines diverged");
+    let d2 = |name: &str| delta(&before2, &after2, name);
+    assert!(
+        d2("faultsim.batch.multi_lanes") > 0,
+        "sampled k=2 pairs over packed sites must be admitted"
+    );
+    assert_eq!(
+        d2("faultsim.batch.lanes") + d2("faultsim.batch.scalar_routed"),
+        batched2.total
+    );
 }

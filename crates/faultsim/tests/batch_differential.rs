@@ -67,9 +67,9 @@ fn three_way(
 }
 
 /// The property over one compiled binary: all engines agree on the k=1
-/// grid and on a sampled k=2 set (multi-strike plans all take the scalar
-/// route inside the batched engine — the demotion rule is exercised, not
-/// bypassed).
+/// grid and on a sampled k=2 set. Multi-strike plans whose strikes all hit
+/// packed sites (GPRs, `d`, queue slots) ride the batched lanes as timed
+/// events; the rest route scalar — both paths land in the same report.
 fn engines_agree(program: &Arc<Program>, protected: bool) -> Result<(), String> {
     let golden = match golden_run(program, &base_cfg()) {
         Ok(g) => g,
@@ -123,10 +123,13 @@ fn fuzzed_programs_run_bit_identically_on_all_three_engines() {
 
 /// Hand-written adversarial plan shapes the fuzzer cannot produce: strikes
 /// at golden termination, strikes past it (incomplete plans), equal-payload
-/// strikes, out-of-file GPR indices (harness panic → EngineError), and
-/// non-GPR sites — each must take the same route to the same report.
+/// strikes, out-of-file GPR indices (harness panic → EngineError), `d` and
+/// queue value/address strikes (packed since ISSUE 8), pc strikes (the one
+/// remaining scalar route), and multi-strike packed/mixed plans — each
+/// must take the same route to the same report.
 #[test]
 fn adversarial_plan_shapes_agree_across_engines() {
+    use talft_faultsim::Strike;
     use talft_isa::assemble;
     use talft_machine::FaultSite;
     let src = "\n.data\nregion out at 4096 len 1 : int output\n.code\nmain:\n  \
@@ -154,15 +157,105 @@ fn adversarial_plan_shapes_agree_across_engines() {
         FaultPlan::single(0, FaultSite::Reg(talft_isa::Reg::r(1)), 0),
         // Out of the register file: inject panics → EngineError.
         FaultPlan::single(0, FaultSite::Reg(talft_isa::Reg::r(200)), 7),
-        // Non-GPR sites: scalar route.
+        // `d` and queue-value sites: packed since ISSUE 8 (the `d` shadow
+        // resolves at the next jump/branch, the queue shadow at the stB).
         FaultPlan::single(2, FaultSite::Reg(talft_isa::Reg::Dst), 3),
-        FaultPlan::single(q_step, FaultSite::QueueAddr(0), 4097),
         FaultPlan::single(q_step, FaultSite::QueueVal(0), -1),
-        // Live-register strike: demotes at the first read.
+        // Queue *addresses* pack too (resolved at the stB compare or a
+        // forwarding load); only the pcs stay on the scalar route.
+        FaultPlan::single(q_step, FaultSite::QueueAddr(0), 4097),
+        FaultPlan::single(
+            2,
+            FaultSite::Reg(talft_isa::Reg::Pc(talft_isa::Color::Green)),
+            1,
+        ),
+        // Live-register strike: rides the shadow to its blue compare.
         FaultPlan::single(2, FaultSite::Reg(talft_isa::Reg::r(1)), 77),
+        // Multi-strike, all packed sites: one lane, two timed events —
+        // GPR+GPR (same step and spread), GPR+queue value, GPR+`d`, and a
+        // second strike landing at the final halted state.
+        FaultPlan::new(vec![
+            Strike {
+                at_step: 2,
+                site: FaultSite::Reg(talft_isa::Reg::r(1)),
+                value: 77,
+            },
+            Strike {
+                at_step: 2,
+                site: FaultSite::Reg(talft_isa::Reg::r(2)),
+                value: -9,
+            },
+        ]),
+        FaultPlan::new(vec![
+            Strike {
+                at_step: 2,
+                site: FaultSite::Reg(talft_isa::Reg::r(1)),
+                value: 77,
+            },
+            Strike {
+                at_step: q_step,
+                site: FaultSite::QueueVal(0),
+                value: -1,
+            },
+        ]),
+        FaultPlan::new(vec![
+            Strike {
+                at_step: 2,
+                site: FaultSite::Reg(talft_isa::Reg::Dst),
+                value: 5,
+            },
+            Strike {
+                at_step: 4,
+                site: FaultSite::Reg(talft_isa::Reg::r(3)),
+                value: 11,
+            },
+        ]),
+        FaultPlan::new(vec![
+            Strike {
+                at_step: 0,
+                site: FaultSite::Reg(talft_isa::Reg::r(1)),
+                value: 4,
+            },
+            Strike {
+                at_step: n,
+                site: FaultSite::Reg(talft_isa::Reg::r(1)),
+                value: 99,
+            },
+        ]),
+        // Mixed packed + pc strike: the whole plan routes scalar.
+        FaultPlan::new(vec![
+            Strike {
+                at_step: 2,
+                site: FaultSite::Reg(talft_isa::Reg::r(1)),
+                value: 77,
+            },
+            Strike {
+                at_step: 3,
+                site: FaultSite::Reg(talft_isa::Reg::Pc(talft_isa::Color::Blue)),
+                value: 1,
+            },
+        ]),
+        // Queue-value strike on a slot that vanished by the strike step
+        // (`inject` misses → incomplete plan) paired with a healing
+        // second strike on the same GPR.
+        FaultPlan::new(vec![
+            Strike {
+                at_step: 2,
+                site: FaultSite::Reg(talft_isa::Reg::r(1)),
+                value: 77,
+            },
+            Strike {
+                at_step: 3,
+                site: FaultSite::Reg(talft_isa::Reg::r(1)),
+                value: 5,
+            },
+        ]),
+        FaultPlan::single(n, FaultSite::QueueVal(0), -1),
     ];
     let report = three_way(&p, &plans, &golden).expect("engines agree");
     assert_eq!(report.total, plans.len() as u64);
     assert_eq!(report.engine_errors, 1);
-    assert_eq!(report.incomplete_plans, 1);
+    // The past-termination strike and the queue-value strike on a drained
+    // queue both fail to apply.
+    assert_eq!(report.incomplete_plans, 2);
 }

@@ -238,18 +238,22 @@ fn interrupted_shard_resumes_bit_identically() {
 /// unchanged. For a protected and an unprotected binary, the whole-grid
 /// report, the 4-way shard union, and an interrupted-then-resumed 2-way
 /// merge must all be bit-identical with `batch` on and off — one canonical
-/// report per binary, six ways of computing it.
+/// report per binary, six ways of computing it. Since ISSUE 8 the same
+/// holds for a sampled k = 2 pair grid: multi-strike shard jobs ride the
+/// batched lane-admission path and still merge to one canonical report.
 #[test]
 fn shard_paths_are_bit_identical_with_batching_on_and_off() {
     let k = &kernels(Scale::Tiny)[0];
     let c = compile(&k.source, &CompileOptions::default()).expect("compiles");
     for (p, protected) in [(&c.protected.program, true), (&c.baseline.program, false)] {
         let mut canonical: Option<CampaignReport> = None;
+        let mut canonical_k2: Option<CampaignReport> = None;
         for batch in [true, false] {
             let cfg = CampaignConfig {
                 stride: 127,
                 mutations_per_site: 1,
                 threads: 3,
+                pair_samples: 96,
                 batch,
                 ..CampaignConfig::default()
             };
@@ -295,6 +299,27 @@ fn shard_paths_are_bit_identical_with_batching_on_and_off() {
             assert_eq!(
                 resumed, whole,
                 "{}: interrupt/resume diverged with batch={batch}",
+                k.name
+            );
+            // ISSUE 8: k = 2 shard jobs ride the batched lane-admission
+            // path (per-strike admission, any k) — the sampled pair grid
+            // must land on one canonical report with batch on and off,
+            // whole and through the shard union.
+            let k2 = multi_fault_plans(p, &cfg, &golden, 2);
+            assert!(k2.len() >= 16, "{}: k=2 grid too small", k.name);
+            let whole2 = run_plan_campaign(p, &cfg, &golden, &k2);
+            match &canonical_k2 {
+                None => canonical_k2 = Some(whole2.clone()),
+                Some(c0) => assert_eq!(
+                    &whole2, c0,
+                    "{}: k=2 whole-grid report changed with batch={batch}",
+                    k.name
+                ),
+            }
+            let merged2 = merged_over_shards(p, &cfg, &golden, &k2, 4);
+            assert_eq!(
+                merged2, whole2,
+                "{}: k=2 shard union diverged with batch={batch}",
                 k.name
             );
         }

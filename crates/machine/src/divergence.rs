@@ -76,6 +76,40 @@ impl Machine {
             || self.reg(Reg::Pc(Color::Blue)) != other.reg(Reg::Pc(Color::Blue))
             || self.ir() != other.ir()
     }
+
+    /// Whether the destination latch `d` holds different `CVal`s — value
+    /// *or* color (a `bzG` that latched on one side only leaves the values
+    /// equal but the colors split, and `sim_val` is color-aware). This is
+    /// the divergence shape the batched engine's `d` shadow tracks.
+    #[must_use]
+    pub fn d_diverged(&self, other: &Machine) -> bool {
+        self.reg(Reg::Dst) != other.reg(Reg::Dst)
+    }
+
+    /// Bitmask of store-queue slots (bit 0 = front/newest) whose *values*
+    /// differ while the queues agree on depth and every address. `None`
+    /// when the queues differ in shape — depth delta, any address mismatch,
+    /// or depth beyond 64 — i.e. when the divergence is not expressible as
+    /// a pure value shadow (a diverged *address* changes which entry later
+    /// `ldG`s forward from, so the batched engine demotes instead).
+    #[must_use]
+    pub fn queue_value_divergence_mask(&self, other: &Machine) -> Option<u64> {
+        let q1 = self.queue();
+        let q2 = other.queue();
+        if q1.len() != q2.len() || q1.len() > 64 {
+            return None;
+        }
+        let mut mask = 0u64;
+        for (i, (&(a1, v1), &(a2, v2))) in q1.iter().zip(q2.iter()).enumerate() {
+            if a1 != a2 {
+                return None;
+            }
+            if v1 != v2 {
+                mask |= 1 << i;
+            }
+        }
+        Some(mask)
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +146,32 @@ mod tests {
         let old = c.reg(Reg::r(5));
         c.set_reg(Reg::r(5), CVal::blue(old.val));
         assert_eq!(m.gpr_divergence_mask(&c), 1 << 5);
+    }
+
+    #[test]
+    fn d_and_queue_value_divergence_are_witnessed() {
+        let m = Machine::boot(arc(PROG));
+        let mut n = m.clone();
+        assert!(!m.d_diverged(&n));
+        assert_eq!(m.queue_value_divergence_mask(&n), Some(0));
+        // A color-only `d` split counts: sim_val is color-aware.
+        let old = n.reg(Reg::Dst);
+        n.set_reg(Reg::Dst, CVal::blue(old.val));
+        assert!(m.d_diverged(&n));
+        // Value shadow: same depth, same addresses, one value differs.
+        let mut a = m.clone();
+        let mut b = m.clone();
+        a.queue_mut().push_front((4096, 5));
+        a.queue_mut().push_front((4097, 6));
+        b.queue_mut().push_front((4096, 5));
+        b.queue_mut().push_front((4097, 99));
+        assert_eq!(a.queue_value_divergence_mask(&b), Some(1 << 0));
+        // An address mismatch is not a value shadow.
+        b.queue_mut()[1].0 = 5000;
+        assert_eq!(a.queue_value_divergence_mask(&b), None);
+        // Neither is a depth delta.
+        b.queue_mut().clear();
+        assert_eq!(a.queue_value_divergence_mask(&b), None);
     }
 
     #[test]

@@ -319,6 +319,15 @@ impl Machine {
         self.queue.iter().copied().find(|&(a, _)| a == addr)
     }
 
+    /// Index (0 = front/newest) of the entry [`Machine::queue_find`] would
+    /// return. The batched campaign engine uses this to name the forwarded
+    /// slot: with every queue *address* equal across lanes (address
+    /// divergence demotes), all lanes forward from the same index.
+    #[must_use]
+    pub fn queue_find_index(&self, addr: i64) -> Option<usize> {
+        self.queue.iter().position(|&(a, _)| a == addr)
+    }
+
     // ---- whole-state comparison --------------------------------------------
 
     /// Whether this machine and `other` still share the same copy-on-write
