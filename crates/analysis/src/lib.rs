@@ -53,6 +53,6 @@ pub mod zap;
 
 pub use cfg::{Cfg, DepthConflict};
 pub use diff::{cross_validate, DiffSummary, Mismatch};
-pub use lint::{error_count, lint_program, lint_program_with, LINT_CODES};
+pub use lint::{error_count, lint_program, lint_program_solver, lint_program_with, LINT_CODES};
 pub use live::{liveness, Liveness};
 pub use zap::{analyze_zaps, analyze_zaps_with, ZapClass, ZapReport};

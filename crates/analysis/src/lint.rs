@@ -15,11 +15,13 @@
 //! | `TF004` | warning | dead definition: a duplicated half nobody reads |
 //! | `TF005` | error | layout: control falls off the code end, or a blue transfer targets a non-block address |
 //! | `TF006` | warning | blue transfer target cannot be resolved statically |
+//! | `TF007` | warning | a queue annotation's address is not provably inside any declared region (solver-backed; carries an entailment failure witness) |
 
 use std::collections::BTreeMap;
 
 use talft_core::Diagnostic;
 use talft_isa::{Color, Gpr, Instr, OpSrc, Program, Reg, RegTy};
+use talft_logic::{ExprArena, Facts};
 
 use crate::cfg::Cfg;
 use crate::live::liveness;
@@ -36,6 +38,8 @@ pub const LINT_DEAD_DUP: &str = "TF004";
 pub const LINT_LAYOUT: &str = "TF005";
 /// Stable lint code: unresolvable blue target.
 pub const LINT_UNRESOLVED_TARGET: &str = "TF006";
+/// Stable lint code: queue annotation address not provably in any region.
+pub const LINT_QUEUE_BOUNDS: &str = "TF007";
 
 /// `(code, one-line summary)` for every lint, in code order.
 pub const LINT_CODES: &[(&str, &str)] = &[
@@ -45,6 +49,10 @@ pub const LINT_CODES: &[(&str, &str)] = &[
     (LINT_DEAD_DUP, "dead definition (unused duplication half)"),
     (LINT_LAYOUT, "control-flow layout violation"),
     (LINT_UNRESOLVED_TARGET, "unresolvable blue transfer target"),
+    (
+        LINT_QUEUE_BOUNDS,
+        "queue annotation address not provably in bounds",
+    ),
 ];
 
 /// Run every lint over an assembled program.
@@ -52,6 +60,18 @@ pub const LINT_CODES: &[(&str, &str)] = &[
 pub fn lint_program(program: &Program) -> Vec<Diagnostic> {
     let cfg = Cfg::build(program);
     lint_program_with(program, &cfg)
+}
+
+/// Run every lint *including* the solver-backed `TF007`, which needs the
+/// program's expression arena to discharge entailment obligations (and to
+/// render witness notes when they fail).
+#[must_use]
+pub fn lint_program_solver(program: &Program, arena: &mut ExprArena) -> Vec<Diagnostic> {
+    let cfg = Cfg::build(program);
+    let mut diags = lint_program_with(program, &cfg);
+    lint_queue_bounds(program, arena, &mut diags);
+    diags.sort_by_key(|d| (d.span.as_ref().map_or(0, |s| s.addr), d.code));
+    diags
 }
 
 /// Run every lint against a prebuilt CFG.
@@ -375,6 +395,59 @@ fn lint_unresolved(program: &Program, cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
                 .at(program, a)
                 .note("the zap analyzer treats surviving taint here as vulnerable"),
             );
+        }
+    }
+}
+
+/// TF007 — solver-backed: every queue annotation names an (address, value)
+/// pair a later `stB` will commit to memory, so the address should be
+/// provably inside some declared region *under the block's own facts*.
+/// Compiled code never trips this (queues are empty at labels); it guards
+/// hand-written `.talft` whose annotations out-run their hypotheses. A
+/// warning, not an error: the committing block may re-establish bounds the
+/// annotation site cannot see.
+fn lint_queue_bounds(program: &Program, arena: &mut ExprArena, diags: &mut Vec<Diagnostic>) {
+    for (&addr, pre) in &program.preconds {
+        if pre.queue.is_empty() {
+            continue;
+        }
+        let mut facts = Facts::new();
+        for f in &pre.facts {
+            talft_core::ctx::assume_fact(arena, &mut facts, *f);
+        }
+        for (i, &(d, _v)) in pre.queue.iter().enumerate() {
+            let in_bounds = program
+                .regions
+                .iter()
+                .any(|r| facts.prove_in_range(arena, d, r.base, r.base + r.len));
+            if in_bounds {
+                continue;
+            }
+            let mut diag = Diagnostic::warning(
+                LINT_QUEUE_BOUNDS,
+                format!(
+                    "queue entry {i}: address `{}` is not provably inside any declared region",
+                    arena.display(d)
+                ),
+            )
+            .at(program, addr);
+            // Witness the failure against the first declared region: name
+            // the bound obligation the solver could not discharge.
+            if let Some(r) = program.regions.first() {
+                let base = arena.int(r.base);
+                let lo = arena.sub(d, base);
+                let w = if !facts.prove_ge0(arena, lo) {
+                    facts.explain_ge0(arena, lo)
+                } else {
+                    let last = arena.int(r.base + r.len - 1);
+                    let hi = arena.sub(last, d);
+                    facts.explain_ge0(arena, hi)
+                };
+                diag = diag.note(format!("for region `{}`: {}", r.name, w.note()));
+            } else {
+                diag = diag.note("the program declares no data regions");
+            }
+            diags.push(diag);
         }
     }
 }

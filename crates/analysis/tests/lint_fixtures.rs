@@ -216,6 +216,61 @@ fn tf006_quiet_on_constant_targets() {
     assert!(!has(&lints(CLEAN_JUMP), "TF006"));
 }
 
+fn solver_lints(src: &str) -> Vec<Diagnostic> {
+    let mut asm = assemble(src).expect("fixture assembles");
+    talft_analysis::lint_program_solver(&asm.program, &mut asm.arena)
+}
+
+#[test]
+fn tf007_warns_when_queue_address_is_unbounded() {
+    // The annotation promises a pending store to `a`, but no fact places
+    // `a` inside the region — the witness names the unbounded atom.
+    let src = r#"
+.data
+region out at 4096 len 4 : int output
+.code
+main:
+  .pre { forall a:int, m:mem; r7: (B, int, 9); r8: (B, int, a); queue: [(a, 9)]; mem: m; }
+  stB r8, r7
+  halt
+"#;
+    let diags = solver_lints(src);
+    let d = find(&diags, "TF007");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("not provably inside"), "{}", d.message);
+    let note = d
+        .notes
+        .iter()
+        .find(|n| n.starts_with("for region `out`"))
+        .expect("witness note");
+    assert!(note.contains("cannot prove"), "{note}");
+    assert!(note.contains("no fact bounds `a`"), "{note}");
+}
+
+#[test]
+fn tf007_quiet_when_facts_bound_the_address() {
+    let src = r#"
+.data
+region out at 4096 len 4 : int output
+.code
+main:
+  .pre { forall a:int, m:mem; fact a >= 4096; fact a < 4100;
+         r7: (B, int, 9); r8: (B, int, a); queue: [(a, 9)]; mem: m; }
+  stB r8, r7
+  halt
+"#;
+    assert!(!has(&solver_lints(src), "TF007"), "{:?}", solver_lints(src));
+}
+
+#[test]
+fn tf007_quiet_on_clean_programs_and_preserves_other_lints() {
+    for src in [CLEAN, CLEAN_JUMP] {
+        let solver = solver_lints(src);
+        assert!(!has(&solver, "TF007"));
+        assert_eq!(solver, lints(src), "TF007 must not perturb TF001–TF006");
+    }
+}
+
 #[test]
 fn diagnostics_emit_stable_json() {
     let src = r#"

@@ -3,14 +3,17 @@
 //! `MachineModel::default()`, captured through the `talft-obs` registry and
 //! written as one schema-stable JSON document.
 //!
-//! Three phases, each preceded by a registry reset so its numbers are
+//! Four phases, each preceded by a registry reset so its numbers are
 //! attributable:
 //!
 //! 1. **checker** — compile every Tiny-scale kernel and `check_program` its
 //!    protected binary (per-pass spans, rule-hit counters, solver counters);
-//! 2. **machine** — run each protected binary to completion (steps, queue
+//! 2. **checkperf** — the E21 solver matrix: re-check every kernel under
+//!    interval pre-solver {off, on} × persistent cache {cold, warm} and
+//!    record wall time plus the interval/FM/pcache counters;
+//! 3. **machine** — run each protected binary to completion (steps, queue
 //!    high-water mark);
-//! 3. **campaign** — a strided k=1 campaign per kernel with `threads: 1`
+//! 4. **campaign** — a strided k=1 campaign per kernel with `threads: 1`
 //!    pinned (plans/sec would be machine-dependent under
 //!    `available_parallelism`; see DESIGN.md §Observability).
 //!
@@ -19,7 +22,13 @@
 //!
 //! `--json` defaults to `BENCH_perf.json`. `--check <path>` instead parses
 //! an existing report with the dep-free [`talft_obs::Json`] parser and
-//! verifies the schema tag and required sections — the CI smoke gate.
+//! verifies the schema tag and required sections — the CI smoke gate. For
+//! the checkperf matrix it also gates on the machine-independent solver
+//! invariants: every row must satisfy `interval hit + miss == queries`
+//! (no silent bypass of the counter discipline), the interval-off rows
+//! must report zero interval queries, and within each interval mode the
+//! warm-cache row must run **no more** Fourier–Motzkin eliminations than
+//! its cold counterpart.
 
 use std::time::Instant;
 
@@ -33,7 +42,13 @@ use talft_suite::{kernels, Scale};
 
 /// Required top-level keys of a `talft.perfreport.v1` document.
 const REQUIRED: &[&str] = &[
-    "schema", "stride", "kernels", "checker", "machine", "campaign",
+    "schema",
+    "stride",
+    "kernels",
+    "checker",
+    "checkperf",
+    "machine",
+    "campaign",
 ];
 
 fn main() {
@@ -69,7 +84,75 @@ fn main() {
     let checker_wall = t0.elapsed();
     let checker = talft_obs::snapshot();
 
-    // Phase 2: machine.
+    // Phase 2: checkperf — the E21 matrix. Each cell re-checks every
+    // kernel; the cold run of each interval mode starts from an absent
+    // cache file and saves, the warm run reloads what cold wrote. The
+    // interval layer is verdict-transparent, so all four cells must check
+    // identically — only the timings and counters may differ.
+    let ambient_interval = talft_logic::entail_interval_enabled();
+    let mut checkperf_rows = Vec::new();
+    for interval in [false, true] {
+        let mode = if interval { "on" } else { "off" };
+        let cache_path = std::env::temp_dir().join(format!(
+            "talft-checkperf-{}-{mode}.solvercache",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&cache_path);
+        for run in ["cold", "warm"] {
+            talft_logic::set_entail_interval(interval);
+            talft_logic::clear_solver_cache();
+            let loaded = talft_logic::load_solver_cache(&cache_path);
+            talft_obs::reset_all();
+            let t0 = Instant::now();
+            for (name, c) in &mut compiled {
+                if let Err(e) = check_program(&c.protected.program, &mut c.protected.arena) {
+                    eprintln!("error: {name} failed the checker (interval {mode}, {run}): {e}");
+                    std::process::exit(1);
+                }
+            }
+            let wall = t0.elapsed();
+            let snap = talft_obs::snapshot();
+            let n = |key: &str| snap.counters.get(key).copied().unwrap_or(0);
+            if run == "cold" {
+                if let Err(e) = talft_logic::save_solver_cache() {
+                    eprintln!("error: cannot save checkperf solver cache: {e}");
+                    std::process::exit(1);
+                }
+            }
+            let (fm_runs, iq, ih, im) = (
+                n("logic.fm.runs"),
+                n("logic.interval.queries"),
+                n("logic.interval.hit"),
+                n("logic.interval.miss"),
+            );
+            eprintln!(
+                "checkperf: interval {mode:>3} / pcache {run:>4}: {:>9} ns, \
+                 fm {fm_runs}, interval {ih}/{iq}, pcache {}/{}",
+                ns(wall),
+                n("logic.pcache.hit"),
+                n("logic.pcache.hit") + n("logic.pcache.miss"),
+            );
+            checkperf_rows.push(Json::obj([
+                ("interval", Json::str(mode)),
+                ("pcache", Json::str(run)),
+                ("wall_ns", Json::U64(ns(wall))),
+                ("loaded", Json::U64(loaded as u64)),
+                ("fm_runs", Json::U64(fm_runs)),
+                ("fm_giveups", Json::U64(n("logic.fm.giveups"))),
+                ("interval_queries", Json::U64(iq)),
+                ("interval_hit", Json::U64(ih)),
+                ("interval_miss", Json::U64(im)),
+                ("interval_narrowed", Json::U64(n("logic.interval.narrowed"))),
+                ("pcache_hit", Json::U64(n("logic.pcache.hit"))),
+                ("pcache_miss", Json::U64(n("logic.pcache.miss"))),
+            ]));
+        }
+        let _ = std::fs::remove_file(&cache_path);
+    }
+    talft_logic::clear_solver_cache();
+    talft_logic::set_entail_interval(ambient_interval);
+
+    // Phase 3: machine.
     talft_obs::reset_all();
     for (name, c) in &compiled {
         let r = run_program(&c.protected.program, 100_000_000);
@@ -80,7 +163,7 @@ fn main() {
     }
     let machine = talft_obs::snapshot();
 
-    // Phase 3: campaign, threads pinned to 1 for comparable plans/sec.
+    // Phase 4: campaign, threads pinned to 1 for comparable plans/sec.
     let cfg = CampaignConfig {
         stride,
         mutations_per_site: 2,
@@ -114,6 +197,10 @@ fn main() {
                 ("wall_ns", Json::U64(ns(checker_wall))),
                 ("obs", checker.to_json()),
             ]),
+        )
+        .field(
+            "checkperf",
+            Json::obj([("rows", Json::Array(checkperf_rows.clone()))]),
         )
         .field("machine", Json::obj([("obs", machine.to_json())]))
         .field(
@@ -177,5 +264,61 @@ fn check_existing(path: &str) {
             std::process::exit(1);
         }
     }
+    check_checkperf(path, &json);
     println!("perfreport: {path} OK (schema talft.perfreport.v1)");
+}
+
+/// Gate the checkperf matrix on its machine-independent solver invariants.
+fn check_checkperf(path: &str, json: &Json) {
+    let fail = |msg: &str| -> ! {
+        eprintln!("perfreport: {path}: checkperf: {msg}");
+        std::process::exit(1);
+    };
+    let Some(Json::Array(rows)) = json.get("checkperf").and_then(|c| c.get("rows")) else {
+        fail("rows is not an array");
+    };
+    if rows.len() != 4 {
+        fail(&format!("expected 4 matrix rows, found {}", rows.len()));
+    }
+    // (interval mode, pcache run) → fm_runs, for the cold-vs-warm gate.
+    let mut fm: Vec<(String, String, u64)> = Vec::new();
+    for row in rows {
+        let s = |key: &str| -> String {
+            match row.get(key).and_then(Json::as_str) {
+                Some(v) => v.to_string(),
+                None => fail(&format!("a row is missing {key:?}")),
+            }
+        };
+        let n = |key: &str| -> u64 {
+            match row.get(key).and_then(Json::as_u64) {
+                Some(v) => v,
+                None => fail(&format!("a row is missing {key:?}")),
+            }
+        };
+        let (mode, run) = (s("interval"), s("pcache"));
+        let cell = format!("interval {mode} / pcache {run}");
+        if n("interval_hit") + n("interval_miss") != n("interval_queries") {
+            fail(&format!("{cell}: interval hit+miss != queries"));
+        }
+        if mode == "off" && n("interval_queries") != 0 {
+            fail(&format!("{cell}: interval layer consulted while off"));
+        }
+        if n("fm_giveups") != 0 {
+            fail(&format!("{cell}: nonzero Fourier–Motzkin give-ups"));
+        }
+        fm.push((mode, run, n("fm_runs")));
+    }
+    for mode in ["off", "on"] {
+        let runs_of = |which: &str| {
+            fm.iter()
+                .find(|(m, r, _)| m == mode && r == which)
+                .map(|&(_, _, v)| v)
+                .unwrap_or_else(|| fail(&format!("missing row interval {mode} / pcache {which}")))
+        };
+        if runs_of("warm") > runs_of("cold") {
+            fail(&format!(
+                "interval {mode}: warm cache ran more FM eliminations than cold"
+            ));
+        }
+    }
 }

@@ -48,6 +48,13 @@
 //!                     rate after checking and campaign plans/sec
 //!   --json=PATH       with --profile: also write the metric snapshot as
 //!                     JSON (schema talft.profile.v1) to PATH
+//!   --solver-cache=PATH
+//!                     persist entailment verdicts across runs: load PATH
+//!                     before any solver work and save it back on exit
+//!                     (atomic tmp+rename). A missing or corrupt file is a
+//!                     cold start — never an error. Verdicts are keyed on
+//!                     an arena-independent normal form, so the cache is
+//!                     shared across inputs and re-runs
 //! ```
 //!
 //! Exit codes (each failure class is distinct and stable):
@@ -110,6 +117,7 @@ struct Flags {
     baseline: bool,
     time: bool,
     profile: bool,
+    solver_cache: Option<String>,
 }
 
 /// Set by the SIGTERM/SIGINT handler; polled at shard chunk boundaries so
@@ -139,6 +147,15 @@ fn install_interrupt_handlers() {}
 
 fn main() -> ExitCode {
     let code = real_main();
+    // Save through every exit path (type errors and lint failures warm the
+    // cache for the next run too).
+    if std::env::args().any(|a| a.starts_with("--solver-cache=")) {
+        match talft_logic::save_solver_cache() {
+            Ok(Some(p)) => eprintln!("talftc: solver cache saved to {}", p.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("talftc: cannot save solver cache: {e}"),
+        }
+    }
     if talft_obs::enabled() {
         let snap = talft_obs::snapshot();
         eprint!("{}", snap.render_text());
@@ -173,7 +190,7 @@ fn real_main() -> ExitCode {
              [--run] [--campaign[=N]] [--campaign-k=K] [--seed=N] [--threads=N] \
              [--checkpoint-stride=N] [--no-batch] [--max-steps=N] [--shards=N] [--shard=I] \
              [--resume] [--checkpoint-dir=D] [--checkpoint-every=M] [--baseline] [--time] \
-             [--profile] [--json=PATH]"
+             [--profile] [--json=PATH] [--solver-cache=PATH]"
         );
         return ExitCode::FAILURE;
     };
@@ -227,9 +244,16 @@ fn real_main() -> ExitCode {
         baseline: args.iter().any(|a| a == "--baseline"),
         time: args.iter().any(|a| a == "--time"),
         profile: args.iter().any(|a| a == "--profile"),
+        solver_cache: args
+            .iter()
+            .find_map(|a| a.strip_prefix("--solver-cache=").map(str::to_owned)),
     };
     if flags.profile {
         talft_obs::set_enabled(true);
+    }
+    if let Some(p) = &flags.solver_cache {
+        let n = talft_logic::load_solver_cache(p);
+        eprintln!("talftc: solver cache: loaded {n} entries from {p}");
     }
 
     let src = match std::fs::read_to_string(&path) {
@@ -278,7 +302,7 @@ fn real_main() -> ExitCode {
         print!("{}", talft_isa::disassemble(&program));
     }
     if flags.lint {
-        if let Some(code) = run_lint(&path, &program, line_table.as_deref()) {
+        if let Some(code) = run_lint(&path, &program, &mut arena, line_table.as_deref()) {
             return code;
         }
     }
@@ -289,7 +313,11 @@ fn real_main() -> ExitCode {
                 rep.blocks, rep.instrs
             ),
             Err(e) => {
-                eprintln!("talftc: TYPE ERROR: {e}");
+                let mut d = e.to_diagnostic();
+                if let Some(lines) = line_table.as_deref() {
+                    d = d.with_line_table(lines);
+                }
+                eprintln!("talftc: TYPE ERROR:\n{}", d.render());
                 return ExitCode::from(3);
             }
         }
@@ -616,12 +644,17 @@ fn load_part(
     Ok(part)
 }
 
-/// Run the TF0xx lints and print rustc-style diagnostics. Returns the exit
-/// code (4) when an error-severity lint fired, `None` when lint passes.
-/// With `--json=PATH` the diagnostics are also mirrored as a
-/// `talft.lint.v1` report.
-fn run_lint(path: &str, program: &Arc<Program>, lines: Option<&[u32]>) -> Option<ExitCode> {
-    let mut diags = talft_analysis::lint_program(program);
+/// Run the TF0xx lints (including the solver-backed `TF007`) and print
+/// rustc-style diagnostics. Returns the exit code (4) when an
+/// error-severity lint fired, `None` when lint passes. With `--json=PATH`
+/// the diagnostics are also mirrored as a `talft.lint.v1` report.
+fn run_lint(
+    path: &str,
+    program: &Arc<Program>,
+    arena: &mut ExprArena,
+    lines: Option<&[u32]>,
+) -> Option<ExitCode> {
+    let mut diags = talft_analysis::lint_program_solver(program, arena);
     if let Some(lines) = lines {
         diags = diags
             .into_iter()

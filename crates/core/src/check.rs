@@ -83,7 +83,10 @@ fn check_program_inner(program: &Program, arena: &mut ExprArena) -> Result<Check
                 })?;
                 let d = ctx.regs.get(talft_isa::Reg::Dst).clone();
                 check_transfer(arena, program, &ctx, addr, er_g, er_b, &DEntry::Current(d))
-                    .map_err(|e| TypeError::at(addr, format!("fall-through: {e}")))?;
+                    .map_err(|e| {
+                        TypeError::at(addr, format!("fall-through: {}", e.reason))
+                            .with_notes(e.notes)
+                    })?;
                 break;
             }
             let instr = match program.instr(addr) {

@@ -34,6 +34,43 @@ pub enum DEntry {
     Current(RegTy),
 }
 
+/// A transfer-compatibility failure: the primary reason plus secondary
+/// notes (solver failure witnesses naming the unbounded atom or the
+/// insufficient fact range — see `talft_logic::EntailWitness`).
+#[derive(Debug, Clone)]
+pub struct TransferError {
+    /// What went wrong, in the paper's premise terminology.
+    pub reason: String,
+    /// Witness notes to attach to the diagnostic.
+    pub notes: Vec<String>,
+}
+
+impl TransferError {
+    fn new(reason: String) -> Self {
+        Self {
+            reason,
+            notes: Vec::new(),
+        }
+    }
+
+    fn with_witness(mut self, w: &talft_logic::EntailWitness) -> Self {
+        self.notes.push(w.note());
+        self
+    }
+}
+
+impl From<String> for TransferError {
+    fn from(reason: String) -> Self {
+        Self::new(reason)
+    }
+}
+
+impl std::fmt::Display for TransferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.reason)
+    }
+}
+
 /// Check transfer compatibility against the precondition at `target_addr`.
 ///
 /// `er_green` / `er_blue` are the static expressions the two program
@@ -47,11 +84,11 @@ pub fn check_transfer(
     er_green: ExprId,
     er_blue: ExprId,
     d_entry: &DEntry,
-) -> Result<(), String> {
+) -> Result<(), TransferError> {
     let _span = TRANSFER_NS.span();
-    let target = program
-        .precond(target_addr)
-        .ok_or_else(|| format!("transfer to unannotated address {target_addr}"))?;
+    let target = program.precond(target_addr).ok_or_else(|| {
+        TransferError::new(format!("transfer to unannotated address {target_addr}"))
+    })?;
 
     // Infer S by matching target patterns against the current context.
     let mut goals = GoalSet::new();
@@ -70,11 +107,13 @@ pub fn check_transfer(
     // Residual structural-matching obligations.
     for g in residual {
         if !ctx.facts.prove_eq(arena, g.pattern, g.subject) {
-            return Err(format!(
+            let w = ctx.facts.explain_eq(arena, g.pattern, g.subject);
+            return Err(TransferError::new(format!(
                 "cannot prove {} = {} for the transfer to {target_addr}",
                 arena.display(g.pattern),
                 arena.display(g.subject)
-            ));
+            ))
+            .with_witness(&w));
         }
     }
 
@@ -88,9 +127,9 @@ pub fn check_transfer(
         DEntry::Current(t) => t.clone(),
     };
     if !reg_subtype(arena, &ctx.facts, &entry_d, &target_d) {
-        return Err(format!(
+        return Err(TransferError::new(format!(
             "destination register type mismatch entering {target_addr}"
-        ));
+        )));
     }
 
     // pc premises: S(Γ')(pcc) = (c, int, Er_c).
@@ -98,18 +137,24 @@ pub fn check_transfer(
         match subst_reg_ty(arena, &s, target.regs.get(Reg::Pc(c))) {
             RegTy::Val(v) => {
                 if v.color != c {
-                    return Err(format!("target pc{c} has wrong color"));
+                    return Err(TransferError::new(format!("target pc{c} has wrong color")));
                 }
                 if !ctx.facts.prove_eq(arena, v.expr, er) {
-                    return Err(format!(
+                    let w = ctx.facts.explain_eq(arena, v.expr, er);
+                    return Err(TransferError::new(format!(
                         "target pc{c} expression {} does not match transfer target {}",
                         arena.display(v.expr),
                         arena.display(er)
-                    ));
+                    ))
+                    .with_witness(&w));
                 }
             }
             RegTy::Top => { /* target does not constrain this pc */ }
-            RegTy::Cond { .. } => return Err(format!("target pc{c} has a conditional type")),
+            RegTy::Cond { .. } => {
+                return Err(TransferError::new(format!(
+                    "target pc{c} has a conditional type"
+                )))
+            }
         }
     }
 
@@ -121,9 +166,9 @@ pub fn check_transfer(
         let want = subst_reg_ty(arena, &s, t);
         let have = ctx.regs.get(r).clone();
         if !reg_subtype(arena, &ctx.facts, &have, &want) {
-            return Err(format!(
+            return Err(TransferError::new(format!(
                 "register {r} is not a subtype of the target's requirement at {target_addr}"
-            ));
+            )));
         }
     }
 
@@ -131,19 +176,25 @@ pub fn check_transfer(
     for (i, ((td, tv), (cd, cv))) in target.queue.iter().zip(ctx.queue.iter()).enumerate() {
         let tds = s.apply(arena, *td);
         let tvs = s.apply(arena, *tv);
-        if !ctx.facts.prove_eq(arena, tds, *cd) || !ctx.facts.prove_eq(arena, tvs, *cv) {
-            return Err(format!("queue entry {i} mismatch entering {target_addr}"));
+        for (want, have) in [(tds, *cd), (tvs, *cv)] {
+            if !ctx.facts.prove_eq(arena, want, have) {
+                let w = ctx.facts.explain_eq(arena, want, have);
+                return Err(TransferError::new(format!(
+                    "queue entry {i} mismatch entering {target_addr}"
+                ))
+                .with_witness(&w));
+            }
         }
     }
 
     // Memory premise: Δ ⊢ Em = S(Em').
     let tm = s.apply(arena, target.mem);
     if !prove_mem_eq(arena, &ctx.facts, ctx.mem, tm) {
-        return Err(format!(
+        return Err(TransferError::new(format!(
             "memory description mismatch entering {target_addr}: have {}, target wants {}",
             arena.display(ctx.mem),
             arena.display(tm)
-        ));
+        )));
     }
 
     // Target facts must hold under S.
@@ -154,9 +205,15 @@ pub fn check_transfer(
             talft_isa::FactAnn::Ge0(e) => talft_isa::FactAnn::Ge0(s.apply(arena, e)),
         };
         if !prove_fact(arena, &ctx.facts, fs) {
-            return Err(format!(
+            let w = match fs {
+                talft_isa::FactAnn::EqZero(e) => ctx.facts.explain_eq_zero(arena, e),
+                talft_isa::FactAnn::NeqZero(e) => ctx.facts.explain_neq_zero(arena, e),
+                talft_isa::FactAnn::Ge0(e) => ctx.facts.explain_ge0(arena, e),
+            };
+            return Err(TransferError::new(format!(
                 "cannot establish a fact required by the target at {target_addr}"
-            ));
+            ))
+            .with_witness(&w));
         }
     }
 

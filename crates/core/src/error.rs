@@ -26,6 +26,9 @@ pub struct TypeError {
     pub reason: String,
     /// Resolved source span (label + offset + line), when available.
     pub span: Option<Span>,
+    /// Solver failure witnesses and other secondary notes (rendered as
+    /// `= note:` lines on the diagnostic).
+    pub notes: Vec<String>,
 }
 
 impl TypeError {
@@ -37,6 +40,7 @@ impl TypeError {
             instr: None,
             reason: reason.into(),
             span: None,
+            notes: Vec::new(),
         }
     }
 
@@ -44,6 +48,20 @@ impl TypeError {
     #[must_use]
     pub fn with_instr(mut self, instr: impl Into<String>) -> Self {
         self.instr = Some(instr.into());
+        self
+    }
+
+    /// Attach one secondary note (e.g. an entailment failure witness).
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Attach several secondary notes.
+    #[must_use]
+    pub fn with_notes(mut self, notes: impl IntoIterator<Item = String>) -> Self {
+        self.notes.extend(notes);
         self
     }
 
@@ -71,6 +89,9 @@ impl TypeError {
         });
         if let Some(i) = &self.instr {
             d = d.note(format!("in `{i}`"));
+        }
+        for n in &self.notes {
+            d = d.note(n.clone());
         }
         d
     }

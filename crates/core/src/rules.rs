@@ -202,18 +202,22 @@ pub fn check_instr(
             // pair, else the hardware comparison could fail without a fault
             // (or pass with corrupt data — the §2.2 CSE bug).
             if !ctx.facts.prove_eq(arena, va.expr, ed) {
+                let w = ctx.facts.explain_eq(arena, va.expr, ed);
                 return Err(fail(format!(
                     "stB address {} is not provably the queued address {}",
                     arena.display(va.expr),
                     arena.display(ed)
-                )));
+                ))
+                .with_note(w.note()));
             }
             if !ctx.facts.prove_eq(arena, vv.expr, es) {
+                let w = ctx.facts.explain_eq(arena, vv.expr, es);
                 return Err(fail(format!(
                     "stB value {} is not provably the queued value {}",
                     arena.display(vv.expr),
                     arena.display(es)
-                )));
+                ))
+                .with_note(w.note()));
             }
             ctx.mem = arena.upd(ctx.mem, ed, es);
             ctx.bump_pcs(arena);
@@ -263,11 +267,13 @@ pub fn check_instr(
                 )));
             }
             if !ctx.facts.prove_eq(arena, vd.expr, vb.expr) {
+                let w = ctx.facts.explain_eq(arena, vd.expr, vb.expr);
                 return Err(fail(format!(
                     "jump target expressions differ: {} vs {} (principle 4)",
                     arena.display(vd.expr),
                     arena.display(vb.expr)
-                )));
+                ))
+                .with_note(w.note()));
             }
             check_transfer(
                 arena,
@@ -278,7 +284,7 @@ pub fn check_instr(
                 vb.expr,
                 &DEntry::ResetToZero,
             )
-            .map_err(&fail)?;
+            .map_err(|e| fail(e.reason).with_notes(e.notes))?;
             Ok(Outcome::Void)
         }
         Instr::Bz {
@@ -342,18 +348,22 @@ pub fn check_instr(
             }
             // Δ ⊢ Ez = Ez'' and Δ ⊢ Er = Er' (principle 4).
             if !ctx.facts.prove_eq(arena, vz.expr, guard) {
+                let w = ctx.facts.explain_eq(arena, vz.expr, guard);
                 return Err(fail(format!(
                     "branch conditions differ: {} vs {}",
                     arena.display(vz.expr),
                     arena.display(guard)
-                )));
+                ))
+                .with_note(w.note()));
             }
             if !ctx.facts.prove_eq(arena, inner.expr, vt.expr) {
+                let w = ctx.facts.explain_eq(arena, inner.expr, vt.expr);
                 return Err(fail(format!(
                     "branch target expressions differ: {} vs {}",
                     arena.display(inner.expr),
                     arena.display(vt.expr)
-                )));
+                ))
+                .with_note(w.note()));
             }
             // Taken side: check the transfer under the extra fact Ez = 0.
             {
@@ -368,7 +378,7 @@ pub fn check_instr(
                     vt.expr,
                     &DEntry::ResetToZero,
                 )
-                .map_err(&fail)?;
+                .map_err(|e| fail(e.reason).with_notes(e.notes))?;
             }
             // Fall-through postcondition: Ez ≠ 0, and d (dynamically 0 by
             // rule bz-untaken) refines to (G, int, 0) — sound by cond-t-n0.

@@ -284,6 +284,43 @@ fn wrong_conditional_annotation_rejected() {
 // ---- diagnostics -----------------------------------------------------------
 
 #[test]
+fn stb_constant_mismatch_witness_names_the_residue() {
+    // The §2.2 "correct value at an incorrect location" case: the witness
+    // pins down *why* the entailment failed, not just that it did.
+    let e = reject(
+        "\n.data\nregion out at 4096 len 2 : int output\n.code\nmain:\n  \
+         .pre { forall m:mem; mem: m; }\n  mov r1, G 5\n  mov r2, G 4096\n  stG r2, r1\n  \
+         mov r3, B 5\n  mov r4, B 4097\n  stB r4, r3\n  halt\n",
+    );
+    assert!(e.reason.contains("queued address"), "{}", e.reason);
+    assert_eq!(
+        e.notes,
+        vec!["cannot prove `4097` = `4096`: the sides differ by the constant 1".to_string()]
+    );
+}
+
+#[test]
+fn stb_value_mismatch_carries_solver_witness() {
+    // Symbolic mismatch: no hypothesis relates x and y, and the witness
+    // names the unbounded atom and lands on the rendered diagnostic.
+    let e = reject(
+        "\n.data\nregion out at 4096 len 1 : int output\n.code\nmain:\n  \
+         .pre { forall x:int, y:int, m:mem; r1: (G, int, x); r3: (B, int, y); mem: m; }\n  \
+         mov r2, G 4096\n  stG r2, r1\n  mov r4, B 4096\n  stB r4, r3\n  halt\n",
+    );
+    assert!(e.reason.contains("queued value"), "{}", e.reason);
+    assert_eq!(
+        e.notes,
+        vec!["cannot prove `y` = `x`: no fact bounds `x`".to_string()]
+    );
+    let rendered = e.to_diagnostic().render();
+    assert!(
+        rendered.contains("= note: cannot prove `y` = `x`: no fact bounds `x`"),
+        "{rendered}"
+    );
+}
+
+#[test]
 fn rejections_carry_block_spans() {
     // Errors inside a labeled block resolve to `label+offset`, so the CLI
     // can print `main+1` instead of a bare address.

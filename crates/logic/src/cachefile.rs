@@ -1,0 +1,355 @@
+//! Persistent cross-run solver cache (DESIGN.md §13).
+//!
+//! Entailment verdicts are pure functions of the *normalized* query
+//! polynomial and the hypothesis polynomials, so they can be replayed
+//! across processes — the E14 mutation sweep and the E17 lint grids
+//! re-prove largely identical obligations on every run. This module keys
+//! verdicts on a canonical, **arena-independent** normal form:
+//!
+//! * every atom is serialized structurally (operators, integer literals,
+//!   and variable *names* — never [`crate::ExprId`]s, which are
+//!   arena-relative);
+//! * monomial factors and polynomial terms are sorted by their serialized
+//!   bytes, erasing arena interning order;
+//! * the query kind is tagged (`QueryTag`), and the hypothesis vectors
+//!   (`eqs`/`neqs`/`ges`, already closed under the solved substitution)
+//!   are fingerprinted in storage order — order-sensitivity only costs
+//!   misses, never wrong hits;
+//! * the serialized bytes are folded into a 128-bit hash (two independent
+//!   64-bit streams), making accidental collisions negligible.
+//!
+//! **Invalidation rules**: the key covers everything a post-normalization
+//! verdict depends on — change the query, any hypothesis, or the shape of
+//! any atom (implicit bounds read atom shapes) and the key changes. The
+//! solver's *code* is versioned by the file header: bump `FORMAT` whenever
+//! the decision procedures change meaning. A file that fails any part of
+//! the strict parse is discarded wholesale (cold start) — a corrupt cache
+//! is never trusted.
+//!
+//! Writes go to a sibling `.tmp` file and are atomically renamed into
+//! place, like the PR 6 campaign checkpoints. The cache is process-global
+//! and disabled until [`load_solver_cache`] names a backing file
+//! (`talftc --solver-cache`, and the `mutation`/`lint` bench bins).
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+use talft_obs::LazyCounter;
+
+use crate::entail::Facts;
+use crate::expr::{ExprArena, ExprId, ExprNode};
+use crate::norm::Poly;
+
+/// Persistent-cache metrics (DESIGN.md §Observability); only recorded
+/// while a cache is loaded.
+static PC_HIT: LazyCounter = LazyCounter::new("logic.pcache.hit");
+static PC_MISS: LazyCounter = LazyCounter::new("logic.pcache.miss");
+
+/// File-format header; bump when keys or decision procedures change.
+const FORMAT: &str = "talft-solver-cache v1";
+
+#[derive(Default)]
+struct PCache {
+    path: PathBuf,
+    entries: HashMap<u128, bool>,
+    hits: u64,
+    misses: u64,
+}
+
+fn store() -> &'static Mutex<Option<PCache>> {
+    static S: OnceLock<Mutex<Option<PCache>>> = OnceLock::new();
+    S.get_or_init(|| Mutex::new(None))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Option<PCache>> {
+    store()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Enable the persistent solver cache backed by `path`, loading any
+/// previously saved verdicts. Returns the number of entries loaded — `0`
+/// when the file is missing **or fails the strict parse** (truncated or
+/// garbage files cold-start; they are never partially trusted).
+pub fn load_solver_cache(path: impl AsRef<Path>) -> usize {
+    let path = path.as_ref().to_path_buf();
+    let entries = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| parse(&text))
+        .unwrap_or_default();
+    let n = entries.len();
+    *lock() = Some(PCache {
+        path,
+        entries,
+        hits: 0,
+        misses: 0,
+    });
+    n
+}
+
+/// Write the cache back to its backing file (atomic tmp+rename), returning
+/// the path written, or `None` when no cache is loaded. Entries are written
+/// in sorted key order so equal caches produce identical files.
+pub fn save_solver_cache() -> std::io::Result<Option<PathBuf>> {
+    let (path, mut keys, entries) = {
+        let guard = lock();
+        let Some(pc) = guard.as_ref() else {
+            return Ok(None);
+        };
+        let keys: Vec<u128> = pc.entries.keys().copied().collect();
+        (pc.path.clone(), keys, pc.entries.clone())
+    };
+    keys.sort_unstable();
+    let mut text = String::with_capacity(keys.len() * 36 + FORMAT.len() + 1);
+    text.push_str(FORMAT);
+    text.push('\n');
+    for k in &keys {
+        use std::fmt::Write as _;
+        let _ = writeln!(text, "{k:032x} {}", u8::from(entries[k]));
+    }
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, &path)?;
+    Ok(Some(path))
+}
+
+/// Drop the in-memory cache and disable persistent lookups (tests and
+/// one-shot tools; nothing is written — pair with [`save_solver_cache`]).
+pub fn clear_solver_cache() {
+    *lock() = None;
+}
+
+/// `(hits, misses, entries)` of the loaded cache, or `None` when disabled.
+#[must_use]
+pub fn solver_cache_stats() -> Option<(u64, u64, usize)> {
+    lock()
+        .as_ref()
+        .map(|pc| (pc.hits, pc.misses, pc.entries.len()))
+}
+
+/// Whether a persistent cache is currently loaded.
+#[must_use]
+pub(crate) fn pcache_enabled() -> bool {
+    lock().is_some()
+}
+
+pub(crate) fn pcache_lookup(key: u128) -> Option<bool> {
+    let mut guard = lock();
+    let pc = guard.as_mut()?;
+    let hit = pc.entries.get(&key).copied();
+    if hit.is_some() {
+        pc.hits += 1;
+        PC_HIT.inc();
+    } else {
+        pc.misses += 1;
+        PC_MISS.inc();
+    }
+    hit
+}
+
+pub(crate) fn pcache_record(key: u128, verdict: bool) {
+    if let Some(pc) = lock().as_mut() {
+        pc.entries.insert(key, verdict);
+    }
+}
+
+/// Strict parse of the cache text: exact header, then `<32-hex> <0|1>`
+/// lines. Any deviation rejects the entire file.
+fn parse(text: &str) -> Option<HashMap<u128, bool>> {
+    let mut lines = text.lines();
+    if lines.next()? != FORMAT {
+        return None;
+    }
+    let mut map = HashMap::new();
+    for line in lines {
+        let (k, v) = line.split_once(' ')?;
+        if k.len() != 32 || !k.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let key = u128::from_str_radix(k, 16).ok()?;
+        let verdict = match v {
+            "0" => false,
+            "1" => true,
+            _ => return None,
+        };
+        map.insert(key, verdict);
+    }
+    Some(map)
+}
+
+// ---- canonical query keys -------------------------------------------------
+
+/// Which decision procedure the verdict came from; part of the key because
+/// the same polynomial means different things per judgment.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum QueryTag {
+    /// `d = 0` via `poly_provably_zero` (no implicit bounds).
+    Eq = 1,
+    /// `p ≥ 0` via FM with implicit shape bounds.
+    Ge0 = 2,
+    /// `d ≠ 0` via `poly_nonzero_with`.
+    Neq = 3,
+}
+
+/// Two independent 64-bit streams (FNV-1a and a rotate-multiply mix)
+/// concatenated into a 128-bit key.
+struct H128 {
+    a: u64,
+    b: u64,
+}
+
+impl H128 {
+    fn new() -> Self {
+        H128 {
+            a: 0xcbf2_9ce4_8422_2325,
+            b: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &x in bytes {
+            self.a = (self.a ^ u64::from(x)).wrapping_mul(0x0000_0100_0000_01b3);
+            self.b = (self.b ^ u64::from(x))
+                .wrapping_mul(0xbf58_476d_1ce4_e5b9)
+                .rotate_left(29);
+        }
+    }
+
+    fn finish(&self) -> u128 {
+        (u128::from(self.a) << 64) | u128::from(self.b)
+    }
+}
+
+/// Serialize an expression structurally: tags, literals, and variable
+/// *names* — no arena ids anywhere.
+fn ser_expr(arena: &ExprArena, e: ExprId, out: &mut Vec<u8>) {
+    match arena.node(e) {
+        ExprNode::Int(n) => {
+            out.push(1);
+            out.extend(n.to_le_bytes());
+        }
+        ExprNode::Var(v) => {
+            let name = arena.var_name(v).as_bytes();
+            out.push(2);
+            out.extend((name.len() as u32).to_le_bytes());
+            out.extend(name);
+        }
+        ExprNode::Bin(op, a, b) => {
+            out.push(3);
+            out.push(op as u8);
+            ser_expr(arena, a, out);
+            ser_expr(arena, b, out);
+        }
+        ExprNode::Sel(m, a) => {
+            out.push(4);
+            ser_expr(arena, m, out);
+            ser_expr(arena, a, out);
+        }
+        ExprNode::Emp => out.push(5),
+        ExprNode::Upd(m, a, v) => {
+            out.push(6);
+            ser_expr(arena, m, out);
+            ser_expr(arena, a, out);
+            ser_expr(arena, v, out);
+        }
+    }
+}
+
+/// Serialize a polynomial canonically: monomial factors and terms sorted
+/// by their serialized bytes (BTreeMap iteration order is id-relative and
+/// must not leak into the key).
+fn ser_poly(arena: &ExprArena, p: &Poly, out: &mut Vec<u8>) {
+    let mut terms: Vec<Vec<u8>> = Vec::new();
+    for (m, c) in p.terms() {
+        let mut t = Vec::with_capacity(16);
+        t.extend(c.to_le_bytes());
+        let mut atoms: Vec<Vec<u8>> = m
+            .iter()
+            .map(|&a| {
+                let mut b = Vec::new();
+                ser_expr(arena, a, &mut b);
+                b
+            })
+            .collect();
+        atoms.sort_unstable();
+        t.extend((atoms.len() as u32).to_le_bytes());
+        for a in atoms {
+            t.extend((a.len() as u32).to_le_bytes());
+            t.extend(a);
+        }
+        terms.push(t);
+    }
+    terms.sort_unstable();
+    out.extend((terms.len() as u32).to_le_bytes());
+    for t in terms {
+        out.extend((t.len() as u32).to_le_bytes());
+        out.extend(t);
+    }
+}
+
+/// The 128-bit key of one post-normalization query: tag + canonical query
+/// polynomial + the hypothesis vectors the verdict can read.
+pub(crate) fn query_key(arena: &ExprArena, tag: QueryTag, d: &Poly, facts: &Facts) -> u128 {
+    let mut buf = Vec::with_capacity(256);
+    buf.push(tag as u8);
+    ser_poly(arena, d, &mut buf);
+    let (_, eqs, neqs, ges) = facts.hyp_views();
+    for group in [eqs, neqs, ges] {
+        buf.extend((group.len() as u32).to_le_bytes());
+        for p in group {
+            ser_poly(arena, p, &mut buf);
+        }
+    }
+    let mut h = H128::new();
+    h.write(&buf);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Stateful save/load/corrupt-file tests live in the integration binary
+    // `tests/pcache.rs` — they flip the process-global cache, which must
+    // not interleave with the lib binary's entailment tests. Only the pure
+    // key computation is tested here.
+
+    #[test]
+    fn keys_are_arena_independent() {
+        let mut a1 = ExprArena::new();
+        let mut f1 = Facts::new();
+        let x = a1.var("x");
+        let y = a1.var("y");
+        let d1 = {
+            let s = a1.sub(x, y);
+            crate::norm::norm_int(&mut a1, &f1, s)
+        };
+        f1.assume_ge0(&mut a1, x);
+
+        // Same query built in a different interning order in a fresh arena.
+        let mut a2 = ExprArena::new();
+        let mut f2 = Facts::new();
+        let _pad = a2.var("padding"); // shift every id
+        let y2 = a2.var("y");
+        let x2 = a2.var("x");
+        let d2 = {
+            let s = a2.sub(x2, y2);
+            crate::norm::norm_int(&mut a2, &f2, s)
+        };
+        f2.assume_ge0(&mut a2, x2);
+
+        let k1 = query_key(&a1, QueryTag::Ge0, &d1, &f1);
+        let k2 = query_key(&a2, QueryTag::Ge0, &d2, &f2);
+        assert_eq!(k1, k2, "ids must not leak into keys");
+
+        // Different tag, different facts, different query: all distinct.
+        assert_ne!(k1, query_key(&a1, QueryTag::Eq, &d1, &f1));
+        assert_ne!(k1, query_key(&a1, QueryTag::Ge0, &d1, &Facts::new()));
+    }
+}

@@ -22,7 +22,9 @@ use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 use talft_obs::LazyCounter;
 
+use crate::cachefile::{self, QueryTag};
 use crate::expr::{BinOp, ExprArena, ExprId, ExprNode};
+use crate::interval::{self, IntervalEnv};
 use crate::norm::{norm_int, Monomial, Poly};
 
 /// Solver-query metrics (DESIGN.md §Observability). Zero-cost while
@@ -35,6 +37,7 @@ static FM_GIVEUPS: LazyCounter = LazyCounter::new("logic.fm.giveups");
 static Q_REPEATS: LazyCounter = LazyCounter::new("logic.query.repeat_candidates");
 static CACHE_HIT: LazyCounter = LazyCounter::new("logic.cache.hit");
 static CACHE_MISS: LazyCounter = LazyCounter::new("logic.cache.miss");
+static CACHE_EVICT: LazyCounter = LazyCounter::new("logic.cache.evict");
 
 /// Count equality queries whose `(e1, e2)` id pair was seen before — an
 /// estimate of how much a memoizing query cache would save. A fixed-size
@@ -52,7 +55,7 @@ fn note_query_pair(e1: ExprId, e2: ExprId) {
     const SLOTS: usize = 4096;
     static SEEN: [AtomicU64; SLOTS] = [const { AtomicU64::new(0) }; SLOTS];
     // Pack both ids, +1 so the empty slot value 0 is never a valid key.
-    let key = (u64::from(e1.0) + 1) << 32 | u64::from(e2.0 + 1);
+    let key = (u64::from(e1.0) + 1) << 32 | (u64::from(e2.0) + 1);
     let slot = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 52) as usize % SLOTS;
     if SEEN[slot].swap(key, Ordering::Relaxed) == key {
         Q_REPEATS.inc();
@@ -135,6 +138,9 @@ pub(crate) struct EntailCache {
     slots: Vec<CacheSlot>,
     hits: u64,
     misses: u64,
+    /// Live entries overwritten by a colliding key — the direct map's
+    /// conflict rate, observable via `ExprArena::entail_cache_evictions`.
+    evictions: u64,
 }
 
 impl std::fmt::Debug for CacheSlot {
@@ -168,7 +174,14 @@ impl EntailCache {
         if self.slots.is_empty() {
             self.slots = vec![EMPTY_SLOT; CACHE_SLOTS];
         }
-        self.slots[Self::index(e1, e2, generation)] = CacheSlot {
+        let slot = &mut self.slots[Self::index(e1, e2, generation)];
+        if slot.generation != u64::MAX
+            && (slot.e1 != e1 || slot.e2 != e2 || slot.generation != generation)
+        {
+            self.evictions += 1;
+            CACHE_EVICT.inc();
+        }
+        *slot = CacheSlot {
             e1,
             e2,
             generation,
@@ -179,12 +192,20 @@ impl EntailCache {
     pub(crate) fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
+
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
+    }
 }
 
 /// Caps keeping Fourier–Motzkin elimination cheap; exceeding them makes the
 /// prover give up (sound: "unknown" is treated as "not proved").
 const FM_MAX_CONSTRAINTS: usize = 512;
 const FM_MAX_VARS: usize = 24;
+
+/// Borrowed views of the hypothesis vectors in `(solved, eqs, neqs, ges)`
+/// order — see [`Facts::hyp_views`].
+pub(crate) type HypViews<'a> = (&'a [(ExprId, Poly)], &'a [Poly], &'a [Poly], &'a [Poly]);
 
 /// A set of path hypotheses: equalities, disequalities, and `≥ 0` facts.
 #[derive(Debug, Clone, Default)]
@@ -252,6 +273,13 @@ impl Facts {
     #[must_use]
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Read-only views of the hypothesis vectors, in `(solved, eqs, neqs,
+    /// ges)` order — the persistent-cache fingerprint and the witness
+    /// builders read them.
+    pub(crate) fn hyp_views(&self) -> HypViews<'_> {
+        (&self.solved, &self.eqs, &self.neqs, &self.ges)
     }
 
     /// Re-tag after a mutation so stale cached verdicts cannot be replayed.
@@ -376,13 +404,41 @@ impl Facts {
             }
             CACHE_MISS.inc();
         }
-        let p1 = norm_int(arena, self, e1);
-        let p2 = norm_int(arena, self, e2);
-        let verdict = self.poly_provably_zero(&p1.sub(&p2));
+        let verdict = match self.interval_eq(arena, e1, e2) {
+            Some(v) => v,
+            None => {
+                let p1 = norm_int(arena, self, e1);
+                let p2 = norm_int(arena, self, e2);
+                let d = p1.sub(&p2);
+                self.pcached(arena, QueryTag::Eq, &d, |s| s.poly_provably_zero(&d))
+            }
+        };
         if caching {
             arena.entail_cache.store(a.0, b.0, self.generation, verdict);
         }
         verdict
+    }
+
+    /// Route a post-normalization query through the persistent cross-run
+    /// cache (tier 3, DESIGN.md §13) when one is loaded. Constant residues
+    /// are never cached — they are cheaper to re-decide than to hash.
+    fn pcached(
+        &self,
+        arena: &ExprArena,
+        tag: QueryTag,
+        d: &Poly,
+        run: impl FnOnce(&Self) -> bool,
+    ) -> bool {
+        if d.as_constant().is_some() || !cachefile::pcache_enabled() {
+            return run(self);
+        }
+        let key = cachefile::query_key(arena, tag, d, self);
+        if let Some(v) = cachefile::pcache_lookup(key) {
+            return v;
+        }
+        let v = run(self);
+        cachefile::pcache_record(key, v);
+        v
     }
 
     /// Prove a normalized polynomial equals zero under the hypotheses.
@@ -401,16 +457,25 @@ impl Facts {
     /// Prove `e1 ≠ e2`.
     pub fn prove_neq(&self, arena: &mut ExprArena, e1: ExprId, e2: ExprId) -> bool {
         Q_NEQ.inc();
+        if let Some(v) = self.interval_neq(arena, e1, Some(e2)) {
+            return v;
+        }
         let p1 = norm_int(arena, self, e1);
         let p2 = norm_int(arena, self, e2);
-        self.poly_nonzero_with(arena, &p1.sub(&p2))
+        let d = p1.sub(&p2);
+        let ar: &ExprArena = arena;
+        self.pcached(ar, QueryTag::Neq, &d, |s| s.poly_nonzero_with(ar, &d))
     }
 
     /// Prove `e ≠ 0`.
     pub fn prove_neq_zero(&self, arena: &mut ExprArena, e: ExprId) -> bool {
         Q_NEQ.inc();
+        if let Some(v) = self.interval_neq(arena, e, None) {
+            return v;
+        }
         let p = norm_int(arena, self, e);
-        self.poly_nonzero_with(arena, &p)
+        let ar: &ExprArena = arena;
+        self.pcached(ar, QueryTag::Neq, &p, |s| s.poly_nonzero_with(ar, &p))
     }
 
     /// Prove `e = 0`. Memoized like [`Facts::prove_eq`], under the sentinel
@@ -428,8 +493,14 @@ impl Facts {
             }
             CACHE_MISS.inc();
         }
-        let p = norm_int(arena, self, e);
-        let verdict = self.poly_provably_zero(&p);
+        let zero = arena.int(0);
+        let verdict = match self.interval_eq(arena, e, zero) {
+            Some(v) => v,
+            None => {
+                let p = norm_int(arena, self, e);
+                self.pcached(arena, QueryTag::Eq, &p, |s| s.poly_provably_zero(&p))
+            }
+        };
         if caching {
             arena
                 .entail_cache
@@ -441,11 +512,15 @@ impl Facts {
     /// Prove `e ≥ 0`.
     pub fn prove_ge0(&self, arena: &mut ExprArena, e: ExprId) -> bool {
         Q_GE.inc();
+        if let Some(v) = self.interval_ge0(arena, e) {
+            return v;
+        }
         let p = norm_int(arena, self, e);
         if let Some(c) = p.as_constant() {
             return c >= 0;
         }
-        self.fm_proves_ge0(Some(arena), &p)
+        let ar: &ExprArena = arena;
+        self.pcached(ar, QueryTag::Ge0, &p, |s| s.fm_proves_ge0(Some(ar), &p))
     }
 
     /// Prove `lo ≤ e < hi`.
@@ -486,6 +561,137 @@ impl Facts {
         self.fm_proves_ge0(arena, &d.sub(&one)) || self.fm_proves_ge0(arena, &d.neg().sub(&one))
     }
 
+    // ---- interval pre-solver (tier 1, DESIGN.md §13) ----------------------
+
+    /// Build the per-atom interval environment for the tree walk: constant
+    /// solved equalities become rigid points, non-constant ones force ⊤,
+    /// and unit-coefficient single-atom `≥ 0` facts become bounds. Only
+    /// unit coefficients are absorbed — rounding `c·a + k ≥ 0` for |c| > 1
+    /// is ℤ-sound but not ℚ-FM-derivable and would break transparency.
+    pub(crate) fn interval_env(&self) -> IntervalEnv {
+        let mut env = IntervalEnv::default();
+        for (atom, p) in &self.solved {
+            match p.as_constant() {
+                Some(c) => env.set_rigid(*atom, c),
+                None => env.set_opaque(*atom),
+            }
+        }
+        for g in &self.ges {
+            let mut atom: Option<(ExprId, i64)> = None;
+            let mut k = 0i64;
+            let mut usable = true;
+            for (m, c) in g.terms() {
+                if m.is_empty() {
+                    k = c;
+                } else if m.len() == 1 && atom.is_none() && (c == 1 || c == -1) {
+                    atom = Some((m[0], c));
+                } else {
+                    usable = false;
+                    break;
+                }
+            }
+            let Some((a, c)) = atom else { continue };
+            if !usable {
+                continue;
+            }
+            if c == 1 {
+                // a + k ≥ 0  ⟹  a ≥ -k
+                if let Some(lo) = k.checked_neg() {
+                    env.tighten(a, Some(lo), None);
+                }
+            } else {
+                // -a + k ≥ 0  ⟹  a ≤ k
+                env.tighten(a, None, Some(k));
+            }
+        }
+        env
+    }
+
+    /// Tier-1 answer for `e ≥ 0`: decisive for rigid constants (mirroring
+    /// the fallback's own constant fold), otherwise TRUE-only from a
+    /// non-negative lower bound. `None` falls through to normalization+FM.
+    fn interval_ge0(&self, arena: &ExprArena, e: ExprId) -> Option<bool> {
+        if !interval::entail_interval_enabled() {
+            return None;
+        }
+        let env = self.interval_env();
+        let mut narrowed = false;
+        let verdict = (|| {
+            let iv = interval::eval_tree(arena, &env, true, e)?;
+            if iv.rigid {
+                return Some(iv.as_point().expect("rigid interval is a point") >= 0);
+            }
+            if iv.lo.is_some_and(|l| l >= 0) {
+                return Some(true);
+            }
+            narrowed = iv.is_narrowed();
+            None
+        })();
+        interval::note_consult(verdict.is_some(), narrowed);
+        verdict
+    }
+
+    /// Tier-1 answer for `e1 = e2`. TRUE when both sides evaluate to the
+    /// same point (the FM path proves it from the same unit facts); FALSE
+    /// only for distinct rigid constants under an empty `ges`/`eqs` set,
+    /// where the fallback's constant arithmetic is the whole procedure.
+    /// Shape bounds are excluded: the equality path runs FM without arena
+    /// access (see [`Facts::poly_provably_zero`]).
+    fn interval_eq(&self, arena: &ExprArena, e1: ExprId, e2: ExprId) -> Option<bool> {
+        if !interval::entail_interval_enabled() {
+            return None;
+        }
+        let env = self.interval_env();
+        let mut narrowed = false;
+        let verdict = (|| {
+            let a = interval::eval_tree(arena, &env, false, e1)?;
+            let b = interval::eval_tree(arena, &env, false, e2)?;
+            if let (Some(x), Some(y)) = (a.as_point(), b.as_point()) {
+                if x == y {
+                    return Some(true);
+                }
+                if a.rigid && b.rigid && self.ges.is_empty() && self.eqs.is_empty() {
+                    return Some(false);
+                }
+            }
+            narrowed = a.is_narrowed() || b.is_narrowed();
+            None
+        })();
+        interval::note_consult(verdict.is_some(), narrowed);
+        verdict
+    }
+
+    /// Tier-1 answer for `e1 ≠ e2` / `e ≠ 0` given both side intervals:
+    /// TRUE on disjointness (an integer gap is ≥ 1, so FM proves
+    /// `d - 1 ≥ 0` or `-d - 1 ≥ 0` from the same facts), FALSE only for
+    /// equal rigid constants (the fallback's constant check).
+    fn interval_neq(&self, arena: &ExprArena, e1: ExprId, e2: Option<ExprId>) -> Option<bool> {
+        if !interval::entail_interval_enabled() {
+            return None;
+        }
+        let env = self.interval_env();
+        let mut narrowed = false;
+        let verdict = (|| {
+            let a = interval::eval_tree(arena, &env, true, e1)?;
+            let b = match e2 {
+                Some(e2) => interval::eval_tree(arena, &env, true, e2)?,
+                None => crate::interval::Itv::rigid_point(0),
+            };
+            let disjoint = matches!((a.hi, b.lo), (Some(h), Some(l)) if h < l)
+                || matches!((b.hi, a.lo), (Some(h), Some(l)) if h < l);
+            if disjoint {
+                return Some(true);
+            }
+            if a.rigid && b.rigid && a.as_point() == b.as_point() {
+                return Some(false);
+            }
+            narrowed = a.is_narrowed() || b.is_narrowed();
+            None
+        })();
+        interval::note_consult(verdict.is_some(), narrowed);
+        verdict
+    }
+
     // ---- internals --------------------------------------------------------
 
     /// If `p` is a bare `slt` atom, return its operands as polynomial parts.
@@ -516,6 +722,7 @@ impl Facts {
             cons.push(LinCon::from_poly(&e.neg()));
         }
         // ¬(q ≥ 0) over ℤ:  -q - 1 ≥ 0
+        let negq_idx = cons.len();
         let negq = q.neg().sub(&Poly::constant(1));
         cons.push(LinCon::from_poly(&negq));
         if let Some(arena) = arena {
@@ -524,7 +731,178 @@ impl Facts {
         if cons.len() <= 1 && q.as_constant().is_none() {
             return false; // nothing to refute with
         }
+        // Tier-2 box front (DESIGN.md §13): an exact rational box over the
+        // single-monomial constraints often decides the refutation without
+        // running elimination at all.
+        if interval::entail_interval_enabled() {
+            let (verdict, narrowed) = box_front(&cons, negq_idx, q);
+            interval::note_consult(verdict.is_some(), narrowed);
+            if let Some(v) = verdict {
+                return v;
+            }
+        }
         fm_refute(cons)
+    }
+}
+
+/// An exact rational `n/d` with `d > 0`, kept reduced; the box front's
+/// bound arithmetic (overflow declines the query, never loosens it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Rat {
+    n: i128,
+    d: i128,
+}
+
+impl Rat {
+    fn new(n: i128, d: i128) -> Rat {
+        debug_assert!(d > 0);
+        let g = gcd(n.unsigned_abs(), d.unsigned_abs()).max(1) as i128;
+        Rat { n: n / g, d: d / g }
+    }
+
+    /// `self < other`; `None` on overflow.
+    fn lt(&self, other: &Rat) -> Option<bool> {
+        Some(self.n.checked_mul(other.d)? < other.n.checked_mul(self.d)?)
+    }
+
+    /// `self + c·other`; `None` on overflow.
+    fn add_scaled(&self, c: i128, other: &Rat) -> Option<Rat> {
+        let n = self
+            .n
+            .checked_mul(other.d)?
+            .checked_add(c.checked_mul(other.n)?.checked_mul(self.d)?)?;
+        Some(Rat::new(n, self.d.checked_mul(other.d)?))
+    }
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Decide `fm_refute(cons)` from the rational box spanned by the
+/// single-monomial hypothesis constraints, without running elimination.
+/// Returns `(verdict, narrowed)`; `verdict = None` falls through to FM.
+///
+/// * **TRUE** when some constraint is already a constant contradiction
+///   (mirroring `fm_refute`'s first check), or when `min(q)` over the box
+///   exceeds `-1`: no ℚ point satisfies `-q - 1 ≥ 0`, and the box is built
+///   from a subset of FM's constraints, so complete ℚ-elimination with the
+///   superset also refutes.
+/// * **FALSE** only when the box is *exact* — every hypothesis constraint
+///   has at most one monomial — nonempty, and `min(q) ≤ -1` (or `-∞`):
+///   the constraint set is then genuinely satisfiable over ℚ, and a sound
+///   refuter can never answer true on a satisfiable set, caps or no caps.
+/// * Declines when the distinct-monomial count exceeds `FM_MAX_VARS`
+///   (where FM itself would give up), when the box is empty (FM reports
+///   the ex-falso contradiction itself), or on any `i128` overflow.
+fn box_front(cons: &[LinCon], negq_idx: usize, q: &Poly) -> (Option<bool>, bool) {
+    if cons.iter().any(LinCon::is_contradiction) {
+        return (Some(true), false);
+    }
+    let mut vars: Vec<&Monomial> = Vec::new();
+    for c in cons {
+        for m in c.coeffs.keys() {
+            if !vars.contains(&m) {
+                vars.push(m);
+            }
+        }
+    }
+    if vars.len() > FM_MAX_VARS {
+        return (None, false); // mirror fm_refute's give-up exactly
+    }
+    let mut lowers: BTreeMap<&Monomial, Rat> = BTreeMap::new();
+    let mut uppers: BTreeMap<&Monomial, Rat> = BTreeMap::new();
+    let mut exact = true;
+    for (i, c) in cons.iter().enumerate() {
+        if i == negq_idx {
+            continue;
+        }
+        if c.coeffs.len() > 1 {
+            exact = false;
+            continue;
+        }
+        let Some((m, &coeff)) = c.coeffs.iter().next() else {
+            continue; // trivial constant constraint (contradictions handled above)
+        };
+        // coeff·m + k ≥ 0
+        let (bound, target) = if coeff > 0 {
+            (Rat::new(-c.k, coeff), &mut lowers) // m ≥ -k/coeff
+        } else {
+            (Rat::new(c.k, -coeff), &mut uppers) // m ≤ k/(-coeff)
+        };
+        match target.get(m).copied() {
+            Some(prev) => {
+                let tighter = if coeff > 0 {
+                    prev.lt(&bound)
+                } else {
+                    bound.lt(&prev)
+                };
+                match tighter {
+                    Some(true) => {
+                        target.insert(m, bound);
+                    }
+                    Some(false) => {}
+                    None => return (None, true), // overflow: decline
+                }
+            }
+            None => {
+                target.insert(m, bound);
+            }
+        }
+    }
+    let narrowed = !lowers.is_empty() || !uppers.is_empty();
+    // An empty box means inconsistent hypotheses; decline and let FM derive
+    // the ex-falso refutation itself (its caps stay authoritative).
+    for (m, lo) in &lowers {
+        if let Some(hi) = uppers.get(*m) {
+            match hi.lt(lo) {
+                Some(true) | None => return (None, narrowed),
+                Some(false) => {}
+            }
+        }
+    }
+    // min(q) over the box: lower bounds serve positive coefficients, upper
+    // bounds negative ones. A missing bound makes the minimum -∞ (distinct
+    // from arithmetic overflow, which declines outright).
+    let mut min = Rat::new(0, 1);
+    let mut unbounded = false;
+    for (m, c) in q.terms() {
+        let bound = if m.is_empty() {
+            Some(&Rat { n: 1, d: 1 })
+        } else if c > 0 {
+            lowers.get(m)
+        } else {
+            uppers.get(m)
+        };
+        match bound {
+            Some(b) => match min.add_scaled(i128::from(c), b) {
+                Some(s) => min = s,
+                None => return (None, narrowed), // overflow: decline
+            },
+            None => {
+                unbounded = true;
+                break;
+            }
+        }
+    }
+    if unbounded {
+        // Unbounded below: with an exact box that direction is genuinely
+        // feasible, so the refutation fails; otherwise unknown.
+        return (if exact { Some(false) } else { None }, narrowed);
+    }
+    // min(q) > -1 ⟺ n/d > -1 ⟺ n > -d (d > 0): the negated query is
+    // infeasible over ℚ.
+    if min.n > -min.d {
+        (Some(true), narrowed)
+    } else if exact {
+        (Some(false), narrowed)
+    } else {
+        (None, narrowed)
     }
 }
 
@@ -779,6 +1157,42 @@ fn combine(l: &LinCon, u: &LinCon, wl: i128, wu: i128, var: &Monomial) -> Option
     Some(LinCon { coeffs, k })
 }
 
+/// Serialize tests that toggle the process-global solver knobs (memo cache
+/// and interval layer), restoring both modes on drop. `None` leaves a knob
+/// at its ambient setting while still holding the lock.
+#[cfg(test)]
+pub(crate) fn solver_knob_guard(cache: Option<bool>, iv: Option<bool>) -> impl Drop {
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    struct Guard {
+        prev_cache: u8,
+        prev_interval: u8,
+        _lock: MutexGuard<'static, ()>,
+    }
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            CACHE_MODE.store(self.prev_cache, Ordering::Relaxed);
+            interval::restore_mode(self.prev_interval);
+        }
+    }
+    let lock = LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let guard = Guard {
+        prev_cache: CACHE_MODE.load(Ordering::Relaxed),
+        prev_interval: interval::mode_raw(),
+        _lock: lock,
+    };
+    if let Some(on) = cache {
+        set_entail_cache(on);
+    }
+    if let Some(on) = iv {
+        interval::set_entail_interval(on);
+    }
+    guard
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -982,28 +1396,11 @@ mod tests {
 #[cfg(test)]
 mod cache_tests {
     use super::*;
-    use std::sync::{Mutex, MutexGuard, OnceLock};
 
     /// Serialize tests that toggle the process-global cache mode, restoring
     /// the previous mode on drop.
     fn cache_guard(on: bool) -> impl Drop {
-        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-        struct Guard {
-            prev: u8,
-            _lock: MutexGuard<'static, ()>,
-        }
-        impl Drop for Guard {
-            fn drop(&mut self) {
-                CACHE_MODE.store(self.prev, Ordering::Relaxed);
-            }
-        }
-        let lock = LOCK
-            .get_or_init(|| Mutex::new(()))
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let prev = CACHE_MODE.load(Ordering::Relaxed);
-        set_entail_cache(on);
-        Guard { prev, _lock: lock }
+        solver_knob_guard(Some(on), None)
     }
 
     #[test]
@@ -1130,6 +1527,176 @@ mod cache_tests {
         }
         assert!(warm.entail_cache_stats().0 > 0);
         assert_eq!(cold.entail_cache_stats(), (0, 0));
+    }
+}
+
+#[cfg(test)]
+mod interval_tests {
+    use super::*;
+
+    /// Run a query battery with the interval layer on and off (memo cache
+    /// off, so every query is decided fresh) and demand identical verdicts.
+    /// Every tier-1/tier-2 rule has at least one query that exercises it.
+    fn assert_mode_identical(build: impl Fn(&mut ExprArena, &mut Facts) -> Vec<bool>) {
+        let mut verdicts: Vec<Vec<bool>> = Vec::new();
+        for on in [true, false] {
+            let _g = solver_knob_guard(Some(false), Some(on));
+            let mut arena = ExprArena::new();
+            let mut facts = Facts::new();
+            verdicts.push(build(&mut arena, &mut facts));
+        }
+        assert_eq!(verdicts[0], verdicts[1], "interval layer changed a verdict");
+    }
+
+    #[test]
+    fn tier1_rules_are_verdict_identical() {
+        assert_mode_identical(|a, f| {
+            let mut v = Vec::new();
+            let i = a.var("i");
+            let n = a.var("n");
+            let x = a.var("x");
+            f.assume_in_range(a, i, 0, 8); // 0 ≤ i ≤ 7
+            let cond = a.bin(BinOp::Slt, x, n);
+            f.assume_neq_zero(a, cond); // slt(x,n) = 1, n - x ≥ 1
+            let one = a.int(1);
+            // Solved opaque atom with canonical (unsubstituted) operands:
+            // the env lookup may answer directly.
+            v.push(f.prove_eq(a, cond, one));
+            let k3 = a.int(3);
+            f.assume_eq(a, x, k3); // x solved to the constant 3
+                                   // Now `cond`'s operand is substituted away, so the raw node is
+                                   // no longer its own canonical atom — the lookup must be
+                                   // skipped, or tier 1 would out-prove the fallback.
+            v.push(f.prove_eq(a, cond, one));
+            let ten = a.int(10);
+            let neg1 = a.int(-1);
+            let i_m10 = a.sub(i, ten);
+            let i_p1 = a.add(i, one);
+            v.push(f.prove_ge0(a, i)); // lower bound: true
+            v.push(f.prove_ge0(a, i_m10)); // i - 10 with i ≤ 7: false
+            v.push(f.prove_ge0(a, x)); // rigid constant 3: true
+            v.push(f.prove_ge0(a, neg1)); // rigid constant: false
+            v.push(f.prove_eq(a, x, k3)); // equal points: true
+            v.push(f.prove_eq(a, k3, ten)); // distinct rigid consts: false
+            v.push(f.prove_neq(a, i, neg1)); // disjoint [0,7] vs -1: true
+            v.push(f.prove_neq(a, i, ten)); // disjoint [0,7] vs 10: true
+            v.push(f.prove_neq(a, i, i_p1)); // overlapping: constant gap
+            v.push(f.prove_neq_zero(a, x)); // rigid 3 vs 0: true
+            v.push(f.prove_neq_zero(a, i)); // 0 ∈ [0,7]: unprovable
+            v
+        });
+    }
+
+    #[test]
+    fn tier2_box_is_verdict_identical() {
+        assert_mode_identical(|a, f| {
+            let i = a.var("i");
+            let j = a.var("j");
+            let n = a.var("n");
+            f.assume_in_range(a, i, 0, 100);
+            f.assume_in_range(a, j, 5, 50);
+            let sum = a.add(i, j);
+            let k104 = a.int(104);
+            let bound = a.sub(k104, sum); // 104 - (i + j) ≥ 0 needs i+j ≤ 104
+            let tight = a.int(103);
+            let bound_tight = a.sub(tight, sum);
+            let ij = a.sub(j, i);
+            let ni = a.sub(n, i); // n unbounded: exact box, unbounded below
+            vec![
+                f.prove_ge0(a, sum),         // min 5 > -1: true
+                f.prove_ge0(a, bound),       // max i+j = 148 > 104: false
+                f.prove_ge0(a, bound_tight), // false
+                f.prove_ge0(a, ij),          // j - i ∈ [-94, 49]: false
+                f.prove_ge0(a, ni),          // unbounded below: false
+            ]
+        });
+    }
+
+    #[test]
+    fn multiplication_and_opaque_ops_stay_transparent() {
+        assert_mode_identical(|a, f| {
+            let x = a.var("x");
+            let y = a.var("y");
+            f.assume_in_range(a, x, 1, 3); // x ∈ [1, 2]
+            f.assume_in_range(a, y, 1, 3);
+            let xy = a.mul(x, y); // nonlinear: must stay ⊤ both modes
+            let two = a.int(2);
+            let tx = a.mul(two, x); // rigid scale: 2x ∈ [2, 4]
+            let mask = a.int(7);
+            let m = a.bin(BinOp::And, x, mask); // shape bound [0, 7]
+            let tx_m2 = a.sub(tx, two);
+            let m_m8 = {
+                let eight = a.int(8);
+                a.sub(m, eight)
+            };
+            vec![
+                f.prove_ge0(a, xy),
+                f.prove_ge0(a, tx),
+                f.prove_ge0(a, tx_m2),
+                f.prove_ge0(a, m),
+                f.prove_ge0(a, m_m8), // m - 8 with m ≤ 7: false
+                f.prove_neq_zero(a, x),
+                f.prove_neq_zero(a, xy),
+            ]
+        });
+    }
+
+    #[test]
+    fn inconsistent_facts_still_prove_everything() {
+        // Ex falso must survive the interval layer (it declines rather than
+        // answering from an empty environment).
+        assert_mode_identical(|a, f| {
+            let x = a.var("x");
+            let y = a.var("y");
+            let one = a.int(1);
+            let xm1 = a.sub(x, one);
+            f.assume_ge0(a, xm1); // x ≥ 1
+            let zero = a.int(0);
+            let negx = a.sub(zero, x);
+            f.assume_ge0(a, negx); // x ≤ 0: contradiction
+            vec![
+                f.prove_ge0(a, y),
+                f.prove_eq(a, x, y),
+                f.prove_neq_zero(a, y),
+            ]
+        });
+    }
+
+    #[test]
+    fn overflow_near_i64_limits_is_declined_not_wrong() {
+        assert_mode_identical(|a, f| {
+            let x = a.var("x");
+            let big = a.int(i64::MAX - 1);
+            let d = a.sub(x, big);
+            f.assume_ge0(a, d); // x ≥ i64::MAX - 1
+            let two = a.int(2);
+            let xp2 = a.add(x, two);
+            let sum_bound = a.sub(xp2, big);
+            vec![f.prove_ge0(a, xp2), f.prove_ge0(a, sum_bound)]
+        });
+    }
+
+    #[test]
+    fn eviction_counter_is_observable() {
+        let _g = solver_knob_guard(Some(true), None);
+        let mut a = ExprArena::new();
+        let f = Facts::new();
+        assert_eq!(a.entail_cache_evictions(), 0);
+        // Hammer distinct queries until two keys collide in the 8192-slot
+        // direct map; 10_000 distinct stores guarantee at least one.
+        for k in 0..10_000 {
+            let x = a.var("x");
+            let c = a.int(k);
+            let e = a.add(x, c);
+            let _ = f.prove_eq_zero(&mut a, e);
+        }
+        assert!(
+            a.entail_cache_evictions() > 0,
+            "10k stores into 8192 slots must collide"
+        );
+        let (h, m) = a.entail_cache_stats();
+        assert_eq!(h, 0);
+        assert_eq!(m, 10_000);
     }
 }
 

@@ -249,6 +249,15 @@ impl ExprArena {
         self.entail_cache.stats()
     }
 
+    /// Number of live entries the direct-mapped entailment cache overwrote
+    /// because a different key hashed to an occupied slot — the 8192-slot
+    /// map's conflict rate, always recorded like
+    /// [`ExprArena::entail_cache_stats`].
+    #[must_use]
+    pub fn entail_cache_evictions(&self) -> u64 {
+        self.entail_cache.evictions()
+    }
+
     /// Maximum syntax-tree depth over every interned expression (leaves have
     /// depth 1; an empty arena has depth 0). A single forward pass suffices
     /// because [`ExprArena::intern`] appends children before parents.

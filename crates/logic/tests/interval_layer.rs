@@ -1,0 +1,103 @@
+//! Interval pre-solver observability tests (own binary: these enable the
+//! process-global obs switch and assert exact counter relationships, which
+//! must not interleave with the lib tests).
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use talft_logic::{set_entail_interval, BinOp, ExprArena, Facts};
+
+fn guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn counter(snap: &talft_obs::Snapshot, name: &str) -> u64 {
+    snap.counters.get(name).copied().unwrap_or(0)
+}
+
+/// A checker-shaped workload: array-bounds and branch-condition queries over
+/// range facts, mixing tier-1-answerable queries with FM-bound ones.
+fn workload() -> Vec<bool> {
+    let mut a = ExprArena::new();
+    let mut f = Facts::new();
+    let i = a.var("i");
+    let n = a.var("n");
+    let base = a.var("base");
+    f.assume_in_range(&mut a, i, 0, 64);
+    let fifteen = a.int(15);
+    let masked = a.bin(BinOp::And, i, fifteen);
+    let addr = a.add(base, i);
+    let d = a.sub(n, i);
+    f.assume_ge0(&mut a, d);
+    let zero = a.int(0);
+    let neg1 = a.int(-1);
+    let one = a.int(1);
+    let cond = a.bin(BinOp::Slt, i, n);
+    f.assume_eq(&mut a, cond, one);
+    let sixty_three = a.int(63);
+    let hi_gap = a.sub(sixty_three, i);
+    vec![
+        f.prove_ge0(&mut a, i),                  // tier-1: i ∈ [0, 63]
+        f.prove_ge0(&mut a, hi_gap),             // tier-1/2: 63 - i ≥ 0
+        f.prove_in_range(&mut a, masked, 0, 16), // tier-1: And-mask shape
+        f.prove_neq(&mut a, i, neg1),            // tier-1: box excludes -1
+        f.prove_eq(&mut a, cond, one),           // solved branch condition
+        f.prove_ge0(&mut a, d),                  // FM: two-monomial fact
+        f.prove_in_range(&mut a, i, 0, 32),      // false: 32-bound unprovable
+        f.prove_eq(&mut a, addr, base),          // false: i not provably 0
+        f.prove_neq_zero(&mut a, zero),          // false: constant
+    ]
+}
+
+#[test]
+fn hit_miss_invariant_and_fm_reduction() {
+    let _g = guard();
+    talft_obs::set_enabled(true);
+
+    set_entail_interval(true);
+    talft_obs::reset_all();
+    let verdicts_on = workload();
+    let on = talft_obs::snapshot();
+
+    set_entail_interval(false);
+    talft_obs::reset_all();
+    let verdicts_off = workload();
+    let off = talft_obs::snapshot();
+
+    set_entail_interval(true);
+    talft_obs::set_enabled(false);
+
+    // Transparency: the interval front must never change a verdict.
+    assert_eq!(verdicts_on, verdicts_off);
+
+    // checkperf --check invariant: every consultation is a hit or a miss.
+    let queries = counter(&on, "logic.interval.queries");
+    let hit = counter(&on, "logic.interval.hit");
+    let miss = counter(&on, "logic.interval.miss");
+    assert!(queries > 0, "workload must consult the interval layer");
+    assert_eq!(hit + miss, queries, "hit {hit} + miss {miss} != {queries}");
+    assert!(hit > 0, "range workload must produce interval hits");
+    assert!(counter(&on, "logic.interval.narrowed") <= miss);
+
+    // With the layer off, nothing is consulted and FM runs strictly more.
+    assert_eq!(counter(&off, "logic.interval.queries"), 0);
+    let fm_on = counter(&on, "logic.fm.runs");
+    let fm_off = counter(&off, "logic.fm.runs");
+    assert!(
+        fm_on < fm_off,
+        "interval layer must shed FM work (on: {fm_on}, off: {fm_off})"
+    );
+}
+
+#[test]
+fn no_fm_giveups_on_interval_workload() {
+    let _g = guard();
+    talft_obs::set_enabled(true);
+    talft_obs::reset_all();
+    let _ = workload();
+    let snap = talft_obs::snapshot();
+    talft_obs::set_enabled(false);
+    assert_eq!(counter(&snap, "logic.fm.giveups"), 0);
+}

@@ -1,0 +1,167 @@
+//! Persistent solver-cache integration tests (own binary: these flip the
+//! process-global cache, which must not interleave with the lib tests).
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use talft_logic::{
+    clear_solver_cache, load_solver_cache, save_solver_cache, solver_cache_stats, ExprArena, Facts,
+};
+
+/// Serialize tests in this binary: they all share the process-global cache.
+fn guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let g = LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    clear_solver_cache();
+    g
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("talft-pcache-{}-{name}", std::process::id()))
+}
+
+/// A query that declines both interval tiers and reaches FM, so a loaded
+/// persistent cache records (or replays) it: `n - i ≥ 0 ⊢ n - i ≥ 0` via
+/// the two-monomial fact no box absorbs.
+fn fm_bound_query() -> bool {
+    let mut a = ExprArena::new();
+    let mut f = Facts::new();
+    let n = a.var("n");
+    let i = a.var("i");
+    let d = a.sub(n, i);
+    f.assume_ge0(&mut a, d);
+    f.prove_ge0(&mut a, d)
+}
+
+#[test]
+fn verdicts_replay_across_arenas() {
+    let _g = guard();
+    let path = tmp("replay");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(load_solver_cache(&path), 0, "missing file cold-starts");
+    assert!(fm_bound_query());
+    let (h, m, entries) = solver_cache_stats().unwrap();
+    assert_eq!((h, entries), (0, 1), "cold run records one verdict");
+    assert!(m >= 1);
+    // A fresh arena interns different ids; the canonical key must replay.
+    assert!(fm_bound_query());
+    let (h2, _, entries2) = solver_cache_stats().unwrap();
+    assert_eq!((h2, entries2), (1, 1), "warm run replays, not re-records");
+
+    // And across a save/load cycle (simulating a process restart).
+    assert_eq!(save_solver_cache().unwrap(), Some(path.clone()));
+    clear_solver_cache();
+    assert_eq!(load_solver_cache(&path), 1);
+    assert!(fm_bound_query());
+    assert_eq!(solver_cache_stats().unwrap().0, 1, "replayed from disk");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn warm_run_skips_fm_entirely() {
+    let _g = guard();
+    let path = tmp("warmfm");
+    let _ = std::fs::remove_file(&path);
+    talft_obs::set_enabled(true);
+    load_solver_cache(&path);
+    talft_obs::reset_all();
+    assert!(fm_bound_query());
+    let cold_fm = fm_runs();
+    assert!(cold_fm >= 1, "cold query must run FM");
+    talft_obs::reset_all();
+    assert!(fm_bound_query());
+    let warm_fm = fm_runs();
+    talft_obs::set_enabled(false);
+    assert_eq!(warm_fm, 0, "warm query must replay without FM");
+}
+
+fn fm_runs() -> u64 {
+    talft_obs::snapshot()
+        .counters
+        .get("logic.fm.runs")
+        .copied()
+        .unwrap_or(0)
+}
+
+#[test]
+fn cache_modes_are_verdict_identical() {
+    let _g = guard();
+    let path = tmp("differential");
+    let _ = std::fs::remove_file(&path);
+
+    let battery = || -> Vec<bool> {
+        let mut a = ExprArena::new();
+        let mut f = Facts::new();
+        let i = a.var("i");
+        let n = a.var("n");
+        f.assume_in_range(&mut a, i, 0, 8);
+        let d = a.sub(n, i);
+        f.assume_ge0(&mut a, d);
+        let seven = a.int(7);
+        let hi = a.sub(seven, i);
+        vec![
+            f.prove_ge0(&mut a, d),
+            f.prove_ge0(&mut a, hi),
+            f.prove_ge0(&mut a, n),
+            f.prove_eq(&mut a, i, n),
+            f.prove_neq_zero(&mut a, d),
+        ]
+    };
+
+    let disabled = battery();
+    load_solver_cache(&path); // enabled, empty
+    let cold = battery();
+    let warm = battery(); // now replaying
+    assert!(solver_cache_stats().unwrap().0 > 0, "warm pass must hit");
+    clear_solver_cache();
+    assert_eq!(disabled, cold);
+    assert_eq!(disabled, warm);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupt_files_cold_start() {
+    let _g = guard();
+    let path = tmp("corrupt");
+    for garbage in [
+        "",                                                                // empty
+        "talft-solver-cache v999\n",                                       // wrong version
+        "talft-solver-cache v1\nnot-a-line\n",                             // malformed line
+        "talft-solver-cache v1\n0000000000000000000000000000002a 2\n",     // bad verdict
+        "talft-solver-cache v1\nzz 1\n",                                   // bad key
+        "talft-solver-cache v1\n0000000000000000000000000000002a 1\nsnip", // truncated tail
+    ] {
+        std::fs::write(&path, garbage).unwrap();
+        assert_eq!(load_solver_cache(&path), 0, "must reject: {garbage:?}");
+        assert_eq!(
+            solver_cache_stats().unwrap().2,
+            0,
+            "no entry trusted from: {garbage:?}"
+        );
+        clear_solver_cache();
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn save_is_deterministic() {
+    let _g = guard();
+    let path = tmp("det");
+    let _ = std::fs::remove_file(&path);
+    load_solver_cache(&path);
+    assert!(fm_bound_query());
+    save_solver_cache().unwrap();
+    let first = std::fs::read_to_string(&path).unwrap();
+    assert!(first.starts_with("talft-solver-cache v1\n"));
+    clear_solver_cache();
+    // Rebuild the same cache from scratch; the file must be identical.
+    load_solver_cache(&path);
+    save_solver_cache().unwrap();
+    let second = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(first, second);
+    clear_solver_cache();
+    let _ = std::fs::remove_file(&path);
+}

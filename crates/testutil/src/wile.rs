@@ -25,6 +25,12 @@ pub enum StmtR {
     StoreA(ExprR, ExprR),
     /// `out[i] = v;`
     StoreOut(ExprR, ExprR),
+    /// Bounds-refined store — the `assume_in_range` guard shape:
+    /// `if (i >= 0) { if (i < 8) { a[i] = v; } }`. Checking the compiled
+    /// branches issues range entailments on top of the masked-index
+    /// obligations, so fuzzed corpora exercise the interval pre-solver
+    /// with inequality queries, not just store-pair equalities.
+    GuardedStoreA(ExprR, ExprR),
     /// `if (c) { then } else { else }`
     If(ExprR, Vec<StmtR>, Vec<StmtR>),
     /// Bounded loop: `var lN = 0; while (lN < trip) { body; lN = lN + 1; }`.
@@ -78,10 +84,11 @@ pub fn random_stmts(r: &mut SplitMix64, depth: u32, lo: usize, hi: usize) -> Vec
 
 /// Generate one random statement of at most `depth` nesting levels.
 pub fn random_stmt(r: &mut SplitMix64, depth: u32) -> StmtR {
-    let leaf = |r: &mut SplitMix64| match r.below(3) {
+    let leaf = |r: &mut SplitMix64| match r.below(4) {
         0 => StmtR::Assign(r.below(5) as u8, random_expr(r, 3)),
         1 => StmtR::StoreA(random_expr(r, 3), random_expr(r, 3)),
-        _ => StmtR::StoreOut(random_expr(r, 3), random_expr(r, 3)),
+        2 => StmtR::StoreOut(random_expr(r, 3), random_expr(r, 3)),
+        _ => StmtR::GuardedStoreA(random_expr(r, 2), random_expr(r, 2)),
     };
     if depth == 0 || r.chance(4, 6) {
         leaf(r)
@@ -142,6 +149,17 @@ fn render_stmts(stmts: &[StmtR], loop_counter: &mut u32, out: &mut String, inden
                     render_expr(i),
                     render_expr(v)
                 ));
+            }
+            StmtR::GuardedStoreA(i, v) => {
+                // Expressions are side-effect free, so re-rendering the
+                // index in both guards and the store is sound.
+                let (pad1, pad2) = ("  ".repeat(indent + 1), "  ".repeat(indent + 2));
+                let (ie, ve) = (render_expr(i), render_expr(v));
+                out.push_str(&format!("{pad}if ({ie} >= 0) {{\n"));
+                out.push_str(&format!("{pad1}if ({ie} < 8) {{\n"));
+                out.push_str(&format!("{pad2}a[{ie}] = {ve};\n"));
+                out.push_str(&format!("{pad1}}} else {{\n{pad1}}}\n"));
+                out.push_str(&format!("{pad}}} else {{\n{pad}}}\n"));
             }
             StmtR::If(c, t, e) => {
                 out.push_str(&format!("{pad}if ({}) {{\n", render_expr(c)));
@@ -236,6 +254,14 @@ pub fn shrink_candidates(stmts: &[StmtR]) -> Vec<Vec<StmtR>> {
             StmtR::StoreOut(idx, val) if !is_trivial(idx) || !is_trivial(val) => {
                 out.push(replace(StmtR::StoreOut(ExprR::Lit(0), ExprR::Lit(1))));
             }
+            StmtR::GuardedStoreA(idx, val) => {
+                // Strip the guards first (the structurally bigger change),
+                // then collapse the operands like a plain store.
+                out.push(replace(StmtR::StoreA(idx.clone(), val.clone())));
+                if !is_trivial(idx) || !is_trivial(val) {
+                    out.push(replace(StmtR::GuardedStoreA(ExprR::Lit(0), ExprR::Lit(1))));
+                }
+            }
             _ => {}
         }
     }
@@ -261,6 +287,31 @@ mod tests {
         assert!(src.starts_with("array a[8]"));
         assert!(src.contains("func main()"));
         assert!(src.contains("out[15]"));
+    }
+
+    #[test]
+    fn guarded_stores_render_the_in_range_guard_shape() {
+        let stmts = vec![StmtR::GuardedStoreA(ExprR::Var(2), ExprR::Lit(7))];
+        let src = render_program(&stmts);
+        assert!(src.contains("if (v2 >= 0) {"), "{src}");
+        assert!(src.contains("if (v2 < 8) {"), "{src}");
+        assert!(src.contains("a[v2] = (7);"), "{src}");
+    }
+
+    #[test]
+    fn guarded_stores_shrink_to_plain_stores() {
+        let stmts = vec![StmtR::GuardedStoreA(
+            ExprR::Bin(0, Box::new(ExprR::Var(0)), Box::new(ExprR::Lit(3))),
+            ExprR::Var(1),
+        )];
+        let cands = shrink_candidates(&stmts);
+        assert!(cands
+            .iter()
+            .any(|c| matches!(c.as_slice(), [StmtR::StoreA(..)])));
+        assert!(cands.iter().any(|c| matches!(
+            c.as_slice(),
+            [StmtR::GuardedStoreA(ExprR::Lit(0), ExprR::Lit(1))]
+        )));
     }
 
     #[test]
