@@ -1,17 +1,28 @@
-//! Cross-validation of the static zap classifier against the dynamic k=1
-//! injection grid — the machine-checked static analogue of Theorem 4.
+//! Cross-validation of the static zap classifier against the dynamic
+//! injection grids — the machine-checked static analogue of Theorem 4,
+//! and, for fault *pairs*, of the k=2 boundary the theorem does not cover.
 //!
-//! Every dynamic plan `(at_step, site)` maps to a static cell via the
+//! Every dynamic strike `(at_step, site)` maps to a static cell via the
 //! golden pc trace (`pc_by_step[at_step]` is the address of the in-flight
-//! instruction). If the campaign scores a plan **SDC** while the static
-//! analysis classified its cell `Detected` or `Benign` (or failed to map
-//! it at all), the analysis is unsound — a hard failure surfaced as a
-//! [`Mismatch`].
+//! instruction). The mapping is valid for the *second* strike of a pair
+//! too: a single one-sided fault cannot silently divert control (the pc
+//! fetch compare and the `d`-guarded transfers fault first), so the faulty
+//! run's executed-pc trace equals the golden trace until either detection
+//! or the second strike — and the queue performs the same pushes and pops,
+//! so slot indices translate the same way. A run detected *before* its
+//! second strike never receives it (`applied < 2`) and degenerates to a
+//! k=1 obligation on the strikes that did land.
+//!
+//! If a campaign scores a plan **SDC** while the static analysis
+//! classified its cell (or cell pair) `Detected` or `Benign` — or failed
+//! to map it at all — the analysis is unsound: a hard failure surfaced as
+//! a [`Mismatch`] / [`PairMismatch`].
 
-use talft_faultsim::{FaultGrid, GridOutcome, Verdict};
+use talft_faultsim::{FaultGrid, FaultPlan, GoldenTrace, GridOutcome, PlanGrid, Strike, Verdict};
 use talft_isa::Reg;
 use talft_machine::FaultSite;
 
+use crate::pair::{Cell, PairAnalyzer, PairClass};
 use crate::zap::{ZapClass, ZapReport};
 
 /// A dynamic SDC the static analysis claimed was safe.
@@ -124,6 +135,207 @@ pub fn cross_validate(report: &ZapReport, grid: &FaultGrid) -> DiffSummary {
                         class: None,
                     });
                 }
+            }
+        }
+    }
+    s
+}
+
+/// A dynamic pair SDC the static pair analysis claimed was safe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairMismatch {
+    /// The plan's strikes, step-sorted.
+    pub strikes: Vec<Strike>,
+    /// Static cell each strike mapped to (`None` = final-state or
+    /// depth-unmappable strike).
+    pub cells: Vec<Option<Cell>>,
+    /// The (wrong) static claim; `None` if the pair was never classified.
+    pub class: Option<PairClass>,
+}
+
+/// Outcome of cross-validating one program's k=2 grid against the
+/// compositional pair analyzer.
+#[derive(Debug, Clone, Default)]
+pub struct PairDiffSummary {
+    /// Plans examined (including skipped ones).
+    pub plans: usize,
+    /// Plans with two effective, mappable strikes, classified as a pair.
+    pub checked: usize,
+    /// Plans that degenerated to a k=1 obligation: a strike landed on the
+    /// final (halted) state, failed to inject (its site had vanished), or
+    /// the run was detected before the second strike's step.
+    pub degenerate: usize,
+    /// Degenerate cause tally: a strike at/after the golden halt.
+    pub skipped_final: usize,
+    /// Degenerate cause tally: a queue strike whose dynamic slot had no
+    /// static counterpart (depth disagreement).
+    pub skipped_depth: usize,
+    /// Plans that were not two-strike plans at all (not validated here).
+    pub skipped_order: usize,
+    /// Dynamic SDCs on statically-safe pairs: soundness violations.
+    pub mismatches: Vec<PairMismatch>,
+    /// Dynamic SDCs the pair analysis *did* flag vulnerable.
+    pub predicted_sdc: usize,
+}
+
+impl PairDiffSummary {
+    /// True when no dynamic SDC contradicts a static safety claim.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Map one strike to its static cell via the golden observables.
+///
+/// `None` means the strike has no cell: it lands at/after the golden halt
+/// (nothing executes after it — and a detected-or-masked run of a k≤2 plan
+/// is control-equal to golden, so it halts at the same step and the strike
+/// is inert for the output trace), or its queue slot underflows the static
+/// depth at that address.
+#[must_use]
+pub fn map_strike(trace: &GoldenTrace, s: &Strike) -> Option<Cell> {
+    if s.at_step >= trace.golden_steps {
+        return None;
+    }
+    let addr = trace.pc_by_step[s.at_step as usize];
+    match s.site {
+        FaultSite::Reg(Reg::Gpr(g)) => Some(Cell::Gpr { addr, reg: g.0 }),
+        FaultSite::Reg(Reg::Dst) => Some(Cell::D { addr }),
+        FaultSite::Reg(Reg::Pc(_)) => Some(Cell::Pc { addr }),
+        FaultSite::QueueAddr(i) | FaultSite::QueueVal(i) => {
+            let slot = trace.queue_len_by_step[s.at_step as usize].checked_sub(1 + i)?;
+            Some(Cell::Queue { addr, slot })
+        }
+    }
+}
+
+/// Hotness mask for static-guided k=2 prioritization: a plan is *hot*
+/// when the analyzer cannot rule it out — its mapped cell pair is
+/// `Vulnerable`, or a strike escapes the cell map entirely. Feeding this
+/// to [`run_plan_campaign_guided`](talft_faultsim::run_plan_campaign_guided)
+/// runs the defeat candidates first; the guided engine is verdict-neutral,
+/// so the report stays bit-identical either way.
+#[must_use]
+pub fn prioritize_pairs(
+    analyzer: &mut PairAnalyzer<'_>,
+    trace: &GoldenTrace,
+    plans: &[FaultPlan],
+) -> Vec<bool> {
+    plans
+        .iter()
+        .map(|p| {
+            if p.order() != 2 {
+                return true;
+            }
+            let a = map_strike(trace, &p.strikes[0]);
+            let b = map_strike(trace, &p.strikes[1]);
+            match (a, b) {
+                (Some(a), Some(b)) => match analyzer.classify_pair(a, b) {
+                    Some(v) => v.class == ZapClass::Vulnerable,
+                    None => true,
+                },
+                // A final-state strike degenerates to k=1: hot only if the
+                // surviving member is k=1-vulnerable.
+                (Some(c), None) | (None, Some(c)) => {
+                    analyzer.k1_class(c) != Some(ZapClass::Detected)
+                        && analyzer.k1_class(c) != Some(ZapClass::Benign)
+                }
+                (None, None) => false,
+            }
+        })
+        .collect()
+}
+
+/// Compare every k=2 grid outcome against the compositional pair analyzer.
+///
+/// Obligations, per plan:
+///
+/// - **Two effective strikes** (`applied == 2`, both before the golden
+///   halt): an SDC must land on a pair [`classify_pair`] calls
+///   `Vulnerable`. A safe claim — or a pair the analyzer failed to map —
+///   is a [`PairMismatch`].
+/// - **Degenerate plans** (`applied < 2`, or a strike with no cell): at
+///   most one strike influenced the trace, so an SDC must land on a cell
+///   the k=1 report calls `Vulnerable`. Since the grid does not record
+///   *which* strike failed to inject, any mapped `Vulnerable` member
+///   discharges the obligation; none at all is a mismatch.
+///
+/// [`classify_pair`]: PairAnalyzer::classify_pair
+#[must_use]
+pub fn cross_validate_pairs(analyzer: &mut PairAnalyzer<'_>, grid: &PlanGrid) -> PairDiffSummary {
+    let mut s = PairDiffSummary {
+        plans: grid.outcomes.len(),
+        ..PairDiffSummary::default()
+    };
+    for o in &grid.outcomes {
+        if o.strikes.len() != 2 {
+            s.skipped_order += 1;
+            continue;
+        }
+        let cells: Vec<Option<Cell>> = o
+            .strikes
+            .iter()
+            .map(|k| map_strike(&grid.trace, k))
+            .collect();
+        let sdc = o.verdict == Verdict::Sdc;
+        let full = o.applied == 2 && cells.iter().all(Option::is_some);
+        if full {
+            let (a, b) = (cells[0].expect("mapped"), cells[1].expect("mapped"));
+            match analyzer.classify_pair(a, b) {
+                Some(v) => {
+                    s.checked += 1;
+                    if sdc {
+                        if v.class == ZapClass::Vulnerable {
+                            s.predicted_sdc += 1;
+                        } else {
+                            s.mismatches.push(PairMismatch {
+                                strikes: o.strikes.clone(),
+                                cells,
+                                class: Some(v.class),
+                            });
+                        }
+                    }
+                }
+                // An SDC on a pair the analyzer never even saw is still a
+                // soundness failure: the cell map must cover every
+                // executed state.
+                None if sdc => s.mismatches.push(PairMismatch {
+                    strikes: o.strikes.clone(),
+                    cells,
+                    class: None,
+                }),
+                None => s.degenerate += 1,
+            }
+            continue;
+        }
+        s.degenerate += 1;
+        if o.strikes
+            .iter()
+            .any(|k| k.at_step >= grid.trace.golden_steps)
+        {
+            s.skipped_final += 1;
+        }
+        if o.strikes
+            .iter()
+            .zip(&cells)
+            .any(|(k, c)| c.is_none() && k.at_step < grid.trace.golden_steps)
+        {
+            s.skipped_depth += 1;
+        }
+        if sdc {
+            let predicted = cells
+                .iter()
+                .flatten()
+                .any(|&c| analyzer.k1_class(c) == Some(ZapClass::Vulnerable));
+            if predicted {
+                s.predicted_sdc += 1;
+            } else {
+                s.mismatches.push(PairMismatch {
+                    strikes: o.strikes.clone(),
+                    cells,
+                    class: None,
+                });
             }
         }
     }

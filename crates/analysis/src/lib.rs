@@ -49,10 +49,17 @@ pub mod cfg;
 pub mod diff;
 pub mod lint;
 pub mod live;
+pub mod mask;
+pub mod pair;
 pub mod zap;
 
 pub use cfg::{Cfg, DepthConflict};
-pub use diff::{cross_validate, DiffSummary, Mismatch};
+pub use diff::{
+    cross_validate, cross_validate_pairs, map_strike, prioritize_pairs, DiffSummary, Mismatch,
+    PairDiffSummary, PairMismatch,
+};
 pub use lint::{error_count, lint_program, lint_program_solver, lint_program_with, LINT_CODES};
 pub use live::{liveness, Liveness};
-pub use zap::{analyze_zaps, analyze_zaps_with, ZapClass, ZapReport};
+pub use mask::{RegMask, MAX_GPRS};
+pub use pair::{lint_pairs, Cell, PairAnalyzer, PairClass, PairReport, PairRule, PairVerdict};
+pub use zap::{analyze_zaps, analyze_zaps_with, Side, Touch, ZapClass, ZapReport};

@@ -16,6 +16,7 @@
 //! | `TF005` | error | layout: control falls off the code end, or a blue transfer targets a non-block address |
 //! | `TF006` | warning | blue transfer target cannot be resolved statically |
 //! | `TF007` | warning | a queue annotation's address is not provably inside any declared region (solver-backed; carries an entailment failure witness) |
+//! | `TF008` | warning | pair-fault hot spot: a dual-compare defeated by disproportionately many cooperating fault pairs (opt-in via [`lint_pairs`](crate::pair::lint_pairs), carries a witness pair) |
 
 use std::collections::BTreeMap;
 
@@ -40,6 +41,10 @@ pub const LINT_LAYOUT: &str = "TF005";
 pub const LINT_UNRESOLVED_TARGET: &str = "TF006";
 /// Stable lint code: queue annotation address not provably in any region.
 pub const LINT_QUEUE_BOUNDS: &str = "TF007";
+/// Stable lint code: pair-fault hot spot (disproportionately defeatable
+/// dual-compare). Opt-in: emitted by [`crate::pair::lint_pairs`], never by
+/// [`lint_program`] — k=2 exposure is expected, not a program error.
+pub const LINT_PAIR_HOTSPOT: &str = "TF008";
 
 /// `(code, one-line summary)` for every lint, in code order.
 pub const LINT_CODES: &[(&str, &str)] = &[
@@ -52,6 +57,10 @@ pub const LINT_CODES: &[(&str, &str)] = &[
     (
         LINT_QUEUE_BOUNDS,
         "queue annotation address not provably in bounds",
+    ),
+    (
+        LINT_PAIR_HOTSPOT,
+        "dual-compare defeatable by disproportionately many fault pairs",
     ),
 ];
 
@@ -324,7 +333,7 @@ fn lint_dead_dup(program: &Program, cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
         }
         let i = program.instrs[ix(a)];
         if let Some(rd) = i.def() {
-            if live.live_out[ix(a)] & (1u64 << rd.0) == 0 {
+            if !live.live_out[ix(a)].test(rd.0) {
                 diags.push(
                     Diagnostic::warning(
                         LINT_DEAD_DUP,

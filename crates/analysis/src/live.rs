@@ -1,21 +1,22 @@
 //! Backward may-liveness of general-purpose registers over the [`Cfg`].
 //!
-//! Register sets are `u64` bitmasks (bit `i` = `r{i}`), so the analysis
-//! bails out (`None`) on programs with more than 64 GPRs — the zap
-//! classifier then refuses to claim anything. At instructions whose blue
-//! target could not be resolved, *everything* is conservatively live.
+//! Register sets are [`RegMask`]es (two words, up to [`MAX_GPRS`] GPRs), so
+//! the analysis bails out (`None`) only on programs wider than that — the
+//! zap classifier then refuses to claim anything. At instructions whose
+//! blue target could not be resolved, *everything* is conservatively live.
 
 use talft_isa::{Instr, Program};
 
 use crate::cfg::Cfg;
+use crate::mask::{RegMask, MAX_GPRS};
 
 /// Per-instruction live-register masks.
 #[derive(Debug, Clone)]
 pub struct Liveness {
     /// Registers live on entry to each instruction (index `addr - 1`).
-    pub live_in: Vec<u64>,
+    pub live_in: Vec<RegMask>,
     /// Registers live on exit.
-    pub live_out: Vec<u64>,
+    pub live_out: Vec<RegMask>,
 }
 
 #[inline]
@@ -23,34 +24,38 @@ fn ix(addr: i64) -> usize {
     (addr - 1) as usize
 }
 
-fn uses_mask(i: &Instr) -> u64 {
-    i.uses().iter().fold(0, |m, g| m | (1u64 << g.0))
+fn uses_mask(i: &Instr) -> RegMask {
+    i.uses().iter().fold(RegMask::EMPTY, |mut m, g| {
+        m.set(g.0);
+        m
+    })
 }
 
-fn def_mask(i: &Instr) -> u64 {
-    i.def().map_or(0, |g| 1u64 << g.0)
+fn def_mask(i: &Instr) -> RegMask {
+    i.def().map_or(RegMask::EMPTY, |g| RegMask::bit(g.0))
 }
 
-/// Run backward liveness to a fixpoint. `None` when `num_gprs > 64`.
+/// Run backward liveness to a fixpoint. `None` when `num_gprs` exceeds
+/// [`MAX_GPRS`].
 #[must_use]
 pub fn liveness(program: &Program, cfg: &Cfg) -> Option<Liveness> {
-    if program.num_gprs > 64 {
+    if program.num_gprs > MAX_GPRS {
         return None;
     }
-    let all = if program.num_gprs == 64 {
-        u64::MAX
-    } else {
-        (1u64 << program.num_gprs) - 1
-    };
+    let all = RegMask::all(program.num_gprs);
     let n = cfg.n;
-    let mut live_in = vec![0u64; n];
-    let mut live_out = vec![0u64; n];
+    let mut live_in = vec![RegMask::EMPTY; n];
+    let mut live_out = vec![RegMask::EMPTY; n];
     let mut changed = true;
     while changed {
         changed = false;
         for a in (1..=n as i64).rev() {
             let i = &program.instrs[ix(a)];
-            let mut out = if cfg.unknown_target[ix(a)] { all } else { 0 };
+            let mut out = if cfg.unknown_target[ix(a)] {
+                all
+            } else {
+                RegMask::EMPTY
+            };
             for &s in &cfg.succs[ix(a)] {
                 out |= live_in[ix(s)];
             }
@@ -90,11 +95,37 @@ main:
         let cfg = Cfg::build(&asm.program);
         let live = liveness(&asm.program, &cfg).expect("few registers");
         // r1 is live from its def (addr 1) through the stG at addr 3.
-        assert_ne!(live.live_in[1] & (1 << 1), 0, "r1 live entering addr 2");
-        assert_ne!(live.live_in[2] & (1 << 1), 0, "r1 live entering stG");
+        assert!(live.live_in[1].test(1), "r1 live entering addr 2");
+        assert!(live.live_in[2].test(1), "r1 live entering stG");
         // ...and dead right after the store consumed it.
-        assert_eq!(live.live_out[2] & (1 << 1), 0, "r1 dead after stG");
+        assert!(!live.live_out[2].test(1), "r1 dead after stG");
         // Nothing is live entering halt.
-        assert_eq!(live.live_in[6], 0);
+        assert!(live.live_in[6].is_empty());
+    }
+
+    #[test]
+    fn wide_programs_get_real_masks() {
+        // r100 lives past the 64-bit word boundary; liveness must track it.
+        let src = r#"
+.gprs 128
+.data
+region out at 4096 len 1 : int output
+.code
+main:
+  .pre { forall m:mem; mem: m; }
+  mov r100, G 5
+  mov r2, G 4096
+  stG r2, r100
+  mov r101, B 5
+  mov r4, B 4096
+  stB r4, r101
+  halt
+"#;
+        let asm = assemble(src).expect("assembles");
+        assert!(asm.program.num_gprs > 64);
+        let cfg = Cfg::build(&asm.program);
+        let live = liveness(&asm.program, &cfg).expect("wide masks cover 128 GPRs");
+        assert!(live.live_in[2].test(100), "r100 live entering stG");
+        assert!(!live.live_out[2].test(100), "r100 dead after stG");
     }
 }

@@ -4,9 +4,14 @@
 
 use std::sync::Arc;
 
-use talft_analysis::{analyze_zaps, cross_validate, error_count, lint_program};
+use talft_analysis::{
+    analyze_zaps, cross_validate, cross_validate_pairs, error_count, lint_program, PairAnalyzer,
+};
 use talft_compiler::{compile, CompileOptions};
-use talft_faultsim::{single_fault_grid, CampaignConfig, Verdict};
+use talft_faultsim::{
+    golden_run, multi_fault_plans, plan_fault_grid_against, single_fault_grid, CampaignConfig,
+    Verdict,
+};
 use talft_suite::{kernels, Scale};
 
 fn grid_cfg(stride: u64) -> CampaignConfig {
@@ -80,6 +85,35 @@ fn baseline_sdc_lands_on_vulnerable_cells() {
     assert!(s.holds(), "{}: {:?}", k.name, s.mismatches);
     if grid.count(Verdict::Sdc) > 0 {
         assert!(s.predicted_sdc > 0, "{}: SDCs were predicted", k.name);
+    }
+}
+
+#[test]
+fn pair_verdicts_hold_against_sampled_k2_grids() {
+    // The stratified k=2 sample over a few kernels, protected and
+    // baseline; the exhaustive pair sweep is the `pairs` bench bin.
+    // Protected kernels are fair game for SDC here — Theorem 4 stops at
+    // k=1 — but every loss must land on a statically-Vulnerable pair.
+    let cfg = CampaignConfig {
+        stride: 17,
+        mutations_per_site: 1,
+        pair_samples: 64,
+        threads: 1,
+        ..CampaignConfig::default()
+    };
+    for k in kernels(Scale::Tiny).into_iter().take(2) {
+        let c = compile(&k.source, &CompileOptions::default()).expect("compiles");
+        for program in [&c.protected.program, &c.baseline.program] {
+            let program = Arc::new(program.as_ref().clone());
+            let mut pa = PairAnalyzer::new(&program);
+            assert!(pa.bailed().is_none(), "{}: {:?}", k.name, pa.bailed());
+            let golden = golden_run(&program, &cfg).expect("golden halts");
+            let plans = multi_fault_plans(&program, &cfg, &golden, 2);
+            let grid = plan_fault_grid_against(&program, &cfg, &golden, &plans);
+            let s = cross_validate_pairs(&mut pa, &grid);
+            assert!(s.holds(), "{}: {:?}", k.name, s.mismatches);
+            assert!(s.checked > 0, "{}: nothing compared", k.name);
+        }
     }
 }
 

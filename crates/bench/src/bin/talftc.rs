@@ -10,6 +10,10 @@
 //!                     error-severity lints exit 4. With --lint,
 //!                     --json=PATH writes the diagnostics as JSON
 //!                     (schema talft.lint.v1) instead of the profile
+//!   --zap-report=PATH
+//!                     write the static zap-vulnerability report — every
+//!                     per-cell k=1 verdict plus the compositional k=2
+//!                     pair summary — as JSON (schema talft.zap.v1)
 //!   --no-check        skip type checking
 //!   --run             execute and print the observable trace
 //!   --campaign[=N]    run a fault campaign (stride N, default 11)
@@ -100,6 +104,7 @@ struct Flags {
     emit_asm: bool,
     disasm: bool,
     lint: bool,
+    zap_report: Option<String>,
     check: bool,
     run: bool,
     campaign: Option<u64>,
@@ -186,7 +191,8 @@ fn real_main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(path) = args.first().filter(|a| !a.starts_with("--")).cloned() else {
         eprintln!(
-            "usage: talftc <file.wile|file.talft> [--emit-asm] [--disasm] [--lint] [--no-check] \
+            "usage: talftc <file.wile|file.talft> [--emit-asm] [--disasm] [--lint] \
+             [--zap-report=PATH] [--no-check] \
              [--run] [--campaign[=N]] [--campaign-k=K] [--seed=N] [--threads=N] \
              [--checkpoint-stride=N] [--no-batch] [--max-steps=N] [--shards=N] [--shard=I] \
              [--resume] [--checkpoint-dir=D] [--checkpoint-every=M] [--baseline] [--time] \
@@ -198,6 +204,9 @@ fn real_main() -> ExitCode {
         emit_asm: args.iter().any(|a| a == "--emit-asm"),
         disasm: args.iter().any(|a| a == "--disasm"),
         lint: args.iter().any(|a| a == "--lint"),
+        zap_report: args
+            .iter()
+            .find_map(|a| a.strip_prefix("--zap-report=").map(str::to_owned)),
         check: !args.iter().any(|a| a == "--no-check"),
         run: args.iter().any(|a| a == "--run"),
         campaign: args.iter().find_map(|a| {
@@ -305,6 +314,13 @@ fn real_main() -> ExitCode {
         if let Some(code) = run_lint(&path, &program, &mut arena, line_table.as_deref()) {
             return code;
         }
+    }
+    if let Some(out) = &flags.zap_report {
+        if let Err(e) = write_zap_report(out, &path, &program) {
+            eprintln!("talftc: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("talftc: wrote zap report to {out}");
     }
     if flags.check {
         match check_program(&program, &mut arena) {
@@ -648,6 +664,94 @@ fn load_part(
 /// rustc-style diagnostics. Returns the exit code (4) when an
 /// error-severity lint fired, `None` when lint passes. With `--json=PATH`
 /// the diagnostics are also mirrored as a `talft.lint.v1` report.
+/// `--zap-report=PATH`: dump the per-cell k=1 classification and the
+/// compositional k=2 pair summary as a `talft.zap.v1` document.
+fn write_zap_report(out: &str, input: &str, program: &Arc<Program>) -> Result<(), String> {
+    use talft_obs::Json;
+    let zap = talft_analysis::analyze_zaps(program);
+    let mut analyzer = talft_analysis::PairAnalyzer::new(program);
+    let pairs = analyzer.pair_report();
+    let cell = |kind: &str, addr: i64, index: Option<u64>, class: &talft_analysis::ZapClass| {
+        let mut fields = vec![
+            ("kind".to_owned(), Json::str(kind)),
+            ("addr".to_owned(), Json::I64(addr)),
+        ];
+        if let Some(i) = index {
+            fields.push(("index".to_owned(), Json::U64(i)));
+        }
+        fields.push(("class".to_owned(), Json::Str(class.to_string())));
+        Json::Object(fields)
+    };
+    let mut cells = Vec::new();
+    cells.extend(zap.pc.iter().map(|(a, c)| cell("pc", *a, None, c)));
+    cells.extend(zap.dst.iter().map(|(a, c)| cell("d", *a, None, c)));
+    cells.extend(
+        zap.gpr
+            .iter()
+            .map(|((a, r), c)| cell("gpr", *a, Some(u64::from(*r)), c)),
+    );
+    cells.extend(
+        zap.queue
+            .iter()
+            .map(|((a, s), c)| cell("queue", *a, Some(*s as u64), c)),
+    );
+    let (detected, benign, vulnerable) = zap.tally();
+    let witnesses: Vec<Json> = pairs
+        .witness
+        .iter()
+        .map(|(at, (a, b))| {
+            Json::obj([
+                ("compare", Json::I64(*at)),
+                ("first", Json::Str(a.to_string())),
+                ("second", Json::Str(b.to_string())),
+            ])
+        })
+        .collect();
+    let per_compare: Vec<Json> = pairs
+        .per_compare
+        .iter()
+        .map(|(at, n)| Json::obj([("compare", Json::I64(*at)), ("pairs", Json::U64(*n))]))
+        .collect();
+    let json = Json::obj([
+        ("schema", Json::str("talft.zap.v1")),
+        ("file", Json::str(input)),
+        (
+            "bailed",
+            match &zap.bailed {
+                Some(why) => Json::Str(why.clone()),
+                None => Json::Null,
+            },
+        ),
+        (
+            "k1",
+            Json::obj([
+                ("detected", Json::U64(detected as u64)),
+                ("benign", Json::U64(benign as u64)),
+                ("vulnerable", Json::U64(vulnerable as u64)),
+                ("coverage", Json::F64(zap.coverage())),
+                ("cells", Json::Array(cells)),
+            ]),
+        ),
+        (
+            "k2",
+            Json::obj([
+                ("cells", Json::U64(pairs.cells as u64)),
+                ("pairs", Json::U64(pairs.pairs)),
+                ("detected", Json::U64(pairs.detected)),
+                ("benign", Json::U64(pairs.benign)),
+                ("vulnerable", Json::U64(pairs.vulnerable)),
+                ("single_vulnerable", Json::U64(pairs.single_vulnerable)),
+                ("cooperative", Json::U64(pairs.cooperative)),
+                ("coverage", Json::F64(pairs.coverage())),
+                ("fixpoints", Json::U64(pairs.fixpoints)),
+                ("per_compare", Json::Array(per_compare)),
+                ("witnesses", Json::Array(witnesses)),
+            ]),
+        ),
+    ]);
+    std::fs::write(out, format!("{json}\n")).map_err(|e| format!("cannot write {out}: {e}"))
+}
+
 fn run_lint(
     path: &str,
     program: &Arc<Program>,

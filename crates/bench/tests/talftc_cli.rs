@@ -117,6 +117,45 @@ fn exit_4_on_lint_error_and_writes_lint_json() {
 }
 
 #[test]
+fn zap_report_writes_k1_cells_and_k2_pair_summary() {
+    let p = write_temp("zap.wile", OK_WILE);
+    let json_path = std::env::temp_dir().join(format!("talftc-zap-{}.json", std::process::id()));
+    let out = talftc(&[
+        p.to_str().unwrap(),
+        &format!("--zap-report={}", json_path.display()),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = std::fs::read_to_string(&json_path).expect("zap report written");
+    let json = talft_obs::Json::parse(&text).expect("valid JSON");
+    assert_eq!(
+        json.get("schema").and_then(talft_obs::Json::as_str),
+        Some("talft.zap.v1")
+    );
+    assert_eq!(json.get("bailed"), Some(&talft_obs::Json::Null));
+    let k1 = json.get("k1").expect("k1 summary");
+    let cells = k1.get("cells").and_then(talft_obs::Json::as_array);
+    assert!(!cells.expect("cell array").is_empty(), "per-cell verdicts");
+    let n = |j: &talft_obs::Json, key: &str| j.get(key).and_then(talft_obs::Json::as_u64).unwrap();
+    assert_eq!(
+        n(k1, "detected") + n(k1, "benign") + n(k1, "vulnerable"),
+        cells.unwrap().len() as u64,
+        "k=1 tally covers every cell"
+    );
+    let k2 = json.get("k2").expect("k2 pair summary");
+    assert_eq!(
+        n(k2, "detected") + n(k2, "benign") + n(k2, "vulnerable"),
+        n(k2, "pairs"),
+        "pair classes sum to the pair count"
+    );
+    assert!(n(k2, "pairs") > 0);
+    assert!(
+        n(k2, "single_vulnerable") + n(k2, "cooperative") <= n(k2, "vulnerable"),
+        "the vulnerable tally covers the single-member and cooperative splits"
+    );
+    std::fs::remove_file(&json_path).ok();
+}
+
+#[test]
 fn lint_is_quiet_on_protected_output() {
     let p = write_temp("ok-lint.wile", OK_WILE);
     let out = talftc(&[p.to_str().unwrap(), "--lint"]);

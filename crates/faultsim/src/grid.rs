@@ -16,7 +16,7 @@ use std::sync::Arc;
 use talft_isa::{Color, Program, Reg};
 use talft_machine::{step, FaultSite, Machine};
 
-use crate::plan::single_fault_plans;
+use crate::plan::{single_fault_plans, FaultPlan, Strike};
 use crate::{execute_plan, golden_run, CampaignConfig, Golden, GoldenError, Verdict};
 
 /// One executed single-fault plan: injection point, corrupt value, verdict.
@@ -61,6 +61,129 @@ impl FaultGrid {
     }
 }
 
+/// One executed multi-strike plan: the strikes as scheduled, the verdict,
+/// and how many strikes were actually injected (a run detected before a
+/// later strike's step never receives it — `applied < strikes.len()`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanOutcome {
+    /// The plan's strikes, step-sorted.
+    pub strikes: Vec<Strike>,
+    /// The campaign verdict for this plan.
+    pub verdict: Verdict,
+    /// Strikes actually injected before the run ended.
+    pub applied: usize,
+}
+
+/// Golden-run observables mapping dynamic steps to static code addresses
+/// — shared by the grids and by static-guided plan prioritization (which
+/// needs the mapping *before* any plan runs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenTrace {
+    /// `pc_by_step[s]` = the golden `pcG` value after `s` steps
+    /// (`pc_by_step[0]` is the boot state; length `golden_steps + 1`).
+    pub pc_by_step: Vec<i64>,
+    /// `queue_len_by_step[s]` = golden store-queue occupancy after `s`
+    /// steps (same indexing), for mapping queue-slot sites.
+    pub queue_len_by_step: Vec<usize>,
+    /// Steps in the golden run.
+    pub golden_steps: u64,
+}
+
+/// Replay the golden prefix once, recording pcG and queue occupancy.
+#[must_use]
+pub fn golden_trace(program: &Arc<Program>, cfg: &CampaignConfig, golden: &Golden) -> GoldenTrace {
+    let mut m = Machine::boot(Arc::clone(program)).with_oob_policy(cfg.oob);
+    let mut pc_by_step = vec![m.rval(Reg::Pc(Color::Green))];
+    let mut queue_len_by_step = vec![m.queue().len()];
+    while m.status().is_running() && m.steps() < golden.steps {
+        step(&mut m);
+        pc_by_step.push(m.rval(Reg::Pc(Color::Green)));
+        queue_len_by_step.push(m.queue().len());
+    }
+    GoldenTrace {
+        pc_by_step,
+        queue_len_by_step,
+        golden_steps: golden.steps,
+    }
+}
+
+/// Every plan outcome of a k≥2 campaign, plus the golden-run observables
+/// that map dynamic strikes to static cells — the multi-strike analogue of
+/// [`FaultGrid`], consumed by the pair-fault differential oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanGrid {
+    /// The golden observables for the dynamic-to-static cell mapping.
+    pub trace: GoldenTrace,
+    /// Per-plan outcomes, in the caller's plan order.
+    pub outcomes: Vec<PlanOutcome>,
+}
+
+impl PlanGrid {
+    /// Outcomes scored [`Verdict::Sdc`].
+    pub fn sdc(&self) -> impl Iterator<Item = &PlanOutcome> {
+        self.outcomes.iter().filter(|o| o.verdict == Verdict::Sdc)
+    }
+
+    /// Tally of a verdict.
+    #[must_use]
+    pub fn count(&self, v: Verdict) -> usize {
+        self.outcomes.iter().filter(|o| o.verdict == v).count()
+    }
+}
+
+/// Run an arbitrary plan set as a grid (golden run included).
+///
+/// # Errors
+///
+/// Propagates [`GoldenError`] from the reference run.
+pub fn plan_fault_grid(
+    program: &Arc<Program>,
+    cfg: &CampaignConfig,
+    plans: &[FaultPlan],
+) -> Result<PlanGrid, GoldenError> {
+    let golden = golden_run(program, cfg)?;
+    Ok(plan_fault_grid_against(program, cfg, &golden, plans))
+}
+
+/// Run an arbitrary plan set as a grid against a precomputed golden run.
+///
+/// Sequential and deterministic, like [`single_fault_grid_against`]: the
+/// plans are executed in first-strike order against one monotone frontier,
+/// but outcomes are returned in the *caller's* plan order. Verdicts agree
+/// plan by plan with [`run_plan_campaign`](crate::run_plan_campaign).
+#[must_use]
+pub fn plan_fault_grid_against(
+    program: &Arc<Program>,
+    cfg: &CampaignConfig,
+    golden: &Golden,
+    plans: &[FaultPlan],
+) -> PlanGrid {
+    let trace = golden_trace(program, cfg, golden);
+    let mut order: Vec<usize> = (0..plans.len()).collect();
+    order.sort_by_key(|&i| plans[i].first_step());
+    let mut outcomes: Vec<Option<PlanOutcome>> = vec![None; plans.len()];
+    let mut frontier = Machine::boot(Arc::clone(program)).with_oob_policy(cfg.oob);
+    for i in order {
+        let plan = &plans[i];
+        let target = plan.first_step();
+        while frontier.steps() < target && frontier.status().is_running() {
+            step(&mut frontier);
+        }
+        let mut run = frontier.clone();
+        let (verdict, _steps, applied) =
+            execute_plan(&mut run, plan, golden, Some(&golden.checkpoints));
+        outcomes[i] = Some(PlanOutcome {
+            strikes: plan.strikes.clone(),
+            verdict,
+            applied,
+        });
+    }
+    PlanGrid {
+        trace,
+        outcomes: outcomes.into_iter().map(Option::unwrap).collect(),
+    }
+}
+
 /// Run the exhaustive k=1 grid (golden run included).
 ///
 /// # Errors
@@ -86,16 +209,7 @@ pub fn single_fault_grid_against(
     cfg: &CampaignConfig,
     golden: &Golden,
 ) -> FaultGrid {
-    // Replay the golden prefix once, recording pcG and queue occupancy.
-    let mut m = Machine::boot(Arc::clone(program)).with_oob_policy(cfg.oob);
-    let mut pc_by_step = vec![m.rval(Reg::Pc(Color::Green))];
-    let mut queue_len_by_step = vec![m.queue().len()];
-    while m.status().is_running() && m.steps() < golden.steps {
-        step(&mut m);
-        pc_by_step.push(m.rval(Reg::Pc(Color::Green)));
-        queue_len_by_step.push(m.queue().len());
-    }
-
+    let trace = golden_trace(program, cfg, golden);
     let plans = single_fault_plans(program, cfg, golden);
     let mut outcomes = Vec::with_capacity(plans.len());
     // Plans arrive step-sorted; keep one frontier advancing monotonically.
@@ -117,9 +231,9 @@ pub fn single_fault_grid_against(
         });
     }
     FaultGrid {
-        pc_by_step,
-        queue_len_by_step,
-        golden_steps: golden.steps,
+        pc_by_step: trace.pc_by_step,
+        queue_len_by_step: trace.queue_len_by_step,
+        golden_steps: trace.golden_steps,
         outcomes,
     }
 }

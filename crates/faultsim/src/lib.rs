@@ -53,8 +53,11 @@ pub mod wire;
 
 pub use batch::run_plan_campaign_batched;
 pub use checkpoint::CheckpointRing;
-pub use grid::{single_fault_grid, single_fault_grid_against, FaultGrid, GridOutcome};
-pub use plan::{multi_fault_plans, single_fault_plans, FaultPlan, Strike};
+pub use grid::{
+    golden_trace, plan_fault_grid, plan_fault_grid_against, single_fault_grid,
+    single_fault_grid_against, FaultGrid, GoldenTrace, GridOutcome, PlanGrid, PlanOutcome,
+};
+pub use plan::{exhaustive_pair_plans, multi_fault_plans, single_fault_plans, FaultPlan, Strike};
 pub use recovery::{
     run_supervised, run_with_recovery, storm_from_plan, AttemptRecord, PlannedFault,
     RecoveryResult, SupervisorConfig, SupervisorOutcome, SupervisorReport,
@@ -829,6 +832,52 @@ pub fn run_plan_campaign_scalar(
     golden: &Golden,
     plans: &[FaultPlan],
 ) -> CampaignReport {
+    run_plan_campaign_scheduled(program, cfg, golden, plans, None)
+}
+
+/// Run the k≥2 plan set with **static-guided prioritization**: plans the
+/// pair-fault analyzer classified Vulnerable (`hot[i]` per plan index) are
+/// *scheduled* first, so a gated campaign — or a human watching the
+/// violation stream — reaches the interesting verdicts sooner.
+///
+/// Guidance is **verdict-neutral by construction**: it only permutes the
+/// order in which workers claim plans. All bookkeeping stays keyed by the
+/// plan's position in the frozen first-strike sort order — counts and
+/// histograms merge commutatively, violations are tagged and reassembled
+/// by canonical position, and gated stops reduce to the canonical-order
+/// prefix (positions at or before the final stop position are never
+/// skipped, whatever order they executed in). The report is therefore
+/// bit-identical to [`run_plan_campaign`] on the same inputs, which the
+/// guided-identity tests assert.
+#[must_use]
+pub fn run_plan_campaign_guided(
+    program: &Arc<Program>,
+    cfg: &CampaignConfig,
+    golden: &Golden,
+    plans: &[FaultPlan],
+    hot: &[bool],
+) -> CampaignReport {
+    assert_eq!(hot.len(), plans.len(), "one hotness flag per plan");
+    // Canonical report order (must match the scheduled engine's sort).
+    let mut order: Vec<usize> = (0..plans.len()).collect();
+    order.sort_by_key(|&i| plans[i].first_step());
+    // Schedule: hot positions first, canonical order within each half.
+    let mut schedule: Vec<usize> = (0..plans.len()).collect();
+    schedule.sort_by_key(|&pos| !hot[order[pos]]);
+    run_plan_campaign_scheduled(program, cfg, golden, plans, Some(&schedule))
+}
+
+/// The scalar engine with an optional **claim schedule**: a permutation of
+/// canonical positions dictating the order workers pick plans up. `None`
+/// means canonical order. The schedule never appears in the report — see
+/// [`run_plan_campaign_guided`] for the neutrality argument.
+fn run_plan_campaign_scheduled(
+    program: &Arc<Program>,
+    cfg: &CampaignConfig,
+    golden: &Golden,
+    plans: &[FaultPlan],
+    schedule: Option<&[usize]>,
+) -> CampaignReport {
     let _span = CAMPAIGN_NS.span();
     let mut order: Vec<usize> = (0..plans.len()).collect();
     order.sort_by_key(|&i| plans[i].first_step());
@@ -866,7 +915,8 @@ pub fn run_plan_campaign_scalar(
                         break;
                     }
                     let hi = (lo + STEAL_BATCH).min(order.len());
-                    for pos in lo..hi {
+                    for slot in lo..hi {
+                        let pos = schedule.map_or(slot, |s| s[slot]);
                         // Past the earliest known violation nothing can be
                         // reported; skipping is safe because positions at or
                         // before the final stop position are never skipped

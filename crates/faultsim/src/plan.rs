@@ -118,6 +118,56 @@ pub fn single_fault_plans(
     plans
 }
 
+/// The **exhaustive** `k = 2` plan set over a golden run: every unordered
+/// pair of distinct strided strikes (every step `≡ 0 (mod stride)`, every
+/// site, up to `mutations_per_site` values — the same strike universe as
+/// [`single_fault_plans`]), each pair step-ordered. Quadratic in the strike
+/// count by construction: meant for *small* kernels, where it turns the
+/// sampled k=2 boundary of [`multi_fault_plans`] into a complete grid the
+/// static pair analyzer can be validated against cell by cell.
+#[must_use]
+pub fn exhaustive_pair_plans(
+    program: &Arc<Program>,
+    cfg: &CampaignConfig,
+    golden: &Golden,
+) -> Vec<FaultPlan> {
+    let stride = cfg.effective_stride();
+    let n = golden.steps;
+    let mut strikes = Vec::new();
+    let mut frontier = Machine::boot(Arc::clone(program)).with_oob_policy(cfg.oob);
+    let mut at = frontier.steps();
+    loop {
+        if at.is_multiple_of(stride) {
+            for site in sites(&frontier) {
+                let Some(old) = read_site(&frontier, site) else {
+                    continue;
+                };
+                for value in mutations(old).into_iter().take(cfg.mutations_per_site) {
+                    strikes.push(Strike {
+                        at_step: at,
+                        site,
+                        value,
+                    });
+                }
+            }
+        }
+        if at >= n || !frontier.status().is_running() {
+            break;
+        }
+        step(&mut frontier);
+        at = frontier.steps();
+    }
+    let mut plans = Vec::with_capacity(strikes.len() * (strikes.len().saturating_sub(1)) / 2);
+    for (i, &a) in strikes.iter().enumerate() {
+        for &b in &strikes[i + 1..] {
+            // Strikes were collected in step order, so `a` is the earlier
+            // (or tied) strike; `FaultPlan::new` keeps that order stable.
+            plans.push(FaultPlan::new(vec![a, b]));
+        }
+    }
+    plans
+}
+
 /// A reservoir sampler: uniform fixed-size sample of an unbounded stream.
 struct Reservoir<T> {
     cap: usize,
